@@ -1,0 +1,37 @@
+"""Shared fixtures for the benchmark harness.
+
+Benchmarks both *measure* (pytest-benchmark timings of the compiler
+machinery itself) and *regenerate* the paper's evaluation artifacts.
+Rendered reports are written to ``benchmarks/output/`` so the
+reproduced tables and figure data survive the run.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "tests"))
+sys.setrecursionlimit(20000)
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture(scope="session")
+def matrix_results():
+    """The full evaluation matrix at paper geometry (500 runs each)."""
+    from repro.eval.runner import run_matrix
+
+    return run_matrix(runs=500)
+
+
+def write_report(output_dir: Path, name: str, text: str) -> None:
+    (output_dir / name).write_text(text + "\n")

@@ -1,0 +1,51 @@
+"""Ablation: thread-block shape tuning before and after fusion.
+
+Fusion changes a kernel's tile footprint (fused windows are wider), so
+the best block configuration can shift.  This bench tunes every launch
+of every paper application, unfused and fused, and records where the
+tuned shape differs from the default and how much it buys.
+"""
+
+import pytest
+
+from conftest import write_report
+
+from repro.apps import APPLICATIONS
+from repro.eval.runner import partition_for
+from repro.graph.partition import Partition
+from repro.model.blocktune import tune_partition, tuned_total_ms
+from repro.model.hardware import GTX680
+
+
+def run_tuning():
+    rows = {}
+    for app_name, spec in APPLICATIONS.items():
+        graph = spec.pipeline().build()
+        for label, partition in (
+            ("baseline", Partition.singletons(graph)),
+            ("optimized", partition_for(graph, GTX680, "optimized")),
+        ):
+            rows[(app_name, label)] = tune_partition(
+                graph, partition, GTX680
+            )
+    return rows
+
+
+def test_bench_blockshape_tuning(benchmark, output_dir):
+    rows = benchmark(run_tuning)
+
+    lines = ["ABLATION: THREAD-BLOCK SHAPE TUNING (GTX680)"]
+    for (app_name, label), results in sorted(rows.items()):
+        default_total = sum(r.default_ms for r in results)
+        tuned = tuned_total_ms(results)
+        assert tuned <= default_total + 1e-12
+        retuned = [r for r in results if r.best_shape != r.default_shape]
+        lines.append("")
+        lines.append(
+            f"{app_name} / {label}: default {default_total:.4f} ms -> "
+            f"tuned {tuned:.4f} ms "
+            f"({default_total / tuned:.3f}x, {len(retuned)} launches "
+            "re-shaped)"
+        )
+        lines.extend("  " + r.describe() for r in results)
+    write_report(output_dir, "ablation_blockshape.txt", "\n".join(lines))

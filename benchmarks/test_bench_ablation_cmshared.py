@@ -1,0 +1,73 @@
+"""Ablation: the shared-memory threshold cMshared of Eq. (2).
+
+The paper fixes cMshared = 2 "to obtain high resource utilization".
+This bench sweeps the threshold and shows the mechanism the rule
+protects: relaxing it fuses more of Harris (higher beta) but the extra
+shared memory lowers occupancy in the simulator, so the simulated time
+stops improving — the simulated optimum sits at small thresholds.
+"""
+
+import pytest
+
+from conftest import write_report
+
+from repro.apps.harris import build_pipeline as build_harris
+from repro.apps.sobel import build_pipeline as build_sobel
+from repro.backend.launch import simulate_partition
+from repro.fusion.mincut_fusion import mincut_fusion
+from repro.model.benefit import BenefitConfig, estimate_graph
+from repro.model.hardware import GTX680
+
+THRESHOLDS = (1.0, 2.0, 3.0, 5.0, 8.0)
+
+
+def sweep(builder):
+    graph = builder().build()
+    rows = []
+    for threshold in THRESHOLDS:
+        weighted = estimate_graph(
+            graph, GTX680, BenefitConfig(c_mshared=threshold)
+        )
+        partition = mincut_fusion(weighted).partition
+        timing = simulate_partition(graph, partition, GTX680)
+        rows.append(
+            (threshold, len(partition), partition.benefit, timing.total_ms)
+        )
+    return rows
+
+
+def test_bench_cmshared_sweep_harris(benchmark, output_dir):
+    rows = benchmark(sweep, build_harris)
+
+    by_threshold = {row[0]: row for row in rows}
+    # The paper's threshold (2) fuses the three pairs -> 6 launches.
+    assert by_threshold[2.0][1] == 6
+    # cMshared = 1 forbids any combination of shared-memory kernels but
+    # still allows point-only fusions; Harris has none -> 9 launches...
+    # except the point pairs {s*, g*} place exactly one local kernel per
+    # block (ratio 1.0), which stays legal.
+    assert by_threshold[1.0][1] == 6
+    # Relaxing to 5 admits the five-local-kernel mega-block: beta rises.
+    assert by_threshold[5.0][2] >= by_threshold[2.0][2]
+    assert by_threshold[5.0][1] < by_threshold[2.0][1]
+
+    lines = ["ABLATION: cMshared SWEEP (Harris, GTX680)",
+             f"{'cMshared':>9}{'launches':>10}{'beta':>10}{'sim ms':>10}"]
+    for threshold, launches, beta, ms in rows:
+        lines.append(f"{threshold:>9.1f}{launches:>10d}{beta:>10.1f}{ms:>10.3f}")
+    write_report(output_dir, "ablation_cmshared_harris.txt", "\n".join(lines))
+
+
+def test_bench_cmshared_sweep_sobel(benchmark, output_dir):
+    rows = benchmark(sweep, build_sobel)
+    by_threshold = {row[0]: row for row in rows}
+    # Sobel's fused block has ratio exactly 2.0: legal at the paper's
+    # threshold, illegal at 1.0.
+    assert by_threshold[2.0][1] == 1
+    assert by_threshold[1.0][1] == 3
+
+    lines = ["ABLATION: cMshared SWEEP (Sobel, GTX680)",
+             f"{'cMshared':>9}{'launches':>10}{'beta':>10}{'sim ms':>10}"]
+    for threshold, launches, beta, ms in rows:
+        lines.append(f"{threshold:>9.1f}{launches:>10d}{beta:>10.1f}{ms:>10.3f}")
+    write_report(output_dir, "ablation_cmshared_sobel.txt", "\n".join(lines))

@@ -1,0 +1,59 @@
+"""Ablation: the min-cut heuristic vs. the enumerated optimum.
+
+The fusion problem is NP-complete for unknown k (Section III-C); the
+paper's recursive min-cut is a heuristic.  On every paper application
+the optimum is computable by exhaustive enumeration — this bench shows
+Algorithm 1 achieves it (gap 0), and measures how much slower the
+enumeration already is at 9 kernels.
+"""
+
+import pytest
+
+from conftest import write_report
+
+from repro.apps import APPLICATIONS
+from repro.fusion.exhaustive import exhaustive_fusion, optimality_gap
+from repro.fusion.mincut_fusion import mincut_fusion
+from repro.model.benefit import estimate_graph
+from repro.model.hardware import GTX680
+
+
+def compute_gaps():
+    rows = []
+    for app_name, spec in APPLICATIONS.items():
+        graph = spec.build(64, 64).build()
+        weighted = estimate_graph(graph, GTX680)
+        gap = optimality_gap(weighted)
+        beta = mincut_fusion(weighted).benefit
+        rows.append((app_name, len(graph), beta, gap))
+    return rows
+
+
+def test_bench_optimality_gap(benchmark, output_dir):
+    rows = benchmark(compute_gaps)
+    for app_name, _, _, gap in rows:
+        assert gap == pytest.approx(0.0, abs=1e-9), app_name
+
+    lines = [
+        "ABLATION: MIN-CUT HEURISTIC VS ENUMERATED OPTIMUM",
+        f"{'app':<12}{'kernels':>8}{'beta(mincut)':>14}{'gap':>8}",
+    ]
+    for app_name, n, beta, gap in rows:
+        lines.append(f"{app_name:<12}{n:>8}{beta:>14.1f}{gap:>8.3f}")
+    lines.append("")
+    lines.append("gap = beta(exhaustive optimum) - beta(Algorithm 1)")
+    write_report(output_dir, "ablation_optimality.txt", "\n".join(lines))
+
+
+def test_bench_exhaustive_on_harris(benchmark):
+    graph = APPLICATIONS["Harris"].build(64, 64).build()
+    weighted = estimate_graph(graph, GTX680)
+    result = benchmark(exhaustive_fusion, weighted)
+    assert result.benefit == pytest.approx(912.0)
+
+
+def test_bench_mincut_on_harris_for_comparison(benchmark):
+    graph = APPLICATIONS["Harris"].build(64, 64).build()
+    weighted = estimate_graph(graph, GTX680)
+    result = benchmark(mincut_fusion, weighted)
+    assert result.benefit == pytest.approx(912.0)

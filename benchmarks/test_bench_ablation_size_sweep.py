@@ -1,0 +1,58 @@
+"""Ablation: fusion speedup vs image size (where the crossover falls).
+
+The simulated speedup of fusion has two regimes: launch-overhead
+elimination (constant per pipeline, dominating tiny images) and traffic
+elimination (scaling with pixels, dominating large images).  This bench
+records the curves for three characteristic applications:
+
+* Unsharp — launch ratio 4.0 > traffic ratio (~3.4): the curve decays
+  to the traffic asymptote;
+* Harris — launch ratio 1.5 vs traffic ratio ~1.1: same shape, smaller;
+* Night — both ratios ~1: flat at 1.0 at every size (compute-bound).
+"""
+
+import pytest
+
+from conftest import write_report
+
+from repro.apps.harris import build_pipeline as build_harris
+from repro.apps.night import build_pipeline as build_night
+from repro.apps.unsharp import build_pipeline as build_unsharp
+from repro.eval.sweeps import render_size_sweep, size_sweep
+from repro.model.hardware import GTX680
+
+SIZES = (64, 128, 256, 512, 1024, 2048)
+
+
+def test_bench_size_sweep(benchmark, output_dir):
+    def run():
+        return {
+            "Unsharp": size_sweep(build_unsharp, GTX680, SIZES),
+            "Harris": size_sweep(build_harris, GTX680, SIZES),
+            "Night": size_sweep(build_night, GTX680, SIZES),
+        }
+
+    curves = benchmark(run)
+
+    unsharp = [p.speedup for p in curves["Unsharp"]]
+    assert unsharp == sorted(unsharp, reverse=True)
+    assert unsharp[0] == pytest.approx(4.0, abs=0.3)
+    assert unsharp[-1] > 3.0
+
+    harris = [p.speedup for p in curves["Harris"]]
+    assert max(harris) < max(unsharp)
+    assert all(h >= 0.99 for h in harris)
+
+    # Night: tiny images still enjoy the launch saving (3 -> 2
+    # launches); at the paper's geometry the speedup flattens to ~1.
+    night = [p.speedup for p in curves["Night"]]
+    assert night == sorted(night, reverse=True)
+    assert night[-1] == pytest.approx(1.0, abs=0.08)
+
+    sections = [
+        render_size_sweep(name, GTX680.name, points)
+        for name, points in curves.items()
+    ]
+    write_report(
+        output_dir, "ablation_size_sweep.txt", "\n\n".join(sections)
+    )

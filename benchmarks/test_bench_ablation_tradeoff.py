@@ -1,0 +1,105 @@
+"""Ablation: the locality-vs-recomputation tradeoff (Eqs. 8/11).
+
+The benefit model refuses the Night filter's local-to-local fusion
+because the producer is expensive (Section V-C).  This bench sweeps the
+global-memory latency t_g — the price of *not* fusing — and locates the
+decision flip: cheap memory keeps the kernels separate, expensive
+memory eventually justifies the redundant computation.
+
+It also sweeps a synthetic producer's arithmetic cost at fixed t_g,
+showing the dual flip the paper describes ("an expensive producer ...
+will increase the computation cost phi").
+"""
+
+import pytest
+
+from conftest import write_report
+
+from repro.apps.night import build_pipeline as build_night
+from repro.dsl.functional import convolve
+from repro.dsl.image import Image
+from repro.dsl.kernel import Kernel
+from repro.dsl.mask import Mask
+from repro.dsl.pipeline import Pipeline
+from repro.fusion.mincut_fusion import mincut_fusion
+from repro.ir.expr import Const
+from repro.model.benefit import estimate_graph
+from repro.model.hardware import GTX680
+
+GAUSS = Mask([[1, 2, 1], [2, 4, 2], [1, 2, 1]])
+
+
+def night_fused_blocks(t_global):
+    graph = build_night().build()
+    gpu = GTX680.with_costs(t_global=float(t_global))
+    weighted = estimate_graph(graph, gpu)
+    partition = mincut_fusion(weighted).partition
+    return {frozenset(b.vertices) for b in partition.blocks}
+
+
+def test_bench_tg_sweep_on_night(benchmark, output_dir):
+    sweeps = [400, 4_000, 40_000, 400_000, 4_000_000]
+    rows = benchmark(
+        lambda: [(tg, night_fused_blocks(tg)) for tg in sweeps]
+    )
+
+    fused_pair = frozenset({"atrous0", "atrous1", "scoto"})
+    decisions = {tg: (fused_pair in blocks) for tg, blocks in rows}
+    # Paper regime: not fused at t_g = 400.
+    assert decisions[400] is False
+    # With memory five orders of magnitude more expensive, recomputation
+    # becomes worth it: the whole chain fuses.
+    assert decisions[4_000_000] is True
+    # The decision is monotone in t_g.
+    flips = [decisions[tg] for tg in sweeps]
+    assert flips == sorted(flips)
+
+    lines = ["ABLATION: t_global SWEEP ON NIGHT (decision flip)",
+             f"{'t_g':>10}  fused atrous pair?"]
+    for tg, blocks in rows:
+        lines.append(f"{tg:>10}  {fused_pair in blocks}")
+    write_report(output_dir, "ablation_tg_night.txt", "\n".join(lines))
+
+
+def producer_cost_flip(extra_ops):
+    """A point->local pair with a tunable-cost producer."""
+    pipe = Pipeline("tunable")
+    src = Image.create("src", 64, 64)
+    mid = Image.create("mid", 64, 64)
+    out = Image.create("out", 64, 64)
+
+    def producer_body(a):
+        expr = a()
+        for i in range(extra_ops):
+            expr = expr * Const(1.0001) + Const(0.0001 * (i + 1))
+        return expr
+
+    pipe.add(Kernel.from_function("producer", [src], mid, producer_body))
+    pipe.add(Kernel.from_function(
+        "consumer", [mid], out, lambda a: convolve(a, GAUSS)
+    ))
+    graph = pipe.build()
+    weighted = estimate_graph(graph, GTX680)
+    return weighted.estimate("producer", "consumer")
+
+
+def test_bench_producer_cost_sweep(benchmark, output_dir):
+    # phi = cost_op * IS_ks * sz(kd) = (2*ops*4) * 1 * 9; delta = 400.
+    # The flip sits where 72 * ops > 400, i.e. between 5 and 6 op pairs.
+    costs = [0, 2, 5, 6, 10, 40]
+    rows = benchmark(lambda: [(c, producer_cost_flip(c)) for c in costs])
+
+    decisions = {c: est.profitable for c, est in rows}
+    assert decisions[0] is True
+    assert decisions[5] is True
+    assert decisions[6] is False
+    assert decisions[40] is False
+
+    lines = ["ABLATION: PRODUCER COST SWEEP (point-to-local pair)",
+             f"{'extra ops':>10}{'phi':>12}{'w':>12}  fuse?"]
+    for c, est in rows:
+        lines.append(
+            f"{c:>10}{est.phi:>12.1f}{est.raw_benefit:>12.1f}  "
+            f"{est.profitable}"
+        )
+    write_report(output_dir, "ablation_producer_cost.txt", "\n".join(lines))

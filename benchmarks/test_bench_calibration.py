@@ -1,0 +1,50 @@
+"""Calibrating the simulator against the published Table I.
+
+How close can the performance model get to the paper's measured
+speedups when its physical constants are fitted instead of estimated?
+This bench runs the Nelder–Mead calibration over four knobs, reports
+the fitted values and the before/after tables, and asserts the fit
+improves while every fusion *decision* stays untouched (decisions use
+the paper's model constants by construction).
+"""
+
+import pytest
+
+from conftest import write_report
+
+from repro.eval.tables import GPU_ORDER, PAPER_TABLE1
+from repro.model.calibration import calibrate, simulated_table1, table1_loss
+
+
+def test_bench_calibration(benchmark, output_dir):
+    result = benchmark.pedantic(
+        lambda: calibrate(max_evaluations=150), iterations=1, rounds=1
+    )
+
+    assert result.loss_after <= result.loss_before
+    assert result.improvement > 0.15  # fitted constants help noticeably
+
+    before = simulated_table1()
+    after = simulated_table1(result.knobs)
+
+    lines = [
+        "SIMULATOR CALIBRATION AGAINST PUBLISHED TABLE I",
+        result.describe(),
+        "",
+        f"{'comparison':<20}{'gpu':<9}{'app':<11}{'paper':>8}"
+        f"{'default':>9}{'fitted':>9}",
+    ]
+    for label in ("optimized/baseline", "basic/baseline"):
+        for gpu in GPU_ORDER:
+            for app, paper_value in PAPER_TABLE1[label][gpu].items():
+                lines.append(
+                    f"{label:<20}{gpu:<9}{app:<11}{paper_value:>8.3f}"
+                    f"{before[label][gpu][app]:>9.3f}"
+                    f"{after[label][gpu][app]:>9.3f}"
+                )
+    lines.append("")
+    lines.append(
+        f"mean squared log-error: {table1_loss(before):.4f} (default) -> "
+        f"{table1_loss(after):.4f} (fitted)"
+    )
+    write_report(output_dir, "calibration.txt", "\n".join(lines))

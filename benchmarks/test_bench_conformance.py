@@ -1,0 +1,38 @@
+"""The full paper-conformance checklist as a benchmark artifact.
+
+Runs every claim check (figures, fusion decisions, functional
+equivalence, evaluation shape) and writes the report to
+``benchmarks/output/conformance_report.txt``.  This is the single
+artifact to read first: it states, claim by claim, what reproduces
+exactly and what deviates.
+"""
+
+from conftest import write_report
+
+from repro.eval.paper_check import (
+    FAIL,
+    check_evaluation_shape,
+    has_failures,
+    render_report,
+    run_all_checks,
+)
+
+
+def test_bench_full_conformance(benchmark, matrix_results, output_dir):
+    def run():
+        outcome = run_all_checks()
+        # Reuse the session's matrix for the evaluation-shape suite to
+        # keep the artifact consistent with the table benchmarks.
+        outcome[-1] = (
+            "Evaluation shape (Tables I/II)",
+            check_evaluation_shape(matrix_results),
+        )
+        return outcome
+
+    outcome = benchmark.pedantic(run, iterations=1, rounds=1)
+    assert not has_failures(outcome)
+    statuses = [r.status for _, results in outcome for r in results]
+    assert statuses.count(FAIL) == 0
+    assert statuses.count("PASS") >= 30
+
+    write_report(output_dir, "conformance_report.txt", render_report(outcome))

@@ -1,0 +1,57 @@
+"""Figure 3: the Harris fusion walk-through.
+
+Regenerates the paper's edge weights (328/328/256 plus seven epsilon
+edges) and the recursive min-cut partitioning, writes the trace to
+``benchmarks/output/figure3_trace.txt``, and benchmarks the end-to-end
+fusion machinery (weight assignment + Algorithm 1) on the Harris DAG.
+"""
+
+import pytest
+
+from conftest import write_report
+
+from repro.apps.harris import build_pipeline
+from repro.eval.figures import figure3_trace
+from repro.fusion.mincut_fusion import mincut_fusion
+from repro.model.benefit import estimate_graph
+from repro.model.hardware import GTX680
+
+
+def run_figure3():
+    return figure3_trace()
+
+
+def test_bench_figure3_reproduction(benchmark, output_dir):
+    result = benchmark(run_figure3)
+
+    weighted = result.weighted
+    assert weighted.estimate("sx", "gx").weight == 328.0
+    assert weighted.estimate("sy", "gy").weight == 328.0
+    assert weighted.estimate("sxy", "gxy").weight == 256.0
+    blocks = {frozenset(b.vertices) for b in result.partition.blocks}
+    assert blocks == {
+        frozenset({"dx"}), frozenset({"dy"}), frozenset({"hc"}),
+        frozenset({"sx", "gx"}), frozenset({"sy", "gy"}),
+        frozenset({"sxy", "gxy"}),
+    }
+    assert result.benefit == pytest.approx(912.0)
+
+    lines = ["FIGURE 3: KERNEL FUSION APPLIED TO THE HARRIS CORNER DETECTOR",
+             "", "edge weights (paper: 328, 328, 256, epsilon elsewhere):",
+             weighted.describe_edges(), "", "recursive min-cut trace:"]
+    lines.extend("  " + e.describe() for e in result.trace)
+    lines += ["", "final partition:", result.partition.describe()]
+    write_report(output_dir, "figure3_trace.txt", "\n".join(lines))
+
+
+def test_bench_weight_assignment_only(benchmark):
+    graph = build_pipeline().build()
+    weighted = benchmark(estimate_graph, graph, GTX680)
+    assert weighted.graph.total_weight > 900
+
+
+def test_bench_algorithm1_only(benchmark):
+    graph = build_pipeline().build()
+    weighted = estimate_graph(graph, GTX680)
+    result = benchmark(mincut_fusion, weighted, "dx")
+    assert len(result.partition) == 6

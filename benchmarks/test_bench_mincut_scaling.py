@@ -1,0 +1,53 @@
+"""Scaling of the Stoer-Wagner minimum cut and Algorithm 1.
+
+Section III-C derives the worst-case complexity
+O(|E||V|^2 + |V|^2 log(|V|!) + |E|).  This bench measures the real
+implementation on growing synthetic pipelines — long chains of
+alternating point/local kernels with interleaved taps, which force the
+recursive algorithm through many cut iterations.
+"""
+
+import pytest
+
+from helpers import chain_pipeline
+
+from repro.fusion.mincut_fusion import mincut_fusion
+from repro.graph.mincut import stoer_wagner
+from repro.model.benefit import estimate_graph
+from repro.model.hardware import GTX680
+
+
+def ring_graph(n):
+    vertices = [f"v{i}" for i in range(n)]
+    edges = [
+        (vertices[i], vertices[(i + 1) % n], 1.0 + (i % 5))
+        for i in range(n)
+    ]
+    # chords make the cut non-trivial
+    edges += [
+        (vertices[i], vertices[(i + n // 2) % n], 0.5)
+        for i in range(0, n, 4)
+    ]
+    return vertices, edges
+
+
+@pytest.mark.parametrize("n", [8, 16, 32, 64])
+def test_bench_stoer_wagner_scaling(benchmark, n):
+    vertices, edges = ring_graph(n)
+    result = benchmark(stoer_wagner, vertices, edges)
+    assert result.weight > 0
+
+
+@pytest.mark.parametrize("length", [4, 8, 16, 32])
+def test_bench_algorithm1_scaling(benchmark, length):
+    # Alternating local/local chains never fuse past pairs, forcing
+    # many recursive cuts.
+    patterns = tuple("l" if i % 2 == 0 else "p" for i in range(length))
+    graph = chain_pipeline(patterns, width=16, height=16).build()
+    weighted = estimate_graph(graph, GTX680)
+    result = benchmark(mincut_fusion, weighted)
+    # Sanity: the partition covers the chain.
+    covered = set()
+    for block in result.partition.blocks:
+        covered |= set(block.vertices)
+    assert len(covered) == length

@@ -1,0 +1,69 @@
+"""Roofline characterization of all six applications.
+
+Quantifies the paper's Section V-C reasoning: Night's kernels sit above
+the device balance point (compute-bound — fusion cannot help), the
+other applications sit below it (memory-bound — fusion moves them up
+the roofline by deleting traffic).
+"""
+
+import pytest
+
+from conftest import write_report
+
+from repro.apps import APPLICATIONS
+from repro.backend.roofline import (
+    device_balance,
+    pipeline_roofline,
+    render_roofline_report,
+)
+from repro.eval.runner import partition_for
+from repro.graph.partition import Partition
+from repro.model.hardware import GTX680
+
+
+def characterize():
+    reports = {}
+    intensities = {}
+    for name, spec in APPLICATIONS.items():
+        graph = spec.pipeline().build()
+        baseline = Partition.singletons(graph)
+        optimized = partition_for(graph, GTX680, "optimized")
+        reports[name] = render_roofline_report(
+            graph, baseline, optimized, GTX680
+        )
+        points = pipeline_roofline(graph, baseline, GTX680)
+        intensities[name] = [p.intensity for p in points]
+    return reports, intensities
+
+
+def test_bench_roofline_characterization(benchmark, output_dir):
+    reports, intensities = benchmark(characterize)
+    balance = device_balance(GTX680)
+
+    # Night: every kernel far above the balance point — deep in the
+    # compute-bound region (intensity ~3x the knee).  This is why
+    # fusion cannot help it (Section V-C).
+    assert all(i > 2.0 * balance for i in intensities["Night"])
+
+    # The feature-detection / filtering apps sit near or below the
+    # knee: the worst kernel (a Gaussian with shared-memory staging)
+    # is marginal, never deep into the compute region.
+    for app in ("Sobel", "Unsharp", "Harris", "ShiTomasi"):
+        assert max(intensities[app]) < 1.5 * balance, app
+        # ...and the majority of their launches are memory-bound.
+        below = sum(1 for i in intensities[app] if i <= balance)
+        assert below >= len(intensities[app]) / 2, app
+
+    # Enhancement is the mixed case: an SFU-heavy producer above the
+    # knee followed by memory-bound point stages — and because the
+    # consumers are point operators, fusion still pays (Eq. 5 has no
+    # recomputation term).
+    assert max(intensities["Enhance"]) > 2.0 * balance
+    assert min(intensities["Enhance"]) < balance
+
+    body = "\n\n".join(reports[name] for name in APPLICATIONS)
+    header = (
+        f"ROOFLINE CHARACTERIZATION (GTX680, balance "
+        f"{balance:.2f} cycles/B)\n"
+    )
+    write_report(output_dir, "roofline.txt", header + "\n" + body)

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Border-correct local-to-local fusion (the paper's Fig. 4 and Fig. 5).
+
+Walks the paper's exact 5x5 matrix through two unnormalized Gaussian
+convolutions and shows:
+
+* the interior composition (intermediate 82/98/93..., result 992),
+* that naive body composition computes a *wrong* clamp-border value,
+* that the index-exchange method reproduces the staged result exactly,
+* the same comparison on a larger random image for all boundary modes.
+
+Run:  python examples/border_handling.py
+"""
+
+import numpy as np
+
+from repro.dsl.boundary import BoundaryMode, BoundarySpec
+from repro.dsl.functional import convolve
+from repro.dsl.image import Image
+from repro.dsl.kernel import Kernel
+from repro.dsl.mask import Mask
+from repro.dsl.pipeline import Pipeline
+from repro.backend.numpy_exec import execute_block, execute_pipeline
+from repro.eval.figures import FIGURE4_INPUT, figure4_example
+from repro.graph.partition import PartitionBlock
+
+GAUSS = Mask([[1, 2, 1], [2, 4, 2], [1, 2, 1]])
+
+
+def double_convolution(width, height, boundary):
+    pipe = Pipeline("double-conv")
+    src = Image.create("src", width, height)
+    mid = Image.create("mid", width, height)
+    out = Image.create("out", width, height)
+    pipe.add(Kernel.from_function(
+        "conv1", [src], mid, lambda a: convolve(a, GAUSS), boundary=boundary
+    ))
+    pipe.add(Kernel.from_function(
+        "conv2", [mid], out, lambda a: convolve(a, GAUSS), boundary=boundary
+    ))
+    return pipe.build()
+
+
+def main() -> None:
+    print("=== the paper's Fig. 4 worked example ===")
+    fig4 = figure4_example()
+    print("input matrix:")
+    print(FIGURE4_INPUT.astype(int))
+    print("intermediate 3x3 (paper: 82 98 93 / 66 61 51 / 43 34 32):")
+    print(fig4.intermediate_center.astype(int))
+    print(f"interior value      (paper: 992): {fig4.interior_value:.0f}")
+    print(f"staged border value (paper: 763): {fig4.staged_border_value:.0f}")
+    print(f"fused + index exchange          : {fig4.fused_border_value:.0f}")
+    print(f"fused naive (cf. Fig. 4b, wrong): {fig4.naive_border_value:.0f}")
+    print()
+
+    print("=== all boundary modes on a 32x32 random image ===")
+    rng = np.random.default_rng(7)
+    data = rng.uniform(0, 255, size=(32, 32))
+    header = f"{'mode':<12}{'naive max err':>16}{'exchange max err':>18}"
+    print(header)
+    for mode in (BoundaryMode.CLAMP, BoundaryMode.MIRROR,
+                 BoundaryMode.REPEAT):
+        graph = double_convolution(32, 32, BoundarySpec(mode))
+        staged = execute_pipeline(graph, {"src": data})["out"]
+        block = PartitionBlock(graph, {"conv1", "conv2"})
+        naive = execute_block(graph, block, {"src": data},
+                              naive_borders=True)
+        exchanged = execute_block(graph, block, {"src": data})
+        print(
+            f"{mode.value:<12}"
+            f"{np.abs(naive - staged).max():>16.4f}"
+            f"{np.abs(exchanged - staged).max():>18.2e}"
+        )
+    print()
+    print("naive composition is wrong in the halo region for every mode;")
+    print("the index exchange reproduces the staged pipeline exactly.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's full evaluation (Fig. 6, Table I, Table II).
+
+Runs all six applications at the paper's geometries through the three
+fusion versions on all three simulated devices (500 runs each, as in
+the paper) and prints the tables side by side with the published
+values.
+
+Run:  python examples/evaluation.py
+"""
+
+from repro.eval.report import render_figure6, render_table1, render_table2
+from repro.eval.runner import run_matrix
+
+
+def main() -> None:
+    print("running the 6 apps x 3 GPUs x 3 versions matrix "
+          "(500 simulated runs each)...")
+    results = run_matrix(runs=500)
+    print()
+    print(render_figure6(results))
+    print()
+    print(render_table1(results))
+    print()
+    print(render_table2(results))
+    print()
+    print("notes: shapes (who wins, where fusion is refused) reproduce the")
+    print("paper; absolute factors come from an analytic simulator, not the")
+    print("authors' testbed — see EXPERIMENTS.md for the deviations.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim for editable installs in offline environments.
+
+The environment has no ``wheel`` package, so PEP 517 editable installs
+fail; ``pip install -e . --no-use-pep517`` (or plain ``pip install -e .``
+with older pip) goes through this shim instead.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,111 @@
+"""Canny-lite edge detection — an *extension* application.
+
+Not part of the paper's evaluation matrix; included to exercise the
+fusion machinery on a deeper, branchier pipeline than the six paper
+benchmarks: six kernels, two fan-ins, a select-heavy non-maximum
+suppression, and a thresholding stage with a runtime parameter.
+
+Stages (hysteresis omitted):
+
+* ``dx``, ``dy`` — local Sobel gradients,
+* ``mag`` — squared gradient magnitude (point; the usual sqrt-free
+  formulation),
+* ``orient`` — gradient direction quantized to two sectors by
+  comparing |dy| against |dx| (point, branch-free selects),
+* ``nms`` — non-maximum suppression: compare the magnitude against the
+  two neighbours along the gradient direction (local 3x3 on ``mag``,
+  point on ``orient``),
+* ``thresh`` — binary edge map at a runtime threshold.
+
+The benefit model's decisions on this pipeline are asserted in the
+test-suite; they follow the same logic as the paper apps (profitable
+point-based tail fusion, expensive producers refused).
+"""
+
+from __future__ import annotations
+
+from repro.apps.common import SOBEL_X, SOBEL_Y
+from repro.dsl.functional import convolve
+from repro.dsl.image import Image
+from repro.dsl.kernel import Accessor, Kernel
+from repro.dsl.pipeline import Pipeline
+from repro.ir import ops
+from repro.ir.expr import Const, Expr, Param
+
+
+def quantized_orientation(gx: Accessor, gy: Accessor) -> Expr:
+    """0.0 for mostly-horizontal gradients, 1.0 for mostly-vertical."""
+    return ops.select(
+        ops.absolute(gy()) > ops.absolute(gx()), Const(1.0), Const(0.0)
+    )
+
+
+def non_maximum_suppression(mag: Accessor, orient: Accessor) -> Expr:
+    """Keep the magnitude only where it peaks along the gradient.
+
+    Horizontal-gradient pixels compare against their left/right
+    neighbours, vertical-gradient pixels against up/down.
+    """
+    vertical = orient()
+    left, right = mag(-1, 0), mag(1, 0)
+    up, down = mag(0, -1), mag(0, 1)
+    neighbour_a = ops.select(vertical > Const(0.5), up, left)
+    neighbour_b = ops.select(vertical > Const(0.5), down, right)
+    center = mag()
+    is_peak = ops.select(
+        center >= neighbour_a,
+        ops.select(center >= neighbour_b, Const(1.0), Const(0.0)),
+        Const(0.0),
+    )
+    return center * is_peak
+
+
+def build_pipeline(width: int = 2048, height: int = 2048) -> Pipeline:
+    """Build the six-kernel Canny-lite pipeline."""
+    pipe = Pipeline("canny")
+
+    image = Image.create("input", width, height)
+    ix = Image.create("Ix", width, height)
+    iy = Image.create("Iy", width, height)
+    magnitude = Image.create("magnitude", width, height)
+    orientation = Image.create("orientation", width, height)
+    suppressed = Image.create("suppressed", width, height)
+    edges = Image.create("edges", width, height)
+
+    pipe.add(
+        Kernel.from_function(
+            "dx", [image], ix, lambda a: convolve(a, SOBEL_X)
+        )
+    )
+    pipe.add(
+        Kernel.from_function(
+            "dy", [image], iy, lambda a: convolve(a, SOBEL_Y)
+        )
+    )
+    pipe.add(
+        Kernel.from_function(
+            "mag", [ix, iy], magnitude, lambda a, b: a() * a() + b() * b()
+        )
+    )
+    pipe.add(
+        Kernel.from_function(
+            "orient", [ix, iy], orientation, quantized_orientation
+        )
+    )
+    pipe.add(
+        Kernel.from_function(
+            "nms", [magnitude, orientation], suppressed,
+            non_maximum_suppression,
+        )
+    )
+    pipe.add(
+        Kernel.from_function(
+            "thresh",
+            [suppressed],
+            edges,
+            lambda a: ops.select(
+                a() > Param("threshold"), Const(255.0), Const(0.0)
+            ),
+        )
+    )
+    return pipe

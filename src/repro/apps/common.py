@@ -1,0 +1,53 @@
+"""Shared masks and small expression helpers for the applications."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.dsl.mask import Mask
+from repro.ir.expr import Const, Expr
+
+#: Sobel / derivative masks (x and y direction).
+SOBEL_X = Mask([[-1, 0, 1], [-2, 0, 2], [-1, 0, 1]])
+SOBEL_Y = Mask([[-1, -2, -1], [0, 0, 0], [1, 2, 1]])
+
+#: Normalized 3x3 binomial (Gaussian) blur.
+GAUSS3 = Mask(np.array([[1, 2, 1], [2, 4, 2], [1, 2, 1]], dtype=float) / 16.0)
+
+#: Unnormalized 3x3 binomial mask — the exact mask of the paper's
+#: Fig. 4 worked example (intermediate values 82/98/93..., result 992).
+GAUSS3_UNNORM = Mask([[1, 2, 1], [2, 4, 2], [1, 2, 1]])
+
+#: Normalized 5x5 Gaussian.
+GAUSS5 = Mask.gaussian(2)
+
+
+def atrous_taps(level: int) -> Sequence[tuple[int, int]]:
+    """Tap offsets of the à-trous (with holes) wavelet at ``level``.
+
+    Level 0 is a dense 3x3 neighbourhood; level 1 spreads the same nine
+    taps over a 5x5 window with holes (spacing 2) — the paper's Night
+    filter applies the algorithm twice (3x3, then 5x5).
+    """
+    spacing = 2**level
+    return [
+        (dx * spacing, dy * spacing)
+        for dy in (-1, 0, 1)
+        for dx in (-1, 0, 1)
+    ]
+
+
+def polynomial(x: Expr, coefficients: Sequence[float]) -> Expr:
+    """Horner-evaluated polynomial ``c0 + x*(c1 + x*(...))``.
+
+    Used to build the compute-heavy tone-mapping curve of the Night
+    filter (89 ALU operations in the Hipacc implementation).
+    """
+    if not coefficients:
+        raise ValueError("polynomial needs at least one coefficient")
+    result: Expr = Const(float(coefficients[-1]))
+    for coefficient in reversed(coefficients[:-1]):
+        result = Const(float(coefficient)) + x * result
+    return result

@@ -1,0 +1,65 @@
+"""Difference-of-Gaussians blob detection — an *extension* application.
+
+Included (beyond the paper's matrix) because it exercises two things
+the six paper apps do not combine:
+
+* a **fan-out from the pipeline input** into two local kernels of
+  *different* mask sizes (3x3 and 5x5) feeding a point difference — a
+  shared-input block whose resource ratio (2.0) sits exactly at the
+  paper's cMshared threshold, like Sobel but with asymmetric windows;
+* a **global operator** (peak response reduction) terminating the
+  pipeline — global operators never fuse (Section II-C1), so the
+  engines must leave it alone while fusing everything upstream.
+"""
+
+from __future__ import annotations
+
+from repro.dsl.functional import convolve
+from repro.dsl.image import Image
+from repro.dsl.kernel import Accessor, Kernel, ReductionKind
+from repro.dsl.mask import Mask
+from repro.dsl.pipeline import Pipeline
+from repro.ir import ops
+from repro.ir.expr import InputAt, Param
+
+#: Narrow and wide Gaussians of the scale-space pair.
+NARROW = Mask.gaussian(1, sigma=0.8)
+WIDE = Mask.gaussian(2, sigma=1.6)
+
+
+def build_pipeline(width: int = 2048, height: int = 2048) -> Pipeline:
+    """Build the five-kernel DoG pipeline (4 fusible + 1 global)."""
+    pipe = Pipeline("dog")
+
+    image = Image.create("input", width, height)
+    narrow = Image.create("narrow", width, height)
+    wide = Image.create("wide", width, height)
+    response = Image.create("response", width, height)
+    blobs = Image.create("blobs", width, height)
+    peak = Image.create("peak", 1, 1)
+
+    pipe.add(Kernel.from_function(
+        "blur_narrow", [image], narrow, lambda a: convolve(a, NARROW)
+    ))
+    pipe.add(Kernel.from_function(
+        "blur_wide", [image], wide, lambda a: convolve(a, WIDE)
+    ))
+    pipe.add(Kernel.from_function(
+        "difference", [narrow, wide], response, lambda n, w: n() - w()
+    ))
+    pipe.add(Kernel.from_function(
+        "threshold",
+        [response],
+        blobs,
+        lambda r: ops.select(
+            ops.absolute(r()) > Param("tau"), r(), 0.0
+        ),
+    ))
+    pipe.add(Kernel(
+        "peak",
+        [Accessor(blobs)],
+        peak,
+        ops.absolute(InputAt("blobs")),
+        reduction=ReductionKind.MAX,
+    ))
+    return pipe

@@ -1,0 +1,102 @@
+"""The Harris corner detector — the paper's running example (Fig. 3).
+
+Nine kernels connected by ten edges:
+
+* ``dx``, ``dy`` — local derivative operators (3x3),
+* ``sx``, ``sy``, ``sxy`` — point operators squaring / multiplying the
+  gradients (two ALU operations each: the product and the range
+  normalization, matching the paper's ``n_ALU = 2``),
+* ``gx``, ``gy``, ``gxy`` — local 3x3 Gaussian smoothing,
+* ``hc`` — the point-operator corner response
+  ``det(M) - k * trace(M)^2``.
+
+With the paper's constants (``t_g = 400``, ``c_ALU = 4``, IS in image
+units, γ omitted), the benefit model assigns 328 to ``(sx, gx)`` and
+``(sy, gy)``, 256 to ``(sxy, gxy)``, and ε to the seven remaining
+edges — exactly the weights printed in Fig. 3.
+"""
+
+from __future__ import annotations
+
+from repro.apps.common import GAUSS3, SOBEL_X, SOBEL_Y
+from repro.dsl.functional import convolve
+from repro.dsl.image import Image
+from repro.dsl.kernel import Kernel
+from repro.dsl.pipeline import Pipeline
+from repro.ir.expr import Const
+
+#: Harris sensitivity constant.
+HARRIS_K = 0.04
+
+#: Range normalization applied with the squaring (gives each square
+#: kernel its second ALU operation, as counted in the paper).
+NORM = 1.0 / (255.0 * 255.0)
+
+
+def build_pipeline(width: int = 2048, height: int = 2048) -> Pipeline:
+    """Build the nine-kernel Harris pipeline at the given geometry."""
+    pipe = Pipeline("harris")
+
+    image = Image.create("input", width, height)
+    ix = Image.create("Ix", width, height)
+    iy = Image.create("Iy", width, height)
+    sxx = Image.create("Sxx", width, height)
+    syy = Image.create("Syy", width, height)
+    sxy_img = Image.create("Sxy", width, height)
+    gxx = Image.create("Gxx", width, height)
+    gyy = Image.create("Gyy", width, height)
+    gxy_img = Image.create("Gxy", width, height)
+    corners = Image.create("corners", width, height)
+
+    pipe.add(
+        Kernel.from_function(
+            "dx", [image], ix, lambda inp: convolve(inp, SOBEL_X)
+        )
+    )
+    pipe.add(
+        Kernel.from_function(
+            "dy", [image], iy, lambda inp: convolve(inp, SOBEL_Y)
+        )
+    )
+    pipe.add(
+        Kernel.from_function(
+            "sx", [ix], sxx, lambda d: d() * d() * Const(NORM)
+        )
+    )
+    pipe.add(
+        Kernel.from_function(
+            "sy", [iy], syy, lambda d: d() * d() * Const(NORM)
+        )
+    )
+    pipe.add(
+        Kernel.from_function(
+            "sxy", [ix, iy], sxy_img, lambda a, b: a() * b() * Const(NORM)
+        )
+    )
+    pipe.add(
+        Kernel.from_function(
+            "gx", [sxx], gxx, lambda s: convolve(s, GAUSS3)
+        )
+    )
+    pipe.add(
+        Kernel.from_function(
+            "gy", [syy], gyy, lambda s: convolve(s, GAUSS3)
+        )
+    )
+    pipe.add(
+        Kernel.from_function(
+            "gxy", [sxy_img], gxy_img, lambda s: convolve(s, GAUSS3)
+        )
+    )
+
+    def corner_response(a, b, c):
+        det = a() * b() - c() * c()
+        trace = a() + b()
+        return det - Const(HARRIS_K) * trace * trace
+
+    pipe.add(
+        Kernel.from_function(
+            "hc", [gxx, gyy, gxy_img], corners, corner_response
+        )
+    )
+    return pipe

@@ -1,0 +1,117 @@
+"""The night post-processing filter (Section V-B / V-C).
+
+Three kernels over a 1920x1200 RGB image:
+
+* ``atrous0`` — à-trous bilateral filtering, level 0 (dense 3x3 taps),
+* ``atrous1`` — à-trous bilateral filtering, level 1 (nine taps spread
+  over a 5x5 window with holes),
+* ``scoto`` — scotopic tone mapping, a long pointwise curve (89 ALU
+  operations in the Hipacc implementation).
+
+This is the paper's *negative* result and the key test of the benefit
+model: the bilateral kernels are so expensive (~68 ALU operations) that
+the redundant-computation cost φ of fusing ``atrous0`` into ``atrous1``
+(Eq. 10, with the fused 7x7 window of Eq. 9) dwarfs the shared-memory
+locality gain — the model must *refuse* that fusion.  Only
+``atrous1 + scoto`` fuse (local-to-point), and because the whole
+pipeline is compute-bound the end-to-end speedup stays near 1.0
+(at most 1.02 in the paper).
+"""
+
+from __future__ import annotations
+
+from repro.apps.common import atrous_taps, polynomial
+from repro.dsl.image import Image
+from repro.dsl.kernel import Accessor, Kernel
+from repro.dsl.pipeline import Pipeline
+from repro.ir.expr import Const, Expr
+
+#: Range-weight steepness of the bilateral rational kernel.
+BILATERAL_K = 0.002
+
+#: Tone-curve coefficients (a fitted scotopic response polynomial).
+SCOTO_CURVE = [
+    0.0,
+    1.8932,
+    -4.2342,
+    12.1931,
+    -24.3391,
+    31.9029,
+    -27.5201,
+    15.3512,
+    -5.2831,
+    1.0213,
+    -0.0851,
+    0.0044,
+    0.0102,
+    -0.0033,
+    0.0008,
+    0.0021,
+    -0.0005,
+    0.0001,
+    0.0013,
+    -0.0002,
+]
+
+#: Blue-shift correction polynomial of the scotopic simulation.
+BLUESHIFT_CURVE = [0.05, 1.42, -1.18, 0.92, -0.41, 0.12, -0.02, 0.004]
+
+
+def atrous_bilateral(acc: Accessor, level: int) -> Expr:
+    """One à-trous bilateral filtering pass.
+
+    Edge-preserving smoothing with rational range weights
+    ``w = 1 / (1 + k * (v - center)^2)`` — the heavy arithmetic
+    (~65 ALU operations) that makes the Night kernels expensive
+    producers.
+    """
+    center = acc(0, 0)
+    value_sum: Expr = center
+    weight_sum: Expr = Const(1.0)
+    for dx, dy in atrous_taps(level):
+        if dx == 0 and dy == 0:
+            continue
+        value = acc(dx, dy)
+        difference = value - center
+        weight = Const(1.0) / (
+            Const(1.0) + Const(BILATERAL_K) * difference * difference
+        )
+        value_sum = value_sum + weight * value
+        weight_sum = weight_sum + weight
+    return value_sum / weight_sum
+
+
+def scotopic_tone_mapping(acc: Accessor) -> Expr:
+    """The pointwise scotopic tone-mapping curve (~89 ALU operations)."""
+    x = acc() * Const(1.0 / 255.0)
+    response = polynomial(x, SCOTO_CURVE)
+    blueshift = polynomial(x, BLUESHIFT_CURVE)
+    x_sq = x * x
+    mesopic = x_sq / (x_sq + Const(0.01))
+    mixed = mesopic * response + (Const(1.0) - mesopic) * blueshift
+    return mixed * Const(255.0)
+
+
+def build_pipeline(width: int = 1920, height: int = 1200) -> Pipeline:
+    """Build the three-kernel Night pipeline over RGB images."""
+    pipe = Pipeline("night")
+
+    image = Image.create("input", width, height, channels=3)
+    smooth0 = Image.create("smooth0", width, height, channels=3)
+    smooth1 = Image.create("smooth1", width, height, channels=3)
+    toned = Image.create("toned", width, height, channels=3)
+
+    pipe.add(
+        Kernel.from_function(
+            "atrous0", [image], smooth0, lambda a: atrous_bilateral(a, 0)
+        )
+    )
+    pipe.add(
+        Kernel.from_function(
+            "atrous1", [smooth0], smooth1, lambda a: atrous_bilateral(a, 1)
+        )
+    )
+    pipe.add(
+        Kernel.from_function("scoto", [smooth1], toned, scotopic_tone_mapping)
+    )
+    return pipe

@@ -1,0 +1,99 @@
+"""Synthetic test images.
+
+Deterministic generators for the structures image-processing kernels
+react to — edges, corners, blobs, texture, noise.  Used by the examples
+and tests; the paper's artifact similarly ships generated random images
+("the provided binaries generate random images of size 2,048 by 2,048
+pixels").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def constant(width: int, height: int, value: float = 128.0) -> np.ndarray:
+    """A flat image — every derivative-like kernel must return zero."""
+    return np.full((height, width), float(value))
+
+
+def gradient(width: int, height: int, horizontal: bool = True) -> np.ndarray:
+    """A linear ramp, 0..255 along one axis."""
+    if horizontal:
+        row = np.linspace(0.0, 255.0, width)
+        return np.tile(row, (height, 1))
+    column = np.linspace(0.0, 255.0, height)[:, None]
+    return np.tile(column, (1, width))
+
+
+def step_edge(
+    width: int, height: int, position: float = 0.5, vertical: bool = True,
+    low: float = 0.0, high: float = 200.0,
+) -> np.ndarray:
+    """A hard step edge (the canonical edge-detector input)."""
+    image = np.full((height, width), float(low))
+    if vertical:
+        image[:, int(width * position):] = high
+    else:
+        image[int(height * position):, :] = high
+    return image
+
+
+def checkerboard(width: int, height: int, cell: int = 8) -> np.ndarray:
+    """A checkerboard — dense corners for Harris/Shi-Tomasi."""
+    ys, xs = np.mgrid[0:height, 0:width]
+    return np.where(((xs // cell) + (ys // cell)) % 2 == 0, 0.0, 255.0)
+
+
+def gaussian_blob(
+    width: int,
+    height: int,
+    center: tuple[float, float] | None = None,
+    sigma: float | None = None,
+    amplitude: float = 255.0,
+) -> np.ndarray:
+    """A smooth Gaussian bump (blob detectors, NMS crests)."""
+    if center is None:
+        center = (width / 2.0, height / 2.0)
+    if sigma is None:
+        sigma = min(width, height) / 6.0
+    ys, xs = np.mgrid[0:height, 0:width]
+    cx, cy = center
+    return amplitude * np.exp(
+        -(((xs - cx) ** 2 + (ys - cy) ** 2) / (2.0 * sigma**2))
+    )
+
+
+def noise(
+    width: int, height: int, seed: int = 0,
+    low: float = 0.0, high: float = 255.0, channels: int = 1,
+) -> np.ndarray:
+    """Deterministic uniform noise (the artifact's random input)."""
+    rng = np.random.default_rng(seed)
+    shape = (height, width) if channels == 1 else (height, width, channels)
+    return rng.uniform(low, high, size=shape)
+
+
+def salt_and_pepper(
+    width: int, height: int, density: float = 0.05, seed: int = 0,
+    base: float = 128.0,
+) -> np.ndarray:
+    """Impulse noise on a flat background (median-filter fodder)."""
+    rng = np.random.default_rng(seed)
+    image = np.full((height, width), float(base))
+    mask = rng.random((height, width))
+    image[mask < density / 2.0] = 0.0
+    image[mask > 1.0 - density / 2.0] = 255.0
+    return image
+
+
+def natural_like(width: int, height: int, seed: int = 0) -> np.ndarray:
+    """Smooth multi-scale texture with a bright box — a stand-in for a
+    photograph (low-frequency content plus a sharp feature)."""
+    rng = np.random.default_rng(seed)
+    ys, xs = np.mgrid[0:height, 0:width]
+    image = 90.0 + 50.0 * np.sin(xs / 13.0) * np.cos(ys / 17.0)
+    image += 25.0 * np.sin(xs / 3.5 + 1.0) * np.sin(ys / 4.5)
+    image += rng.normal(0.0, 4.0, size=(height, width))
+    image[height // 4: height // 2, width // 4: width // 2] += 60.0
+    return np.clip(image, 0.0, 255.0)

@@ -1,0 +1,72 @@
+"""Cubic unsharp masking (Ramponi) — the paper's headline win.
+
+Four kernels, all of which read the source image:
+
+* ``blur`` — local 3x3 Gaussian,
+* ``high`` — high-frequency extraction ``I - B`` (point),
+* ``amp`` — cubic amplification ``H * I * I`` (point; luminance-
+  modulated as in Ramponi's cubic operator),
+* ``sharpen`` — ``I + lambda * A`` (point).
+
+The DAG is the Fig. 2b diamond: the source input is shared by every
+kernel in the block.  Basic (prior-work) fusion regards each pairwise
+extra input as an external dependence and fuses *nothing*; the min-cut
+engine checks legality on the whole block, finds it legal (only the
+shared source input and the final output remain after fusion), and
+collapses all four kernels into one — the paper reports a 2.52 geomean
+speedup, up to 3.44 on the GTX 680.
+"""
+
+from __future__ import annotations
+
+from repro.apps.common import GAUSS3
+from repro.dsl.functional import convolve
+from repro.dsl.image import Image
+from repro.dsl.kernel import Kernel
+from repro.dsl.pipeline import Pipeline
+from repro.ir.expr import Const
+
+#: Sharpening gain.
+LAMBDA = 0.6
+
+#: Luminance normalization of the cubic term.
+NORM = 1.0 / (255.0 * 255.0)
+
+
+def build_pipeline(width: int = 2048, height: int = 2048) -> Pipeline:
+    """Build the four-kernel cubic unsharp pipeline."""
+    pipe = Pipeline("unsharp")
+
+    image = Image.create("input", width, height)
+    blurred = Image.create("blurred", width, height)
+    high = Image.create("high", width, height)
+    amplified = Image.create("amplified", width, height)
+    sharpened = Image.create("sharpened", width, height)
+
+    pipe.add(
+        Kernel.from_function(
+            "blur", [image], blurred, lambda inp: convolve(inp, GAUSS3)
+        )
+    )
+    pipe.add(
+        Kernel.from_function(
+            "high", [image, blurred], high, lambda i, b: i() - b()
+        )
+    )
+    pipe.add(
+        Kernel.from_function(
+            "amp",
+            [image, high],
+            amplified,
+            lambda i, h: h() * i() * i() * Const(NORM),
+        )
+    )
+    pipe.add(
+        Kernel.from_function(
+            "sharpen",
+            [image, amplified],
+            sharpened,
+            lambda i, a: i() + Const(LAMBDA) * a(),
+        )
+    )
+    return pipe

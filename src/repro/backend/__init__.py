@@ -1,0 +1,70 @@
+"""Execution substrates.
+
+* :mod:`repro.backend.numpy_exec` — the reference executor: runs
+  kernels, pipelines, and fused partition blocks on NumPy arrays.  The
+  fused execution path implements the paper's two-stage index exchange,
+  so fused results are bit-comparable with unfused staged execution —
+  this is the correctness oracle of the whole reproduction.
+* :mod:`repro.backend.codegen_cuda` — CUDA C source text generation
+  (the "source-to-source" output of the compiler; inspectable, not
+  executed here).
+* :mod:`repro.backend.memsim` — the analytic GPU performance simulator
+  standing in for the paper's physical devices.
+* :mod:`repro.backend.launch` — simulated pipeline launches producing
+  per-version execution-time distributions.
+"""
+
+from repro.backend.codegen_c import generate_c, generate_c_pipeline
+from repro.backend.codegen_cuda import generate_cuda, generate_cuda_pipeline
+from repro.backend.codegen_opencl import (
+    generate_opencl,
+    generate_opencl_pipeline,
+)
+from repro.backend.roofline import (
+    RooflinePoint,
+    analyze_roofline,
+    device_balance,
+    pipeline_roofline,
+)
+from repro.backend.cpu_exec import (
+    CompiledPipeline,
+    compile_pipeline,
+    compiler_available,
+)
+from repro.backend.launch import PipelineTiming, simulate_partition, simulate_runs
+from repro.backend.memsim import KernelCostBreakdown, estimate_kernel_time
+from repro.backend.numpy_exec import (
+    ExecutionError,
+    block_schedule,
+    execute_block,
+    execute_kernel,
+    execute_partitioned,
+    execute_pipeline,
+)
+
+__all__ = [
+    "CompiledPipeline",
+    "ExecutionError",
+    "KernelCostBreakdown",
+    "PipelineTiming",
+    "RooflinePoint",
+    "analyze_roofline",
+    "block_schedule",
+    "compile_pipeline",
+    "compiler_available",
+    "device_balance",
+    "estimate_kernel_time",
+    "execute_block",
+    "execute_kernel",
+    "execute_partitioned",
+    "execute_pipeline",
+    "generate_c",
+    "generate_c_pipeline",
+    "generate_cuda",
+    "generate_cuda_pipeline",
+    "generate_opencl",
+    "generate_opencl_pipeline",
+    "pipeline_roofline",
+    "simulate_partition",
+    "simulate_runs",
+]

@@ -1,0 +1,112 @@
+"""Roofline analysis: arithmetic intensity vs device balance.
+
+The paper's Section V-C explains its negative result ("compute-bound
+applications benefit less from kernel fusion") in exactly roofline
+terms.  This module quantifies the claim: for each kernel (or fused
+kernel) it computes
+
+* **arithmetic intensity** — compute cycles per byte of DRAM traffic,
+* the device **balance point** — the intensity at which the compute
+  and memory roofs intersect,
+
+and classifies the kernel as memory- or compute-bound.  Pipeline-level
+summaries show how fusion *moves* kernels along the roofline: removing
+traffic raises the intensity of memory-bound kernels toward the roof,
+while compute-bound kernels (Night's atrous passes) do not move.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.backend.memsim import kernel_traffic
+from repro.dsl.kernel import Kernel
+from repro.fusion.fuser import fuse_partition
+from repro.graph.dag import KernelGraph
+from repro.graph.partition import Partition
+from repro.model.hardware import GpuSpec
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel's position on a device's roofline."""
+
+    name: str
+    intensity: float  # compute cycles per DRAM byte
+    balance: float  # device balance point (cycles per byte)
+    compute_bound: bool
+    cycles_per_element: float
+    bytes_per_element: float
+
+    def describe(self) -> str:
+        bound = "compute" if self.compute_bound else "memory"
+        return (
+            f"{self.name}: {self.intensity:.2f} cycles/B "
+            f"(balance {self.balance:.2f}) -> {bound}-bound"
+        )
+
+
+def device_balance(gpu: GpuSpec) -> float:
+    """Compute cycles per byte at the roofline knee of a device.
+
+    Aggregate compute throughput is ``cores * clock`` cycles of work per
+    second; DRAM delivers ``effective_bandwidth`` bytes per second, so
+    a kernel above ``(cores * clock) / bandwidth`` cycles per byte is
+    compute-bound on this device.
+    """
+    return (gpu.cuda_cores * gpu.clock_hz) / gpu.effective_bandwidth
+
+
+def analyze_roofline(kernel: Kernel, gpu: GpuSpec) -> RooflinePoint:
+    """Place one kernel on the device roofline."""
+    loads, shared = kernel_traffic(kernel)
+    stores = 1.0
+    ops = kernel.op_counts
+    cycles = ops.alu * gpu.c_alu + ops.sfu * gpu.c_sfu + shared * gpu.t_shared
+    bytes_per_element = (loads + stores) * kernel.output.bytes_per_pixel
+    intensity = cycles / bytes_per_element
+    balance = device_balance(gpu)
+    return RooflinePoint(
+        name=kernel.name,
+        intensity=intensity,
+        balance=balance,
+        compute_bound=intensity > balance,
+        cycles_per_element=cycles,
+        bytes_per_element=bytes_per_element,
+    )
+
+
+def pipeline_roofline(
+    graph: KernelGraph, partition: Partition, gpu: GpuSpec
+) -> List[RooflinePoint]:
+    """Roofline points for every launch of a partitioned pipeline."""
+    return [
+        analyze_roofline(kernel, gpu)
+        for kernel in fuse_partition(graph, partition)
+    ]
+
+
+def render_roofline_report(
+    graph: KernelGraph,
+    baseline: Partition,
+    optimized: Partition,
+    gpu: GpuSpec,
+) -> str:
+    """Before/after roofline table for one pipeline on one device."""
+    lines = [
+        f"ROOFLINE on {gpu.name} "
+        f"(balance point {device_balance(gpu):.2f} cycles/B)",
+        "",
+        "baseline launches:",
+    ]
+    lines.extend(
+        "  " + point.describe()
+        for point in pipeline_roofline(graph, baseline, gpu)
+    )
+    lines.append("optimized launches:")
+    lines.extend(
+        "  " + point.describe()
+        for point in pipeline_roofline(graph, optimized, gpu)
+    )
+    return "\n".join(lines)

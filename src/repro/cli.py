@@ -1,0 +1,351 @@
+"""Command-line interface to the kernel fusion toolchain.
+
+Mirrors the workflow of the Hipacc artifact: pick an application,
+enable/disable fusion, inspect the generated code, run the evaluation.
+
+::
+
+    python -m repro list
+    python -m repro fuse Harris --engine mincut --trace
+    python -m repro codegen Unsharp --engine mincut
+    python -m repro simulate Sobel
+    python -m repro evaluate --runs 500
+    python -m repro figure3
+    python -m repro figure4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.apps import ALL_APPS, APPLICATIONS
+from repro.backend.codegen_cuda import generate_cuda_pipeline
+from repro.backend.launch import simulate_partition
+from repro.eval.report import render_figure6, render_table1, render_table2
+from repro.eval.runner import DEFAULT_GPUS, partition_for, run_matrix
+from repro.fusion.basic_fusion import basic_fusion
+from repro.fusion.coalesce import coalesced_fusion
+from repro.fusion.exhaustive import exhaustive_fusion
+from repro.fusion.greedy_fusion import greedy_fusion
+from repro.fusion.mincut_fusion import mincut_fusion
+from repro.graph.partition import Partition
+from repro.model.benefit import BenefitConfig, estimate_graph
+from repro.model.hardware import KNOWN_GPUS
+
+ENGINES = {
+    "mincut": mincut_fusion,
+    "coalesced": coalesced_fusion,
+    "basic": basic_fusion,
+    "greedy": greedy_fusion,
+    "exhaustive": exhaustive_fusion,
+}
+
+
+def _resolve_app(name: str):
+    try:
+        return ALL_APPS[name]
+    except KeyError:
+        known = ", ".join(sorted(ALL_APPS))
+        raise SystemExit(f"unknown application {name!r}; known: {known}")
+
+
+def _resolve_gpu(name: str):
+    try:
+        return KNOWN_GPUS[name]
+    except KeyError:
+        known = ", ".join(sorted(KNOWN_GPUS))
+        raise SystemExit(f"unknown GPU {name!r}; known: {known}")
+
+
+def _config(args: argparse.Namespace) -> BenefitConfig:
+    return BenefitConfig(
+        c_mshared=args.cmshared, epsilon=args.epsilon, gamma=args.gamma
+    )
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    """List the applications (paper matrix + extensions)."""
+    print(f"{'application':<12}{'kernels':>8}{'geometry':>14}{'set':>12}")
+    for name, spec in ALL_APPS.items():
+        graph = spec.pipeline().build()
+        geometry = f"{spec.width}x{spec.height}"
+        if spec.channels > 1:
+            geometry += f"x{spec.channels}"
+        group = "paper" if name in APPLICATIONS else "extension"
+        print(f"{name:<12}{len(graph):>8}{geometry:>14}{group:>12}")
+    return 0
+
+
+def cmd_fuse(args: argparse.Namespace) -> int:
+    """Fuse one application and print the weights/trace/partition."""
+    spec = _resolve_app(args.app)
+    gpu = _resolve_gpu(args.gpu)
+    graph = spec.pipeline().build()
+    weighted = estimate_graph(graph, gpu, _config(args))
+    print(f"{spec.name} on {gpu.name}, engine={args.engine}")
+    print()
+    print("edge estimates:")
+    print(weighted.describe_edges())
+    print()
+    result = ENGINES[args.engine](weighted)
+    if args.trace:
+        print("trace:")
+        for event in result.trace:
+            print("  " + event.describe())
+        print()
+    print("partition:")
+    print(result.partition.describe())
+    print(f"benefit beta = {result.benefit:g}")
+    return 0
+
+
+def cmd_codegen(args: argparse.Namespace) -> int:
+    """Print the generated source for the chosen target and engine."""
+    spec = _resolve_app(args.app)
+    gpu = _resolve_gpu(args.gpu)
+    graph = spec.pipeline().build()
+    if args.engine == "none":
+        partition = Partition.singletons(graph)
+    else:
+        partition = partition_for(graph, gpu, _engine_to_version(args.engine))
+    if args.target == "c":
+        from repro.backend.codegen_c import generate_c_pipeline
+
+        print(generate_c_pipeline(graph, partition))
+    elif args.target == "opencl":
+        from repro.backend.codegen_opencl import generate_opencl_pipeline
+
+        print(generate_opencl_pipeline(graph, partition))
+    else:
+        print(generate_cuda_pipeline(graph, partition))
+    return 0
+
+
+def cmd_roofline(args: argparse.Namespace) -> int:
+    """Print the per-launch roofline analysis before and after fusion."""
+    from repro.backend.roofline import render_roofline_report
+
+    spec = _resolve_app(args.app)
+    gpu = _resolve_gpu(args.gpu)
+    graph = spec.pipeline().build()
+    baseline = Partition.singletons(graph)
+    optimized = partition_for(graph, gpu, "optimized")
+    print(render_roofline_report(graph, baseline, optimized, gpu))
+    return 0
+
+
+def _engine_to_version(engine: str) -> str:
+    return {"mincut": "optimized", "basic": "basic", "greedy": "greedy",
+            "exhaustive": "exhaustive", "coalesced": "coalesced"}[engine]
+
+
+def cmd_dot(args: argparse.Namespace) -> int:
+    """Print the Graphviz DOT of the DAG (and partition clusters)."""
+    from repro.graph.viz import to_dot
+
+    spec = _resolve_app(args.app)
+    gpu = _resolve_gpu(args.gpu)
+    graph = spec.pipeline().build()
+    weighted = estimate_graph(graph, gpu, _config(args))
+    partition = None
+    if args.engine != "none":
+        partition = ENGINES[args.engine](weighted).partition
+    print(
+        to_dot(
+            weighted.graph,
+            partition,
+            epsilon=weighted.config.epsilon,
+            title=f"{spec.name} ({args.engine})",
+        )
+    )
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    """Print simulated execution times on all three devices."""
+    spec = _resolve_app(args.app)
+    graph = spec.pipeline().build()
+    print(f"{spec.name}: simulated execution times (ms)")
+    print(f"{'device':<10}{'baseline':>10}{'basic':>10}{'optimized':>11}"
+          f"{'speedup':>9}")
+    for gpu in DEFAULT_GPUS:
+        times = {}
+        for version in ("baseline", "basic", "optimized"):
+            partition = partition_for(graph, gpu, version)
+            times[version] = simulate_partition(graph, partition, gpu).total_ms
+        print(
+            f"{gpu.name:<10}{times['baseline']:>10.3f}{times['basic']:>10.3f}"
+            f"{times['optimized']:>11.3f}"
+            f"{times['baseline'] / times['optimized']:>8.2f}x"
+        )
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    """Reproduce Table I / Table II (and optionally Fig. 6 data)."""
+    results = run_matrix(runs=args.runs)
+    if args.figure6:
+        print(render_figure6(results))
+        print()
+    print(render_table1(results, include_paper=not args.no_paper))
+    print()
+    print(render_table2(results, include_paper=not args.no_paper))
+    return 0
+
+
+def cmd_artifact(args: argparse.Namespace) -> int:
+    """Write the full artifact package to a directory."""
+    from repro.eval.artifact import build_artifact
+
+    written = build_artifact(args.out, runs=args.runs)
+    for path in written:
+        print(path)
+    print(f"wrote {len(written)} files to {args.out}")
+    return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    """Run the paper-conformance checklist; exit 1 on any FAIL."""
+    from repro.eval.paper_check import has_failures, render_report, run_all_checks
+
+    outcome = run_all_checks()
+    print(render_report(outcome))
+    return 1 if has_failures(outcome) else 0
+
+
+def cmd_figure3(args: argparse.Namespace) -> int:
+    """Print the Fig. 3 Harris walk-through."""
+    from repro.eval.figures import figure3_trace
+
+    result = figure3_trace()
+    print("edge weights (paper: 328/328/256 + 7x epsilon):")
+    print(result.weighted.describe_edges())
+    print()
+    print("trace:")
+    for event in result.trace:
+        print("  " + event.describe())
+    print()
+    print(result.partition.describe())
+    return 0
+
+
+def cmd_figure4(args: argparse.Namespace) -> int:
+    """Print the Fig. 4 border-fusion worked example."""
+    from repro.eval.figures import figure4_example
+
+    fig4 = figure4_example()
+    print("intermediate window (paper: 82 98 93 / 66 61 51 / 43 34 32):")
+    print(fig4.intermediate_center.astype(int))
+    print(f"interior fused value (paper: 992): {fig4.interior_value:.0f}")
+    print(f"staged clamp border  (paper: 763): {fig4.staged_border_value:.0f}")
+    print(f"fused + index exchange           : {fig4.fused_border_value:.0f}")
+    print(f"fused naive (incorrect)          : {fig4.naive_border_value:.0f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Min-cut kernel fusion for image pipelines "
+        "(CGO 2019 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the benchmark applications")
+
+    def add_model_flags(p):
+        p.add_argument("--gpu", default="GTX680",
+                       help="device model (GTX745, GTX680, K20c)")
+        p.add_argument("--cmshared", type=float, default=2.0,
+                       help="Eq. 2 shared-memory threshold")
+        p.add_argument("--epsilon", type=float, default=1e-3,
+                       help="illegal-edge weight (Eq. 12)")
+        p.add_argument("--gamma", type=float, default=0.0,
+                       help="flat additional gain (Eq. 12)")
+
+    fuse = sub.add_parser("fuse", help="fuse an application and print "
+                                       "the partition")
+    fuse.add_argument("app")
+    fuse.add_argument("--engine", choices=sorted(ENGINES), default="mincut")
+    fuse.add_argument("--trace", action="store_true",
+                      help="print the engine trace")
+    add_model_flags(fuse)
+
+    codegen = sub.add_parser("codegen", help="print generated source")
+    codegen.add_argument("app")
+    codegen.add_argument(
+        "--engine", choices=sorted(ENGINES) + ["none"], default="mincut"
+    )
+    codegen.add_argument(
+        "--target", choices=["cuda", "opencl", "c"], default="cuda",
+        help="cuda/opencl: GPU kernels; c: OpenMP CPU functions",
+    )
+    add_model_flags(codegen)
+
+    roofline = sub.add_parser(
+        "roofline", help="arithmetic-intensity analysis per launch"
+    )
+    roofline.add_argument("app")
+    roofline.add_argument("--gpu", default="GTX680")
+
+    dot = sub.add_parser("dot", help="Graphviz DOT of the DAG + partition")
+    dot.add_argument("app")
+    dot.add_argument(
+        "--engine", choices=sorted(ENGINES) + ["none"], default="mincut"
+    )
+    add_model_flags(dot)
+
+    simulate = sub.add_parser("simulate",
+                              help="simulated times on all devices")
+    simulate.add_argument("app")
+
+    evaluate = sub.add_parser("evaluate",
+                              help="reproduce Table I / Table II / Fig. 6")
+    evaluate.add_argument("--runs", type=int, default=500)
+    evaluate.add_argument("--figure6", action="store_true",
+                          help="also print the Fig. 6 box statistics")
+    evaluate.add_argument("--no-paper", action="store_true",
+                          help="omit the published values")
+
+    sub.add_parser("figure3", help="the Harris fusion walk-through")
+    sub.add_parser("figure4", help="the border-fusion worked example")
+    sub.add_parser(
+        "verify",
+        help="run the full paper-conformance checklist (exit 1 on FAIL)",
+    )
+
+    artifact = sub.add_parser(
+        "artifact", help="write every reproduced table/figure/source "
+                         "to a directory"
+    )
+    artifact.add_argument("--out", default="artifact")
+    artifact.add_argument("--runs", type=int, default=500)
+    return parser
+
+
+COMMANDS = {
+    "list": cmd_list,
+    "fuse": cmd_fuse,
+    "codegen": cmd_codegen,
+    "dot": cmd_dot,
+    "roofline": cmd_roofline,
+    "simulate": cmd_simulate,
+    "evaluate": cmd_evaluate,
+    "figure3": cmd_figure3,
+    "figure4": cmd_figure4,
+    "verify": cmd_verify,
+    "artifact": cmd_artifact,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

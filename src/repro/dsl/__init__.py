@@ -1,0 +1,37 @@
+"""Hipacc-like image processing DSL embedded in Python.
+
+The paper implements kernel fusion inside Hipacc, a C++-embedded DSL with
+three operator classes (point, local, global) and explicit boundary
+handling on accessors.  This package provides the equivalent frontend:
+
+* :class:`~repro.dsl.image.Image` — a named 2D (optionally multi-channel)
+  image with an iteration space,
+* :class:`~repro.dsl.mask.Mask` — a constant convolution mask,
+* :class:`~repro.dsl.boundary.BoundaryMode` — clamp / mirror / repeat /
+  constant / undefined boundary handling,
+* :class:`~repro.dsl.kernel.Kernel` — a pure per-pixel function of its
+  accessors, classified as point / local / global,
+* :class:`~repro.dsl.pipeline.Pipeline` — collects kernels and builds the
+  dependence DAG consumed by the fusion engines.
+"""
+
+from repro.dsl.boundary import BoundaryMode, BoundarySpec, resolve_index
+from repro.dsl.image import Image, IterationSpace
+from repro.dsl.kernel import Accessor, Kernel, ReductionKind
+from repro.dsl.mask import Domain, Mask
+from repro.dsl.pipeline import Pipeline, PipelineError
+
+__all__ = [
+    "Accessor",
+    "BoundaryMode",
+    "BoundarySpec",
+    "Domain",
+    "Image",
+    "IterationSpace",
+    "Kernel",
+    "Mask",
+    "Pipeline",
+    "PipelineError",
+    "ReductionKind",
+    "resolve_index",
+]

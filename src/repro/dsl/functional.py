@@ -1,0 +1,145 @@
+"""Window-level expression builders.
+
+Local operator bodies are sums/reductions over a window of reads.  These
+helpers expand such reductions into flat IR expressions, matching what
+Hipacc's ``convolve`` / ``reduce`` constructs lower to.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.dsl.kernel import Accessor
+from repro.dsl.mask import Domain, Mask
+from repro.ir.expr import Const, Expr
+from repro.ir import ops
+
+
+def convolve(accessor: Accessor, mask: Mask) -> Expr:
+    """Convolution of the accessor's image with ``mask``.
+
+    Zero coefficients are skipped; unit coefficients multiply away.
+    The returned expression is the flat sum the GPU kernel computes.
+    """
+    acc: Expr | None = None
+    for dx, dy, coefficient in mask.offsets():
+        read = accessor(dx, dy)
+        term: Expr = read if coefficient == 1.0 else Const(coefficient) * read
+        acc = term if acc is None else acc + term
+    if acc is None:
+        return Const(0.0)
+    return acc
+
+
+def window_reduce(
+    accessor: Accessor,
+    domain: Domain,
+    fn: Callable[[Expr, Expr], Expr],
+    transform: Callable[[Expr], Expr] | None = None,
+) -> Expr:
+    """Reduce the window ``domain`` with a binary combiner.
+
+    ``transform`` is applied to each read before combining (e.g. ``log``
+    for a geometric mean).
+    """
+    acc: Expr | None = None
+    for dx, dy in domain.offsets():
+        value: Expr = accessor(dx, dy)
+        if transform is not None:
+            value = transform(value)
+        acc = value if acc is None else fn(acc, value)
+    if acc is None:
+        raise ValueError("empty domain")
+    return acc
+
+
+def window_sum(accessor: Accessor, domain: Domain) -> Expr:
+    """Sum of the window."""
+    return window_reduce(accessor, domain, lambda a, b: a + b)
+
+
+def window_mean(accessor: Accessor, domain: Domain) -> Expr:
+    """Arithmetic mean of the window."""
+    return window_sum(accessor, domain) * Const(1.0 / domain.size)
+
+
+def window_min(accessor: Accessor, domain: Domain) -> Expr:
+    """Minimum of the window."""
+    return window_reduce(accessor, domain, ops.minimum)
+
+
+def window_max(accessor: Accessor, domain: Domain) -> Expr:
+    """Maximum of the window."""
+    return window_reduce(accessor, domain, ops.maximum)
+
+
+def geometric_mean(accessor: Accessor, domain: Domain) -> Expr:
+    """Geometric mean via log/exp (the Enhancement app's denoiser)."""
+    log_sum = window_reduce(accessor, domain, lambda a, b: a + b, ops.log)
+    return ops.exp(log_sum * Const(1.0 / domain.size))
+
+
+#: An odd-even transposition sorting network for nine inputs.  Each pair
+#: (i, j) sorts two lanes with one min and one max — the standard way to
+#: lower a median filter onto branch-free GPU code.
+_SORT9_NETWORK = [
+    (0, 1), (2, 3), (4, 5), (7, 8),
+    (0, 2), (1, 3), (6, 8),
+    (1, 2), (6, 7), (5, 8),
+    (4, 7), (3, 8),
+    (4, 6), (5, 7),
+    (5, 6), (2, 7),
+    (0, 5), (1, 6), (3, 7),
+    (1, 5), (3, 6),
+    (2, 5),
+    (3, 5),
+    (3, 4),
+]
+
+
+def window_median3x3(accessor: Accessor) -> Expr:
+    """Median of the 3x3 neighbourhood via a sorting network.
+
+    Medians are the classic non-linear local operator (the paper's
+    II-C1 lists the median filter among local operators); GPU kernels
+    implement them with min/max sorting networks rather than branches.
+    The expression contains 2 ALU operations per comparator.
+    """
+    lanes: list[Expr] = [
+        accessor(dx, dy) for dy in (-1, 0, 1) for dx in (-1, 0, 1)
+    ]
+    for i, j in _SORT9_NETWORK:
+        low = ops.minimum(lanes[i], lanes[j])
+        high = ops.maximum(lanes[i], lanes[j])
+        lanes[i], lanes[j] = low, high
+    return lanes[4]
+
+
+def convolve_separable_x(accessor: Accessor, taps: "list[float]") -> Expr:
+    """Horizontal 1D convolution (first half of a separable filter)."""
+    return _convolve_1d(accessor, taps, axis="x")
+
+
+def convolve_separable_y(accessor: Accessor, taps: "list[float]") -> Expr:
+    """Vertical 1D convolution (second half of a separable filter)."""
+    return _convolve_1d(accessor, taps, axis="y")
+
+
+def _convolve_1d(accessor: Accessor, taps, axis: str) -> Expr:
+    if len(taps) % 2 == 0:
+        raise ValueError("separable taps must have odd length")
+    radius = len(taps) // 2
+    acc: Expr | None = None
+    for index, coefficient in enumerate(taps):
+        coefficient = float(coefficient)
+        if coefficient == 0.0:
+            continue
+        offset = index - radius
+        read = (
+            accessor(offset, 0) if axis == "x" else accessor(0, offset)
+        )
+        term: Expr = read if coefficient == 1.0 else Const(coefficient) * read
+        acc = term if acc is None else acc + term
+    if acc is None:
+        return Const(0.0)
+    return acc

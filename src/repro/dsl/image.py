@@ -1,0 +1,97 @@
+"""Images and iteration spaces.
+
+An :class:`Image` is a named placeholder for a 2D pixel array flowing
+between kernels — the DSL works symbolically, actual pixel data is bound
+only at execution time by the NumPy backend.  Kernel fusion relocates
+*intermediate* images (produced by one kernel, consumed by another) from
+global memory into registers or shared memory; the :class:`Image` object
+carries everything the benefit model needs to price that relocation:
+its iteration-space size ``IS(i)`` and its pixel width in bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class IterationSpace:
+    """The rectangular iteration space of a kernel or image.
+
+    ``width`` and ``height`` are in pixels; ``channels`` scales the data
+    volume for multi-channel (e.g. RGB) processing — the Night filter of
+    the paper operates on 1920x1200 RGB images.
+    """
+
+    width: int
+    height: int
+    channels: int = 1
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0 or self.channels <= 0:
+            raise ValueError(
+                f"iteration space must be positive, got "
+                f"{self.width}x{self.height}x{self.channels}"
+            )
+
+    @property
+    def size(self) -> int:
+        """Total number of scalar elements, the paper's ``IS(i)``."""
+        return self.width * self.height * self.channels
+
+    def compatible_with(self, other: "IterationSpace") -> bool:
+        """Header compatibility of two iteration spaces (Section II-B2)."""
+        return (
+            self.width == other.width
+            and self.height == other.height
+            and self.channels == other.channels
+        )
+
+    def __str__(self) -> str:
+        if self.channels == 1:
+            return f"{self.width}x{self.height}"
+        return f"{self.width}x{self.height}x{self.channels}"
+
+
+@dataclass(frozen=True)
+class Image:
+    """A named image with an iteration space and element size.
+
+    ``name`` must be unique within a pipeline: kernels reference images
+    by name in their IR (:class:`repro.ir.expr.InputAt`).
+    """
+
+    name: str
+    space: IterationSpace
+    bytes_per_pixel: int = 4
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("image name must be non-empty")
+        if self.bytes_per_pixel <= 0:
+            raise ValueError("bytes_per_pixel must be positive")
+
+    @classmethod
+    def create(
+        cls,
+        name: str,
+        width: int,
+        height: int,
+        channels: int = 1,
+        bytes_per_pixel: int = 4,
+    ) -> "Image":
+        """Convenience constructor building the iteration space inline."""
+        return cls(name, IterationSpace(width, height, channels), bytes_per_pixel)
+
+    @property
+    def size(self) -> int:
+        """Number of scalar elements (``IS(i)`` in the paper)."""
+        return self.space.size
+
+    @property
+    def nbytes(self) -> int:
+        """Total image size in bytes."""
+        return self.size * self.bytes_per_pixel
+
+    def __str__(self) -> str:
+        return f"Image({self.name}, {self.space})"

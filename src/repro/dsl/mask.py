@@ -1,0 +1,125 @@
+"""Convolution masks and iteration domains.
+
+A :class:`Mask` is a small constant 2D array of coefficients.  The DSL
+builds the convolution expression (a sum of ``coefficient * read``)
+directly in the IR, so masks exist mostly as a convenient construction
+device plus the carrier of the window geometry that the benefit model's
+``sz()`` function inspects.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence, Tuple
+
+import numpy as np
+
+from repro.ir.expr import Const, Expr
+
+
+class Mask:
+    """A constant convolution mask with odd width and height.
+
+    Coefficients equal to zero are skipped during expression
+    construction — Hipacc performs the same dead-coefficient elimination
+    — so a cross-shaped mask reads only five pixels.
+    """
+
+    def __init__(self, coefficients: Sequence[Sequence[float]] | np.ndarray):
+        array = np.asarray(coefficients, dtype=float)
+        if array.ndim != 2:
+            raise ValueError(f"mask must be 2D, got {array.ndim}D")
+        height, width = array.shape
+        if height % 2 == 0 or width % 2 == 0:
+            raise ValueError(
+                f"mask dimensions must be odd, got {width}x{height}"
+            )
+        self._array = array
+        self._array.setflags(write=False)
+
+    @property
+    def array(self) -> np.ndarray:
+        """The (read-only) coefficient array."""
+        return self._array
+
+    @property
+    def width(self) -> int:
+        return self._array.shape[1]
+
+    @property
+    def height(self) -> int:
+        return self._array.shape[0]
+
+    @property
+    def radius(self) -> Tuple[int, int]:
+        """``(rx, ry)`` window radius."""
+        return self.width // 2, self.height // 2
+
+    @property
+    def size(self) -> int:
+        """The paper's ``sz(k)``: the number of window elements."""
+        return self.width * self.height
+
+    def offsets(self) -> Iterator[Tuple[int, int, float]]:
+        """Yield ``(dx, dy, coefficient)`` for every non-zero coefficient."""
+        rx, ry = self.radius
+        for row in range(self.height):
+            for col in range(self.width):
+                coefficient = float(self._array[row, col])
+                if coefficient != 0.0:
+                    yield col - rx, row - ry, coefficient
+
+    def coefficient_expr(self, dx: int, dy: int) -> Expr:
+        """The coefficient at window offset ``(dx, dy)`` as a constant."""
+        rx, ry = self.radius
+        return Const(float(self._array[dy + ry, dx + rx]))
+
+    @classmethod
+    def gaussian(cls, radius: int, sigma: float | None = None) -> "Mask":
+        """A normalized Gaussian blur mask of radius ``radius``."""
+        if radius < 1:
+            raise ValueError("gaussian radius must be >= 1")
+        if sigma is None:
+            sigma = radius / 1.5
+        coords = np.arange(-radius, radius + 1, dtype=float)
+        one_d = np.exp(-(coords**2) / (2.0 * sigma**2))
+        two_d = np.outer(one_d, one_d)
+        return cls(two_d / two_d.sum())
+
+    @classmethod
+    def box(cls, radius: int) -> "Mask":
+        """A normalized box (mean) filter mask."""
+        side = 2 * radius + 1
+        return cls(np.full((side, side), 1.0 / (side * side)))
+
+    def __str__(self) -> str:
+        return f"Mask({self.width}x{self.height})"
+
+
+class Domain:
+    """A boolean iteration domain over a window (Hipacc's ``Domain``).
+
+    Used by local operators that iterate a window without per-element
+    coefficients (e.g. median or the geometric-mean filter).  Encoded as
+    a mask of zeros and ones.
+    """
+
+    def __init__(self, width: int, height: int):
+        if width % 2 == 0 or height % 2 == 0:
+            raise ValueError(f"domain dimensions must be odd, got {width}x{height}")
+        self.width = width
+        self.height = height
+
+    @property
+    def radius(self) -> Tuple[int, int]:
+        return self.width // 2, self.height // 2
+
+    @property
+    def size(self) -> int:
+        return self.width * self.height
+
+    def offsets(self) -> Iterator[Tuple[int, int]]:
+        """Yield every ``(dx, dy)`` in the window."""
+        rx, ry = self.radius
+        for row in range(self.height):
+            for col in range(self.width):
+                yield col - rx, row - ry

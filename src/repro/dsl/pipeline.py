@@ -1,0 +1,81 @@
+"""Pipeline construction.
+
+A :class:`Pipeline` collects kernels in program order and materializes
+the dependence DAG (:class:`~repro.graph.dag.KernelGraph`).  It performs
+the frontend checks Hipacc's Clang-based frontend would perform: unique
+kernel/image names, single producer per image, acyclicity, and that
+every read image is either produced upstream or a pipeline input.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.dsl.image import Image
+from repro.dsl.kernel import Kernel
+from repro.graph.dag import GraphError, KernelGraph
+
+
+class PipelineError(ValueError):
+    """Raised on malformed pipeline construction."""
+
+
+class Pipeline:
+    """An ordered collection of kernels forming a DAG.
+
+    ``outputs`` may mark intermediate images as externally observed
+    (e.g. a debug tap); sink images are external automatically.
+    """
+
+    def __init__(self, name: str = "pipeline"):
+        if not name:
+            raise PipelineError("pipeline name must be non-empty")
+        self.name = name
+        self._kernels: List[Kernel] = []
+        self._images: Dict[str, Image] = {}
+        self._extra_outputs: List[str] = []
+
+    def add(self, kernel: Kernel) -> Kernel:
+        """Register a kernel; returns it for fluent construction."""
+        if any(k.name == kernel.name for k in self._kernels):
+            raise PipelineError(f"duplicate kernel name {kernel.name!r}")
+        for image in (*kernel.input_images, kernel.output):
+            known = self._images.get(image.name)
+            if known is None:
+                self._images[image.name] = image
+            elif known != image:
+                raise PipelineError(
+                    f"two different images named {image.name!r}: "
+                    f"{known.space} vs {image.space}"
+                )
+        self._kernels.append(kernel)
+        return kernel
+
+    def mark_output(self, image: Image | str) -> None:
+        """Declare an image externally observed (prevents its elimination)."""
+        name = image if isinstance(image, str) else image.name
+        if name not in self._extra_outputs:
+            self._extra_outputs.append(name)
+
+    @property
+    def kernels(self) -> Sequence[Kernel]:
+        return tuple(self._kernels)
+
+    def image(self, name: str) -> Image:
+        return self._images[name]
+
+    def build(self) -> KernelGraph:
+        """Materialize the dependence DAG.
+
+        Raises :class:`PipelineError` for an empty pipeline or structural
+        problems (cycles, duplicate producers).
+        """
+        if not self._kernels:
+            raise PipelineError("pipeline has no kernels")
+        try:
+            return KernelGraph(self._kernels, external_outputs=self._extra_outputs)
+        except GraphError as err:
+            raise PipelineError(str(err)) from err
+
+    def __repr__(self) -> str:
+        return f"Pipeline({self.name!r}, {len(self._kernels)} kernels)"

@@ -1,0 +1,99 @@
+"""ASCII rendering of the Fig. 6 box plots.
+
+The paper visualizes 500 runs per configuration as box plots with
+whiskers.  This module draws the same geometry in monospace text so the
+benchmark artifacts contain an actual *figure*, not only the five
+numbers: whiskers span min..max, the box spans Q1..Q3, and the median
+is marked.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from repro.eval.stats import BoxStats
+
+#: Glyphs of the plot.
+_WHISKER = "-"
+_BOX = "="
+_MEDIAN = "|"
+_EMPTY = " "
+
+
+def render_box_row(
+    stats: BoxStats, lo: float, hi: float, width: int
+) -> str:
+    """One box plot on a shared [lo, hi] axis of ``width`` columns."""
+    if hi <= lo:
+        raise ValueError("empty axis range")
+    span = hi - lo
+
+    def column(value: float) -> int:
+        position = (value - lo) / span
+        return min(width - 1, max(0, round(position * (width - 1))))
+
+    cells = [_EMPTY] * width
+    for i in range(column(stats.minimum), column(stats.maximum) + 1):
+        cells[i] = _WHISKER
+    for i in range(column(stats.q1), column(stats.q3) + 1):
+        cells[i] = _BOX
+    cells[column(stats.median)] = _MEDIAN
+    return "".join(cells)
+
+
+def render_boxplot_panel(
+    rows: Sequence[Tuple[str, BoxStats]],
+    width: int = 60,
+    unit: str = "ms",
+) -> str:
+    """A labelled panel of box plots on a common axis.
+
+    ``rows`` are (label, stats) pairs; the axis spans the global
+    min..max with a small margin, and is printed underneath.
+    """
+    if not rows:
+        raise ValueError("no rows")
+    lo = min(stats.minimum for _, stats in rows)
+    hi = max(stats.maximum for _, stats in rows)
+    if hi == lo:
+        hi = lo + 1.0
+    margin = 0.02 * (hi - lo)
+    lo -= margin
+    hi += margin
+
+    label_width = max(len(label) for label, _ in rows) + 2
+    lines = []
+    for label, stats in rows:
+        lines.append(
+            f"{label:<{label_width}}"
+            f"{render_box_row(stats, lo, hi, width)}"
+            f"  med {stats.median:8.3f} {unit}"
+        )
+    axis = f"{'':<{label_width}}{lo:<{width // 2}.3f}"
+    axis += f"{hi:>{width - width // 2}.3f}"
+    lines.append(axis)
+    return "\n".join(lines)
+
+
+def render_figure6_chart(
+    box_data: Dict[Tuple[str, str, str], BoxStats],
+    apps: Sequence[str],
+    gpus: Sequence[str],
+    versions: Sequence[str] = ("baseline", "basic", "optimized"),
+    width: int = 60,
+) -> str:
+    """The full Fig. 6: one panel per GPU, grouped bars per app."""
+    sections = ["FIGURE 6 (ASCII): EXECUTION TIME DISTRIBUTIONS"]
+    for gpu in gpus:
+        rows = []
+        for app in apps:
+            for version in versions:
+                key = (app, gpu, version)
+                if key in box_data:
+                    rows.append((f"{app}/{version}", box_data[key]))
+        if not rows:
+            continue
+        sections.append("")
+        sections.append(gpu)
+        sections.append(render_boxplot_panel(rows, width=width))
+    return "\n".join(sections)

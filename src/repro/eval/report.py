@@ -1,0 +1,97 @@
+"""Text rendering of the evaluation output.
+
+Formats the reproduced tables in the paper's row/column layout, with
+optional side-by-side paper values, and the Fig. 6 data as per-GPU
+blocks of box-plot statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+from repro.eval.figures import figure6_data
+from repro.eval.runner import AppResult, ResultKey
+from repro.eval.tables import (
+    APP_ORDER,
+    GPU_ORDER,
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    table1,
+    table2,
+)
+
+
+_LABEL_WIDTH = 20
+
+
+def _format_row(label: str, values: Iterable[float], width: int = 11) -> str:
+    cells = "".join(f"{value:>{width}.3f}" for value in values)
+    return f"{label:<{_LABEL_WIDTH}}{cells}"
+
+
+def _header(apps: Iterable[str], width: int = 11) -> str:
+    return " " * _LABEL_WIDTH + "".join(f"{app:>{width}}" for app in apps)
+
+
+def render_table1(
+    results: Dict[ResultKey, AppResult],
+    include_paper: bool = True,
+    apps: Tuple[str, ...] = APP_ORDER,
+    gpus: Tuple[str, ...] = GPU_ORDER,
+) -> str:
+    """Table I in the paper's layout (three comparison groups)."""
+    computed = table1(results, apps, gpus)
+    lines = ["TABLE I: SPEEDUP COMPARISON (reproduced)"]
+    for label, per_gpu in computed.items():
+        lines.append("")
+        lines.append(label)
+        lines.append(_header(apps))
+        for gpu in gpus:
+            lines.append(_format_row(gpu, (per_gpu[gpu][a] for a in apps)))
+            if include_paper and label in PAPER_TABLE1:
+                paper = PAPER_TABLE1[label][gpu]
+                lines.append(
+                    _format_row(f"  (paper)", (paper[a] for a in apps))
+                )
+    return "\n".join(lines)
+
+
+def render_table2(
+    results: Dict[ResultKey, AppResult],
+    include_paper: bool = True,
+    apps: Tuple[str, ...] = APP_ORDER,
+    gpus: Tuple[str, ...] = GPU_ORDER,
+) -> str:
+    """Table II: geometric means of speedups across all GPUs."""
+    computed = table2(results, apps, gpus)
+    lines = ["TABLE II: GEOMETRIC MEAN OF SPEEDUPS ACROSS ALL GPUS (reproduced)"]
+    lines.append(_header(apps))
+    for label, per_app in computed.items():
+        lines.append(_format_row(label, (per_app[a] for a in apps)))
+        if include_paper and label in PAPER_TABLE2:
+            paper = PAPER_TABLE2[label]
+            lines.append(_format_row("  (paper)", (paper[a] for a in apps)))
+    return "\n".join(lines)
+
+
+def render_figure6(
+    results: Dict[ResultKey, AppResult],
+    apps: Tuple[str, ...] = APP_ORDER,
+    gpus: Tuple[str, ...] = GPU_ORDER,
+    versions: Tuple[str, ...] = ("baseline", "basic", "optimized"),
+) -> str:
+    """Fig. 6's content as text: per GPU, per app, per version box stats."""
+    stats = figure6_data(results)
+    lines = ["FIGURE 6: EXECUTION TIMES IN MS (simulated, 500 runs)"]
+    for gpu in gpus:
+        lines.append("")
+        lines.append(gpu)
+        for app in apps:
+            for version in versions:
+                key = (app, gpu, version)
+                if key not in stats:
+                    continue
+                lines.append(
+                    f"  {app:<10} {version:<10} {stats[key].describe()}"
+                )
+    return "\n".join(lines)

@@ -1,0 +1,126 @@
+"""Running the evaluation matrix.
+
+One configuration = (application, GPU, fusion version).  Versions:
+
+* ``baseline`` — no fusion (singleton partition); every kernel is one
+  launch with all intermediates in global memory;
+* ``basic`` — prior-work pairwise fusion [12];
+* ``optimized`` — the paper's min-cut fusion (Algorithm 1);
+* ``greedy`` — heaviest-edge greedy grouping (extra ablation engine,
+  not part of the paper's matrix).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Dict, Iterable, Tuple
+
+import numpy as np
+
+from repro.apps import APPLICATIONS, AppSpec
+from repro.backend.launch import PipelineTiming, simulate_partition, simulate_runs
+from repro.fusion.basic_fusion import basic_fusion
+from repro.fusion.greedy_fusion import greedy_fusion
+from repro.fusion.mincut_fusion import mincut_fusion
+from repro.graph.dag import KernelGraph
+from repro.graph.partition import Partition
+from repro.model.benefit import BenefitConfig, estimate_graph
+from repro.model.hardware import GTX680, GTX745, K20C, GpuSpec
+
+#: The paper's evaluation versions, in table order.
+VERSIONS: Tuple[str, ...] = ("baseline", "basic", "optimized")
+
+#: The paper's devices, in figure order.
+DEFAULT_GPUS: Tuple[GpuSpec, ...] = (GTX745, GTX680, K20C)
+
+ResultKey = Tuple[str, str, str]  # (app, gpu, version)
+
+
+@dataclass(frozen=True)
+class AppResult:
+    """Outcome of one configuration."""
+
+    app: str
+    gpu: str
+    version: str
+    partition: Partition
+    timing: PipelineTiming
+    runs: np.ndarray
+
+    @property
+    def median_ms(self) -> float:
+        return float(np.median(self.runs))
+
+    @property
+    def launches(self) -> int:
+        return self.timing.launches
+
+
+def partition_for(
+    graph: KernelGraph,
+    gpu: GpuSpec,
+    version: str,
+    config: BenefitConfig | None = None,
+) -> Partition:
+    """Compute the fusion partition of one version."""
+    if version == "baseline":
+        return Partition.singletons(graph)
+    weighted = estimate_graph(graph, gpu, config)
+    if version == "basic":
+        return basic_fusion(weighted).partition
+    if version == "optimized":
+        return mincut_fusion(weighted).partition
+    if version == "greedy":
+        return greedy_fusion(weighted).partition
+    if version == "exhaustive":
+        from repro.fusion.exhaustive import exhaustive_fusion
+
+        return exhaustive_fusion(weighted).partition
+    if version == "coalesced":
+        from repro.fusion.coalesce import coalesced_fusion
+
+        return coalesced_fusion(weighted).partition
+    raise ValueError(f"unknown version {version!r}")
+
+
+def _seed(app: str, gpu: str, version: str) -> int:
+    """A stable per-configuration RNG seed."""
+    return zlib.crc32(f"{app}/{gpu}/{version}".encode())
+
+
+def run_configuration(
+    spec: AppSpec,
+    gpu: GpuSpec,
+    version: str,
+    config: BenefitConfig | None = None,
+    runs: int = 500,
+) -> AppResult:
+    """Fuse, simulate, and sample one configuration."""
+    graph = spec.pipeline().build()
+    partition = partition_for(graph, gpu, version, config)
+    timing = simulate_partition(graph, partition, gpu)
+    samples = simulate_runs(timing, runs=runs, seed=_seed(spec.name, gpu.name, version))
+    return AppResult(spec.name, gpu.name, version, partition, timing, samples)
+
+
+def run_matrix(
+    apps: Iterable[AppSpec] | None = None,
+    gpus: Iterable[GpuSpec] = DEFAULT_GPUS,
+    versions: Iterable[str] = VERSIONS,
+    config: BenefitConfig | None = None,
+    runs: int = 500,
+) -> Dict[ResultKey, AppResult]:
+    """The full evaluation matrix (Fig. 6 / Table I input).
+
+    Returns a mapping ``(app, gpu, version) -> AppResult``.
+    """
+    if apps is None:
+        apps = APPLICATIONS.values()
+    results: Dict[ResultKey, AppResult] = {}
+    for spec in apps:
+        for gpu in gpus:
+            for version in versions:
+                result = run_configuration(spec, gpu, version, config, runs)
+                results[(spec.name, gpu.name, version)] = result
+    return results

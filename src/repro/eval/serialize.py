@@ -1,0 +1,108 @@
+"""JSON serialization of evaluation artifacts.
+
+Partitions, traces, timings, and full evaluation matrices serialize to
+plain JSON for archival and diffing — the equivalent of the text files
+the paper's artifact ships alongside the binaries.  Deserialization of
+partitions reconstructs :class:`~repro.graph.partition.Partition`
+objects against a freshly built graph, so archived fusion decisions can
+be re-executed and re-validated later.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.eval.runner import AppResult, ResultKey
+from repro.eval.stats import box_stats
+from repro.fusion.mincut_fusion import FusionResult
+from repro.graph.dag import KernelGraph
+from repro.graph.partition import Partition, PartitionBlock
+
+
+def partition_to_json(partition: Partition) -> Dict[str, Any]:
+    """A partition as a JSON-ready dict."""
+    return {
+        "blocks": [
+            sorted(block.vertices) for block in partition.blocks
+        ],
+        "benefit": partition.benefit
+        if all(e.weight is not None for e in partition.graph.edges)
+        else None,
+    }
+
+
+def partition_from_json(
+    graph: KernelGraph, payload: Dict[str, Any]
+) -> Partition:
+    """Rebuild a partition against ``graph`` from serialized blocks."""
+    blocks = [
+        PartitionBlock(graph, vertices) for vertices in payload["blocks"]
+    ]
+    return Partition(graph, blocks)
+
+
+def fusion_result_to_json(result: FusionResult) -> Dict[str, Any]:
+    """A fusion run (engine, partition, trace) as a JSON-ready dict."""
+    return {
+        "engine": result.engine,
+        "benefit": result.benefit,
+        "partition": partition_to_json(result.partition),
+        "trace": [
+            {
+                "iteration": event.iteration,
+                "block": list(event.block),
+                "action": event.action,
+                "cut_weight": event.cut_weight,
+                "parts": [list(part) for part in event.parts],
+                "reasons": list(event.reasons),
+            }
+            for event in result.trace
+        ],
+    }
+
+
+def app_result_to_json(result: AppResult) -> Dict[str, Any]:
+    """One evaluation configuration as a JSON-ready dict.
+
+    The 500-run distribution is summarized (box statistics + median),
+    not dumped raw.
+    """
+    box = box_stats(result.runs)
+    return {
+        "app": result.app,
+        "gpu": result.gpu,
+        "version": result.version,
+        "launches": result.launches,
+        "median_ms": result.median_ms,
+        "total_ms": result.timing.total_ms,
+        "box": {
+            "min": box.minimum,
+            "q1": box.q1,
+            "median": box.median,
+            "q3": box.q3,
+            "max": box.maximum,
+        },
+        "partition": partition_to_json(result.partition),
+        "kernels": [
+            {
+                "name": k.name,
+                "time_ms": k.time_ms,
+                "memory_bound": k.memory_bound,
+                "occupancy": k.occupancy,
+            }
+            for k in result.timing.kernels
+        ],
+    }
+
+
+def matrix_to_json(results: Dict[ResultKey, AppResult]) -> List[Dict[str, Any]]:
+    """A full evaluation matrix as a JSON-ready list."""
+    return [
+        app_result_to_json(results[key]) for key in sorted(results)
+    ]
+
+
+def dumps(payload: Any, indent: int = 2) -> str:
+    """JSON text with stable key order."""
+    return json.dumps(payload, indent=indent, sort_keys=True)

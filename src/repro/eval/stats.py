@@ -1,0 +1,69 @@
+"""Statistics used by the evaluation (medians, box plots, geomeans).
+
+The paper performs 500 runs per configuration, visualizes them as box
+plots (Fig. 6), and derives the speedups of Tables I/II from the run
+medians; Table II takes geometric means across the three GPUs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+def median(samples: Sequence[float] | np.ndarray) -> float:
+    """Median of a run distribution."""
+    arr = np.asarray(samples, dtype=float)
+    if arr.size == 0:
+        raise ValueError("no samples")
+    return float(np.median(arr))
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (Table II aggregation)."""
+    items = [float(v) for v in values]
+    if not items:
+        raise ValueError("no values")
+    if any(v <= 0 for v in items):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in items) / len(items))
+
+
+@dataclass(frozen=True)
+class BoxStats:
+    """The five-number summary drawn by Fig. 6's box plots."""
+
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+
+    @property
+    def iqr(self) -> float:
+        return self.q3 - self.q1
+
+    def describe(self) -> str:
+        return (
+            f"min {self.minimum:.3f} | q1 {self.q1:.3f} | "
+            f"med {self.median:.3f} | q3 {self.q3:.3f} | "
+            f"max {self.maximum:.3f}"
+        )
+
+
+def box_stats(samples: Sequence[float] | np.ndarray) -> BoxStats:
+    """Five-number summary of a run distribution."""
+    arr = np.asarray(samples, dtype=float)
+    if arr.size == 0:
+        raise ValueError("no samples")
+    q1, q2, q3 = np.percentile(arr, [25.0, 50.0, 75.0])
+    return BoxStats(
+        minimum=float(arr.min()),
+        q1=float(q1),
+        median=float(q2),
+        q3=float(q3),
+        maximum=float(arr.max()),
+    )

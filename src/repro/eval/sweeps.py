@@ -1,0 +1,91 @@
+"""Parameter sweep utilities.
+
+The evaluation beyond the paper's fixed geometry: sweep image sizes,
+model constants, or thresholds and watch where behaviour changes.  The
+flagship sweep is image size: fusion eliminates per-pixel memory
+traffic (a benefit that scales with the image) while the launch
+overhead it saves is constant — so at small images launch savings
+dominate, at large images traffic savings dominate, and the measured
+speedup curves have a characteristic shape the bench suite records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.apps import AppSpec
+from repro.backend.launch import simulate_partition
+from repro.dsl.pipeline import Pipeline
+from repro.eval.runner import partition_for
+from repro.model.benefit import BenefitConfig
+from repro.model.hardware import GpuSpec
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One configuration of a sweep."""
+
+    value: float
+    baseline_ms: float
+    optimized_ms: float
+
+    @property
+    def speedup(self) -> float:
+        return self.baseline_ms / self.optimized_ms
+
+
+def size_sweep(
+    build: Callable[[int, int], Pipeline],
+    gpu: GpuSpec,
+    sizes: Sequence[int],
+    config: BenefitConfig | None = None,
+) -> List[SweepPoint]:
+    """Simulated speedup of min-cut fusion across square image sizes."""
+    points = []
+    for size in sizes:
+        graph = build(size, size).build()
+        baseline = partition_for(graph, gpu, "baseline", config)
+        optimized = partition_for(graph, gpu, "optimized", config)
+        points.append(
+            SweepPoint(
+                value=float(size),
+                baseline_ms=simulate_partition(graph, baseline, gpu).total_ms,
+                optimized_ms=simulate_partition(
+                    graph, optimized, gpu
+                ).total_ms,
+            )
+        )
+    return points
+
+
+def threshold_sweep(
+    spec: AppSpec,
+    gpu: GpuSpec,
+    thresholds: Sequence[float],
+) -> Dict[float, Tuple[int, float]]:
+    """(launches, simulated ms) per ``cMshared`` threshold."""
+    graph = spec.pipeline().build()
+    result: Dict[float, Tuple[int, float]] = {}
+    for threshold in thresholds:
+        config = BenefitConfig(c_mshared=threshold)
+        partition = partition_for(graph, gpu, "optimized", config)
+        timing = simulate_partition(graph, partition, gpu)
+        result[threshold] = (len(partition), timing.total_ms)
+    return result
+
+
+def render_size_sweep(
+    app_name: str, gpu_name: str, points: Sequence[SweepPoint]
+) -> str:
+    """Text table of a size sweep."""
+    lines = [
+        f"SIZE SWEEP: {app_name} on {gpu_name}",
+        f"{'size':>6}{'baseline ms':>13}{'optimized ms':>14}{'speedup':>9}",
+    ]
+    for point in points:
+        lines.append(
+            f"{int(point.value):>6}{point.baseline_ms:>13.4f}"
+            f"{point.optimized_ms:>14.4f}{point.speedup:>8.2f}x"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,159 @@
+"""Table I and Table II of the paper.
+
+Table I reports three speedup comparisons per GPU and application:
+optimized over baseline, basic over baseline, and optimized over basic.
+Table II aggregates each comparison with a geometric mean across the
+three GPUs.  Speedups derive from run medians, as in the paper.
+
+The paper's published numbers are included as
+:data:`PAPER_TABLE1` / :data:`PAPER_TABLE2` so that EXPERIMENTS.md and
+the benchmark harness can print paper-vs-measured side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+from repro.eval.runner import AppResult, ResultKey
+from repro.eval.stats import geometric_mean
+
+#: Table order used throughout the paper.
+APP_ORDER: Tuple[str, ...] = (
+    "Harris",
+    "Sobel",
+    "Unsharp",
+    "ShiTomasi",
+    "Enhance",
+    "Night",
+)
+
+GPU_ORDER: Tuple[str, ...] = ("GTX745", "GTX680", "K20c")
+
+#: The three comparisons of Table I: (numerator-version, denominator-version)
+#: keyed by the table's row-group label.
+COMPARISONS: Dict[str, Tuple[str, str]] = {
+    "optimized/baseline": ("baseline", "optimized"),
+    "basic/baseline": ("baseline", "basic"),
+    "optimized/basic": ("basic", "optimized"),
+}
+
+#: Table I as published (speedup[comparison][gpu][app]).
+PAPER_TABLE1: Dict[str, Dict[str, Dict[str, float]]] = {
+    "optimized/baseline": {
+        "GTX745": {
+            "Harris": 1.145, "Sobel": 1.108, "Unsharp": 2.025,
+            "ShiTomasi": 1.138, "Enhance": 1.760, "Night": 1.000,
+        },
+        "GTX680": {
+            "Harris": 1.344, "Sobel": 1.377, "Unsharp": 3.438,
+            "ShiTomasi": 1.357, "Enhance": 1.920, "Night": 1.020,
+        },
+        "K20c": {
+            "Harris": 1.146, "Sobel": 1.048, "Unsharp": 2.304,
+            "ShiTomasi": 1.149, "Enhance": 1.809, "Night": 1.000,
+        },
+    },
+    "basic/baseline": {
+        "GTX745": {
+            "Harris": 1.044, "Sobel": 1.002, "Unsharp": 1.007,
+            "ShiTomasi": 1.046, "Enhance": 1.413, "Night": 1.001,
+        },
+        "GTX680": {
+            "Harris": 1.266, "Sobel": 0.987, "Unsharp": 1.001,
+            "ShiTomasi": 1.287, "Enhance": 1.785, "Night": 1.020,
+        },
+        "K20c": {
+            "Harris": 1.094, "Sobel": 1.002, "Unsharp": 0.999,
+            "ShiTomasi": 1.099, "Enhance": 1.490, "Night": 1.000,
+        },
+    },
+    "optimized/basic": {
+        "GTX745": {
+            "Harris": 1.097, "Sobel": 1.106, "Unsharp": 2.011,
+            "ShiTomasi": 1.088, "Enhance": 1.245, "Night": 0.999,
+        },
+        "GTX680": {
+            "Harris": 1.061, "Sobel": 1.394, "Unsharp": 3.435,
+            "ShiTomasi": 1.055, "Enhance": 1.076, "Night": 1.000,
+        },
+        "K20c": {
+            "Harris": 1.047, "Sobel": 1.046, "Unsharp": 2.304,
+            "ShiTomasi": 1.046, "Enhance": 1.214, "Night": 1.000,
+        },
+    },
+}
+
+#: Table II as published (geomean across GPUs, speedup[comparison][app]).
+PAPER_TABLE2: Dict[str, Dict[str, float]] = {
+    "optimized/baseline": {
+        "Harris": 1.208, "Sobel": 1.169, "Unsharp": 2.522,
+        "ShiTomasi": 1.211, "Enhance": 1.829, "Night": 1.007,
+    },
+    "basic/baseline": {
+        "Harris": 1.131, "Sobel": 1.000, "Unsharp": 1.002,
+        "ShiTomasi": 1.139, "Enhance": 1.555, "Night": 1.007,
+    },
+    "optimized/basic": {
+        "Harris": 1.068, "Sobel": 1.173, "Unsharp": 2.516,
+        "ShiTomasi": 1.063, "Enhance": 1.176, "Night": 1.000,
+    },
+}
+
+
+def speedup(
+    results: Dict[ResultKey, AppResult],
+    app: str,
+    gpu: str,
+    slower_version: str,
+    faster_version: str,
+) -> float:
+    """Median-time ratio of two versions on the same app and GPU."""
+    slower = results[(app, gpu, slower_version)]
+    faster = results[(app, gpu, faster_version)]
+    return slower.median_ms / faster.median_ms
+
+
+def speedup_table(
+    results: Dict[ResultKey, AppResult],
+    slower_version: str,
+    faster_version: str,
+    apps: Iterable[str] = APP_ORDER,
+    gpus: Iterable[str] = GPU_ORDER,
+) -> Dict[str, Dict[str, float]]:
+    """One sub-table of Table I: ``speedup[gpu][app]``."""
+    return {
+        gpu: {
+            app: speedup(results, app, gpu, slower_version, faster_version)
+            for app in apps
+        }
+        for gpu in gpus
+    }
+
+
+def table1(
+    results: Dict[ResultKey, AppResult],
+    apps: Iterable[str] = APP_ORDER,
+    gpus: Iterable[str] = GPU_ORDER,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Table I: ``table[comparison][gpu][app]``."""
+    return {
+        label: speedup_table(results, slower, faster, apps, gpus)
+        for label, (slower, faster) in COMPARISONS.items()
+    }
+
+
+def table2(
+    results: Dict[ResultKey, AppResult],
+    apps: Iterable[str] = APP_ORDER,
+    gpus: Iterable[str] = GPU_ORDER,
+) -> Dict[str, Dict[str, float]]:
+    """Table II: geometric mean across GPUs, ``table[comparison][app]``."""
+    gpu_list = list(gpus)
+    first = table1(results, apps, gpu_list)
+    return {
+        label: {
+            app: geometric_mean(first[label][gpu][app] for gpu in gpu_list)
+            for app in first[label][gpu_list[0]]
+        }
+        for label in first
+    }

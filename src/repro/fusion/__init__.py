@@ -1,0 +1,58 @@
+"""Fusion engines and kernel-level fusion machinery.
+
+Three engines, matching the paper's evaluation matrix:
+
+* :func:`~repro.fusion.mincut_fusion.mincut_fusion` — the paper's
+  contribution: recursive partitioning via Stoer–Wagner minimum cuts
+  (Algorithm 1), the *optimized fusion* configuration;
+* :func:`~repro.fusion.basic_fusion.basic_fusion` — the prior-work
+  baseline [12]: pairwise fusion of point-related scenarios only, the
+  *basic fusion* configuration;
+* :func:`~repro.fusion.greedy_fusion.greedy_fusion` — a classic
+  heaviest-edge greedy grouping (PolyMage / Halide style), provided as
+  an additional comparison point for ablations.
+
+:mod:`repro.fusion.fuser` materializes a fused kernel for each legal
+partition block; :mod:`repro.fusion.border` implements the
+interior/halo/exterior analysis and the index-exchange method that makes
+local-to-local fusion border-correct (Section IV).
+"""
+
+from repro.fusion.basic_fusion import basic_fusion
+from repro.fusion.coalesce import coalesce_partition, coalesced_fusion
+from repro.fusion.distribution import distribute, distribute_block
+from repro.fusion.exhaustive import exhaustive_fusion, optimality_gap
+from repro.fusion.border import (
+    Region,
+    classify_coordinate,
+    fused_interior_width,
+    index_exchange,
+    interior_width,
+)
+from repro.fusion.fuser import FusedKernel, fuse_block, fuse_partition
+from repro.fusion.greedy_fusion import greedy_fusion
+from repro.fusion.mincut_fusion import FusionResult, TraceEvent, mincut_fusion
+from repro.fusion.scenarios import classify_edge_scenario
+
+__all__ = [
+    "FusedKernel",
+    "FusionResult",
+    "Region",
+    "TraceEvent",
+    "basic_fusion",
+    "classify_coordinate",
+    "classify_edge_scenario",
+    "coalesce_partition",
+    "coalesced_fusion",
+    "distribute",
+    "distribute_block",
+    "exhaustive_fusion",
+    "fuse_block",
+    "fuse_partition",
+    "fused_interior_width",
+    "greedy_fusion",
+    "index_exchange",
+    "interior_width",
+    "mincut_fusion",
+    "optimality_gap",
+]

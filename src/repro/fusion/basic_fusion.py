@@ -1,0 +1,159 @@
+"""The prior-work baseline: basic kernel fusion [12].
+
+Qiao et al.'s earlier SCOPES 2018 technique fuses *pairs* of kernels
+along edges and only for the point-related scenarios — point-to-point,
+local-to-point, and point-to-local.  Kernels are "precluded as long as
+any constraint is met" (Section III-C of the CGO paper):
+
+* the consumer may read **only** the producer's output — any additional
+  input (even the producer's own source image, Fig. 2b) is regarded as
+  an external dependence and rejected; this is why basic fusion fails
+  on Unsharp (shared input) and Sobel (the magnitude kernel reads two
+  gradients);
+* the producer's output must be consumed by exactly that consumer and
+  must not be a pipeline output;
+* local-to-local pairs are rejected outright (no border-correct fusion
+  in the prior work);
+* headers must match and the resource rule (Eq. 2) must hold;
+* the benefit tradeoff with redundant computation is **not** modelled
+  ("this tradeoff has not been explored by previous work").
+
+Pairs keep merging transitively (a fused local-to-point group can absorb
+a further point consumer — the Enhancement chain collapses fully), so
+the engine iterates to a fixpoint over current groups.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set
+
+from repro.dsl.kernel import ComputePattern
+from repro.graph.partition import Partition, PartitionBlock
+from repro.model.benefit import WeightedGraph
+from repro.model.legality import check_headers, check_resources
+from repro.fusion.mincut_fusion import FusionResult, TraceEvent
+
+
+def _group_pattern(weighted: WeightedGraph, group: FrozenSet[str]) -> ComputePattern:
+    """Pattern of the kernel a group would fuse into.
+
+    A group containing any local operator composes windowed reads, so
+    the fused kernel is local; otherwise it stays a point operator.
+    Global operators never enter groups.
+    """
+    for name in group:
+        if weighted.graph.kernel(name).pattern is ComputePattern.LOCAL:
+            return ComputePattern.LOCAL
+    return ComputePattern.POINT
+
+
+def _group_inputs(weighted: WeightedGraph, group: FrozenSet[str]) -> Set[str]:
+    """External images read by a group."""
+    produced = {weighted.graph.kernel(n).output.name for n in group}
+    reads: Set[str] = set()
+    for name in group:
+        reads.update(weighted.graph.kernel(name).input_names)
+    return reads - produced
+
+
+def _group_output(weighted: WeightedGraph, group: FrozenSet[str]) -> str | None:
+    """The single escaping output image of a group, or ``None``."""
+    graph = weighted.graph
+    escaping = []
+    for name in group:
+        output = graph.kernel(name).output.name
+        consumers = [c for c in graph.consumers_of(output) if c not in group]
+        if consumers or output in graph.external_outputs:
+            escaping.append(output)
+    if len(escaping) == 1:
+        return escaping[0]
+    return None
+
+
+def _pair_fusible(
+    weighted: WeightedGraph,
+    producer_group: FrozenSet[str],
+    consumer_group: FrozenSet[str],
+) -> bool:
+    """Basic-fusion pairwise test on two current groups."""
+    graph = weighted.graph
+    output = _group_output(weighted, producer_group)
+    if output is None:
+        return False
+
+    # The producer's output must feed exactly the consumer group and
+    # must not be externally observed.
+    if output in graph.external_outputs:
+        return False
+    consumers = set(graph.consumers_of(output))
+    if not consumers or not consumers <= consumer_group:
+        return False
+
+    # The consumer group may read nothing but the producer's output.
+    if _group_inputs(weighted, consumer_group) != {output}:
+        return False
+
+    # Scenario restriction: no local-to-local, no global operators.
+    producer_pattern = _group_pattern(weighted, producer_group)
+    consumer_pattern = _group_pattern(weighted, consumer_group)
+    for name in producer_group | consumer_group:
+        if graph.kernel(name).pattern is ComputePattern.GLOBAL:
+            return False
+    if (
+        producer_pattern is ComputePattern.LOCAL
+        and consumer_pattern is ComputePattern.LOCAL
+    ):
+        return False
+
+    merged = list(producer_group | consumer_group)
+    if check_headers(graph, merged):
+        return False
+    if check_resources(graph, merged, weighted.gpu, weighted.config.c_mshared):
+        return False
+    return True
+
+
+def basic_fusion(weighted: WeightedGraph) -> FusionResult:
+    """Run the prior-work pairwise fusion to a fixpoint."""
+    graph = weighted.graph
+    group_of: Dict[str, FrozenSet[str]] = {
+        name: frozenset({name}) for name in graph.kernel_names
+    }
+    trace: List[TraceEvent] = []
+    iteration = 0
+
+    changed = True
+    while changed:
+        changed = False
+        for edge in graph.edges:
+            producer_group = group_of[edge.src]
+            consumer_group = group_of[edge.dst]
+            if producer_group == consumer_group:
+                continue
+            if not _pair_fusible(weighted, producer_group, consumer_group):
+                continue
+            iteration += 1
+            merged = producer_group | consumer_group
+            ordered = tuple(n for n in graph.kernel_names if n in merged)
+            trace.append(
+                TraceEvent(
+                    iteration,
+                    ordered,
+                    "ready",
+                    reasons=(f"pairwise merge along {edge.src}->{edge.dst}",),
+                )
+            )
+            for name in merged:
+                group_of[name] = merged
+            changed = True
+            break  # restart the scan over the new grouping
+
+    unique = []
+    seen = set()
+    for name in graph.kernel_names:
+        group = group_of[name]
+        if group not in seen:
+            seen.add(group)
+            unique.append(PartitionBlock(graph, group))
+    partition = Partition(graph, unique)
+    return FusionResult(partition, weighted, trace, engine="basic")

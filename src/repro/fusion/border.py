@@ -1,0 +1,119 @@
+"""Border handling for local-to-local fusion (Sections IV-A and IV-B).
+
+Composing two local kernels widens the read window; near the image
+border the composed window reaches positions where the *intermediate*
+image would have been padded in the unfused program.  Naively composing
+the convolutions (padding the input once by the combined radius)
+computes wrong border values — Fig. 4b of the paper — because the
+unfused program re-applies boundary handling to the intermediate image
+before the second kernel reads it.
+
+The paper's fix is the **index exchange** method: every intermediate
+coordinate requested by the consumer is first resolved against the
+intermediate image's bounds using the *consumer's* boundary mode; the
+producer window then shifts to the exchanged coordinate (Fig. 5).  The
+reference executor (:mod:`repro.backend.numpy_exec`) applies exactly
+this two-stage resolution; this module provides the region analysis and
+the scalar index-exchange primitive, plus the paper's interior-width
+formulas.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Tuple
+
+from repro.dsl.boundary import BoundaryMode, BoundarySpec, resolve_index
+
+
+class Region(enum.Enum):
+    """The three regions of Section IV-B (Fig. 5)."""
+
+    INTERIOR = "interior"
+    HALO = "halo"
+    EXTERIOR = "exterior"
+
+
+def interior_width(image_width: int, mask_width: int) -> int:
+    """Width of the interior region of an unfused local kernel.
+
+    The paper's formula: ``l_i - floor(l_k / 2) * 2``.
+    """
+    if mask_width % 2 == 0:
+        raise ValueError("mask width must be odd")
+    return max(image_width - (mask_width // 2) * 2, 0)
+
+
+def fused_interior_width(
+    image_width: int, producer_mask_width: int, consumer_mask_width: int
+) -> int:
+    """Width of the interior region of a fused local-to-local kernel.
+
+    Conservative form using the combined radius: every composed read at
+    offsets within ``r_p + r_c`` of the border may touch exchanged
+    indices, so the interior shrinks by the combined radius on each
+    side.  (The paper prints ``l_i - floor(max(l_kp, l_kc) / 2) * 2``;
+    the combined-radius form is the safe superset we verify against the
+    executor, see the border tests.)
+    """
+    radius = producer_mask_width // 2 + consumer_mask_width // 2
+    return max(image_width - 2 * radius, 0)
+
+
+def classify_coordinate(
+    x: int, y: int, width: int, height: int, radius: Tuple[int, int]
+) -> Region:
+    """Classify a coordinate as interior / halo / exterior.
+
+    ``radius`` is the read-window radius ``(rx, ry)`` of the kernel
+    about to read around ``(x, y)``.  Interior coordinates read only
+    valid indices; halo coordinates are inside the image but their
+    windows cross the border; exterior coordinates lie outside the
+    image (where padding applies).
+    """
+    rx, ry = radius
+    if x < 0 or x >= width or y < 0 or y >= height:
+        return Region.EXTERIOR
+    if rx <= x < width - rx and ry <= y < height - ry:
+        return Region.INTERIOR
+    return Region.HALO
+
+
+def index_exchange(
+    x: int,
+    y: int,
+    width: int,
+    height: int,
+    boundary: BoundarySpec | BoundaryMode,
+) -> Tuple[int, int]:
+    """Exchange an exterior coordinate for an in-image coordinate.
+
+    In-image coordinates (interior or halo) are returned unchanged; an
+    exterior coordinate is resolved per axis under the boundary mode
+    *of the consuming kernel* — e.g. CLAMP exchanges it with the nearest
+    border pixel, exactly the middle matrix of Fig. 5.  CONSTANT mode
+    has no exchange target (the value is a constant, not a pixel); the
+    executor handles it with a mask, and calling this raises.
+    """
+    mode = boundary.mode if isinstance(boundary, BoundarySpec) else boundary
+    if mode is BoundaryMode.CONSTANT and not (0 <= x < width and 0 <= y < height):
+        raise ValueError(
+            "CONSTANT boundary mode substitutes a value; there is no "
+            "index to exchange"
+        )
+    return resolve_index(x, width, mode), resolve_index(y, height, mode)
+
+
+def halo_pixel_count(
+    width: int, height: int, radius: Tuple[int, int]
+) -> int:
+    """Number of halo pixels of an image for a given window radius.
+
+    The paper emphasizes that the halo grows quadratically with the
+    number of fused local kernels (the radii add); this helper feeds the
+    simulator's border-handling overhead term and the ablation bench.
+    """
+    rx, ry = radius
+    interior_w = max(width - 2 * rx, 0)
+    interior_h = max(height - 2 * ry, 0)
+    return width * height - interior_w * interior_h

@@ -1,0 +1,118 @@
+"""Exhaustive optimal fusion search (small graphs only).
+
+The fusion problem is a minimum-weight k-cut with unknown k, which is
+NP-complete (Section III-C, citing Goldschmidt & Hochbaum), so the paper
+uses the recursive min-cut heuristic.  For small DAGs the optimum *is*
+computable: enumerate all partitions of the vertex set into legal
+blocks and maximize β (Eq. 1).
+
+This engine exists to measure the heuristic's optimality gap — the
+ablation suite shows Algorithm 1 is optimal on all six paper
+applications and on randomly generated small pipelines.
+
+Enumeration is the standard recursive set-partition scheme (first
+uncovered vertex anchors each new block), pruned by legality: blocks
+are only grown from legal-or-extendable candidates, and singleton
+blocks are always admissible.  Complexity is bounded by the Bell number
+B(|V|); the implementation refuses graphs beyond ``max_vertices``.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterator, List, Tuple
+
+from repro.graph.dag import GraphError
+from repro.graph.partition import Partition, PartitionBlock
+from repro.model.benefit import WeightedGraph
+from repro.fusion.mincut_fusion import FusionResult, TraceEvent
+
+#: Hard cap: Bell(12) ~ 4.2M candidate partitions already stretches a
+#: test-suite; the paper's largest application has 9 kernels.
+MAX_VERTICES = 12
+
+
+def _partitions(items: Tuple[str, ...]) -> Iterator[List[FrozenSet[str]]]:
+    """All set partitions of ``items`` (first element anchors blocks)."""
+    if not items:
+        yield []
+        return
+    head, rest = items[0], items[1:]
+    for sub_partition in _partitions(rest):
+        # head joins an existing block...
+        for i in range(len(sub_partition)):
+            yield (
+                sub_partition[:i]
+                + [sub_partition[i] | {head}]
+                + sub_partition[i + 1 :]
+            )
+        # ... or starts its own.
+        yield [frozenset({head})] + sub_partition
+
+
+def exhaustive_fusion(
+    weighted: WeightedGraph, max_vertices: int = MAX_VERTICES
+) -> FusionResult:
+    """Find a β-maximal partition into legal blocks by enumeration.
+
+    Ties are broken toward fewer blocks (fewer launches), then toward
+    the lexicographically smallest description, so the result is
+    deterministic.
+    """
+    graph = weighted.graph
+    names = graph.kernel_names
+    if len(names) > max_vertices:
+        raise GraphError(
+            f"exhaustive search on {len(names)} kernels would enumerate "
+            f"too many partitions (cap: {max_vertices})"
+        )
+
+    best_blocks: List[FrozenSet[str]] | None = None
+    best_key: Tuple[float, int, Tuple] | None = None
+    examined = 0
+    legality_cache: dict[FrozenSet[str], bool] = {}
+
+    def block_legal(block: FrozenSet[str]) -> bool:
+        if block not in legality_cache:
+            legality_cache[block] = (
+                len(block) == 1 or weighted.is_legal_block(block)
+            )
+        return legality_cache[block]
+
+    def block_weight(block: FrozenSet[str]) -> float:
+        return sum(
+            e.weight or 0.0 for e in graph.induced_edges(set(block))
+        )
+
+    for candidate in _partitions(names):
+        examined += 1
+        if not all(block_legal(block) for block in candidate):
+            continue
+        beta = sum(block_weight(block) for block in candidate)
+        signature = tuple(sorted(tuple(sorted(b)) for b in candidate))
+        key = (beta, -len(candidate), tuple(reversed(signature)))
+        if best_key is None or key > best_key:
+            best_key = key
+            best_blocks = candidate
+
+    assert best_blocks is not None  # singletons are always legal
+    partition = Partition(
+        graph, [PartitionBlock(graph, block) for block in best_blocks]
+    )
+    trace = [
+        TraceEvent(
+            1,
+            tuple(names),
+            "ready",
+            reasons=(f"enumerated {examined} partitions",),
+        )
+    ]
+    return FusionResult(partition, weighted, trace, engine="exhaustive")
+
+
+def optimality_gap(weighted: WeightedGraph) -> float:
+    """β(optimal) - β(min-cut heuristic); 0.0 means the heuristic won."""
+    from repro.fusion.mincut_fusion import mincut_fusion
+
+    optimal = exhaustive_fusion(weighted).benefit
+    heuristic = mincut_fusion(weighted).benefit
+    return optimal - heuristic

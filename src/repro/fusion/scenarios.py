@@ -1,0 +1,42 @@
+"""Fusion scenario classification helpers.
+
+The :class:`~repro.model.benefit.FusionScenario` enum and the weight
+formulas live in :mod:`repro.model.benefit`; this module adds the
+convenience queries that the engines and the test-suite use to reason
+about scenarios without re-running the full estimator.
+"""
+
+from __future__ import annotations
+
+from repro.dsl.kernel import ComputePattern, Kernel
+from repro.graph.dag import Edge, KernelGraph
+from repro.model.benefit import FusionScenario
+
+__all__ = ["FusionScenario", "classify_edge_scenario", "pair_pattern"]
+
+
+def pair_pattern(source: Kernel, destination: Kernel) -> str:
+    """Human-readable pattern pair, e.g. ``"local-to-point"``."""
+    return f"{source.pattern.value}-to-{destination.pattern.value}"
+
+
+def classify_edge_scenario(graph: KernelGraph, edge: Edge) -> FusionScenario:
+    """Scenario of an edge from compute patterns alone.
+
+    This mirrors the scenario dispatch of the benefit model but skips
+    header and legality checks — useful for diagnostics and for the
+    basic-fusion engine, which restricts itself to point-related
+    scenarios.
+    """
+    source = graph.kernel(edge.src)
+    destination = graph.kernel(edge.dst)
+    if (
+        source.pattern is ComputePattern.GLOBAL
+        or destination.pattern is ComputePattern.GLOBAL
+    ):
+        return FusionScenario.ILLEGAL
+    if destination.pattern is ComputePattern.POINT:
+        return FusionScenario.POINT_BASED
+    if source.pattern is ComputePattern.POINT:
+        return FusionScenario.POINT_TO_LOCAL
+    return FusionScenario.LOCAL_TO_LOCAL

@@ -1,0 +1,30 @@
+"""The kernel dependence DAG and graph partitioning machinery.
+
+The fusion problem of the paper is stated on a directed acyclic graph
+``G = (V, E)``: vertices are kernels, an edge ``(v_i, v_j)`` means kernel
+``v_j`` consumes the image produced by kernel ``v_i``.  This package
+provides:
+
+* :class:`~repro.graph.dag.KernelGraph` — the DAG with edge weights,
+* :class:`~repro.graph.partition.PartitionBlock` /
+  :class:`~repro.graph.partition.Partition` — partition blocks and full
+  partitions with the paper's disjoint-cover validity conditions,
+* :func:`~repro.graph.mincut.stoer_wagner` — a from-scratch
+  implementation of the Stoer–Wagner global minimum cut used by
+  Algorithm 1.
+"""
+
+from repro.graph.dag import Edge, GraphError, KernelGraph
+from repro.graph.mincut import MinCutResult, stoer_wagner, min_cut_partition
+from repro.graph.partition import Partition, PartitionBlock
+
+__all__ = [
+    "Edge",
+    "GraphError",
+    "KernelGraph",
+    "MinCutResult",
+    "Partition",
+    "PartitionBlock",
+    "min_cut_partition",
+    "stoer_wagner",
+]

@@ -1,0 +1,195 @@
+"""Stoer–Wagner global minimum cut, implemented from scratch.
+
+The paper picks the Stoer–Wagner algorithm [14] to split illegal
+partition blocks: it is deterministic, simple, and runs in
+``O(|E||V| + |V|^2 log |V|)``.  The algorithm operates on an undirected
+edge-weighted graph; the kernel DAG is used undirected for cutting
+(Section III-A), with anti-parallel edge pairs summed.
+
+The implementation follows the original paper: ``|V| - 1`` *minimum cut
+phases*, each performing a maximum-adjacency ordering from a fixed
+start vertex; the cut-of-the-phase isolates the vertex added last, and
+the two last-added vertices are merged before the next phase.  The best
+cut-of-the-phase over all phases is a global minimum cut.
+
+Determinism: ties in the maximum-adjacency selection are broken by
+vertex insertion order (the order of the ``vertices`` argument), so
+repeated runs — and therefore the whole fusion pipeline — are
+reproducible, matching the paper's "selects the first one encountered"
+tie rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.graph.dag import GraphError, KernelGraph
+
+
+@dataclass(frozen=True)
+class MinCutResult:
+    """A global minimum cut: weight and the two vertex sides."""
+
+    weight: float
+    side_a: FrozenSet[str]
+    side_b: FrozenSet[str]
+
+    def sides(self) -> Tuple[FrozenSet[str], FrozenSet[str]]:
+        return self.side_a, self.side_b
+
+
+def _components(
+    vertices: Sequence[str], adjacency: Dict[str, Dict[str, float]]
+) -> List[Set[str]]:
+    """Connected components in insertion order of their first member."""
+    remaining = list(vertices)
+    seen: Set[str] = set()
+    components: List[Set[str]] = []
+    for vertex in remaining:
+        if vertex in seen:
+            continue
+        component = {vertex}
+        stack = [vertex]
+        while stack:
+            node = stack.pop()
+            for neighbor in adjacency[node]:
+                if neighbor not in component:
+                    component.add(neighbor)
+                    stack.append(neighbor)
+        seen |= component
+        components.append(component)
+    return components
+
+
+def stoer_wagner(
+    vertices: Sequence[str],
+    edges: Iterable[Tuple[str, str, float]],
+    start: str | None = None,
+) -> MinCutResult:
+    """Global minimum cut of an undirected weighted graph.
+
+    ``edges`` may contain parallel and anti-parallel entries; their
+    weights accumulate.  Self loops are ignored (they cross no cut).
+    All weights must be positive.  If the graph is disconnected, the cut
+    separating the first connected component has weight 0 and is
+    returned immediately.
+
+    ``start`` fixes the first vertex of every maximum-adjacency ordering
+    (the paper starts the Harris example from ``dx``); it defaults to
+    the first vertex.
+    """
+    order = list(vertices)
+    if len(order) < 2:
+        raise GraphError("minimum cut needs at least two vertices")
+    if len(set(order)) != len(order):
+        raise GraphError("duplicate vertices")
+
+    adjacency: Dict[str, Dict[str, float]] = {v: {} for v in order}
+    for src, dst, weight in edges:
+        if src == dst:
+            continue
+        if src not in adjacency or dst not in adjacency:
+            raise GraphError(f"edge ({src!r}, {dst!r}) references unknown vertex")
+        if weight <= 0:
+            raise GraphError(
+                f"Stoer-Wagner requires positive weights, got {weight} on "
+                f"({src!r}, {dst!r})"
+            )
+        adjacency[src][dst] = adjacency[src].get(dst, 0.0) + weight
+        adjacency[dst][src] = adjacency[dst].get(src, 0.0) + weight
+
+    components = _components(order, adjacency)
+    if len(components) > 1:
+        side_a = frozenset(components[0])
+        side_b = frozenset(v for v in order if v not in components[0])
+        return MinCutResult(0.0, side_a, side_b)
+
+    if start is None:
+        start = order[0]
+    elif start not in adjacency:
+        raise GraphError(f"start vertex {start!r} not in graph")
+
+    # Each supernode is a frozenset of original vertices.  ``merged``
+    # maps a representative vertex name to its member set.
+    members: Dict[str, Set[str]] = {v: {v} for v in order}
+    active: List[str] = list(order)
+    rank = {v: i for i, v in enumerate(order)}
+
+    best_weight = float("inf")
+    best_side: Set[str] = set()
+
+    while len(active) > 1:
+        # --- one minimum cut phase: maximum adjacency ordering ---------
+        phase_start = start if start in members else active[0]
+        added = [phase_start]
+        added_set = {phase_start}
+        # connectivity weight of every not-yet-added vertex to the added set
+        weights_to_added: Dict[str, float] = {
+            v: adjacency[phase_start].get(v, 0.0) for v in active if v != phase_start
+        }
+        while len(added) < len(active):
+            # most tightly connected vertex; ties by insertion order
+            candidate = max(
+                weights_to_added,
+                key=lambda v: (weights_to_added[v], -rank[v]),
+            )
+            added.append(candidate)
+            added_set.add(candidate)
+            del weights_to_added[candidate]
+            for neighbor, weight in adjacency[candidate].items():
+                if neighbor in weights_to_added:
+                    weights_to_added[neighbor] += weight
+
+        last = added[-1]
+        second_last = added[-2]
+        cut_of_phase = sum(adjacency[last].values())
+        if cut_of_phase < best_weight:
+            best_weight = cut_of_phase
+            best_side = set(members[last])
+
+        # --- merge the two last-added supernodes ------------------------
+        members[second_last] |= members[last]
+        for neighbor, weight in list(adjacency[last].items()):
+            if neighbor == second_last:
+                continue
+            adjacency[neighbor][second_last] = (
+                adjacency[neighbor].get(second_last, 0.0) + weight
+            )
+            adjacency[second_last][neighbor] = (
+                adjacency[second_last].get(neighbor, 0.0) + weight
+            )
+            del adjacency[neighbor][last]
+        adjacency[second_last].pop(last, None)
+        del adjacency[last]
+        del members[last]
+        active.remove(last)
+
+    side_a = frozenset(best_side)
+    side_b = frozenset(v for v in order if v not in best_side)
+    if not side_a or not side_b:
+        raise GraphError("degenerate cut")  # pragma: no cover - invariant
+    return MinCutResult(best_weight, side_a, side_b)
+
+
+def min_cut_partition(
+    graph: KernelGraph,
+    vertices: Sequence[str],
+    start: str | None = None,
+) -> MinCutResult:
+    """Minimum cut of the subgraph of ``graph`` induced by ``vertices``.
+
+    Directed DAG edges are symmetrized for cutting; parallel edges (a
+    producer feeding the same consumer through two images) accumulate.
+    This is the ``MinCut(p)`` step of Algorithm 1.
+    """
+    vertex_set = set(vertices)
+    weighted = []
+    for e in graph.induced_edges(vertex_set):
+        if e.weight is None:
+            raise GraphError(
+                f"edge {e.src!r}->{e.dst!r} has no weight; run benefit "
+                "estimation first"
+            )
+        weighted.append((e.src, e.dst, e.weight))
+    return stoer_wagner(list(vertices), weighted, start=start)

@@ -1,0 +1,101 @@
+"""Graphviz DOT export of kernel DAGs and fusion partitions.
+
+Produces figures in the style of the paper's Fig. 3: vertices are
+kernels (shape-coded by compute pattern), edges carry their estimated
+benefit weights, and partition blocks render as clusters.  The output
+is plain DOT text — render with ``dot -Tpdf`` wherever Graphviz is
+available.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.dsl.kernel import ComputePattern
+from repro.graph.dag import KernelGraph
+from repro.graph.partition import Partition
+
+_SHAPE = {
+    ComputePattern.POINT: "ellipse",
+    ComputePattern.LOCAL: "box",
+    ComputePattern.GLOBAL: "hexagon",
+}
+
+_FILL = {
+    ComputePattern.POINT: "#dbeafe",
+    ComputePattern.LOCAL: "#dcfce7",
+    ComputePattern.GLOBAL: "#fee2e2",
+}
+
+
+def _escape(text: str) -> str:
+    return text.replace('"', '\\"')
+
+
+def _format_weight(weight: float | None, epsilon: float | None) -> str:
+    if weight is None:
+        return ""
+    if epsilon is not None and weight <= epsilon:
+        return "ε"
+    if weight == int(weight):
+        return str(int(weight))
+    return f"{weight:g}"
+
+
+def to_dot(
+    graph: KernelGraph,
+    partition: Partition | None = None,
+    epsilon: float | None = None,
+    title: str | None = None,
+) -> str:
+    """Render a kernel DAG (optionally with its partition) as DOT.
+
+    ``epsilon`` marks weights at or below it with the ε symbol, exactly
+    like the paper's figures.
+    """
+    lines: List[str] = ["digraph pipeline {"]
+    lines.append("    rankdir=TB;")
+    lines.append('    node [style=filled, fontname="Helvetica"];')
+    if title:
+        lines.append(f'    label="{_escape(title)}"; labelloc=t;')
+
+    def node_line(name: str, indent: str = "    ") -> str:
+        kernel = graph.kernel(name)
+        pattern = kernel.pattern
+        return (
+            f'{indent}"{_escape(name)}" [shape={_SHAPE[pattern]}, '
+            f'fillcolor="{_FILL[pattern]}", '
+            f'tooltip="{pattern.value}, window {kernel.window_size}"];'
+        )
+
+    if partition is None:
+        for name in graph.kernel_names:
+            lines.append(node_line(name))
+    else:
+        for index, block in enumerate(partition.blocks):
+            if len(block) > 1:
+                lines.append(f"    subgraph cluster_{index} {{")
+                lines.append('        style=rounded; color="#64748b";')
+                lines.append(
+                    f'        label="fused (w={block.weight:g})";'
+                )
+                for name in block.ordered_vertices():
+                    lines.append(node_line(name, indent=" " * 8))
+                lines.append("    }")
+            else:
+                (name,) = block.vertices
+                lines.append(node_line(name))
+
+    for edge in graph.edges:
+        label = _format_weight(edge.weight, epsilon)
+        attributes = f' [label="{label}"]' if label else ""
+        lines.append(
+            f'    "{_escape(edge.src)}" -> "{_escape(edge.dst)}"{attributes};'
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def legend() -> Dict[str, str]:
+    """Shape legend used by the exporter (for documentation/tests)."""
+    return {pattern.value: shape for pattern, shape in _SHAPE.items()}

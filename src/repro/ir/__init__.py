@@ -1,0 +1,110 @@
+"""Expression IR for kernel bodies.
+
+Every kernel in the pipeline DAG carries a single expression tree that
+computes one output pixel from reads of its input images.  The IR is
+deliberately small: image processing point/local operators (the compute
+patterns targeted by the paper) are pure per-pixel functions of a bounded
+window of input pixels, so a side-effect-free expression language suffices.
+
+The IR serves four consumers:
+
+* the compute-pattern classifier (``repro.model.patterns``) inspects the
+  set of :class:`InputAt` offsets to decide point vs. local,
+* the cost model (``repro.ir.cost``) counts ALU and SFU operations to feed
+  the paper's Eq. (6),
+* the fusion engine (``repro.fusion.fuser``) inlines producer bodies into
+  consumer bodies by substituting :class:`InputAt` nodes,
+* the backends (``repro.backend``) evaluate expressions over NumPy arrays
+  or pretty-print them as CUDA C.
+"""
+
+from repro.ir.expr import (
+    BinOp,
+    Call,
+    Cast,
+    Cmp,
+    Const,
+    Expr,
+    InputAt,
+    Param,
+    Select,
+    UnOp,
+    ALU_BINARY_OPS,
+    ALU_UNARY_OPS,
+    CMP_OPS,
+    SFU_FUNCTIONS,
+)
+from repro.ir.ops import (
+    absolute,
+    atan2,
+    clamp,
+    cos,
+    exp,
+    log,
+    maximum,
+    minimum,
+    pow_,
+    rsqrt,
+    select,
+    sin,
+    sqrt,
+    tanh,
+)
+from repro.ir.cost import OpCounts, count_ops
+from repro.ir.printer import to_source
+from repro.ir.simplify import simplify, simplify_once
+from repro.ir.traversal import (
+    expr_equal,
+    inputs_of,
+    input_extent,
+    shift_offsets,
+    substitute_inputs,
+    transform,
+    walk,
+)
+from repro.ir.validate import ValidationError, validate
+
+__all__ = [
+    "ALU_BINARY_OPS",
+    "ALU_UNARY_OPS",
+    "BinOp",
+    "CMP_OPS",
+    "Call",
+    "Cast",
+    "Cmp",
+    "Const",
+    "Expr",
+    "InputAt",
+    "OpCounts",
+    "Param",
+    "SFU_FUNCTIONS",
+    "Select",
+    "UnOp",
+    "ValidationError",
+    "absolute",
+    "atan2",
+    "clamp",
+    "cos",
+    "count_ops",
+    "exp",
+    "expr_equal",
+    "input_extent",
+    "inputs_of",
+    "log",
+    "maximum",
+    "minimum",
+    "pow_",
+    "rsqrt",
+    "select",
+    "shift_offsets",
+    "simplify",
+    "simplify_once",
+    "sin",
+    "sqrt",
+    "substitute_inputs",
+    "tanh",
+    "to_source",
+    "transform",
+    "validate",
+    "walk",
+]

@@ -1,0 +1,72 @@
+"""Operation counting for the benefit model.
+
+The paper's Eq. (6) estimates the arithmetic cost of a producer kernel as
+
+    cost_op = c_ALU * n_ALU + c_SFU * n_SFU
+
+This module computes ``n_ALU`` and ``n_SFU`` for an expression tree.
+ALU operations are arithmetic/compare/select/cast nodes; SFU operations
+are calls to transcendental functions.  Reads (:class:`InputAt`),
+constants and parameters are free here — memory cost is accounted for
+separately by the locality terms of the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.expr import BinOp, Call, Cast, Cmp, Expr, Select, UnOp
+from repro.ir.traversal import walk
+
+
+@dataclass(frozen=True)
+class OpCounts:
+    """Number of ALU and SFU operations of a kernel body."""
+
+    alu: int = 0
+    sfu: int = 0
+
+    def __add__(self, other: "OpCounts") -> "OpCounts":
+        return OpCounts(self.alu + other.alu, self.sfu + other.sfu)
+
+    def scaled(self, factor: int) -> "OpCounts":
+        """Counts after executing the body ``factor`` times."""
+        return OpCounts(self.alu * factor, self.sfu * factor)
+
+    def cycles(self, c_alu: float, c_sfu: float) -> float:
+        """Eq. (6): total cycles at the given per-op costs."""
+        return c_alu * self.alu + c_sfu * self.sfu
+
+    @property
+    def total(self) -> int:
+        return self.alu + self.sfu
+
+
+def count_ops(expr: Expr, cse: bool = True) -> OpCounts:
+    """Count ALU and SFU operations in an expression.
+
+    With ``cse=True`` (the default) structurally identical
+    subexpressions are counted **once**: the generated GPU code keeps
+    each computed value in a register and reuses it, so e.g. a point
+    producer inlined at the same offset into many consumer sites costs
+    one evaluation (this is exactly why the point-based scenario of
+    Eq. 5 has no recomputation term).  Producer bodies inlined at
+    *different* offsets are structurally distinct and still count per
+    copy — the redundant computation φ of Eq. (7)/(10) is preserved.
+
+    ``cse=False`` counts every node of the tree (the cost of the code
+    with no value reuse at all).
+    """
+    alu = 0
+    sfu = 0
+    seen: set[Expr] | None = set() if cse else None
+    for node in walk(expr):
+        if seen is not None:
+            if node in seen:
+                continue
+            seen.add(node)
+        if isinstance(node, (BinOp, UnOp, Cmp, Select, Cast)):
+            alu += 1
+        elif isinstance(node, Call):
+            sfu += 1
+    return OpCounts(alu=alu, sfu=sfu)

@@ -1,0 +1,127 @@
+"""Common subexpression elimination into let-bindings.
+
+Fusion enlarges kernel bodies and therefore the scope for CSE — one of
+the secondary benefits the paper credits to kernel fusion.  The most
+important instance is built into the cost model already (a point
+producer inlined at the same offset many times is priced once, see
+:func:`repro.ir.cost.count_ops`); this module makes the reuse explicit
+for *code generation*: repeated subtrees are hoisted into temporaries,
+so the emitted CUDA assigns the producer value to a register once and
+reuses it, exactly like hand-written fused kernels.
+
+The scheduled form is a sequence of bindings ``(_t0, expr0)``,
+``(_t1, expr1[_t0])``, ... plus a root expression; temporaries are
+referenced through :class:`~repro.ir.expr.Param` nodes with reserved
+``_t<i>`` names (the DSL forbids user parameters starting with an
+underscore only by convention; the validator of scheduled forms checks
+for collisions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.ir.cost import count_ops
+from repro.ir.expr import Expr, Param
+from repro.ir.traversal import count_nodes, params_of, transform, walk
+
+#: Reserved prefix of CSE temporaries.
+TEMP_PREFIX = "_t"
+
+
+@dataclass(frozen=True)
+class Scheduled:
+    """A let-scheduled expression: bindings in dependency order + root."""
+
+    bindings: Tuple[Tuple[str, Expr], ...]
+    root: Expr
+
+    @property
+    def temp_names(self) -> Tuple[str, ...]:
+        return tuple(name for name, _ in self.bindings)
+
+    def total_ops(self) -> int:
+        """Operations actually executed (each binding evaluated once)."""
+        total = count_ops(self.root).total
+        for _, expr in self.bindings:
+            total += count_ops(expr).total
+        return total
+
+
+def _occurrence_counts(expr: Expr) -> Dict[Expr, int]:
+    counts: Dict[Expr, int] = {}
+    for node in walk(expr):
+        counts[node] = counts.get(node, 0) + 1
+    return counts
+
+
+def eliminate_common_subexpressions(
+    expr: Expr,
+    min_occurrences: int = 2,
+    min_ops: int = 1,
+) -> Scheduled:
+    """Hoist repeated subtrees into temporaries.
+
+    A subtree qualifies when it appears at least ``min_occurrences``
+    times and contains at least ``min_ops`` operations (hoisting a bare
+    read or constant buys nothing).  Candidates are processed smallest
+    first so that nested redundancy factors correctly: an inner shared
+    subtree becomes a temp, making outer occurrences structurally equal
+    in turn.
+    """
+    for name in params_of(expr):
+        if name.startswith(TEMP_PREFIX):
+            raise ValueError(
+                f"expression already uses reserved parameter {name!r}"
+            )
+
+    bindings: List[Tuple[str, Expr]] = []
+    current = expr
+
+    while True:
+        counts = _occurrence_counts(current)
+        candidates = [
+            node
+            for node, occurrences in counts.items()
+            if occurrences >= min_occurrences
+            and count_ops(node).total >= min_ops
+            and not isinstance(node, Param)
+        ]
+        if not candidates:
+            break
+        # Smallest qualifying subtree first: inner sharing surfaces
+        # before outer sharing.
+        target = min(candidates, key=count_nodes)
+        temp = Param(f"{TEMP_PREFIX}{len(bindings)}")
+        bindings.append((temp.name, target))
+        current = transform(
+            current, lambda node: temp if node == target else None
+        )
+        # Rewrite pending binding bodies too, so later temps reuse
+        # earlier ones -- but only *later* bindings may reference
+        # earlier names (the target itself never contains the new temp).
+
+    return Scheduled(tuple(bindings), current)
+
+
+def inline_schedule(scheduled: Scheduled) -> Expr:
+    """Undo the scheduling: substitute every temporary back.
+
+    Used by the tests to check semantic equivalence.
+    """
+    env: Dict[str, Expr] = {}
+    for name, body in scheduled.bindings:
+        resolved = transform(
+            body,
+            lambda node: env.get(node.name)
+            if isinstance(node, Param) and node.name in env
+            else None,
+        )
+        env[name] = resolved
+    return transform(
+        scheduled.root,
+        lambda node: env.get(node.name)
+        if isinstance(node, Param) and node.name in env
+        else None,
+    )

@@ -1,0 +1,81 @@
+"""Builder helpers for IR expressions.
+
+These are thin, explicit constructors around the node classes so kernel
+bodies read like ordinary math::
+
+    from repro.ir import ops
+    body = ops.sqrt(gx * gx + gy * gy)
+"""
+
+from __future__ import annotations
+
+from repro.ir.expr import BinOp, Call, Cmp, Const, Expr, Select, UnOp, _wrap
+
+
+def minimum(a: Expr | float, b: Expr | float) -> BinOp:
+    """Elementwise minimum (ALU)."""
+    return BinOp("min", _wrap(a), _wrap(b))
+
+
+def maximum(a: Expr | float, b: Expr | float) -> BinOp:
+    """Elementwise maximum (ALU)."""
+    return BinOp("max", _wrap(a), _wrap(b))
+
+
+def clamp(x: Expr | float, lo: Expr | float, hi: Expr | float) -> BinOp:
+    """Clamp ``x`` into ``[lo, hi]`` (two ALU operations)."""
+    return minimum(maximum(x, lo), hi)
+
+
+def absolute(x: Expr | float) -> UnOp:
+    """Absolute value (ALU)."""
+    return UnOp("abs", _wrap(x))
+
+
+def select(cond: Expr, if_true: Expr | float, if_false: Expr | float) -> Select:
+    """Ternary select (ALU)."""
+    return Select(cond, _wrap(if_true), _wrap(if_false))
+
+
+def _unary_sfu(fn: str):
+    def build(x: Expr | float) -> Call:
+        return Call(fn, (_wrap(x),))
+
+    build.__name__ = fn
+    build.__doc__ = f"{fn}(x) on the special function units (SFU)."
+    return build
+
+
+exp = _unary_sfu("exp")
+log = _unary_sfu("log")
+sqrt = _unary_sfu("sqrt")
+rsqrt = _unary_sfu("rsqrt")
+sin = _unary_sfu("sin")
+cos = _unary_sfu("cos")
+tan = _unary_sfu("tan")
+tanh = _unary_sfu("tanh")
+
+
+def pow_(base: Expr | float, exponent: Expr | float) -> Call:
+    """``base ** exponent`` on the SFUs."""
+    return Call("pow", (_wrap(base), _wrap(exponent)))
+
+
+def atan2(y: Expr | float, x: Expr | float) -> Call:
+    """Two-argument arctangent on the SFUs."""
+    return Call("atan2", (_wrap(y), _wrap(x)))
+
+
+def eq(a: Expr | float, b: Expr | float) -> Cmp:
+    """IR-level equality comparison (does not shadow dataclass ``__eq__``)."""
+    return Cmp("eq", _wrap(a), _wrap(b))
+
+
+def ne(a: Expr | float, b: Expr | float) -> Cmp:
+    """IR-level inequality comparison."""
+    return Cmp("ne", _wrap(a), _wrap(b))
+
+
+def const(value: float) -> Const:
+    """Explicit constant constructor."""
+    return Const(value)

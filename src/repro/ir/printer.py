@@ -1,0 +1,91 @@
+"""Expression pretty printer.
+
+Produces C-like source text used both for debugging and by the CUDA
+source generator (:mod:`repro.backend.codegen_cuda`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.ir.expr import (
+    BinOp,
+    Call,
+    Cast,
+    Cmp,
+    Const,
+    Expr,
+    InputAt,
+    Param,
+    Select,
+    UnOp,
+)
+
+_BIN_SYMBOL = {
+    "add": "+",
+    "sub": "-",
+    "mul": "*",
+    "div": "/",
+    "mod": "%",
+}
+
+_CMP_SYMBOL = {
+    "lt": "<",
+    "le": "<=",
+    "gt": ">",
+    "ge": ">=",
+    "eq": "==",
+    "ne": "!=",
+}
+
+
+def _default_read(image: str, dx: int, dy: int) -> str:
+    if dx == 0 and dy == 0:
+        return f"{image}(x, y)"
+    return f"{image}(x + {dx}, y + {dy})"
+
+
+def to_source(
+    expr: Expr,
+    read_fn: Callable[[str, int, int], str] | None = None,
+) -> str:
+    """Render ``expr`` as C-like source.
+
+    ``read_fn`` customizes how an image read is printed; the CUDA backend
+    uses it to emit bounds-checked global or shared-memory accesses.
+    """
+    read = read_fn or _default_read
+
+    def render(node: Expr) -> str:
+        if isinstance(node, Const):
+            value = node.value
+            if isinstance(value, float) and value.is_integer():
+                return f"{value:.1f}"
+            return repr(value)
+        if isinstance(node, Param):
+            return node.name
+        if isinstance(node, InputAt):
+            return read(node.image, node.dx, node.dy)
+        if isinstance(node, BinOp):
+            if node.op in ("min", "max"):
+                return f"{node.op}({render(node.lhs)}, {render(node.rhs)})"
+            return f"({render(node.lhs)} {_BIN_SYMBOL[node.op]} {render(node.rhs)})"
+        if isinstance(node, UnOp):
+            if node.op == "neg":
+                return f"(-{render(node.operand)})"
+            return f"fabs({render(node.operand)})"
+        if isinstance(node, Cmp):
+            return f"({render(node.lhs)} {_CMP_SYMBOL[node.op]} {render(node.rhs)})"
+        if isinstance(node, Select):
+            return (
+                f"({render(node.cond)} ? {render(node.if_true)}"
+                f" : {render(node.if_false)})"
+            )
+        if isinstance(node, Call):
+            args = ", ".join(render(a) for a in node.args)
+            return f"{node.fn}({args})"
+        if isinstance(node, Cast):
+            return f"({node.dtype})({render(node.operand)})"
+        raise TypeError(f"not an IR node: {node!r}")
+
+    return render(expr)

@@ -1,0 +1,194 @@
+"""Expression simplification: constant folding and algebraic identities.
+
+The paper lists "enlarging the scope for further optimizations such as
+common sub-expression elimination" among fusion's secondary benefits
+(the γ term of Eq. 12).  Flattened fused bodies are exactly where such
+rewrites pay off: inlined producer bodies multiply constants together
+and create foldable structure.  This module implements the classic
+value-preserving rewrites:
+
+* constant folding of all ALU/SFU operations,
+* additive/multiplicative identities (``x+0``, ``x*1``, ``x*0``, ``x/1``),
+* involutions (``--x``, ``|x|`` of ``|x|``),
+* idempotent min/max and ``x - x``,
+* branch elimination for constant-condition selects.
+
+Rewrites never duplicate work and never change semantics: the property
+suite checks ``evaluate(simplify(e)) == evaluate(e)`` on random
+expressions and that operation counts never increase.
+
+Division folding is deliberately conservative: ``0/x`` is *not* folded
+(x may be 0 → NaN) and constant folding of ``a/0`` keeps the node.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.ir.expr import (
+    BinOp,
+    Call,
+    Cmp,
+    Const,
+    Expr,
+    Select,
+    UnOp,
+)
+from repro.ir.traversal import transform
+
+_FOLDABLE_BIN = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "min": min,
+    "max": max,
+}
+
+_FOLDABLE_CALL = {
+    "exp": math.exp,
+    "log": math.log,
+    "sqrt": math.sqrt,
+    "rsqrt": lambda x: 1.0 / math.sqrt(x),
+    "sin": math.sin,
+    "cos": math.cos,
+    "tan": math.tan,
+    "tanh": math.tanh,
+    "pow": math.pow,
+    "atan2": math.atan2,
+}
+
+_CMP_FN = {
+    "lt": lambda a, b: a < b,
+    "le": lambda a, b: a <= b,
+    "gt": lambda a, b: a > b,
+    "ge": lambda a, b: a >= b,
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+}
+
+
+def _const(value: float) -> Const:
+    return Const(float(value))
+
+
+def _is_const(expr: Expr, value: float | None = None) -> bool:
+    if not isinstance(expr, Const):
+        return False
+    return value is None or float(expr.value) == value
+
+
+def _fold_binop(node: BinOp) -> Expr | None:
+    lhs, rhs = node.lhs, node.rhs
+    if isinstance(lhs, Const) and isinstance(rhs, Const):
+        if node.op in _FOLDABLE_BIN:
+            folded = _FOLDABLE_BIN[node.op](float(lhs.value), float(rhs.value))
+            if math.isfinite(folded):
+                return _const(folded)
+        if node.op == "div" and float(rhs.value) != 0.0:
+            folded = float(lhs.value) / float(rhs.value)
+            if math.isfinite(folded):
+                return _const(folded)
+        return None
+
+    if node.op == "add":
+        if _is_const(lhs, 0.0):
+            return rhs
+        if _is_const(rhs, 0.0):
+            return lhs
+    elif node.op == "sub":
+        if _is_const(rhs, 0.0):
+            return lhs
+        if lhs == rhs:
+            return _const(0.0)
+    elif node.op == "mul":
+        if _is_const(lhs, 1.0):
+            return rhs
+        if _is_const(rhs, 1.0):
+            return lhs
+        if _is_const(lhs, 0.0) or _is_const(rhs, 0.0):
+            return _const(0.0)
+    elif node.op == "div":
+        if _is_const(rhs, 1.0):
+            return lhs
+    elif node.op in ("min", "max"):
+        if lhs == rhs:
+            return lhs
+    return None
+
+
+def _fold_unop(node: UnOp) -> Expr | None:
+    operand = node.operand
+    if isinstance(operand, Const):
+        value = float(operand.value)
+        return _const(-value if node.op == "neg" else abs(value))
+    if node.op == "neg" and isinstance(operand, UnOp) and operand.op == "neg":
+        return operand.operand
+    if node.op == "abs" and isinstance(operand, UnOp) and operand.op == "abs":
+        return operand
+    return None
+
+
+def _fold_call(node: Call) -> Expr | None:
+    if not all(isinstance(a, Const) for a in node.args):
+        # pow(x, 1) == x
+        if node.fn == "pow" and _is_const(node.args[1], 1.0):
+            return node.args[0]
+        return None
+    values = [float(a.value) for a in node.args]
+    try:
+        folded = _FOLDABLE_CALL[node.fn](*values)
+    except (ValueError, ZeroDivisionError, OverflowError):
+        return None
+    if not math.isfinite(folded):
+        return None
+    return _const(folded)
+
+
+def _fold_cmp(node: Cmp) -> Expr | None:
+    if isinstance(node.lhs, Const) and isinstance(node.rhs, Const):
+        result = _CMP_FN[node.op](float(node.lhs.value), float(node.rhs.value))
+        return _const(1.0 if result else 0.0)
+    return None
+
+
+def _fold_select(node: Select) -> Expr | None:
+    if isinstance(node.cond, Const):
+        return node.if_true if float(node.cond.value) != 0.0 else node.if_false
+    if node.if_true == node.if_false:
+        return node.if_true
+    return None
+
+
+def simplify_once(expr: Expr) -> Expr:
+    """One bottom-up simplification pass."""
+
+    def rewrite(node: Expr) -> Expr | None:
+        if isinstance(node, BinOp):
+            return _fold_binop(node)
+        if isinstance(node, UnOp):
+            return _fold_unop(node)
+        if isinstance(node, Call):
+            return _fold_call(node)
+        if isinstance(node, Cmp):
+            return _fold_cmp(node)
+        if isinstance(node, Select):
+            return _fold_select(node)
+        return None
+
+    return transform(expr, rewrite)
+
+
+def simplify(expr: Expr, max_passes: int = 8) -> Expr:
+    """Simplify to a fixpoint (bounded number of passes).
+
+    A single bottom-up pass handles almost everything; a second pass
+    catches rewrites enabled by the first (e.g. an identity exposing a
+    constant pair).  The bound exists purely as a safety net.
+    """
+    current = expr
+    for _ in range(max_passes):
+        rewritten = simplify_once(current)
+        if rewritten == current:
+            return rewritten
+        current = rewritten
+    return current

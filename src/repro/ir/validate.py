@@ -1,0 +1,51 @@
+"""IR well-formedness checks.
+
+Kernel construction validates its body once; backends may then assume a
+well-formed tree.  Checks are structural only — type checking is not
+needed because the execution model is scalar floating point (matching
+the single-precision GPU kernels of the paper).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.ir.expr import Const, Expr, InputAt, NODE_TYPES
+from repro.ir.traversal import walk
+
+
+class ValidationError(ValueError):
+    """Raised when an expression tree is malformed."""
+
+
+def validate(expr: Expr, max_radius: int = 64) -> None:
+    """Validate an expression tree.
+
+    Raises :class:`ValidationError` on the first problem found.
+    ``max_radius`` bounds read offsets; a kernel reading further than
+    this is almost certainly a construction bug (masks in the target
+    domain are small).
+    """
+    for node in walk(expr):
+        if not isinstance(node, NODE_TYPES):
+            raise ValidationError(f"unknown node type: {type(node).__name__}")
+        if isinstance(node, Const):
+            if not isinstance(node.value, (int, float)):
+                raise ValidationError(
+                    f"constant must be numeric, got {type(node.value).__name__}"
+                )
+            if isinstance(node.value, float) and not math.isfinite(node.value):
+                raise ValidationError(f"constant must be finite, got {node.value}")
+        if isinstance(node, InputAt):
+            if not isinstance(node.dx, int) or not isinstance(node.dy, int):
+                raise ValidationError(
+                    f"read offsets must be integers: {node.image}"
+                    f"({node.dx!r}, {node.dy!r})"
+                )
+            if abs(node.dx) > max_radius or abs(node.dy) > max_radius:
+                raise ValidationError(
+                    f"read offset ({node.dx}, {node.dy}) of {node.image!r} "
+                    f"exceeds the maximum radius {max_radius}"
+                )
+            if not node.image:
+                raise ValidationError("image name must be non-empty")

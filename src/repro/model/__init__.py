@@ -1,0 +1,71 @@
+"""Analysis and benefit estimation (Sections II-B and II-C of the paper).
+
+* :mod:`repro.model.hardware` — the simplified GPU memory model
+  (global / shared / register access costs) and the three evaluation
+  GPUs,
+* :mod:`repro.model.patterns` — compute-pattern classification,
+* :mod:`repro.model.resources` — shared-memory footprint estimation,
+* :mod:`repro.model.occupancy` — a CUDA occupancy calculator,
+* :mod:`repro.model.legality` — the legality conditions for partition
+  blocks (dependences, resources, headers),
+* :mod:`repro.model.benefit` — the analytic benefit model assigning edge
+  weights (Eqs. 3–12).
+"""
+
+from repro.model.benefit import (
+    BenefitConfig,
+    EdgeEstimate,
+    FusionScenario,
+    WeightedGraph,
+    estimate_edge,
+    estimate_graph,
+    fused_mask_growth,
+)
+from repro.model.hardware import GTX680, GTX745, K20C, GpuSpec, KNOWN_GPUS
+from repro.model.legality import LegalityReport, check_block_legality
+from repro.model.occupancy import OccupancyResult, occupancy
+from repro.model.patterns import classify, is_local, is_point
+from repro.model.resources import block_shared_bytes, kernel_shared_bytes
+
+def __getattr__(name):
+    """Lazy access to the calibration API.
+
+    ``repro.model.calibration`` imports the evaluation runner (which
+    imports the fusion engines, which import this package), so it loads
+    on first use instead of at package import.
+    """
+    if name in ("CalibrationResult", "calibrate", "simulated_table1",
+                "table1_loss"):
+        from repro.model import calibration
+
+        return getattr(calibration, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "BenefitConfig",
+    "CalibrationResult",
+    "calibrate",
+    "simulated_table1",
+    "table1_loss",
+    "EdgeEstimate",
+    "FusionScenario",
+    "GTX680",
+    "GTX745",
+    "GpuSpec",
+    "K20C",
+    "KNOWN_GPUS",
+    "LegalityReport",
+    "OccupancyResult",
+    "WeightedGraph",
+    "block_shared_bytes",
+    "check_block_legality",
+    "classify",
+    "estimate_edge",
+    "estimate_graph",
+    "fused_mask_growth",
+    "is_local",
+    "is_point",
+    "kernel_shared_bytes",
+    "occupancy",
+]

@@ -1,0 +1,314 @@
+"""The analytic benefit model (Section II-C).
+
+Every edge ``(k_s, k_d)`` of the kernel DAG receives a weight: the
+number of execution cycles saved by fusing its endpoints.  The weight
+combines
+
+* the **locality improvement** δ of relocating the intermediate image
+  ``i_e`` out of global memory — to registers (Eq. 4,
+  ``δ_reg = IS(i) * t_g``) or to shared memory (Eq. 3,
+  ``δ_Mshared = IS(i) * t_g / t_s``);
+* the **redundant computation cost** φ when a local consumer forces the
+  producer to be recomputed per window element (Eq. 7 / Eq. 10,
+  ``φ = cost_op * IS_ks * sz``), with the producer cost from Eq. (6)
+  (``cost_op = c_ALU * n_ALU + c_SFU * n_SFU``) and the fused-window
+  growth ``g`` of Eq. (9) for local-to-local pairs;
+* an **additional gain** γ (launch-overhead elimination etc.) and the
+  clamp of Eq. (12): ``w_e = max(w + γ, ε)``.
+
+Four scenarios are distinguished (Section II-C3): illegal, point-based,
+point-to-local, and local-to-local.  A non-positive benefit is treated
+as an illegal scenario — the fusion must not be performed.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Tuple
+
+from repro.dsl.image import Image
+from repro.dsl.kernel import ComputePattern, Kernel
+from repro.graph.dag import Edge, KernelGraph
+from repro.model.hardware import GpuSpec
+from repro.model.legality import (
+    LegalityReport,
+    check_block_legality,
+    check_dependences,
+    check_headers,
+    check_resources,
+)
+
+
+class FusionScenario(enum.Enum):
+    """The four fusion scenarios of Section II-C3."""
+
+    ILLEGAL = "illegal"
+    POINT_BASED = "point-based"
+    POINT_TO_LOCAL = "point-to-local"
+    LOCAL_TO_LOCAL = "local-to-local"
+
+
+@dataclass(frozen=True)
+class BenefitConfig:
+    """Tunable constants of the benefit model.
+
+    ``is_units`` selects the unit of iteration-space sizes: ``"images"``
+    replaces ``IS`` by the number of images (valid for constant-size
+    pipelines, and what the paper's Harris walk-through does), while
+    ``"pixels"`` uses actual element counts.  Relative edge weights —
+    and therefore all fusion decisions — are identical for constant-size
+    pipelines; ``"images"`` reproduces the paper's published weights
+    (328, 256) exactly.
+
+    ``c_mshared`` is the user threshold of Eq. (2); the paper uses 2.
+    ``epsilon`` is the arbitrarily small positive weight of illegal
+    edges; ``gamma`` the flat additional gain of Eq. (12).
+    """
+
+    c_mshared: float = 2.0
+    epsilon: float = 1e-3
+    gamma: float = 0.0
+    is_units: str = "images"
+
+    def __post_init__(self) -> None:
+        if self.epsilon <= 0:
+            raise ValueError("epsilon must be positive (Algorithm 1 requires it)")
+        if self.c_mshared < 1:
+            raise ValueError("cMshared below 1 forbids every fusion")
+        if self.is_units not in ("images", "pixels"):
+            raise ValueError(f"unknown is_units {self.is_units!r}")
+
+    def iteration_units(self, image: Image) -> float:
+        """``IS(i)`` in the configured unit."""
+        if self.is_units == "images":
+            return 1.0
+        return float(image.size)
+
+
+@dataclass(frozen=True)
+class EdgeEstimate:
+    """The benefit model's verdict for one edge.
+
+    ``raw_benefit`` is ``w`` before the γ/ε combination (``None`` when
+    the scenario is illegal).  ``weight`` is the final Eq. (12) value.
+    ``profitable`` records whether ``w + γ > 0`` — non-profitable edges
+    are treated as illegal scenarios by the fusion algorithm.
+    """
+
+    edge: Edge
+    scenario: FusionScenario
+    weight: float
+    raw_benefit: float | None = None
+    delta: float = 0.0
+    phi: float = 0.0
+    pairwise_legal: bool = False
+    profitable: bool = False
+    reasons: Tuple[str, ...] = field(default_factory=tuple)
+
+    def describe(self) -> str:
+        head = (
+            f"{self.edge.src} -> {self.edge.dst} [{self.scenario.value}] "
+            f"w={self.weight:g}"
+        )
+        if self.raw_benefit is not None:
+            head += f" (delta={self.delta:g}, phi={self.phi:g})"
+        if self.reasons:
+            head += f" ({'; '.join(self.reasons)})"
+        return head
+
+
+def fused_mask_growth(sz_source: int, sz_destination: int) -> int:
+    """Eq. (9): window footprint of a fused local-to-local pair.
+
+    For square masks: fusing a 3x3 source into a 3x3 destination yields
+    a 5x5 fused window (25); 3x3 into 5x5 yields 7x7 (49).
+    """
+    if sz_source < 1 or sz_destination < 1:
+        raise ValueError("window sizes must be >= 1")
+    side = math.isqrt(sz_destination) + (math.isqrt(sz_source) // 2) * 2
+    return side * side
+
+
+def producer_cost_op(kernel: Kernel, gpu: GpuSpec) -> float:
+    """Eq. (6): arithmetic cost of one producer evaluation, in cycles."""
+    return kernel.op_counts.cycles(gpu.c_alu, gpu.c_sfu)
+
+
+def producer_input_units(kernel: Kernel, config: BenefitConfig) -> float:
+    """``IS_ks``: summed iteration-space size of the producer's inputs."""
+    return sum(config.iteration_units(image) for image in kernel.input_images)
+
+
+def estimate_edge(
+    graph: KernelGraph,
+    edge: Edge,
+    gpu: GpuSpec,
+    config: BenefitConfig | None = None,
+) -> EdgeEstimate:
+    """Estimate the fusion benefit of one edge (Section II-C3)."""
+    config = config or BenefitConfig()
+    source = graph.kernel(edge.src)
+    destination = graph.kernel(edge.dst)
+    intermediate = None
+    for image in destination.input_images:
+        if image.name == edge.image:
+            intermediate = image
+            break
+    if intermediate is None:  # pragma: no cover - graph invariant
+        raise ValueError(f"edge image {edge.image!r} not read by {edge.dst!r}")
+
+    reasons: list[str] = []
+
+    # -- scenario from patterns and headers --------------------------------
+    if source.pattern is ComputePattern.GLOBAL or (
+        destination.pattern is ComputePattern.GLOBAL
+    ):
+        reasons.append("global operators do not fuse")
+        scenario = FusionScenario.ILLEGAL
+    elif check_headers(graph, [edge.src, edge.dst]):
+        reasons.extend(check_headers(graph, [edge.src, edge.dst]))
+        scenario = FusionScenario.ILLEGAL
+    elif destination.pattern is ComputePattern.POINT:
+        scenario = FusionScenario.POINT_BASED
+    elif source.pattern is ComputePattern.POINT:
+        scenario = FusionScenario.POINT_TO_LOCAL
+    else:
+        scenario = FusionScenario.LOCAL_TO_LOCAL
+
+    if scenario is FusionScenario.ILLEGAL:
+        return EdgeEstimate(
+            edge=edge,
+            scenario=scenario,
+            weight=config.epsilon,
+            reasons=tuple(reasons),
+        )
+
+    # -- locality improvement and redundant computation --------------------
+    is_ie = config.iteration_units(intermediate)
+    if scenario is FusionScenario.POINT_BASED:
+        # Eq. (5): the intermediate pixel stays in a register.
+        delta = is_ie * gpu.t_global
+        phi = 0.0
+    elif scenario is FusionScenario.POINT_TO_LOCAL:
+        # Eq. (8): register locality, producer recomputed sz(k_d) times.
+        delta = is_ie * gpu.t_global
+        phi = (
+            producer_cost_op(source, gpu)
+            * producer_input_units(source, config)
+            * destination.window_size
+        )
+    else:
+        # Eq. (11): shared-memory locality, fused-window recomputation.
+        delta = is_ie * gpu.global_to_shared_ratio
+        phi = (
+            producer_cost_op(source, gpu)
+            * producer_input_units(source, config)
+            * fused_mask_growth(source.window_size, destination.window_size)
+        )
+
+    raw = delta - phi
+    profitable = raw + config.gamma > 0
+    if not profitable:
+        reasons.append(
+            f"redundant computation outweighs locality "
+            f"(delta={delta:g}, phi={phi:g})"
+        )
+
+    # -- pairwise structural legality (Fig. 2 + Eq. 2 on the pair) ---------
+    pair = [edge.src, edge.dst]
+    pair_problems = check_dependences(graph, pair)
+    pair_problems.extend(check_resources(graph, pair, gpu, config.c_mshared))
+    pairwise_legal = not pair_problems
+    reasons.extend(pair_problems)
+
+    weight = max(raw + config.gamma, config.epsilon)
+    if not pairwise_legal:
+        weight = config.epsilon
+
+    return EdgeEstimate(
+        edge=edge,
+        scenario=scenario,
+        weight=weight,
+        raw_benefit=raw,
+        delta=delta,
+        phi=phi,
+        pairwise_legal=pairwise_legal,
+        profitable=profitable,
+        reasons=tuple(reasons),
+    )
+
+
+class WeightedGraph:
+    """A kernel DAG with benefit estimates on every edge.
+
+    This is the input of every fusion engine: the weighted graph plus
+    per-edge :class:`EdgeEstimate` diagnostics, the device, and the
+    model configuration.  It also implements the complete ``IsLegal``
+    predicate of Algorithm 1 — structural legality *plus* the rule that
+    edges with non-positive benefit are treated as illegal scenarios and
+    therefore must not end up inside a fused block.
+    """
+
+    def __init__(
+        self,
+        graph: KernelGraph,
+        gpu: GpuSpec,
+        config: BenefitConfig | None = None,
+    ):
+        self.config = config or BenefitConfig()
+        self.gpu = gpu
+        self.estimates: Dict[Tuple[str, str], EdgeEstimate] = {}
+        weights: Dict[Tuple[str, str], float] = {}
+        for edge in graph.edges:
+            estimate = estimate_edge(graph, edge, gpu, self.config)
+            self.estimates[edge.key] = estimate
+            weights[edge.key] = estimate.weight
+        self.graph = graph.with_weights(weights)
+
+    def estimate(self, src: str, dst: str) -> EdgeEstimate:
+        return self.estimates[(src, dst)]
+
+    def fusible_edge(self, src: str, dst: str) -> bool:
+        """Whether the pair alone forms a legal, profitable fusion."""
+        estimate = self.estimates[(src, dst)]
+        return estimate.pairwise_legal and estimate.profitable
+
+    def block_legality(self, vertices: Iterable[str]) -> LegalityReport:
+        """Full ``IsLegal(p)``: structure, resources, headers, benefit."""
+        vertex_list = list(vertices)
+        report = check_block_legality(
+            self.graph, vertex_list, self.gpu, self.config.c_mshared
+        )
+        problems = list(report.reasons)
+        vertex_set = set(vertex_list)
+        if len(vertex_list) > 1:
+            for edge in self.graph.induced_edges(vertex_set):
+                estimate = self.estimates[edge.key]
+                if estimate.raw_benefit is not None and not estimate.profitable:
+                    problems.append(
+                        f"edge {edge.src!r}->{edge.dst!r} has non-positive "
+                        "benefit and is treated as an illegal scenario"
+                    )
+        if problems:
+            return LegalityReport.fail(problems)
+        return LegalityReport.ok()
+
+    def is_legal_block(self, vertices: Iterable[str]) -> bool:
+        return bool(self.block_legality(vertices))
+
+    def describe_edges(self) -> str:
+        """One line per edge with scenario and weight (diagnostics)."""
+        return "\n".join(
+            self.estimates[e.key].describe() for e in self.graph.edges
+        )
+
+
+def estimate_graph(
+    graph: KernelGraph,
+    gpu: GpuSpec,
+    config: BenefitConfig | None = None,
+) -> WeightedGraph:
+    """Assign benefit weights to every edge (lines 2–4 of Algorithm 1)."""
+    return WeightedGraph(graph, gpu, config)

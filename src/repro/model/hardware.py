@@ -1,0 +1,155 @@
+"""The GPU hardware model.
+
+The paper uses a simplified memory model (Section II-C2): registers
+(1 cycle), shared memory (a few cycles), and global memory (400–800
+cycles latency, conservatively priced at the full latency).  A
+:class:`GpuSpec` bundles those cost constants with the architectural
+parameters of a device (cores, SMs, clocks, shared memory and register
+files) used by the resource model, the occupancy calculator, and the
+performance simulator.
+
+The three evaluation devices of the paper are provided as module
+constants with their published configurations (Section V-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """A CUDA device plus the analytic cost-model constants.
+
+    Cost constants (``t_g``, ``t_s``, ``c_alu``, ``c_sfu``) are "flexible
+    and can be adapted for new architectures" (paper, II-C2); the
+    defaults follow the paper's worked example: ``t_g = 400`` cycles,
+    ``c_alu = 4`` cycles.
+    """
+
+    name: str
+    cuda_cores: int
+    sm_count: int
+    base_clock_mhz: float
+    mem_clock_mhz: float
+    shared_mem_per_block: int = 48 * 1024
+    shared_mem_per_sm: int = 48 * 1024
+    registers_per_block: int = 65536
+    registers_per_sm: int = 65536
+    max_threads_per_block: int = 1024
+    max_threads_per_sm: int = 2048
+    max_blocks_per_sm: int = 16
+    warp_size: int = 32
+
+    # -- analytic cost constants (cycles) ---------------------------------
+    t_global: float = 400.0
+    t_shared: float = 4.0
+    t_register: float = 1.0
+    c_alu: float = 4.0
+    c_sfu: float = 16.0
+    launch_overhead_us: float = 5.0
+
+    # -- performance-simulator constants -----------------------------------
+    #: DRAM bus width in bytes (GDDR is double data rate, see bandwidth).
+    mem_bus_bytes: int = 32
+    #: Fraction of peak DRAM bandwidth a well-coalesced kernel achieves.
+    dram_efficiency: float = 0.75
+    #: Fraction of memory/compute time that overlaps (latency hiding).
+    overlap: float = 0.7
+    #: Occupancy above which throughput saturates.
+    occupancy_saturation: float = 0.25
+    #: Extra cycles charged per halo pixel for border handling.
+    border_penalty_cycles: float = 24.0
+
+    def __post_init__(self) -> None:
+        if self.cuda_cores <= 0 or self.sm_count <= 0:
+            raise ValueError("cores and SM count must be positive")
+        if self.cuda_cores % self.sm_count != 0:
+            raise ValueError(
+                f"{self.name}: cores ({self.cuda_cores}) must divide evenly "
+                f"into SMs ({self.sm_count})"
+            )
+        if self.t_global <= self.t_shared or self.t_shared < self.t_register:
+            raise ValueError(
+                "memory hierarchy must satisfy t_global > t_shared >= t_register"
+            )
+
+    @property
+    def cores_per_sm(self) -> int:
+        return self.cuda_cores // self.sm_count
+
+    @property
+    def clock_hz(self) -> float:
+        return self.base_clock_mhz * 1e6
+
+    @property
+    def max_warps_per_sm(self) -> int:
+        return self.max_threads_per_sm // self.warp_size
+
+    @property
+    def peak_bandwidth(self) -> float:
+        """Peak DRAM bandwidth in bytes per second (double data rate)."""
+        return 2.0 * self.mem_clock_mhz * 1e6 * self.mem_bus_bytes
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Achievable bandwidth for well-coalesced kernels, bytes/s."""
+        return self.peak_bandwidth * self.dram_efficiency
+
+    @property
+    def global_to_shared_ratio(self) -> float:
+        """``t_g / t_s``: the per-access gain of shared-memory locality."""
+        return self.t_global / self.t_shared
+
+    def with_costs(self, **overrides: float) -> "GpuSpec":
+        """A copy with some cost constants overridden (for ablations)."""
+        return replace(self, **overrides)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name} ({self.cuda_cores} cores / {self.sm_count} SMs, "
+            f"{self.base_clock_mhz:.0f} MHz core, "
+            f"{self.mem_clock_mhz:.0f} MHz mem)"
+        )
+
+
+#: Geforce GTX 745: 384 CUDA cores (3 Maxwell SMMs), 1033 MHz base clock,
+#: 900 MHz memory clock (paper, Section V-A).
+GTX745 = GpuSpec(
+    name="GTX745",
+    cuda_cores=384,
+    sm_count=3,
+    base_clock_mhz=1033.0,
+    mem_clock_mhz=900.0,
+    mem_bus_bytes=16,  # 128-bit DDR3 bus
+)
+
+#: Geforce GTX 680: 1536 CUDA cores (8 Kepler SMXs), 1058 MHz base clock,
+#: 3004 MHz memory clock.
+GTX680 = GpuSpec(
+    name="GTX680",
+    cuda_cores=1536,
+    sm_count=8,
+    base_clock_mhz=1058.0,
+    mem_clock_mhz=3004.0,
+    mem_bus_bytes=32,  # 256-bit GDDR5 bus
+)
+
+#: Tesla K20c: 2496 CUDA cores (13 Kepler SMXs), 706 MHz base clock,
+#: 2600 MHz memory clock.
+K20C = GpuSpec(
+    name="K20c",
+    cuda_cores=2496,
+    sm_count=13,
+    base_clock_mhz=706.0,
+    mem_clock_mhz=2600.0,
+    mem_bus_bytes=40,  # 320-bit GDDR5 bus
+)
+
+#: The paper's evaluation devices, by name.
+KNOWN_GPUS: Dict[str, GpuSpec] = {
+    GTX745.name: GTX745,
+    GTX680.name: GTX680,
+    K20C.name: K20C,
+}

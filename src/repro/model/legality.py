@@ -1,0 +1,161 @@
+"""Legality of partition blocks (Section II-B).
+
+A partition block is legal when all its kernels can be fused into one
+kernel:
+
+1. **Dependences** — fusing must not introduce external dependences
+   (Fig. 2).  After fusion, only the inputs read by the block's *source*
+   kernels and the output of the single *destination* kernel remain in
+   global memory (Listing 1); therefore
+
+   * exactly one member's output may escape the block (be consumed
+     outside it or be a pipeline output) — Fig. 2c is the violation;
+   * every image read from outside the block must be an input of some
+     source kernel — sharing the source input inside the block (Fig. 2b)
+     is legal, reading an unrelated external image (Fig. 2d) is not.
+
+2. **Resources** — Eq. (2): the fused shared-memory footprint may not
+   exceed ``cMshared`` times the largest member footprint, nor the
+   device's per-block shared-memory limit.
+
+3. **Headers** — all members must have the same iteration-space size and
+   access granularity, and none may be a global operator.
+
+4. **Connectivity** — a partition block is a connected subset of ``G``
+   (Section II); fusing unrelated kernels expresses no locality benefit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Tuple
+
+from repro.dsl.kernel import ComputePattern
+from repro.graph.dag import KernelGraph
+from repro.graph.partition import PartitionBlock
+from repro.model.hardware import GpuSpec
+from repro.model.resources import block_shared_bytes, shared_memory_ratio
+
+
+@dataclass(frozen=True)
+class LegalityReport:
+    """Outcome of all legality checks for one candidate block."""
+
+    legal: bool
+    reasons: Tuple[str, ...] = field(default_factory=tuple)
+
+    @classmethod
+    def ok(cls) -> "LegalityReport":
+        return cls(True)
+
+    @classmethod
+    def fail(cls, reasons: List[str]) -> "LegalityReport":
+        return cls(False, tuple(reasons))
+
+    def __bool__(self) -> bool:
+        return self.legal
+
+
+def check_dependences(graph: KernelGraph, vertices: Iterable[str]) -> List[str]:
+    """Fig. 2 external-dependence checks; returns violation messages."""
+    block = PartitionBlock(graph, vertices)
+    problems: List[str] = []
+
+    destinations = block.destination_kernels()
+    if len(destinations) > 1:
+        problems.append(
+            "external output dependence: outputs of "
+            f"{sorted(destinations)} all escape the block (Fig. 2c)"
+        )
+    elif not destinations:
+        problems.append("block has no escaping output (dead code?)")
+
+    source_inputs = set()
+    for name in block.source_kernels():
+        source_inputs.update(graph.kernel(name).input_names)
+    produced = {graph.kernel(n).output.name for n in block.vertices}
+    for name in block.ordered_vertices():
+        for image in graph.kernel(name).input_names:
+            if image in produced or image in source_inputs:
+                continue
+            problems.append(
+                f"external input dependence: {name!r} reads {image!r}, "
+                "which no source kernel of the block reads (Fig. 2d)"
+            )
+    return problems
+
+
+def check_resources(
+    graph: KernelGraph,
+    vertices: Iterable[str],
+    gpu: GpuSpec,
+    c_mshared: float,
+) -> List[str]:
+    """Eq. (2) plus the absolute device limit."""
+    vertex_list = list(vertices)
+    problems: List[str] = []
+    ratio = shared_memory_ratio(graph, vertex_list)
+    if ratio > c_mshared:
+        problems.append(
+            f"shared memory ratio {ratio:.2f} exceeds cMshared={c_mshared:g} "
+            "(Eq. 2)"
+        )
+    total = block_shared_bytes(graph, vertex_list)
+    if total > gpu.shared_mem_per_block:
+        problems.append(
+            f"fused kernel needs {total} B shared memory, device limit is "
+            f"{gpu.shared_mem_per_block} B"
+        )
+    return problems
+
+
+def check_headers(graph: KernelGraph, vertices: Iterable[str]) -> List[str]:
+    """Same iteration space, same granularity, no global operators."""
+    vertex_list = list(vertices)
+    problems: List[str] = []
+    kernels = [graph.kernel(name) for name in vertex_list]
+    for kernel in kernels:
+        if kernel.pattern is ComputePattern.GLOBAL and len(vertex_list) > 1:
+            problems.append(
+                f"{kernel.name!r} is a global operator and cannot fuse"
+            )
+    reference = kernels[0]
+    for kernel in kernels[1:]:
+        if not kernel.space.compatible_with(reference.space):
+            problems.append(
+                f"iteration space mismatch: {reference.name!r} is "
+                f"{reference.space}, {kernel.name!r} is {kernel.space}"
+            )
+        if kernel.granularity != reference.granularity:
+            problems.append(
+                f"access granularity mismatch: {reference.name!r} has "
+                f"{reference.granularity}, {kernel.name!r} has "
+                f"{kernel.granularity}"
+            )
+    return problems
+
+
+def check_block_legality(
+    graph: KernelGraph,
+    vertices: Iterable[str],
+    gpu: GpuSpec,
+    c_mshared: float = 2.0,
+) -> LegalityReport:
+    """The paper's ``IsLegal(p)`` structural checks.
+
+    Profitability of intra-block edges (benefit > 0, treated as an
+    illegal scenario otherwise) is layered on top by the fusion
+    algorithm, because it needs the edge estimates of the benefit model.
+    """
+    vertex_list = list(vertices)
+    if len(vertex_list) == 1:
+        return LegalityReport.ok()
+    problems: List[str] = []
+    if not graph.is_connected(set(vertex_list)):
+        problems.append("block is not connected")
+    problems.extend(check_headers(graph, vertex_list))
+    problems.extend(check_dependences(graph, vertex_list))
+    problems.extend(check_resources(graph, vertex_list, gpu, c_mshared))
+    if problems:
+        return LegalityReport.fail(problems)
+    return LegalityReport.ok()

@@ -1,0 +1,82 @@
+"""A CUDA occupancy calculator.
+
+Occupancy — the ratio of resident warps to the maximum supported by a
+streaming multiprocessor — determines how well memory latency can be
+hidden.  The paper's resource-legality rule (Eq. 2) exists to protect
+occupancy from the shared-memory growth caused by fusion; this module
+implements the standard occupancy computation so that the performance
+simulator can translate resource usage into latency-hiding capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.hardware import GpuSpec
+
+
+@dataclass(frozen=True)
+class OccupancyResult:
+    """Occupancy of a kernel launch on a device."""
+
+    blocks_per_sm: int
+    warps_per_sm: int
+    occupancy: float
+    limited_by: str
+
+    def __str__(self) -> str:
+        return (
+            f"{self.occupancy:.0%} ({self.warps_per_sm} warps/SM, "
+            f"{self.blocks_per_sm} blocks/SM, limited by {self.limited_by})"
+        )
+
+
+def occupancy(
+    gpu: GpuSpec,
+    threads_per_block: int,
+    shared_bytes_per_block: int,
+    registers_per_thread: int,
+) -> OccupancyResult:
+    """Compute the occupancy of a launch configuration.
+
+    The number of concurrently resident blocks per SM is the minimum of
+    four architectural limits; occupancy is resident warps over the
+    SM's warp capacity.
+    """
+    if threads_per_block <= 0:
+        raise ValueError("threads_per_block must be positive")
+    if threads_per_block > gpu.max_threads_per_block:
+        raise ValueError(
+            f"block of {threads_per_block} threads exceeds device limit "
+            f"{gpu.max_threads_per_block}"
+        )
+    if shared_bytes_per_block > gpu.shared_mem_per_block:
+        raise ValueError(
+            f"{shared_bytes_per_block} B shared memory exceeds the "
+            f"{gpu.shared_mem_per_block} B per-block limit"
+        )
+
+    warps_per_block = -(-threads_per_block // gpu.warp_size)  # ceil div
+
+    limits = {
+        "max_blocks": gpu.max_blocks_per_sm,
+        "threads": gpu.max_threads_per_sm // threads_per_block,
+    }
+    if shared_bytes_per_block > 0:
+        limits["shared_memory"] = gpu.shared_mem_per_sm // shared_bytes_per_block
+    regs_per_block = registers_per_thread * threads_per_block
+    if regs_per_block > 0:
+        limits["registers"] = gpu.registers_per_sm // regs_per_block
+
+    limiter = min(limits, key=lambda k: (limits[k], k))
+    blocks = max(limits[limiter], 0)
+    if blocks == 0:
+        return OccupancyResult(0, 0, 0.0, limiter)
+
+    warps = min(blocks * warps_per_block, gpu.max_warps_per_sm)
+    return OccupancyResult(
+        blocks_per_sm=blocks,
+        warps_per_sm=warps,
+        occupancy=warps / gpu.max_warps_per_sm,
+        limited_by=limiter,
+    )

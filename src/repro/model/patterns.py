@@ -1,0 +1,41 @@
+"""Compute-pattern classification (Section II-C1).
+
+The classification itself lives on :class:`~repro.dsl.kernel.Kernel`
+(``kernel.pattern``) because it is derived from the kernel body; this
+module provides the model-level helpers and predicates used by the
+benefit estimation and the fusion engines.
+"""
+
+from __future__ import annotations
+
+from repro.dsl.kernel import ComputePattern, Kernel
+
+__all__ = ["ComputePattern", "classify", "is_point", "is_local", "is_global"]
+
+
+def classify(kernel: Kernel) -> ComputePattern:
+    """Classify a kernel as point / local / global.
+
+    * **point**: one input pixel per output pixel (offset ``(0, 0)``
+      reads only) — e.g. gamma correction, tone mapping;
+    * **local**: a bounded window of input pixels — e.g. Gaussian or
+      median filters;
+    * **global**: whole-image reductions — e.g. histograms.  Global
+      operators never fuse (the paper targets point and local patterns).
+    """
+    return kernel.pattern
+
+
+def is_point(kernel: Kernel) -> bool:
+    """Whether the kernel is a point operator."""
+    return kernel.pattern is ComputePattern.POINT
+
+
+def is_local(kernel: Kernel) -> bool:
+    """Whether the kernel is a local (windowed) operator."""
+    return kernel.pattern is ComputePattern.LOCAL
+
+
+def is_global(kernel: Kernel) -> bool:
+    """Whether the kernel is a global (reduction) operator."""
+    return kernel.pattern is ComputePattern.GLOBAL

@@ -1,0 +1,105 @@
+"""Structural tests for the C (CPU) source generator."""
+
+from helpers import chain_pipeline, image, local_kernel, point_kernel
+
+from repro.apps.sobel import build_pipeline as build_sobel
+from repro.backend.codegen_c import generate_c, generate_c_pipeline
+from repro.dsl.boundary import BoundaryMode, BoundarySpec
+from repro.fusion.fuser import FusedKernel
+from repro.graph.partition import Partition, PartitionBlock
+from repro.eval.runner import partition_for
+from repro.model.hardware import GTX680
+
+
+class TestKernelSource:
+    def test_point_kernel_single_loop(self):
+        kernel = point_kernel("scale", image("a"), image("b"))
+        source = generate_c(kernel)
+        assert "void kernel_scale(" in source
+        assert source.count("for (int y") == 1
+        assert "#pragma omp parallel for" in source
+
+    def test_local_kernel_interior_halo_split(self):
+        kernel = local_kernel("blur", image("a"), image("b"))
+        source = generate_c(kernel)
+        assert "interior region" in source
+        assert "halo region" in source
+        # interior loop bounds shrink by the radius
+        assert "for (int y = 1; y < height - 1; ++y)" in source
+        # halo loop skips the interior
+        assert "continue;" in source
+
+    def test_interior_reads_are_direct(self):
+        kernel = local_kernel("blur", image("a"), image("b"))
+        source = generate_c(kernel)
+        interior = source.split("halo region")[0]
+        assert "idx_clamp" not in interior.split("void kernel_blur")[1]
+
+    def test_halo_reads_resolved(self):
+        kernel = local_kernel(
+            "blur", image("a"), image("b"), boundary=BoundaryMode.MIRROR
+        )
+        halo = generate_c(kernel).split("halo region")[1]
+        assert "idx_mirror" in halo
+
+    def test_constant_boundary_formats_float(self):
+        kernel = local_kernel(
+            "blur", image("a"), image("b"),
+            boundary=BoundarySpec(BoundaryMode.CONSTANT, 3),
+        )
+        assert "3.0f" in generate_c(kernel)
+
+    def test_preamble_defines_intrinsics(self):
+        kernel = point_kernel("k", image("a"), image("b"))
+        source = generate_c(kernel)
+        assert "#define min(a, b) fminf" in source
+        assert "#include <math.h>" in source
+
+
+class TestFusedSource:
+    def test_fused_kernel_emits_compute_functions(self):
+        graph = build_sobel().build()
+        block = PartitionBlock(graph, set(graph.kernel_names))
+        fused = FusedKernel(graph, block)
+        source = generate_c(fused)
+        for member in ("dx", "dy", "mag"):
+            assert f"static inline float compute_{member}(" in source
+        assert "index exchange" in source
+
+    def test_halo_calls_destination_compute(self):
+        graph = build_sobel().build()
+        block = PartitionBlock(graph, set(graph.kernel_names))
+        fused = FusedKernel(graph, block)
+        halo = generate_c(fused).split("halo region")[1]
+        assert "compute_mag(" in halo
+
+    def test_intermediate_reads_exchange_coordinates(self):
+        graph = chain_pipeline(("l", "l")).build()
+        block = PartitionBlock(graph, {"k0", "k1"})
+        fused = FusedKernel(graph, block)
+        source = generate_c(fused)
+        # consumer compute function resolves the intermediate coordinate
+        # before calling the producer compute function.
+        assert "compute_k0(in_img0, idx_clamp(" in source
+
+    def test_point_fused_kernel_needs_no_compute_functions(self):
+        graph = chain_pipeline(("p", "p")).build()
+        block = PartitionBlock(graph, {"k0", "k1"})
+        fused = FusedKernel(graph, block)
+        source = generate_c(fused)
+        assert "compute_" not in source
+
+
+class TestPipelineSource:
+    def test_one_function_per_block(self):
+        graph = build_sobel().build()
+        partition = partition_for(graph, GTX680, "optimized")
+        source = generate_c_pipeline(graph, partition)
+        assert source.count("void kernel_fused_dx_dy_mag(") == 1
+        assert "call sequence" in source
+
+    def test_baseline_pipeline_lists_all(self):
+        graph = build_sobel().build()
+        source = generate_c_pipeline(graph, Partition.singletons(graph))
+        for name in ("dx", "dy", "mag"):
+            assert f"void kernel_{name}(" in source

@@ -1,0 +1,128 @@
+"""Structural tests for CUDA source generation."""
+
+from helpers import chain_pipeline, image, local_kernel, point_kernel
+
+from repro.apps.sobel import build_pipeline as build_sobel
+from repro.apps.unsharp import build_pipeline as build_unsharp
+from repro.backend.codegen_cuda import generate_cuda, generate_cuda_pipeline
+from repro.dsl.boundary import BoundaryMode, BoundarySpec
+from repro.fusion.fuser import FusedKernel
+from repro.graph.partition import Partition, PartitionBlock
+from repro.model.benefit import estimate_graph
+from repro.fusion.mincut_fusion import mincut_fusion
+from repro.model.hardware import GTX680
+
+
+class TestKernelSource:
+    def test_signature_contains_output_and_inputs(self):
+        kernel = point_kernel("scale", image("a"), image("b"))
+        source = generate_cuda(kernel)
+        assert "__global__ void scale(" in source
+        assert "float *Out_b" in source
+        assert "const float *In_a" in source
+
+    def test_guard_and_indexing(self):
+        kernel = point_kernel("k", image("a"), image("b"))
+        source = generate_cuda(kernel)
+        assert "if (x >= width || y >= height) return;" in source
+        assert "Out_b[y * width + x] =" in source
+
+    def test_clamp_reads_use_resolver(self):
+        kernel = local_kernel("k", image("a"), image("b"))
+        source = generate_cuda(kernel)
+        assert "idx_clamp(" in source
+
+    def test_mirror_and_repeat_resolvers(self):
+        mirror = local_kernel(
+            "k", image("a"), image("b"), boundary=BoundaryMode.MIRROR
+        )
+        assert "idx_mirror(" in generate_cuda(mirror)
+        repeat = local_kernel(
+            "k", image("a"), image("b"), boundary=BoundaryMode.REPEAT
+        )
+        assert "idx_repeat(" in generate_cuda(repeat)
+
+    def test_constant_boundary_emits_guarded_read(self):
+        kernel = local_kernel(
+            "k", image("a"), image("b"),
+            boundary=BoundarySpec(BoundaryMode.CONSTANT, 7.0),
+        )
+        source = generate_cuda(kernel)
+        assert "? 7.0f" in source
+
+    def test_local_kernel_mentions_staging(self):
+        kernel = local_kernel("k", image("a"), image("b"))
+        assert "shared-memory staging" in generate_cuda(kernel)
+
+    def test_point_kernel_no_staging_comment(self):
+        kernel = point_kernel("k", image("a"), image("b"))
+        assert "staging" not in generate_cuda(kernel)
+
+    def test_op_counts_in_banner(self):
+        kernel = point_kernel("k", image("a"), image("b"))
+        assert "ops: 2 ALU, 0 SFU" in generate_cuda(kernel)
+
+
+class TestCseAndParams:
+    def test_scalar_parameters_in_signature(self):
+        from repro.ir.expr import Param
+
+        src, out = image("a"), image("b")
+        from repro.dsl.kernel import Kernel
+
+        kernel = Kernel.from_function(
+            "k", [src], out, lambda a: a() * Param("gain")
+        )
+        source = generate_cuda(kernel)
+        assert "float gain" in source
+
+    def test_cse_hoists_shared_producer(self):
+        # Fused Sobel: the gradient bodies appear twice inside the
+        # magnitude; with CSE they become register temporaries.
+        graph = build_sobel().build()
+        block = PartitionBlock(graph, set(graph.kernel_names))
+        fused = FusedKernel(graph, block)
+        with_cse = generate_cuda(fused, use_cse=True)
+        without = generate_cuda(fused, use_cse=False)
+        assert "const float _t0 =" in with_cse
+        assert "_t0" not in without
+        assert len(with_cse) < len(without)
+
+    def test_cse_output_noop_without_sharing(self):
+        kernel = point_kernel("k", image("a"), image("b"))
+        assert "_t0" not in generate_cuda(kernel, use_cse=True)
+
+
+class TestFusedSource:
+    def test_fused_kernel_banner_and_signature(self):
+        graph = build_unsharp().build()
+        block = PartitionBlock(graph, set(graph.kernel_names))
+        fused = FusedKernel(graph, block)
+        source = generate_cuda(fused)
+        assert "fused from: blur + high + amp + sharpen" in source
+        assert "index exchange" in source
+        # Listing 1b: only the source input and final output remain.
+        assert "const float *In_input" in source
+        assert "float *Out_sharpened" in source
+        assert "In_blurred" not in source
+
+
+class TestPipelineSource:
+    def test_one_function_per_block_and_schedule(self):
+        graph = chain_pipeline(("p", "p", "p")).build()
+        weighted = estimate_graph(graph, GTX680)
+        partition = mincut_fusion(weighted).partition
+        source = generate_cuda_pipeline(graph, partition)
+        assert source.count("__global__ void") == len(partition)
+        assert "host launch sequence" in source
+
+    def test_singleton_pipeline_lists_all_kernels(self):
+        graph = chain_pipeline(("p", "p")).build()
+        source = generate_cuda_pipeline(graph, Partition.singletons(graph))
+        assert "1. k0<<<" in source
+        assert "2. k1<<<" in source
+
+    def test_preamble_defines_resolvers_once(self):
+        graph = chain_pipeline(("l", "p")).build()
+        source = generate_cuda_pipeline(graph, Partition.singletons(graph))
+        assert source.count("__device__ __forceinline__ int idx_clamp") == 1

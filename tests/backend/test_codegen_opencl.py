@@ -1,0 +1,75 @@
+"""Structural tests for the OpenCL source generator."""
+
+from helpers import chain_pipeline, image, local_kernel, point_kernel
+
+from repro.apps.unsharp import build_pipeline as build_unsharp
+from repro.backend.codegen_opencl import (
+    generate_opencl,
+    generate_opencl_pipeline,
+)
+from repro.dsl.boundary import BoundaryMode
+from repro.eval.runner import partition_for
+from repro.fusion.fuser import FusedKernel
+from repro.graph.partition import Partition, PartitionBlock
+from repro.model.hardware import GTX680
+
+
+class TestKernelSource:
+    def test_kernel_qualifiers(self):
+        kernel = point_kernel("scale", image("a"), image("b"))
+        source = generate_opencl(kernel)
+        assert "__kernel void scale(" in source
+        assert "__global float *out_b" in source
+        assert "__global const float *in_a" in source
+
+    def test_global_id_coordinates(self):
+        kernel = point_kernel("k", image("a"), image("b"))
+        source = generate_opencl(kernel)
+        assert "get_global_id(0)" in source
+        assert "get_global_id(1)" in source
+
+    def test_boundary_resolvers(self):
+        mirror = local_kernel(
+            "k", image("a"), image("b"), boundary=BoundaryMode.MIRROR
+        )
+        assert "idx_mirror(" in generate_opencl(mirror)
+
+    def test_local_memory_terminology(self):
+        kernel = local_kernel("k", image("a"), image("b"))
+        source = generate_opencl(kernel)
+        assert "local-memory staging" in source
+        assert "work-group" in source
+
+    def test_scalar_parameters(self):
+        from repro.dsl.kernel import Kernel
+        from repro.ir.expr import Param
+
+        src, out = image("a"), image("b")
+        kernel = Kernel.from_function(
+            "k", [src], out, lambda a: a() * Param("gain")
+        )
+        assert "const float gain" in generate_opencl(kernel)
+
+    def test_cse_temporaries(self):
+        graph = chain_pipeline(("p", "p")).build()
+        from repro.apps.sobel import build_pipeline
+
+        sobel = build_pipeline().build()
+        fused = FusedKernel(sobel, PartitionBlock(sobel, set(sobel.kernel_names)))
+        assert "const float _t0 =" in generate_opencl(fused)
+
+
+class TestPipelineSource:
+    def test_fused_unsharp_signature(self):
+        graph = build_unsharp().build()
+        partition = partition_for(graph, GTX680, "optimized")
+        source = generate_opencl_pipeline(graph, partition)
+        assert source.count("__kernel void") == 1
+        assert "in_input" in source
+        assert "in_blurred" not in source
+        assert "clEnqueueNDRangeKernel" in source
+
+    def test_baseline_enumerates_launches(self):
+        graph = chain_pipeline(("p", "l")).build()
+        source = generate_opencl_pipeline(graph, Partition.singletons(graph))
+        assert source.count("__kernel void") == 2

@@ -1,0 +1,36 @@
+"""Shared pytest fixtures."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Make tests/helpers.py importable as ``helpers`` from every test package.
+sys.path.insert(0, str(Path(__file__).parent))
+
+# The fused executor raises the recursion limit on first use; doing it
+# here keeps Hypothesis from warning about mid-test limit changes.
+sys.setrecursionlimit(20000)
+
+from repro.model.benefit import BenefitConfig
+from repro.model.hardware import GTX680, GTX745, K20C
+
+
+@pytest.fixture
+def gpu():
+    """The paper's default evaluation device for single-GPU tests."""
+    return GTX680
+
+
+@pytest.fixture(params=[GTX745, GTX680, K20C], ids=lambda g: g.name)
+def any_gpu(request):
+    """Parametrized over all three evaluation devices."""
+    return request.param
+
+
+@pytest.fixture
+def config():
+    """The paper's benefit-model configuration."""
+    return BenefitConfig()

@@ -1,0 +1,81 @@
+"""Unit tests for boundary modes and index resolution."""
+
+import numpy as np
+import pytest
+
+from repro.dsl.boundary import (
+    BoundaryMode,
+    BoundarySpec,
+    requires_mask,
+    resolve_array,
+    resolve_index,
+)
+
+
+class TestScalarResolution:
+    def test_in_range_untouched(self):
+        for mode in BoundaryMode:
+            assert resolve_index(3, 10, mode) == 3
+
+    def test_clamp(self):
+        assert resolve_index(-2, 5, BoundaryMode.CLAMP) == 0
+        assert resolve_index(7, 5, BoundaryMode.CLAMP) == 4
+
+    def test_mirror_left(self):
+        # ... 2 1 0 | 0 1 2 ... (symmetric mirroring)
+        assert resolve_index(-1, 5, BoundaryMode.MIRROR) == 0
+        assert resolve_index(-2, 5, BoundaryMode.MIRROR) == 1
+
+    def test_mirror_right(self):
+        assert resolve_index(5, 5, BoundaryMode.MIRROR) == 4
+        assert resolve_index(6, 5, BoundaryMode.MIRROR) == 3
+
+    def test_mirror_periodicity(self):
+        assert resolve_index(10, 5, BoundaryMode.MIRROR) == 0
+        assert resolve_index(-10, 5, BoundaryMode.MIRROR) == 0
+
+    def test_repeat(self):
+        assert resolve_index(-1, 5, BoundaryMode.REPEAT) == 4
+        assert resolve_index(5, 5, BoundaryMode.REPEAT) == 0
+        assert resolve_index(11, 5, BoundaryMode.REPEAT) == 1
+
+    def test_undefined_resolves_like_clamp(self):
+        assert resolve_index(-3, 5, BoundaryMode.UNDEFINED) == 0
+
+    def test_constant_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            resolve_index(-1, 5, BoundaryMode.CONSTANT)
+
+    def test_resolution_always_in_range(self):
+        for mode in (BoundaryMode.CLAMP, BoundaryMode.MIRROR, BoundaryMode.REPEAT):
+            for i in range(-25, 25):
+                assert 0 <= resolve_index(i, 7, mode) < 7
+
+
+class TestVectorResolution:
+    def test_matches_scalar_everywhere(self):
+        idx = np.arange(-20, 20)
+        for mode in (BoundaryMode.CLAMP, BoundaryMode.MIRROR, BoundaryMode.REPEAT):
+            resolved, mask = resolve_array(idx, 7, mode)
+            assert mask is None
+            expected = [resolve_index(int(i), 7, mode) for i in idx]
+            assert resolved.tolist() == expected
+
+    def test_constant_produces_mask(self):
+        idx = np.array([-1, 0, 6, 7])
+        resolved, mask = resolve_array(idx, 7, BoundaryMode.CONSTANT)
+        assert mask.tolist() == [True, False, False, True]
+        assert resolved.min() >= 0 and resolved.max() < 7
+
+    def test_requires_mask(self):
+        assert requires_mask(BoundaryMode.CONSTANT)
+        assert not requires_mask(BoundaryMode.CLAMP)
+
+
+class TestBoundarySpec:
+    def test_defaults_to_clamp(self):
+        assert BoundarySpec().mode is BoundaryMode.CLAMP
+
+    def test_str(self):
+        assert str(BoundarySpec(BoundaryMode.MIRROR)) == "mirror"
+        assert "constant" in str(BoundarySpec(BoundaryMode.CONSTANT, 7.0))

@@ -1,0 +1,58 @@
+"""Unit tests for images and iteration spaces."""
+
+import pytest
+
+from repro.dsl.image import Image, IterationSpace
+
+
+class TestIterationSpace:
+    def test_size_gray(self):
+        assert IterationSpace(4, 3).size == 12
+
+    def test_size_rgb(self):
+        assert IterationSpace(4, 3, channels=3).size == 36
+
+    def test_compatibility_same(self):
+        assert IterationSpace(4, 3).compatible_with(IterationSpace(4, 3))
+
+    def test_compatibility_differs_on_any_axis(self):
+        base = IterationSpace(4, 3)
+        assert not base.compatible_with(IterationSpace(5, 3))
+        assert not base.compatible_with(IterationSpace(4, 4))
+        assert not base.compatible_with(IterationSpace(4, 3, channels=3))
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            IterationSpace(0, 3)
+        with pytest.raises(ValueError):
+            IterationSpace(4, -1)
+        with pytest.raises(ValueError):
+            IterationSpace(4, 3, channels=0)
+
+    def test_str(self):
+        assert str(IterationSpace(4, 3)) == "4x3"
+        assert str(IterationSpace(4, 3, 3)) == "4x3x3"
+
+
+class TestImage:
+    def test_create_convenience(self):
+        img = Image.create("a", 8, 4, channels=3, bytes_per_pixel=2)
+        assert img.space == IterationSpace(8, 4, 3)
+        assert img.bytes_per_pixel == 2
+
+    def test_size_and_nbytes(self):
+        img = Image.create("a", 8, 4)
+        assert img.size == 32
+        assert img.nbytes == 128
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            Image.create("", 4, 4)
+
+    def test_rejects_bad_pixel_size(self):
+        with pytest.raises(ValueError):
+            Image("a", IterationSpace(4, 4), bytes_per_pixel=0)
+
+    def test_images_are_value_objects(self):
+        assert Image.create("a", 4, 4) == Image.create("a", 4, 4)
+        assert Image.create("a", 4, 4) != Image.create("a", 4, 5)

@@ -1,0 +1,85 @@
+"""Unit tests for convolution masks and domains."""
+
+import numpy as np
+import pytest
+
+from repro.dsl.mask import Domain, Mask
+from repro.ir.expr import Const
+
+
+class TestMask:
+    def test_geometry(self):
+        mask = Mask([[1, 2, 1], [2, 4, 2], [1, 2, 1]])
+        assert mask.width == 3 and mask.height == 3
+        assert mask.radius == (1, 1)
+        assert mask.size == 9
+
+    def test_rectangular_mask(self):
+        mask = Mask([[1, 2, 3, 4, 5]])
+        assert mask.width == 5 and mask.height == 1
+        assert mask.radius == (2, 0)
+        assert mask.size == 5
+
+    def test_even_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            Mask([[1, 2], [3, 4]])
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            Mask([1, 2, 3])
+
+    def test_offsets_skip_zero_coefficients(self):
+        mask = Mask([[0, 1, 0], [1, 0, 1], [0, 1, 0]])
+        entries = list(mask.offsets())
+        assert len(entries) == 4
+        assert all(c == 1.0 for _, _, c in entries)
+        assert {(dx, dy) for dx, dy, _ in entries} == {
+            (0, -1), (-1, 0), (1, 0), (0, 1)
+        }
+
+    def test_offsets_centered(self):
+        mask = Mask([[1, 2, 3], [4, 5, 6], [7, 8, 9]])
+        coefficients = {(dx, dy): c for dx, dy, c in mask.offsets()}
+        assert coefficients[(-1, -1)] == 1.0
+        assert coefficients[(0, 0)] == 5.0
+        assert coefficients[(1, 1)] == 9.0
+
+    def test_coefficient_expr(self):
+        mask = Mask([[1, 2, 3], [4, 5, 6], [7, 8, 9]])
+        assert mask.coefficient_expr(1, -1) == Const(3.0)
+
+    def test_array_readonly(self):
+        mask = Mask([[1, 2, 1], [2, 4, 2], [1, 2, 1]])
+        with pytest.raises(ValueError):
+            mask.array[0, 0] = 99.0
+
+    def test_gaussian_normalized(self):
+        mask = Mask.gaussian(2)
+        assert mask.width == 5
+        assert np.isclose(mask.array.sum(), 1.0)
+        assert mask.array[2, 2] == mask.array.max()
+
+    def test_gaussian_requires_radius(self):
+        with pytest.raises(ValueError):
+            Mask.gaussian(0)
+
+    def test_box_normalized(self):
+        mask = Mask.box(1)
+        assert np.allclose(mask.array, 1.0 / 9.0)
+
+
+class TestDomain:
+    def test_geometry(self):
+        domain = Domain(3, 5)
+        assert domain.radius == (1, 2)
+        assert domain.size == 15
+
+    def test_even_rejected(self):
+        with pytest.raises(ValueError):
+            Domain(2, 3)
+
+    def test_offsets_cover_window(self):
+        domain = Domain(3, 3)
+        offsets = set(domain.offsets())
+        assert len(offsets) == 9
+        assert (0, 0) in offsets and (-1, -1) in offsets and (1, 1) in offsets

@@ -1,0 +1,110 @@
+"""Unit tests for pipeline construction and DAG materialization."""
+
+import pytest
+
+from helpers import chain_pipeline, image, local_kernel, point_kernel
+
+from repro.dsl.image import Image
+from repro.dsl.kernel import Kernel
+from repro.dsl.pipeline import Pipeline, PipelineError
+from repro.ir.expr import InputAt
+
+
+class TestPipelineConstruction:
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(PipelineError):
+            Pipeline("p").build()
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(PipelineError):
+            Pipeline("")
+
+    def test_duplicate_kernel_name_rejected(self):
+        pipe = Pipeline("p")
+        pipe.add(point_kernel("k", image("a"), image("b")))
+        with pytest.raises(PipelineError, match="duplicate"):
+            pipe.add(point_kernel("k", image("b"), image("c")))
+
+    def test_conflicting_image_definitions_rejected(self):
+        pipe = Pipeline("p")
+        pipe.add(point_kernel("k1", image("a"), image("b")))
+        with pytest.raises(PipelineError, match="different images"):
+            pipe.add(point_kernel("k2", Image.create("b", 9, 9), image("c")))
+
+    def test_value_equal_image_objects_accepted(self):
+        pipe = Pipeline("p")
+        pipe.add(point_kernel("k1", image("a"), image("b")))
+        pipe.add(point_kernel("k2", image("b"), image("c")))
+        assert len(pipe.build()) == 2
+
+    def test_duplicate_producer_rejected(self):
+        pipe = Pipeline("p")
+        target = image("b")
+        pipe.add(point_kernel("k1", image("a"), target))
+        pipe.add(point_kernel("k2", image("a"), target))
+        with pytest.raises(PipelineError, match="produced by both"):
+            pipe.build()
+
+    def test_add_returns_kernel(self):
+        pipe = Pipeline("p")
+        kernel = point_kernel("k", image("a"), image("b"))
+        assert pipe.add(kernel) is kernel
+
+    def test_image_lookup(self):
+        pipe = chain_pipeline(("p", "p"))
+        assert pipe.image("img0").name == "img0"
+
+
+class TestBuiltGraph:
+    def test_chain_edges(self):
+        graph = chain_pipeline(("p", "p", "p")).build()
+        assert len(graph) == 3
+        assert len(graph.edges) == 2
+        assert graph.has_edge("k0", "k1")
+        assert graph.has_edge("k1", "k2")
+
+    def test_pipeline_inputs(self):
+        graph = chain_pipeline(("p", "p")).build()
+        assert graph.pipeline_inputs() == ("img0",)
+
+    def test_sink_is_external_output(self):
+        graph = chain_pipeline(("p", "p")).build()
+        assert graph.external_outputs == {"img2"}
+
+    def test_mark_output_preserves_intermediate(self):
+        pipe = chain_pipeline(("p", "p"))
+        pipe.mark_output("img1")
+        graph = pipe.build()
+        assert graph.external_outputs == {"img1", "img2"}
+
+    def test_mark_output_accepts_image(self):
+        pipe = chain_pipeline(("p", "p"))
+        pipe.mark_output(pipe.image("img1"))
+        assert "img1" in pipe.build().external_outputs
+
+    def test_fanout_edges(self):
+        pipe = Pipeline("p")
+        src = image("src")
+        mid = image("mid")
+        pipe.add(point_kernel("producer", src, mid))
+        pipe.add(point_kernel("c1", mid, image("o1")))
+        pipe.add(point_kernel("c2", mid, image("o2")))
+        graph = pipe.build()
+        assert graph.consumers_of("mid") == ("c1", "c2")
+        assert graph.external_outputs == {"o1", "o2"}
+
+    def test_multi_input_kernel_edges(self):
+        pipe = Pipeline("p")
+        a, b, out = image("a"), image("b"), image("out")
+        mid_a, mid_b = image("ma"), image("mb")
+        pipe.add(point_kernel("ka", a, mid_a))
+        pipe.add(point_kernel("kb", b, mid_b))
+        pipe.add(
+            Kernel.from_function(
+                "join", [mid_a, mid_b], out, lambda x, y: x() + y()
+            )
+        )
+        graph = pipe.build()
+        assert graph.has_edge("ka", "join")
+        assert graph.has_edge("kb", "join")
+        assert set(graph.pipeline_inputs()) == {"a", "b"}

@@ -1,0 +1,91 @@
+"""Tests for the ASCII box-plot renderer."""
+
+import pytest
+
+from repro.eval.ascii_chart import (
+    render_box_row,
+    render_boxplot_panel,
+    render_figure6_chart,
+)
+from repro.eval.stats import BoxStats
+
+
+def stats(minimum, q1, median, q3, maximum):
+    return BoxStats(minimum, q1, median, q3, maximum)
+
+
+class TestBoxRow:
+    def test_geometry(self):
+        row = render_box_row(stats(0, 25, 50, 75, 100), 0, 100, 101)
+        assert row[50] == "|"
+        assert row[25] == "=" and row[75] == "="
+        assert row[0] == "-" and row[100] == "-"
+        assert row[10] == "-"
+
+    def test_degenerate_distribution_single_column(self):
+        row = render_box_row(stats(5, 5, 5, 5, 5), 0, 10, 11)
+        assert row.count("|") == 1
+        assert row.replace(" ", "").replace("|", "") == ""
+
+    def test_values_clamped_to_axis(self):
+        row = render_box_row(stats(0, 1, 2, 3, 4), 1, 3, 21)
+        assert len(row) == 21
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError):
+            render_box_row(stats(0, 1, 2, 3, 4), 5, 5, 10)
+
+
+class TestPanel:
+    def test_labels_and_axis(self):
+        panel = render_boxplot_panel(
+            [
+                ("baseline", stats(8, 9, 10, 11, 12)),
+                ("optimized", stats(3, 4, 5, 6, 7)),
+            ],
+            width=40,
+        )
+        lines = panel.splitlines()
+        assert lines[0].startswith("baseline")
+        assert lines[1].startswith("optimized")
+        assert "med" in lines[0]
+        # axis is the last line with the global range
+        assert "2.8" in lines[-1] or "2.9" in lines[-1]
+
+    def test_relative_positions(self):
+        panel = render_boxplot_panel(
+            [
+                ("slow", stats(90, 92, 95, 97, 99)),
+                ("fast", stats(1, 2, 3, 4, 5)),
+            ],
+            width=50,
+        )
+        slow_line, fast_line = panel.splitlines()[:2]
+        # slow's glyphs sit far right, fast's far left.
+        assert slow_line.index("|") > fast_line.index("|")
+
+    def test_empty_rows_rejected(self):
+        with pytest.raises(ValueError):
+            render_boxplot_panel([])
+
+
+class TestFigure6Chart:
+    def test_full_chart_structure(self):
+        data = {
+            ("Sobel", "GTX680", "baseline"): stats(8, 9, 10, 11, 12),
+            ("Sobel", "GTX680", "optimized"): stats(3, 4, 5, 6, 7),
+            ("Sobel", "K20c", "baseline"): stats(8, 9, 10, 11, 12),
+        }
+        chart = render_figure6_chart(
+            data, apps=["Sobel"], gpus=["GTX680", "K20c"]
+        )
+        assert "FIGURE 6" in chart
+        assert "GTX680" in chart and "K20c" in chart
+        assert "Sobel/baseline" in chart
+        assert "Sobel/optimized" in chart
+
+    def test_missing_configurations_skipped(self):
+        chart = render_figure6_chart(
+            {}, apps=["Sobel"], gpus=["GTX680"]
+        )
+        assert "GTX680" not in chart

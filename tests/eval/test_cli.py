@@ -1,0 +1,136 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fuse_defaults(self):
+        args = build_parser().parse_args(["fuse", "Harris"])
+        assert args.engine == "mincut"
+        assert args.gpu == "GTX680"
+        assert args.cmshared == 2.0
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for app in ("Harris", "Sobel", "Unsharp", "ShiTomasi",
+                    "Enhance", "Night"):
+            assert app in out
+        assert "1920x1200x3" in out  # Night geometry
+
+    def test_list_shows_extensions(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "Canny" in out and "DoG" in out
+        assert "extension" in out and "paper" in out
+
+    def test_fuse_extension_app_with_coalesced_engine(self, capsys):
+        assert main(["fuse", "Canny", "--engine", "coalesced"]) == 0
+        out = capsys.readouterr().out
+        assert "{mag, orient, nms, thresh}" in out
+
+    def test_artifact_command(self, capsys, tmp_path):
+        out_dir = tmp_path / "artifact"
+        assert main(["artifact", "--out", str(out_dir), "--runs", "5"]) == 0
+        assert (out_dir / "table2_geomean.txt").exists()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_fuse_with_trace(self, capsys):
+        assert main(["fuse", "Harris", "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "w=328" in out
+        assert "min-cut" in out
+        assert "{sx, gx}" in out
+        assert "benefit beta = 912" in out
+
+    def test_fuse_engine_selection(self, capsys):
+        assert main(["fuse", "Unsharp", "--engine", "basic"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("[single]") == 4  # basic fuses nothing
+
+    def test_fuse_threshold_flag(self, capsys):
+        assert main(["fuse", "Harris", "--cmshared", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "[fused] {dx, dy, sx, sy, sxy, gx, gy, gxy, hc}" in out
+
+    def test_fuse_unknown_app(self):
+        with pytest.raises(SystemExit, match="unknown application"):
+            main(["fuse", "Nope"])
+
+    def test_fuse_unknown_gpu(self):
+        with pytest.raises(SystemExit, match="unknown GPU"):
+            main(["fuse", "Harris", "--gpu", "H100"])
+
+    def test_codegen(self, capsys):
+        assert main(["codegen", "Sobel"]) == 0
+        out = capsys.readouterr().out
+        assert "__global__ void fused_dx_dy_mag" in out
+
+    def test_codegen_none_engine(self, capsys):
+        assert main(["codegen", "Sobel", "--engine", "none"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("__global__ void") == 3
+
+    def test_codegen_c_target(self, capsys):
+        assert main(["codegen", "Sobel", "--target", "c"]) == 0
+        out = capsys.readouterr().out
+        assert "void kernel_fused_dx_dy_mag(" in out
+        assert "#pragma omp parallel for" in out
+
+    def test_dot(self, capsys):
+        assert main(["dot", "Harris"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph pipeline {")
+        assert 'label="328"' in out
+        assert "subgraph cluster_" in out
+
+    def test_dot_without_partition(self, capsys):
+        assert main(["dot", "Harris", "--engine", "none"]) == 0
+        assert "subgraph" not in capsys.readouterr().out
+
+    def test_codegen_opencl_target(self, capsys):
+        assert main(["codegen", "Sobel", "--target", "opencl"]) == 0
+        out = capsys.readouterr().out
+        assert "__kernel void fused_dx_dy_mag(" in out
+        assert "get_global_id(0)" in out
+
+    def test_roofline(self, capsys):
+        assert main(["roofline", "Night"]) == 0
+        out = capsys.readouterr().out
+        assert "compute-bound" in out
+        assert "balance point" in out
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", "Unsharp"]) == 0
+        out = capsys.readouterr().out
+        for gpu in ("GTX745", "GTX680", "K20c"):
+            assert gpu in out
+        assert "x" in out  # speedups
+
+    def test_evaluate_small(self, capsys):
+        assert main(["evaluate", "--runs", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "TABLE I" in out and "TABLE II" in out
+        assert "(paper)" in out
+
+    def test_evaluate_no_paper(self, capsys):
+        assert main(["evaluate", "--runs", "10", "--no-paper"]) == 0
+        assert "(paper)" not in capsys.readouterr().out
+
+    def test_figure3(self, capsys):
+        assert main(["figure3"]) == 0
+        out = capsys.readouterr().out
+        assert "w=328" in out and "w=256" in out
+
+    def test_figure4(self, capsys):
+        assert main(["figure4"]) == 0
+        out = capsys.readouterr().out
+        assert "992" in out and "763" in out

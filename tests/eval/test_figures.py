@@ -1,0 +1,54 @@
+"""Unit tests for the figure reproductions (data-level)."""
+
+import pytest
+
+from repro.apps import APPLICATIONS, AppSpec
+from repro.eval.figures import figure3_trace, figure4_example, figure6_data
+from repro.eval.runner import run_matrix
+
+
+class TestFigure3:
+    @pytest.fixture(scope="class")
+    def trace_result(self):
+        return figure3_trace()
+
+    def test_published_weights(self, trace_result):
+        weighted = trace_result.weighted
+        assert weighted.estimate("sx", "gx").weight == 328.0
+        assert weighted.estimate("sy", "gy").weight == 328.0
+        assert weighted.estimate("sxy", "gxy").weight == 256.0
+
+    def test_final_partition(self, trace_result):
+        blocks = {frozenset(b.vertices) for b in trace_result.partition.blocks}
+        assert blocks == {
+            frozenset({"dx"}), frozenset({"dy"}), frozenset({"hc"}),
+            frozenset({"sx", "gx"}), frozenset({"sy", "gy"}),
+            frozenset({"sxy", "gxy"}),
+        }
+
+    def test_trace_is_printable(self, trace_result):
+        for event in trace_result.trace:
+            assert event.describe()
+
+    def test_first_iteration_examines_whole_graph(self, trace_result):
+        assert len(trace_result.trace[0].block) == 9
+
+
+class TestFigure4:
+    def test_all_published_values(self):
+        fig4 = figure4_example()
+        assert fig4.interior_value == 992.0
+        assert fig4.staged_border_value == 763.0
+        assert fig4.fused_border_value == 763.0
+        assert fig4.naive_border_value != 763.0
+
+
+class TestFigure6:
+    def test_box_stats_per_configuration(self):
+        spec = APPLICATIONS["Sobel"]
+        small = AppSpec(spec.name, spec.build, 32, 32)
+        results = run_matrix(apps=[small], runs=40)
+        stats = figure6_data(results)
+        assert set(stats) == set(results)
+        for key, box in stats.items():
+            assert box.minimum <= box.q1 <= box.median <= box.q3 <= box.maximum

@@ -1,0 +1,63 @@
+"""Tests for the paper-conformance checker."""
+
+import pytest
+
+from repro.eval.paper_check import (
+    DEVIATION,
+    FAIL,
+    PASS,
+    CheckResult,
+    check_figure3,
+    check_figure4,
+    check_fusion_decisions,
+    has_failures,
+    render_report,
+)
+
+
+class TestCheckResult:
+    def test_line_format(self):
+        result = CheckResult("claim text", PASS, "details")
+        line = result.line()
+        assert "PASS" in line and "claim text" in line and "details" in line
+
+    def test_line_without_detail(self):
+        assert "—" not in CheckResult("c", FAIL).line()
+
+
+class TestSuites:
+    def test_figure3_all_pass(self):
+        results = check_figure3()
+        assert len(results) == 5
+        assert all(r.status == PASS for r in results)
+
+    def test_figure4_all_pass(self):
+        results = check_figure4()
+        assert len(results) == 5
+        assert all(r.status == PASS for r in results)
+
+    def test_fusion_decisions_all_pass(self):
+        results = check_fusion_decisions()
+        assert all(r.status == PASS for r in results)
+        # 5 decision claims + one optimality claim per application.
+        assert len(results) == 5 + 6
+
+
+class TestReport:
+    def test_has_failures(self):
+        ok = [("suite", [CheckResult("a", PASS)])]
+        assert not has_failures(ok)
+        mixed = [("suite", [CheckResult("a", PASS),
+                            CheckResult("b", DEVIATION)])]
+        assert not has_failures(mixed)
+        bad = [("suite", [CheckResult("a", FAIL)])]
+        assert has_failures(bad)
+
+    def test_render_report_summary_counts(self):
+        outcome = [
+            ("suite one", [CheckResult("a", PASS), CheckResult("b", FAIL)]),
+            ("suite two", [CheckResult("c", DEVIATION)]),
+        ]
+        text = render_report(outcome)
+        assert "suite one" in text and "suite two" in text
+        assert "1 pass, 1 deviation, 1 fail" in text

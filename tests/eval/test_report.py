@@ -1,0 +1,56 @@
+"""Unit tests for the text report rendering."""
+
+import pytest
+
+from repro.apps import APPLICATIONS, AppSpec
+from repro.eval.report import render_figure6, render_table1, render_table2
+from repro.eval.runner import run_matrix
+
+APPS = ("Sobel", "Unsharp")
+
+
+@pytest.fixture(scope="module")
+def results():
+    specs = [
+        AppSpec(s.name, s.build, 32, 32, s.channels)
+        for s in (APPLICATIONS["Sobel"], APPLICATIONS["Unsharp"])
+    ]
+    return run_matrix(apps=specs, runs=20)
+
+
+class TestRendering:
+    def test_table1_layout(self, results):
+        text = render_table1(results, apps=APPS)
+        assert "TABLE I" in text
+        assert "optimized/baseline" in text
+        assert "basic/baseline" in text
+        assert "optimized/basic" in text
+        for gpu in ("GTX745", "GTX680", "K20c"):
+            assert gpu in text
+
+    def test_table1_paper_rows_toggle(self, results):
+        with_paper = render_table1(results, apps=APPS, include_paper=True)
+        without = render_table1(results, apps=APPS, include_paper=False)
+        assert "(paper)" in with_paper
+        assert "(paper)" not in without
+
+    def test_table2_layout(self, results):
+        text = render_table2(results, apps=APPS)
+        assert "TABLE II" in text
+        assert "GEOMETRIC MEAN" in text
+
+    def test_figure6_layout(self, results):
+        text = render_figure6(results, apps=APPS)
+        assert "FIGURE 6" in text
+        assert "baseline" in text and "optimized" in text
+        assert "med" in text
+
+    def test_all_values_parse_as_floats(self, results):
+        text = render_table2(results, apps=APPS, include_paper=False)
+        data_lines = [
+            line for line in text.splitlines() if "/" in line
+        ]
+        assert data_lines
+        for line in data_lines:
+            for token in line.split()[1:]:
+                float(token)  # raises if the layout leaks non-numbers

@@ -1,0 +1,77 @@
+"""Unit tests for the evaluation runner."""
+
+import numpy as np
+import pytest
+
+from repro.apps import APPLICATIONS, AppSpec
+from repro.eval.runner import (
+    DEFAULT_GPUS,
+    VERSIONS,
+    partition_for,
+    run_configuration,
+    run_matrix,
+)
+from repro.model.hardware import GTX680
+
+
+def small_spec(name="Sobel", width=32, height=32):
+    base = APPLICATIONS[name]
+    return AppSpec(base.name, base.build, width, height, base.channels)
+
+
+class TestPartitionFor:
+    def test_baseline_is_singletons(self):
+        graph = small_spec().pipeline().build()
+        partition = partition_for(graph, GTX680, "baseline")
+        assert all(len(b) == 1 for b in partition.blocks)
+
+    def test_versions_produce_different_partitions(self):
+        graph = small_spec().pipeline().build()
+        basic = partition_for(graph, GTX680, "basic")
+        optimized = partition_for(graph, GTX680, "optimized")
+        assert len(optimized) < len(basic)
+
+    def test_greedy_supported(self):
+        graph = small_spec().pipeline().build()
+        assert partition_for(graph, GTX680, "greedy") is not None
+
+    def test_unknown_version_rejected(self):
+        graph = small_spec().pipeline().build()
+        with pytest.raises(ValueError, match="unknown version"):
+            partition_for(graph, GTX680, "turbo")
+
+
+class TestRunConfiguration:
+    def test_result_fields(self):
+        result = run_configuration(small_spec(), GTX680, "optimized", runs=50)
+        assert result.app == "Sobel"
+        assert result.gpu == "GTX680"
+        assert result.version == "optimized"
+        assert result.runs.shape == (50,)
+        assert result.median_ms > 0
+        assert result.launches == len(result.partition)
+
+    def test_deterministic_across_calls(self):
+        a = run_configuration(small_spec(), GTX680, "baseline", runs=50)
+        b = run_configuration(small_spec(), GTX680, "baseline", runs=50)
+        np.testing.assert_array_equal(a.runs, b.runs)
+
+    def test_different_configurations_different_seeds(self):
+        a = run_configuration(small_spec(), GTX680, "baseline", runs=50)
+        b = run_configuration(small_spec(), GTX680, "optimized", runs=50)
+        assert not np.array_equal(a.runs, b.runs)
+
+
+class TestRunMatrix:
+    def test_full_key_space(self):
+        specs = [small_spec("Sobel"), small_spec("Unsharp")]
+        results = run_matrix(apps=specs, runs=10)
+        assert len(results) == 2 * len(DEFAULT_GPUS) * len(VERSIONS)
+        assert ("Sobel", "GTX745", "baseline") in results
+        assert ("Unsharp", "K20c", "optimized") in results
+
+    def test_paper_matrix_versions(self):
+        assert VERSIONS == ("baseline", "basic", "optimized")
+
+    def test_gpu_roster(self):
+        assert [g.name for g in DEFAULT_GPUS] == ["GTX745", "GTX680", "K20c"]

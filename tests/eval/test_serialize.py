@@ -1,0 +1,88 @@
+"""Tests for JSON serialization of evaluation artifacts."""
+
+import json
+
+import pytest
+
+from repro.apps import APPLICATIONS, AppSpec
+from repro.apps.harris import build_pipeline as build_harris
+from repro.eval.runner import run_configuration
+from repro.eval.serialize import (
+    app_result_to_json,
+    dumps,
+    fusion_result_to_json,
+    matrix_to_json,
+    partition_from_json,
+    partition_to_json,
+)
+from repro.fusion.mincut_fusion import mincut_fusion
+from repro.model.benefit import estimate_graph
+from repro.model.hardware import GTX680
+
+
+@pytest.fixture(scope="module")
+def harris_result():
+    graph = build_harris(32, 32).build()
+    weighted = estimate_graph(graph, GTX680)
+    return mincut_fusion(weighted, start_vertex="dx")
+
+
+class TestPartitionRoundTrip:
+    def test_round_trip_preserves_blocks(self, harris_result):
+        graph = harris_result.weighted.graph
+        payload = partition_to_json(harris_result.partition)
+        rebuilt = partition_from_json(graph, payload)
+        assert {frozenset(b.vertices) for b in rebuilt.blocks} == {
+            frozenset(b.vertices) for b in harris_result.partition.blocks
+        }
+
+    def test_benefit_serialized(self, harris_result):
+        payload = partition_to_json(harris_result.partition)
+        assert payload["benefit"] == pytest.approx(912.0)
+
+    def test_unweighted_graph_benefit_is_none(self):
+        graph = build_harris(32, 32).build()
+        from repro.graph.partition import Partition
+
+        payload = partition_to_json(Partition.singletons(graph))
+        assert payload["benefit"] is None
+
+    def test_json_serializable(self, harris_result):
+        text = dumps(partition_to_json(harris_result.partition))
+        assert json.loads(text)["blocks"]
+
+
+class TestFusionResultSerialization:
+    def test_trace_structure(self, harris_result):
+        payload = fusion_result_to_json(harris_result)
+        assert payload["engine"] == "mincut"
+        assert payload["benefit"] == pytest.approx(912.0)
+        actions = {event["action"] for event in payload["trace"]}
+        assert actions == {"ready", "cut"}
+        cut = next(e for e in payload["trace"] if e["action"] == "cut")
+        assert len(cut["parts"]) == 2
+        json.loads(dumps(payload))  # round-trippable
+
+
+class TestAppResultSerialization:
+    def test_fields(self):
+        spec = APPLICATIONS["Sobel"]
+        small = AppSpec(spec.name, spec.build, 64, 64)
+        result = run_configuration(small, GTX680, "optimized", runs=30)
+        payload = app_result_to_json(result)
+        assert payload["app"] == "Sobel"
+        assert payload["launches"] == 1
+        assert payload["box"]["min"] <= payload["box"]["median"]
+        assert payload["kernels"][0]["name"].startswith("fused_")
+        json.loads(dumps(payload))
+
+    def test_matrix_sorted_and_complete(self):
+        spec = APPLICATIONS["Sobel"]
+        small = AppSpec(spec.name, spec.build, 32, 32)
+        from repro.eval.runner import run_matrix
+
+        results = run_matrix(apps=[small], runs=10)
+        payload = matrix_to_json(results)
+        assert len(payload) == len(results)
+        keys = [(p["app"], p["gpu"], p["version"]) for p in payload]
+        assert keys == sorted(keys)

@@ -1,0 +1,67 @@
+"""Unit tests for evaluation statistics."""
+
+import numpy as np
+import pytest
+
+from repro.eval.stats import BoxStats, box_stats, geometric_mean, median
+
+
+class TestMedian:
+    def test_odd_count(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+
+    def test_even_count(self):
+        assert median([1.0, 2.0, 3.0, 4.0]) == 2.5
+
+    def test_numpy_input(self):
+        assert median(np.array([5.0, 5.0, 5.0])) == 5.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            median([])
+
+
+class TestGeometricMean:
+    def test_paper_table2_style(self):
+        # Table II aggregates the three per-GPU speedups.
+        values = [2.025, 3.438, 2.304]
+        assert geometric_mean(values) == pytest.approx(2.522, abs=5e-4)
+
+    def test_identity_on_equal_values(self):
+        assert geometric_mean([1.5, 1.5, 1.5]) == pytest.approx(1.5)
+
+    def test_less_than_arithmetic_mean(self):
+        values = [1.0, 4.0]
+        assert geometric_mean(values) == pytest.approx(2.0)
+        assert geometric_mean(values) < np.mean(values)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+
+class TestBoxStats:
+    def test_five_number_summary(self):
+        samples = np.arange(1, 101, dtype=float)
+        stats = box_stats(samples)
+        assert stats.minimum == 1.0
+        assert stats.maximum == 100.0
+        assert stats.median == 50.5
+        assert stats.q1 == pytest.approx(25.75)
+        assert stats.q3 == pytest.approx(75.25)
+        assert stats.iqr == pytest.approx(49.5)
+
+    def test_single_sample(self):
+        stats = box_stats([7.0])
+        assert stats == BoxStats(7.0, 7.0, 7.0, 7.0, 7.0)
+
+    def test_describe(self):
+        assert "med" in box_stats([1.0, 2.0, 3.0]).describe()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            box_stats([])

@@ -1,0 +1,56 @@
+"""Tests for the sweep utilities."""
+
+import pytest
+
+from repro.apps import APPLICATIONS
+from repro.apps.unsharp import build_pipeline as build_unsharp
+from repro.eval.sweeps import (
+    SweepPoint,
+    render_size_sweep,
+    size_sweep,
+    threshold_sweep,
+)
+from repro.model.hardware import GTX680
+
+
+class TestSizeSweep:
+    def test_points_cover_sizes(self):
+        points = size_sweep(build_unsharp, GTX680, [64, 256, 1024])
+        assert [p.value for p in points] == [64.0, 256.0, 1024.0]
+        assert all(p.baseline_ms > 0 and p.optimized_ms > 0 for p in points)
+
+    def test_speedup_converges_to_the_traffic_ratio(self):
+        # Two regimes: at tiny images, the speedup reflects the launch
+        # count ratio (Unsharp: 4 launches -> 1); at large images it
+        # converges to the traffic-elimination ratio.  For Unsharp the
+        # launch ratio (4.0) exceeds the traffic ratio (~3.4), so the
+        # curve decreases monotonically toward its asymptote.
+        points = size_sweep(
+            build_unsharp, GTX680, [64, 256, 1024, 2048, 4096]
+        )
+        speedups = [p.speedup for p in points]
+        assert speedups == sorted(speedups, reverse=True)
+        assert speedups[0] == pytest.approx(4.0, abs=0.3)  # launch regime
+        # Convergence: the last two sizes agree closely.
+        assert speedups[-1] == pytest.approx(speedups[-2], rel=0.02)
+
+    def test_fusion_never_hurts_in_the_sweep(self):
+        points = size_sweep(build_unsharp, GTX680, [32, 128, 512])
+        assert all(p.speedup >= 0.99 for p in points)
+
+    def test_render(self):
+        points = [SweepPoint(64, 1.0, 0.5), SweepPoint(128, 4.0, 1.0)]
+        text = render_size_sweep("Unsharp", "GTX680", points)
+        assert "SIZE SWEEP" in text
+        assert "2.00x" in text and "4.00x" in text
+
+
+class TestThresholdSweep:
+    def test_harris_threshold_behaviour(self):
+        result = threshold_sweep(
+            APPLICATIONS["Harris"], GTX680, [1.0, 2.0, 5.0]
+        )
+        assert result[2.0][0] == 6  # the paper's partition
+        assert result[5.0][0] == 1  # mega-block once Eq. 2 is relaxed
+        for launches, ms in result.values():
+            assert launches >= 1 and ms > 0

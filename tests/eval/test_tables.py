@@ -1,0 +1,97 @@
+"""Unit tests for Table I / Table II generation."""
+
+import pytest
+
+from repro.apps import APPLICATIONS, AppSpec
+from repro.eval.runner import run_matrix
+from repro.eval.stats import geometric_mean
+from repro.eval.tables import (
+    APP_ORDER,
+    COMPARISONS,
+    GPU_ORDER,
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    speedup,
+    speedup_table,
+    table1,
+    table2,
+)
+
+
+@pytest.fixture(scope="module")
+def results():
+    specs = [
+        AppSpec(s.name, s.build, 64, 64, s.channels)
+        for s in (APPLICATIONS["Sobel"], APPLICATIONS["Unsharp"])
+    ]
+    return run_matrix(apps=specs, runs=30)
+
+
+APPS = ("Sobel", "Unsharp")
+
+
+class TestSpeedups:
+    def test_speedup_definition(self, results):
+        value = speedup(results, "Sobel", "GTX680", "baseline", "optimized")
+        slower = results[("Sobel", "GTX680", "baseline")].median_ms
+        faster = results[("Sobel", "GTX680", "optimized")].median_ms
+        assert value == pytest.approx(slower / faster)
+
+    def test_speedup_table_shape(self, results):
+        table = speedup_table(results, "baseline", "optimized", APPS)
+        assert set(table) == set(GPU_ORDER)
+        assert set(table["GTX680"]) == set(APPS)
+
+    def test_table1_three_comparisons(self, results):
+        full = table1(results, APPS)
+        assert set(full) == set(COMPARISONS)
+
+    def test_table1_consistency(self, results):
+        # optimized/baseline == (basic/baseline) * (optimized/basic)
+        full = table1(results, APPS)
+        for gpu in GPU_ORDER:
+            for app in APPS:
+                combined = (
+                    full["basic/baseline"][gpu][app]
+                    * full["optimized/basic"][gpu][app]
+                )
+                assert combined == pytest.approx(
+                    full["optimized/baseline"][gpu][app], rel=1e-9
+                )
+
+    def test_table2_is_geomean_of_table1(self, results):
+        t1 = table1(results, APPS)
+        t2 = table2(results, APPS)
+        for label in COMPARISONS:
+            for app in APPS:
+                expected = geometric_mean(
+                    t1[label][gpu][app] for gpu in GPU_ORDER
+                )
+                assert t2[label][app] == pytest.approx(expected)
+
+
+class TestPaperConstants:
+    def test_table1_covers_all_cells(self):
+        for label in COMPARISONS:
+            for gpu in GPU_ORDER:
+                assert set(PAPER_TABLE1[label][gpu]) == set(APP_ORDER)
+
+    def test_table2_covers_all_apps(self):
+        for label in COMPARISONS:
+            assert set(PAPER_TABLE2[label]) == set(APP_ORDER)
+
+    def test_headline_speedup(self):
+        # "A geometric mean speedup of up to 2.52 can be observed."
+        assert PAPER_TABLE2["optimized/baseline"]["Unsharp"] == 2.522
+
+    def test_paper_table2_consistent_with_table1(self):
+        # The published Table II is the geomean of the published
+        # Table I (within rounding).
+        for label in COMPARISONS:
+            for app in APP_ORDER:
+                expected = geometric_mean(
+                    PAPER_TABLE1[label][gpu][app] for gpu in GPU_ORDER
+                )
+                assert PAPER_TABLE2[label][app] == pytest.approx(
+                    expected, abs=0.02
+                )

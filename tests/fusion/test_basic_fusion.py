@@ -1,0 +1,113 @@
+"""Unit tests for the prior-work basic fusion baseline [12]."""
+
+import pytest
+
+from helpers import chain_pipeline
+
+from repro.apps.enhancement import build_pipeline as build_enhancement
+from repro.apps.harris import build_pipeline as build_harris
+from repro.apps.night import build_pipeline as build_night
+from repro.apps.sobel import build_pipeline as build_sobel
+from repro.apps.unsharp import build_pipeline as build_unsharp
+from repro.fusion.basic_fusion import basic_fusion
+from repro.model.benefit import estimate_graph
+from repro.model.hardware import GTX680
+
+
+def run(pipeline):
+    weighted = estimate_graph(pipeline.build(), GTX680)
+    return basic_fusion(weighted)
+
+
+def block_sets(result):
+    return {frozenset(b.vertices) for b in result.partition.blocks}
+
+
+class TestPaperBehaviour:
+    def test_harris_fuses_three_pairs(self):
+        # Point-to-local pairs are within basic fusion's power.
+        result = run(build_harris())
+        assert block_sets(result) == {
+            frozenset({"dx"}),
+            frozenset({"dy"}),
+            frozenset({"sx", "gx"}),
+            frozenset({"sy", "gy"}),
+            frozenset({"sxy", "gxy"}),
+            frozenset({"hc"}),
+        }
+
+    def test_sobel_rejected(self):
+        # "The filter Sobel consists of a local-to-local scenario ...
+        # rejected by the basic kernel fusion algorithm."
+        result = run(build_sobel())
+        assert all(len(b) == 1 for b in result.partition.blocks)
+
+    def test_unsharp_rejected(self):
+        # "the filter Unsharp has shared input ... rejected."
+        result = run(build_unsharp())
+        assert all(len(b) == 1 for b in result.partition.blocks)
+
+    def test_enhancement_fully_fused(self):
+        # The clean local->point->point chain is basic fusion's best
+        # case (up to 1.785 in the paper).
+        result = run(build_enhancement())
+        assert block_sets(result) == {
+            frozenset({"gmean", "gamma", "stretch"})
+        }
+
+    def test_night_fuses_tone_mapping_only(self):
+        result = run(build_night())
+        assert block_sets(result) == {
+            frozenset({"atrous0"}),
+            frozenset({"atrous1", "scoto"}),
+        }
+
+
+class TestMechanics:
+    def test_point_chain_collapses_transitively(self):
+        result = run(chain_pipeline(("p", "p", "p")))
+        assert block_sets(result) == {frozenset({"k0", "k1", "k2"})}
+
+    def test_local_to_local_chain_rejected(self):
+        result = run(chain_pipeline(("l", "l")))
+        assert all(len(b) == 1 for b in result.partition.blocks)
+
+    def test_local_point_local_stops_at_second_local(self):
+        # (local, point) fuse; the merged group is local, so absorbing
+        # the trailing local would be local-to-local: rejected.
+        result = run(chain_pipeline(("l", "p", "l")))
+        assert block_sets(result) == {
+            frozenset({"k0", "k1"}),
+            frozenset({"k2"}),
+        }
+
+    def test_trace_records_merges(self):
+        result = run(chain_pipeline(("p", "p", "p")))
+        assert len(result.trace) == 2
+        assert all("merge" in e.reasons[0] for e in result.trace)
+
+    def test_engine_label(self):
+        assert run(chain_pipeline(("p", "p"))).engine == "basic"
+
+    def test_externally_observed_intermediate_blocks_merge(self):
+        pipe = chain_pipeline(("p", "p"))
+        pipe.mark_output("img1")  # k0's output is observed
+        result = run(pipe)
+        assert all(len(b) == 1 for b in result.partition.blocks)
+
+
+class TestComparisonWithMincut:
+    @pytest.mark.parametrize(
+        "builder",
+        [build_harris, build_sobel, build_unsharp, build_night,
+         build_enhancement],
+        ids=["harris", "sobel", "unsharp", "night", "enhance"],
+    )
+    def test_mincut_never_worse(self, builder):
+        """The optimized engine dominates the basic engine on beta."""
+        from repro.fusion.mincut_fusion import mincut_fusion
+
+        weighted = estimate_graph(builder().build(), GTX680)
+        basic = basic_fusion(weighted)
+        optimized = mincut_fusion(weighted)
+        assert optimized.benefit >= basic.benefit - 1e-12

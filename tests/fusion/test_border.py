@@ -1,0 +1,93 @@
+"""Unit tests for border-region analysis and index exchange."""
+
+import pytest
+
+from repro.dsl.boundary import BoundaryMode, BoundarySpec
+from repro.fusion.border import (
+    Region,
+    classify_coordinate,
+    fused_interior_width,
+    halo_pixel_count,
+    index_exchange,
+    interior_width,
+)
+
+
+class TestRegions:
+    def test_interior_width_paper_formula(self):
+        # l_i - floor(l_k / 2) * 2
+        assert interior_width(10, 3) == 8
+        assert interior_width(10, 5) == 6
+        assert interior_width(4, 5) == 0
+
+    def test_interior_width_rejects_even_mask(self):
+        with pytest.raises(ValueError):
+            interior_width(10, 4)
+
+    def test_fused_interior_shrinks_by_combined_radius(self):
+        assert fused_interior_width(10, 3, 3) == 6
+        assert fused_interior_width(10, 3, 5) == 4
+        assert fused_interior_width(6, 5, 5) == 0
+
+    def test_classify_interior(self):
+        assert classify_coordinate(5, 5, 10, 10, (1, 1)) is Region.INTERIOR
+
+    def test_classify_halo(self):
+        assert classify_coordinate(0, 5, 10, 10, (1, 1)) is Region.HALO
+        assert classify_coordinate(9, 9, 10, 10, (1, 1)) is Region.HALO
+
+    def test_classify_exterior(self):
+        assert classify_coordinate(-1, 5, 10, 10, (1, 1)) is Region.EXTERIOR
+        assert classify_coordinate(5, 10, 10, 10, (1, 1)) is Region.EXTERIOR
+
+    def test_zero_radius_has_no_halo(self):
+        assert classify_coordinate(0, 0, 10, 10, (0, 0)) is Region.INTERIOR
+
+    def test_halo_pixel_count(self):
+        # 10x10 with radius 1: interior 8x8 -> 36 halo pixels.
+        assert halo_pixel_count(10, 10, (1, 1)) == 36
+        # Radius covering everything: the whole image is halo.
+        assert halo_pixel_count(4, 4, (2, 2)) == 16
+        assert halo_pixel_count(10, 10, (0, 0)) == 0
+
+    def test_halo_grows_with_radius(self):
+        # Fusing local kernels adds their radii (Section IV), so the
+        # halo strictly widens with every fused local stage.
+        counts = [halo_pixel_count(64, 64, (r, r)) for r in range(1, 6)]
+        assert all(b > a for a, b in zip(counts, counts[1:]))
+
+
+class TestIndexExchange:
+    def test_in_image_unchanged(self):
+        assert index_exchange(3, 4, 10, 10, BoundaryMode.CLAMP) == (3, 4)
+
+    def test_clamp_exchanges_with_border_pixel(self):
+        # The Fig. 5 middle matrix: clamp exchanges exterior pixels with
+        # the nearest border pixels.
+        assert index_exchange(-1, -2, 10, 10, BoundaryMode.CLAMP) == (0, 0)
+        assert index_exchange(11, 4, 10, 10, BoundaryMode.CLAMP) == (9, 4)
+
+    def test_mirror_exchange(self):
+        assert index_exchange(-2, 0, 10, 10, BoundaryMode.MIRROR) == (1, 0)
+
+    def test_repeat_exchange(self):
+        assert index_exchange(-1, 10, 10, 10, BoundaryMode.REPEAT) == (9, 0)
+
+    def test_accepts_spec_objects(self):
+        spec = BoundarySpec(BoundaryMode.CLAMP)
+        assert index_exchange(-5, 2, 10, 10, spec) == (0, 2)
+
+    def test_constant_mode_has_no_exchange_target(self):
+        with pytest.raises(ValueError):
+            index_exchange(-1, 0, 10, 10, BoundaryMode.CONSTANT)
+
+    def test_constant_mode_in_image_ok(self):
+        assert index_exchange(2, 3, 10, 10, BoundaryMode.CONSTANT) == (2, 3)
+
+    def test_exchange_always_lands_inside(self):
+        for mode in (BoundaryMode.CLAMP, BoundaryMode.MIRROR,
+                     BoundaryMode.REPEAT):
+            for x in range(-7, 17):
+                for y in range(-7, 17):
+                    ex, ey = index_exchange(x, y, 10, 10, mode)
+                    assert 0 <= ex < 10 and 0 <= ey < 10

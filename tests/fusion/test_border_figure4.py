@@ -1,0 +1,49 @@
+"""Reproduction tests for the paper's Fig. 4 worked example.
+
+The paper walks a 5x5 integer matrix through two unnormalized 3x3
+Gaussian convolutions:
+
+* Fig. 4a (interior): intermediate window [[82, 98, 93], [66, 61, 51],
+  [43, 34, 32]], fused result 992;
+* Fig. 4b (incorrect): composing the convolutions with a single
+  clamp-padding produces a wrong border value;
+* Fig. 4c (correct): with index exchange the fused border value matches
+  the unfused program (763 at the top-left corner).
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval.figures import FIGURE4_INPUT, figure4_example
+
+
+@pytest.fixture(scope="module")
+def fig4():
+    return figure4_example()
+
+
+class TestFigure4a:
+    def test_intermediate_window(self, fig4):
+        expected = np.array([[82, 98, 93], [66, 61, 51], [43, 34, 32]])
+        np.testing.assert_allclose(fig4.intermediate_center, expected)
+
+    def test_interior_value_992(self, fig4):
+        assert fig4.interior_value == pytest.approx(992.0)
+
+
+class TestFigure4bc:
+    def test_unfused_clamp_border_value_763(self, fig4):
+        assert fig4.staged_border_value == pytest.approx(763.0)
+
+    def test_fused_with_index_exchange_matches(self, fig4):
+        assert fig4.fused_border_value == pytest.approx(763.0)
+
+    def test_naive_fusion_is_wrong_at_the_border(self, fig4):
+        # Fig. 4b: skipping the intermediate re-padding produces a
+        # different (incorrect) border value.
+        assert fig4.naive_border_value != pytest.approx(763.0)
+
+    def test_input_matrix_is_the_papers(self):
+        assert FIGURE4_INPUT.shape == (5, 5)
+        assert FIGURE4_INPUT[0].tolist() == [1, 3, 7, 7, 6]
+        assert FIGURE4_INPUT[4].tolist() == [5, 2, 2, 4, 2]

@@ -1,0 +1,92 @@
+"""Tests for the exhaustive optimal fusion search and the min-cut
+heuristic's optimality gap."""
+
+import pytest
+
+from helpers import chain_pipeline
+
+from repro.apps import APPLICATIONS
+from repro.fusion.exhaustive import (
+    _partitions,
+    exhaustive_fusion,
+    optimality_gap,
+)
+from repro.fusion.mincut_fusion import mincut_fusion
+from repro.graph.dag import GraphError
+from repro.model.benefit import estimate_graph
+from repro.model.hardware import GTX680
+
+
+class TestPartitionEnumeration:
+    def test_bell_numbers(self):
+        # |partitions of n elements| = Bell(n).
+        for n, bell in [(1, 1), (2, 2), (3, 5), (4, 15), (5, 52)]:
+            items = tuple(f"v{i}" for i in range(n))
+            assert sum(1 for _ in _partitions(items)) == bell
+
+    def test_partitions_are_disjoint_covers(self):
+        items = ("a", "b", "c", "d")
+        for candidate in _partitions(items):
+            flat = [v for block in candidate for v in block]
+            assert sorted(flat) == sorted(items)
+
+    def test_enumeration_has_no_duplicates(self):
+        items = ("a", "b", "c", "d")
+        seen = set()
+        for candidate in _partitions(items):
+            signature = frozenset(candidate)
+            assert signature not in seen
+            seen.add(signature)
+
+
+class TestExhaustiveEngine:
+    def test_point_chain_optimum_is_full_fusion(self):
+        graph = chain_pipeline(("p", "p", "p")).build()
+        weighted = estimate_graph(graph, GTX680)
+        result = exhaustive_fusion(weighted)
+        assert len(result.partition) == 1
+        assert result.benefit == pytest.approx(weighted.graph.total_weight)
+
+    def test_every_block_legal(self):
+        graph = chain_pipeline(("l", "p", "l", "p")).build()
+        weighted = estimate_graph(graph, GTX680)
+        result = exhaustive_fusion(weighted)
+        for block in result.partition.blocks:
+            assert weighted.is_legal_block(block.vertices)
+
+    def test_size_cap(self):
+        graph = chain_pipeline(tuple("p" * 13)).build()
+        weighted = estimate_graph(graph, GTX680)
+        with pytest.raises(GraphError, match="too many"):
+            exhaustive_fusion(weighted)
+
+    def test_deterministic(self):
+        graph = chain_pipeline(("p", "l", "p")).build()
+        weighted = estimate_graph(graph, GTX680)
+        a = exhaustive_fusion(weighted)
+        b = exhaustive_fusion(weighted)
+        assert {frozenset(x.vertices) for x in a.partition.blocks} == {
+            frozenset(x.vertices) for x in b.partition.blocks
+        }
+
+    def test_engine_label(self):
+        graph = chain_pipeline(("p", "p")).build()
+        weighted = estimate_graph(graph, GTX680)
+        assert exhaustive_fusion(weighted).engine == "exhaustive"
+
+
+class TestOptimalityOfMincutHeuristic:
+    @pytest.mark.parametrize("app_name", sorted(APPLICATIONS))
+    def test_mincut_is_optimal_on_every_paper_app(self, app_name):
+        # All six applications have <= 9 kernels: the optimum is
+        # computable, and Algorithm 1 achieves it.
+        spec = APPLICATIONS[app_name]
+        graph = spec.build(32, 32).build()
+        weighted = estimate_graph(graph, GTX680)
+        assert optimality_gap(weighted) == pytest.approx(0.0, abs=1e-9)
+
+    def test_gap_is_never_negative(self):
+        # The exhaustive engine is an upper bound by construction.
+        graph = chain_pipeline(("l", "l", "p", "l")).build()
+        weighted = estimate_graph(graph, GTX680)
+        assert optimality_gap(weighted) >= -1e-9

@@ -1,0 +1,113 @@
+"""Unit tests for fused-kernel materialization."""
+
+import pytest
+
+from helpers import chain_pipeline, diamond_pipeline
+
+from repro.apps.sobel import build_pipeline as build_sobel
+from repro.apps.unsharp import build_pipeline as build_unsharp
+from repro.dsl.kernel import ComputePattern
+from repro.fusion.fuser import FusedKernel, fuse_block, fuse_partition
+from repro.graph.dag import GraphError
+from repro.graph.partition import Partition, PartitionBlock
+from repro.ir.traversal import inputs_of
+
+
+class TestFlattening:
+    def test_point_chain_body_composes(self):
+        graph = chain_pipeline(("p", "p")).build()
+        fused = FusedKernel(graph, PartitionBlock(graph, {"k0", "k1"}))
+        # k1(k0(x)) = (2*(2x+1))+1 -> reads only the pipeline input.
+        assert set(inputs_of(fused.body)) == {"img0"}
+        assert fused.output.name == "img2"
+        assert fused.pattern is ComputePattern.POINT
+
+    def test_local_consumer_window_grows(self):
+        graph = chain_pipeline(("l", "l")).build()
+        fused = FusedKernel(graph, PartitionBlock(graph, {"k0", "k1"}))
+        # 3x3 over 3x3 -> 5x5 composed window (Eq. 9).
+        assert fused.window_radius == (2, 2)
+        assert fused.window_size == 25
+        assert fused.pattern is ComputePattern.LOCAL
+
+    def test_recomputation_appears_in_op_counts(self):
+        graph = chain_pipeline(("p", "l")).build()
+        producer = graph.kernel("k0")
+        fused = FusedKernel(graph, PartitionBlock(graph, {"k0", "k1"}))
+        # The producer body is inlined at 9 distinct offsets.
+        assert fused.op_counts.alu >= 9 * producer.op_counts.alu
+
+    def test_point_producer_reused_not_recomputed(self):
+        # A point consumer inlines at one offset; CSE-aware counting
+        # sees the producer once (the Eq. 5 scenario).
+        graph = chain_pipeline(("p", "p")).build()
+        producer = graph.kernel("k0")
+        consumer = graph.kernel("k1")
+        fused = FusedKernel(graph, PartitionBlock(graph, {"k0", "k1"}))
+        assert fused.op_counts.alu == (
+            producer.op_counts.alu + consumer.op_counts.alu
+        )
+
+    def test_signature_shrinks_to_listing1(self):
+        # Only the source inputs and the destination output remain.
+        graph = build_unsharp().build()
+        block = PartitionBlock(graph, set(graph.kernel_names))
+        fused = FusedKernel(graph, block)
+        assert fused.input_names == ("input",)
+        assert fused.output.name == "sharpened"
+
+    def test_member_metadata(self):
+        graph = chain_pipeline(("p", "p")).build()
+        fused = FusedKernel(graph, PartitionBlock(graph, {"k0", "k1"}))
+        assert fused.member_names == ("k0", "k1")
+        assert fused.destination_name == "k1"
+        assert [k.name for k in fused.members] == ["k0", "k1"]
+        assert fused.name == "fused_k0_k1"
+
+    def test_diamond_inlines_every_member(self):
+        graph = diamond_pipeline().build()
+        block = PartitionBlock(graph, {"a", "b", "c"})
+        fused = FusedKernel(graph, block)
+        assert set(inputs_of(fused.body)) == {"src"}
+
+    def test_boundary_taken_from_first_reader(self):
+        graph = build_sobel().build()
+        block = PartitionBlock(graph, set(graph.kernel_names))
+        fused = FusedKernel(graph, block)
+        original = graph.kernel("dx").accessor_for("input").boundary
+        assert fused.accessor_for("input").boundary == original
+
+
+class TestErrors:
+    def test_multi_destination_block_rejected(self):
+        graph = chain_pipeline(("p", "p", "p")).build()
+        # {k0, k2} has two escaping outputs and a hole.
+        with pytest.raises(GraphError, match="destination"):
+            FusedKernel(graph, PartitionBlock(graph, {"k0", "k2"}))
+
+
+class TestFusePartition:
+    def test_singletons_pass_through(self):
+        graph = chain_pipeline(("p", "p")).build()
+        partition = Partition.singletons(graph)
+        kernels = fuse_partition(graph, partition)
+        assert [k.name for k in kernels] == ["k0", "k1"]
+        assert not any(isinstance(k, FusedKernel) for k in kernels)
+
+    def test_fused_blocks_materialized(self):
+        graph = chain_pipeline(("p", "p", "p")).build()
+        partition = Partition(
+            graph,
+            [
+                PartitionBlock(graph, {"k0", "k1"}),
+                PartitionBlock(graph, {"k2"}),
+            ],
+        )
+        kernels = fuse_partition(graph, partition)
+        assert isinstance(kernels[0], FusedKernel)
+        assert kernels[1].name == "k2"
+
+    def test_fuse_block_singleton_identity(self):
+        graph = chain_pipeline(("p", "p")).build()
+        block = PartitionBlock(graph, {"k0"})
+        assert fuse_block(graph, block) is graph.kernel("k0")

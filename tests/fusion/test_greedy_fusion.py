@@ -1,0 +1,73 @@
+"""Unit tests for the heaviest-edge greedy baseline."""
+
+import pytest
+
+from helpers import chain_pipeline
+
+from repro.apps.harris import build_pipeline as build_harris
+from repro.apps.night import build_pipeline as build_night
+from repro.apps.unsharp import build_pipeline as build_unsharp
+from repro.fusion.greedy_fusion import greedy_fusion
+from repro.fusion.mincut_fusion import mincut_fusion
+from repro.model.benefit import estimate_graph
+from repro.model.hardware import GTX680
+
+
+def run(pipeline):
+    weighted = estimate_graph(pipeline.build(), GTX680)
+    return greedy_fusion(weighted), weighted
+
+
+def block_sets(result):
+    return {frozenset(b.vertices) for b in result.partition.blocks}
+
+
+class TestGreedy:
+    def test_point_chain_collapses(self):
+        result, _ = run(chain_pipeline(("p", "p", "p")))
+        assert block_sets(result) == {frozenset({"k0", "k1", "k2"})}
+
+    def test_harris_finds_the_pairs(self):
+        result, _ = run(build_harris())
+        assert frozenset({"sx", "gx"}) in block_sets(result)
+        assert frozenset({"sy", "gy"}) in block_sets(result)
+        assert frozenset({"sxy", "gxy"}) in block_sets(result)
+
+    def test_night_respects_profitability(self):
+        result, weighted = run(build_night())
+        for block in result.partition.blocks:
+            assert weighted.is_legal_block(block.vertices)
+        assert frozenset({"atrous1", "scoto"}) in block_sets(result)
+
+    def test_all_blocks_legal(self):
+        for builder in (build_harris, build_unsharp, build_night):
+            result, weighted = run(builder())
+            for block in result.partition.blocks:
+                assert weighted.is_legal_block(block.vertices)
+
+    def test_greedy_heaviest_first(self):
+        result, _ = run(build_harris())
+        merges = [e for e in result.trace if e.action == "ready"]
+        assert merges, "greedy merged nothing on Harris"
+        # First merge follows the heaviest edge (328).
+        assert set(merges[0].block) in ({"sx", "gx"}, {"sy", "gy"})
+
+    def test_unsharp_diamond_found_via_epsilon_edges(self):
+        # Greedy *can* reach the Unsharp diamond here because epsilon
+        # edges keep blocks adjacent; this documents the (model-level)
+        # difference to the paper's pairwise baseline which rejects
+        # partial merges outright.
+        result, weighted = run(build_unsharp())
+        for block in result.partition.blocks:
+            assert weighted.is_legal_block(block.vertices)
+
+    def test_engine_label(self):
+        result, _ = run(chain_pipeline(("p", "p")))
+        assert result.engine == "greedy"
+
+    def test_mincut_at_least_as_good_on_benchmarks(self):
+        for builder in (build_harris, build_unsharp, build_night):
+            weighted = estimate_graph(builder().build(), GTX680)
+            greedy = greedy_fusion(weighted)
+            optimal = mincut_fusion(weighted)
+            assert optimal.benefit >= greedy.benefit - 1e-12

@@ -1,0 +1,153 @@
+"""Unit tests for Algorithm 1 (recursive min-cut fusion)."""
+
+import pytest
+
+from helpers import chain_pipeline
+
+from repro.apps.harris import build_pipeline as build_harris
+from repro.apps.night import build_pipeline as build_night
+from repro.apps.sobel import build_pipeline as build_sobel
+from repro.apps.unsharp import build_pipeline as build_unsharp
+from repro.fusion.mincut_fusion import mincut_fusion
+from repro.model.benefit import BenefitConfig, estimate_graph
+from repro.model.hardware import GTX680
+
+
+def fuse(pipeline, gpu=GTX680, config=None, start=None):
+    graph = pipeline.build()
+    weighted = estimate_graph(graph, gpu, config)
+    return mincut_fusion(weighted, start_vertex=start)
+
+
+def block_sets(result):
+    return {frozenset(b.vertices) for b in result.partition.blocks}
+
+
+class TestHarrisFigure3:
+    """The paper's worked example, end to end."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fuse(build_harris(), start="dx")
+
+    def test_final_partition_matches_paper(self, result):
+        assert block_sets(result) == {
+            frozenset({"dx"}),
+            frozenset({"dy"}),
+            frozenset({"sx", "gx"}),
+            frozenset({"sy", "gy"}),
+            frozenset({"sxy", "gxy"}),
+            frozenset({"hc"}),
+        }
+
+    def test_first_cut_weight_is_two_epsilon(self, result):
+        # Fig. 3a: the first global minimum cut has weight 2 epsilon.
+        first_cut = next(e for e in result.trace if e.action == "cut")
+        assert first_cut.cut_weight == pytest.approx(
+            2 * result.weighted.config.epsilon
+        )
+
+    def test_first_cut_isolates_sy_gy(self, result):
+        first_cut = next(e for e in result.trace if e.action == "cut")
+        assert ("sy", "gy") in first_cut.parts
+
+    def test_achieved_benefit(self, result):
+        # beta = 328 + 328 + 256 (the three fused pairs).
+        assert result.benefit == pytest.approx(912.0)
+
+    def test_trace_covers_every_block_once_ready(self, result):
+        ready_blocks = [
+            frozenset(e.block) for e in result.trace if e.action == "ready"
+        ]
+        assert set(ready_blocks) == block_sets(result)
+
+    def test_trace_has_five_cuts_like_figure3(self, result):
+        # The paper's Fig. 3 shows five recursive cut steps (3a-3e)
+        # before the partition settles; our recursion performs the same
+        # number of cuts (the cut *order* may differ among equal-weight
+        # minimum cuts).
+        cuts = [e for e in result.trace if e.action == "cut"]
+        assert len(cuts) == 5
+        for event in cuts:
+            assert len(event.parts) == 2
+
+    def test_deterministic(self):
+        first = fuse(build_harris(), start="dx")
+        second = fuse(build_harris(), start="dx")
+        assert block_sets(first) == block_sets(second)
+        assert [e.action for e in first.trace] == [
+            e.action for e in second.trace
+        ]
+
+
+class TestOtherApplications:
+    def test_unsharp_fuses_whole_graph(self):
+        result = fuse(build_unsharp())
+        assert block_sets(result) == {
+            frozenset({"blur", "high", "amp", "sharpen"})
+        }
+        # Legal at the first iteration: no cut events at all.
+        assert all(e.action == "ready" for e in result.trace)
+
+    def test_sobel_fuses_whole_graph(self):
+        result = fuse(build_sobel())
+        assert block_sets(result) == {frozenset({"dx", "dy", "mag"})}
+
+    def test_night_fuses_only_scoto(self):
+        result = fuse(build_night())
+        assert block_sets(result) == {
+            frozenset({"atrous0"}),
+            frozenset({"atrous1", "scoto"}),
+        }
+
+    def test_point_chain_single_block(self):
+        result = fuse(chain_pipeline(("p", "p", "p", "p")))
+        assert block_sets(result) == {frozenset({"k0", "k1", "k2", "k3"})}
+
+    def test_single_kernel_pipeline(self):
+        result = fuse(chain_pipeline(("p",)))
+        assert block_sets(result) == {frozenset({"k0"})}
+        assert result.benefit == 0.0
+
+
+class TestPartitionValidity:
+    @pytest.mark.parametrize(
+        "builder",
+        [build_harris, build_sobel, build_unsharp, build_night],
+        ids=["harris", "sobel", "unsharp", "night"],
+    )
+    def test_every_block_is_legal(self, builder):
+        graph = builder().build()
+        weighted = estimate_graph(graph, GTX680)
+        result = mincut_fusion(weighted)
+        for block in result.partition.blocks:
+            assert weighted.is_legal_block(block.vertices)
+
+    def test_benefit_consistent_with_cut(self):
+        result = fuse(build_harris())
+        partition = result.partition
+        assert partition.benefit + partition.cut_weight == pytest.approx(
+            result.weighted.graph.total_weight
+        )
+
+
+class TestThresholdSensitivity:
+    def test_relaxed_cmshared_fuses_more_of_harris(self):
+        tight = fuse(build_harris(), config=BenefitConfig(c_mshared=2.0))
+        loose = fuse(build_harris(), config=BenefitConfig(c_mshared=8.0))
+        assert loose.partition.benefit >= tight.partition.benefit
+        assert len(loose.partition) < len(tight.partition)
+
+    def test_cmshared_one_still_fuses_point_blocks(self):
+        # c_mshared = 1 forbids combining shared-memory users but pure
+        # point fusions (ratio 1.0) stay legal.
+        result = fuse(
+            chain_pipeline(("p", "p")), config=BenefitConfig(c_mshared=1.0)
+        )
+        assert block_sets(result) == {frozenset({"k0", "k1"})}
+
+    def test_describe_contains_engine_and_blocks(self):
+        result = fuse(build_harris())
+        text = result.describe()
+        assert "mincut" in text
+        assert "benefit" in text

@@ -1,0 +1,55 @@
+"""Unit tests for pattern-only scenario classification."""
+
+from helpers import chain_pipeline, image, point_kernel
+
+from repro.dsl.image import Image
+from repro.dsl.kernel import Accessor, Kernel, ReductionKind
+from repro.dsl.pipeline import Pipeline
+from repro.fusion.scenarios import classify_edge_scenario, pair_pattern
+from repro.ir.expr import InputAt
+from repro.model.benefit import FusionScenario
+
+
+def classify_chain(patterns):
+    graph = chain_pipeline(patterns).build()
+    return classify_edge_scenario(graph, graph.edge("k0", "k1"))
+
+
+class TestClassification:
+    def test_point_to_point(self):
+        assert classify_chain(("p", "p")) is FusionScenario.POINT_BASED
+
+    def test_local_to_point(self):
+        assert classify_chain(("l", "p")) is FusionScenario.POINT_BASED
+
+    def test_point_to_local(self):
+        assert classify_chain(("p", "l")) is FusionScenario.POINT_TO_LOCAL
+
+    def test_local_to_local(self):
+        assert classify_chain(("l", "l")) is FusionScenario.LOCAL_TO_LOCAL
+
+    def test_global_is_illegal(self):
+        pipe = Pipeline("g")
+        src, mid = image("src"), image("mid")
+        total = Image.create("total", 1, 1)
+        pipe.add(point_kernel("k0", src, mid))
+        pipe.add(
+            Kernel(
+                "k1",
+                [Accessor(mid)],
+                total,
+                InputAt("mid"),
+                reduction=ReductionKind.SUM,
+            )
+        )
+        graph = pipe.build()
+        scenario = classify_edge_scenario(graph, graph.edge("k0", "k1"))
+        assert scenario is FusionScenario.ILLEGAL
+
+
+class TestPairPattern:
+    def test_labels(self):
+        graph = chain_pipeline(("l", "p")).build()
+        assert pair_pattern(
+            graph.kernel("k0"), graph.kernel("k1")
+        ) == "local-to-point"

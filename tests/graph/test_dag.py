@@ -1,0 +1,142 @@
+"""Unit tests for the kernel dependence DAG."""
+
+import pytest
+
+from helpers import chain_pipeline, diamond_pipeline, image, point_kernel
+
+from repro.dsl.kernel import Kernel
+from repro.dsl.pipeline import Pipeline
+from repro.graph.dag import GraphError, KernelGraph
+from repro.ir.expr import InputAt
+
+
+def chain(n=3):
+    return chain_pipeline(tuple("p" * n)).build()
+
+
+class TestStructure:
+    def test_len_and_contains(self):
+        graph = chain(3)
+        assert len(graph) == 3
+        assert "k1" in graph
+        assert "missing" not in graph
+
+    def test_topological_order_of_chain(self):
+        assert chain(4).kernel_names == ("k0", "k1", "k2", "k3")
+
+    def test_topological_order_respects_edges(self):
+        graph = diamond_pipeline().build()
+        order = graph.kernel_names
+        for edge in graph.edges:
+            assert order.index(edge.src) < order.index(edge.dst)
+
+    def test_cycle_detected(self):
+        a, b = image("a"), image("b")
+        k1 = Kernel.from_function("k1", [a], b, lambda x: x())
+        k2 = Kernel.from_function("k2", [b], a, lambda x: x())
+        with pytest.raises(GraphError, match="cycle"):
+            KernelGraph([k1, k2])
+
+    def test_duplicate_kernel_name_rejected(self):
+        a, b, c = image("a"), image("b"), image("c")
+        with pytest.raises(GraphError, match="duplicate"):
+            KernelGraph(
+                [point_kernel("k", a, b), point_kernel("k", b, c)]
+            )
+
+    def test_duplicate_producer_rejected(self):
+        a, b = image("a"), image("b")
+        with pytest.raises(GraphError, match="produced by both"):
+            KernelGraph(
+                [point_kernel("k1", a, b), point_kernel("k2", a, b)]
+            )
+
+    def test_unknown_external_output_rejected(self):
+        a, b = image("a"), image("b")
+        with pytest.raises(GraphError, match="produced by no kernel"):
+            KernelGraph([point_kernel("k", a, b)], external_outputs=["zzz"])
+
+
+class TestQueries:
+    def test_predecessors_successors(self):
+        graph = chain(3)
+        assert graph.predecessors("k1") == ("k0",)
+        assert graph.successors("k1") == ("k2",)
+        assert graph.predecessors("k0") == ()
+        assert graph.successors("k2") == ()
+
+    def test_producer_of(self):
+        graph = chain(2)
+        assert graph.producer_of("img1") == "k0"
+        assert graph.producer_of("img0") is None
+
+    def test_consumers_of(self):
+        graph = diamond_pipeline().build()
+        assert graph.consumers_of("src") == ("a", "b", "c")
+
+    def test_edge_lookup(self):
+        graph = chain(2)
+        edge = graph.edge("k0", "k1")
+        assert edge.image == "img1"
+        with pytest.raises(KeyError):
+            graph.edge("k1", "k0")
+
+    def test_induced_edges(self):
+        graph = chain(3)
+        induced = graph.induced_edges({"k0", "k1"})
+        assert len(induced) == 1
+        assert induced[0].key == ("k0", "k1")
+
+    def test_is_connected(self):
+        graph = chain(3)
+        assert graph.is_connected({"k0", "k1"})
+        assert not graph.is_connected({"k0", "k2"})
+        assert graph.is_connected(set())
+        assert graph.is_connected({"k1"})
+
+
+class TestWeights:
+    def test_total_weight_requires_estimation(self):
+        graph = chain(2)
+        with pytest.raises(GraphError, match="no weight"):
+            graph.total_weight
+
+    def test_with_weights(self):
+        graph = chain(3)
+        weighted = graph.with_weights(
+            {("k0", "k1"): 5.0, ("k1", "k2"): 7.0}
+        )
+        assert weighted.total_weight == 12.0
+        # original untouched
+        assert graph.edges[0].weight is None
+
+    def test_with_weights_missing_edge_rejected(self):
+        graph = chain(3)
+        with pytest.raises(GraphError, match="missing weight"):
+            graph.with_weights({("k0", "k1"): 5.0})
+
+    def test_with_weights_rejects_non_positive(self):
+        graph = chain(2)
+        with pytest.raises(GraphError, match="positive"):
+            graph.with_weights({("k0", "k1"): 0.0})
+
+    def test_weighted_edge_equality_ignores_weight(self):
+        graph = chain(2)
+        weighted = graph.with_weights({("k0", "k1"): 5.0})
+        assert weighted.edges[0] == graph.edges[0]
+
+
+class TestMultiEdgeProducers:
+    def test_producer_feeding_consumer_twice_single_edge_per_image(self):
+        # One producer image consumed by a kernel reading it twice at
+        # different offsets still yields one edge.
+        pipe = Pipeline("p")
+        a, b, out = image("a"), image("b"), image("out")
+        pipe.add(point_kernel("prod", a, b))
+        pipe.add(
+            Kernel.from_function(
+                "cons", [b], out, lambda x: x(0, 0) + x(1, 0)
+            )
+        )
+        graph = pipe.build()
+        assert len(graph.edges) == 1

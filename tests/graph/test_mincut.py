@@ -1,0 +1,152 @@
+"""Unit tests for the from-scratch Stoer–Wagner implementation."""
+
+import pytest
+
+from helpers import chain_pipeline
+
+from repro.graph.dag import GraphError
+from repro.graph.mincut import min_cut_partition, stoer_wagner
+
+
+class TestStoerWagnerBasics:
+    def test_two_vertices(self):
+        result = stoer_wagner(["a", "b"], [("a", "b", 3.0)])
+        assert result.weight == 3.0
+        assert {result.side_a, result.side_b} == {
+            frozenset({"a"}), frozenset({"b"})
+        }
+
+    def test_chain_cuts_lightest_edge(self):
+        result = stoer_wagner(
+            ["a", "b", "c", "d"],
+            [("a", "b", 5.0), ("b", "c", 1.0), ("c", "d", 5.0)],
+        )
+        assert result.weight == 1.0
+        assert {result.side_a, result.side_b} == {
+            frozenset({"a", "b"}), frozenset({"c", "d"})
+        }
+
+    def test_classic_stoer_wagner_example(self):
+        # The 8-vertex example from the Stoer-Wagner paper; min cut = 4.
+        edges = [
+            (1, 2, 2), (1, 5, 3), (2, 3, 3), (2, 5, 2), (2, 6, 2),
+            (3, 4, 4), (3, 7, 2), (4, 7, 2), (4, 8, 2), (5, 6, 3),
+            (6, 7, 1), (7, 8, 3),
+        ]
+        vertices = [str(i) for i in range(1, 9)]
+        named = [(str(a), str(b), float(w)) for a, b, w in edges]
+        result = stoer_wagner(vertices, named)
+        assert result.weight == 4.0
+        assert {result.side_a, result.side_b} == {
+            frozenset({"3", "4", "7", "8"}),
+            frozenset({"1", "2", "5", "6"}),
+        }
+
+    def test_anti_parallel_edges_accumulate(self):
+        result = stoer_wagner(
+            ["a", "b", "c"],
+            [("a", "b", 1.0), ("b", "a", 1.0), ("b", "c", 1.5)],
+        )
+        assert result.weight == 1.5
+
+    def test_parallel_edges_accumulate(self):
+        result = stoer_wagner(
+            ["a", "b", "c"],
+            [("a", "b", 1.0), ("a", "b", 1.0), ("b", "c", 1.5)],
+        )
+        assert result.weight == 1.5
+        assert frozenset({"c"}) in result.sides()
+
+    def test_self_loops_ignored(self):
+        result = stoer_wagner(
+            ["a", "b"], [("a", "a", 100.0), ("a", "b", 2.0)]
+        )
+        assert result.weight == 2.0
+
+    def test_disconnected_graph_zero_cut(self):
+        result = stoer_wagner(
+            ["a", "b", "c", "d"],
+            [("a", "b", 5.0), ("c", "d", 5.0)],
+        )
+        assert result.weight == 0.0
+        assert {result.side_a, result.side_b} == {
+            frozenset({"a", "b"}), frozenset({"c", "d"})
+        }
+
+    def test_star_graph(self):
+        result = stoer_wagner(
+            ["hub", "a", "b", "c"],
+            [("hub", "a", 1.0), ("hub", "b", 2.0), ("hub", "c", 3.0)],
+        )
+        assert result.weight == 1.0
+        assert frozenset({"a"}) in result.sides()
+
+
+class TestValidation:
+    def test_single_vertex_rejected(self):
+        with pytest.raises(GraphError):
+            stoer_wagner(["a"], [])
+
+    def test_duplicate_vertices_rejected(self):
+        with pytest.raises(GraphError, match="duplicate"):
+            stoer_wagner(["a", "a"], [])
+
+    def test_unknown_edge_endpoint_rejected(self):
+        with pytest.raises(GraphError, match="unknown"):
+            stoer_wagner(["a", "b"], [("a", "z", 1.0)])
+
+    def test_non_positive_weight_rejected(self):
+        with pytest.raises(GraphError, match="positive"):
+            stoer_wagner(["a", "b"], [("a", "b", 0.0)])
+        with pytest.raises(GraphError, match="positive"):
+            stoer_wagner(["a", "b"], [("a", "b", -1.0)])
+
+    def test_unknown_start_rejected(self):
+        with pytest.raises(GraphError, match="start"):
+            stoer_wagner(["a", "b"], [("a", "b", 1.0)], start="z")
+
+
+class TestDeterminism:
+    def test_repeated_runs_identical(self):
+        vertices = ["a", "b", "c", "d", "e"]
+        edges = [
+            ("a", "b", 1.0), ("b", "c", 1.0), ("c", "d", 1.0),
+            ("d", "e", 1.0), ("e", "a", 1.0),
+        ]
+        first = stoer_wagner(vertices, edges)
+        for _ in range(5):
+            again = stoer_wagner(vertices, edges)
+            assert again.weight == first.weight
+            assert again.sides() == first.sides()
+
+    def test_tie_break_deterministic_on_equal_weights(self):
+        # All edges equal: many minimum cuts exist; the result must be
+        # stable across runs ("selects the first one encountered").
+        vertices = ["a", "b", "c", "d"]
+        edges = [("a", "b", 1.0), ("b", "c", 1.0), ("c", "d", 1.0)]
+        results = {stoer_wagner(vertices, edges).sides() for _ in range(5)}
+        assert len(results) == 1
+
+
+class TestMinCutPartition:
+    def test_cut_on_induced_subgraph(self):
+        graph = chain_pipeline(("p", "p", "p", "p")).build()
+        weighted = graph.with_weights(
+            {("k0", "k1"): 9.0, ("k1", "k2"): 1.0, ("k2", "k3"): 9.0}
+        )
+        result = min_cut_partition(weighted, ["k0", "k1", "k2", "k3"])
+        assert result.weight == 1.0
+        assert frozenset({"k0", "k1"}) in result.sides()
+
+    def test_requires_weights(self):
+        graph = chain_pipeline(("p", "p")).build()
+        with pytest.raises(GraphError, match="no weight"):
+            min_cut_partition(graph, ["k0", "k1"])
+
+    def test_subset_only(self):
+        graph = chain_pipeline(("p", "p", "p", "p")).build()
+        weighted = graph.with_weights(
+            {("k0", "k1"): 9.0, ("k1", "k2"): 1.0, ("k2", "k3"): 9.0}
+        )
+        result = min_cut_partition(weighted, ["k1", "k2"])
+        assert result.weight == 1.0

@@ -1,0 +1,89 @@
+"""Cross-validation of the Stoer–Wagner implementation against networkx.
+
+networkx is used exclusively as a test oracle — the library itself
+implements the minimum cut from scratch.
+"""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.graph.mincut import stoer_wagner
+
+
+def random_connected_graph(rng, n, extra_edges, weight_pool):
+    """A random connected undirected weighted graph."""
+    vertices = [f"v{i}" for i in range(n)]
+    edges = []
+    # Random spanning tree first (guarantees connectivity).
+    shuffled = vertices[:]
+    rng.shuffle(shuffled)
+    for i in range(1, n):
+        parent = shuffled[rng.randrange(i)]
+        edges.append((parent, shuffled[i], rng.choice(weight_pool)))
+    existing = {(min(a, b), max(a, b)) for a, b, _ in edges}
+    attempts = 0
+    while len(edges) < n - 1 + extra_edges and attempts < 100:
+        attempts += 1
+        a, b = rng.sample(vertices, 2)
+        key = (min(a, b), max(a, b))
+        if key in existing:
+            continue
+        existing.add(key)
+        edges.append((a, b, rng.choice(weight_pool)))
+    return vertices, edges
+
+
+def nx_cut_weight(vertices, edges):
+    graph = nx.Graph()
+    graph.add_nodes_from(vertices)
+    for a, b, w in edges:
+        if graph.has_edge(a, b):
+            graph[a][b]["weight"] += w
+        else:
+            graph.add_edge(a, b, weight=w)
+    weight, _ = nx.stoer_wagner(graph)
+    return weight
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_matches_networkx_on_random_graphs(seed):
+    rng = random.Random(seed)
+    n = rng.randrange(3, 12)
+    extra = rng.randrange(0, n)
+    pool = [0.5, 1.0, 2.0, 3.5, 10.0]
+    vertices, edges = random_connected_graph(rng, n, extra, pool)
+
+    ours = stoer_wagner(vertices, edges)
+    reference = nx_cut_weight(vertices, edges)
+    assert ours.weight == pytest.approx(reference)
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_cut_weight_matches_returned_sides(seed):
+    """The reported weight equals the weight crossing the reported sides."""
+    rng = random.Random(100 + seed)
+    vertices, edges = random_connected_graph(rng, 10, 8, [1.0, 2.0, 5.0])
+    result = stoer_wagner(vertices, edges)
+    crossing = sum(
+        w
+        for a, b, w in edges
+        if (a in result.side_a) != (b in result.side_a)
+    )
+    assert crossing == pytest.approx(result.weight)
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_no_lighter_random_cut_exists(seed):
+    """Spot check minimality against many random bipartitions."""
+    rng = random.Random(200 + seed)
+    vertices, edges = random_connected_graph(rng, 9, 6, [1.0, 3.0, 7.0])
+    result = stoer_wagner(vertices, edges)
+    for _ in range(200):
+        size = rng.randrange(1, len(vertices))
+        side = set(rng.sample(vertices, size))
+        crossing = sum(
+            w for a, b, w in edges if (a in side) != (b in side)
+        )
+        assert crossing >= result.weight - 1e-9

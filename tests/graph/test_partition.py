@@ -1,0 +1,148 @@
+"""Unit tests for partition blocks and partitions."""
+
+import pytest
+
+from helpers import chain_pipeline, diamond_pipeline
+
+from repro.graph.dag import GraphError
+from repro.graph.partition import Partition, PartitionBlock
+
+
+def weighted_chain(n=3):
+    graph = chain_pipeline(tuple("p" * n)).build()
+    weights = {e.key: 10.0 * (i + 1) for i, e in enumerate(graph.edges)}
+    return graph.with_weights(weights)
+
+
+class TestPartitionBlock:
+    def test_empty_block_rejected(self):
+        graph = weighted_chain()
+        with pytest.raises(GraphError):
+            PartitionBlock(graph, set())
+
+    def test_unknown_vertex_rejected(self):
+        graph = weighted_chain()
+        with pytest.raises(GraphError, match="unknown"):
+            PartitionBlock(graph, {"nope"})
+
+    def test_weight_sums_internal_edges(self):
+        graph = weighted_chain(3)
+        assert PartitionBlock(graph, {"k0", "k1"}).weight == 10.0
+        assert PartitionBlock(graph, {"k0", "k1", "k2"}).weight == 30.0
+        assert PartitionBlock(graph, {"k0", "k2"}).weight == 0.0
+
+    def test_ordered_vertices(self):
+        graph = weighted_chain(3)
+        block = PartitionBlock(graph, {"k2", "k0"})
+        assert block.ordered_vertices() == ("k0", "k2")
+
+    def test_sources_and_destinations_in_chain(self):
+        graph = weighted_chain(3)
+        block = PartitionBlock(graph, {"k0", "k1", "k2"})
+        assert block.source_kernels() == ("k0",)
+        assert block.destination_kernels() == ("k2",)
+
+    def test_multiple_destinations_detected(self):
+        graph = weighted_chain(3)
+        # k0's output is consumed by k1 (outside) => k0 escapes, k1 too
+        block = PartitionBlock(graph, {"k0"})
+        assert block.destination_kernels() == ("k0",)
+        two = PartitionBlock(graph, {"k0", "k2"})
+        assert set(two.destination_kernels()) == {"k0", "k2"}
+
+    def test_external_inputs_of_diamond(self):
+        graph = diamond_pipeline().build()
+        block = PartitionBlock(graph, {"a", "b", "c"})
+        assert block.external_input_images() == ("src",)
+
+    def test_intermediate_images(self):
+        graph = diamond_pipeline().build()
+        block = PartitionBlock(graph, {"a", "b", "c"})
+        assert set(block.intermediate_images()) == {"mid_a", "mid_b"}
+
+    def test_connectivity(self):
+        graph = weighted_chain(3)
+        assert PartitionBlock(graph, {"k0", "k1"}).is_connected()
+        assert not PartitionBlock(graph, {"k0", "k2"}).is_connected()
+
+    def test_equality_and_hash(self):
+        graph = weighted_chain(3)
+        a = PartitionBlock(graph, {"k0", "k1"})
+        b = PartitionBlock(graph, {"k1", "k0"})
+        assert a == b
+        assert len({a, b}) == 1
+
+
+class TestPartition:
+    def test_singletons_cover(self):
+        graph = weighted_chain(3)
+        partition = Partition.singletons(graph)
+        assert len(partition) == 3
+        assert partition.benefit == 0.0
+        assert partition.cut_weight == graph.total_weight
+
+    def test_overlapping_blocks_rejected(self):
+        graph = weighted_chain(3)
+        with pytest.raises(GraphError, match="overlap"):
+            Partition(
+                graph,
+                [
+                    PartitionBlock(graph, {"k0", "k1"}),
+                    PartitionBlock(graph, {"k1", "k2"}),
+                ],
+            )
+
+    def test_incomplete_cover_rejected(self):
+        graph = weighted_chain(3)
+        with pytest.raises(GraphError, match="cover"):
+            Partition(graph, [PartitionBlock(graph, {"k0", "k1"})])
+
+    def test_benefit_plus_cut_is_total(self):
+        graph = weighted_chain(4)
+        partition = Partition(
+            graph,
+            [
+                PartitionBlock(graph, {"k0", "k1"}),
+                PartitionBlock(graph, {"k2", "k3"}),
+            ],
+        )
+        # Eq. (13): w_G = sum of block weights + cut weight
+        assert partition.benefit + partition.cut_weight == pytest.approx(
+            graph.total_weight
+        )
+
+    def test_block_of(self):
+        graph = weighted_chain(3)
+        partition = Partition.singletons(graph)
+        assert partition.block_of("k1").vertices == frozenset({"k1"})
+        with pytest.raises(KeyError):
+            partition.block_of("nope")
+
+    def test_fused_block_count(self):
+        graph = weighted_chain(3)
+        partition = Partition(
+            graph,
+            [
+                PartitionBlock(graph, {"k0", "k1"}),
+                PartitionBlock(graph, {"k2"}),
+            ],
+        )
+        assert partition.fused_block_count() == 1
+
+    def test_blocks_ordered_topologically(self):
+        graph = weighted_chain(4)
+        partition = Partition(
+            graph,
+            [
+                PartitionBlock(graph, {"k2", "k3"}),
+                PartitionBlock(graph, {"k0", "k1"}),
+            ],
+        )
+        assert partition.blocks[0].vertices == frozenset({"k0", "k1"})
+
+    def test_describe_mentions_fused(self):
+        graph = weighted_chain(2)
+        partition = Partition(
+            graph, [PartitionBlock(graph, {"k0", "k1"})]
+        )
+        assert "fused" in partition.describe()

@@ -1,0 +1,57 @@
+"""Tests for the DOT exporter."""
+
+from helpers import chain_pipeline
+
+from repro.apps.harris import build_pipeline as build_harris
+from repro.eval.runner import partition_for
+from repro.graph.partition import Partition
+from repro.graph.viz import legend, to_dot
+from repro.model.benefit import estimate_graph
+from repro.model.hardware import GTX680
+
+
+class TestToDot:
+    def test_plain_graph(self):
+        graph = chain_pipeline(("p", "l")).build()
+        dot = to_dot(graph)
+        assert dot.startswith("digraph pipeline {")
+        assert dot.rstrip().endswith("}")
+        assert '"k0" -> "k1"' in dot
+        assert "shape=ellipse" in dot  # point kernel
+        assert "shape=box" in dot  # local kernel
+
+    def test_weights_and_epsilon_label(self):
+        graph = build_harris(16, 16).build()
+        weighted = estimate_graph(graph, GTX680)
+        dot = to_dot(weighted.graph, epsilon=weighted.config.epsilon)
+        assert 'label="328"' in dot
+        assert 'label="256"' in dot
+        assert 'label="ε"' in dot
+
+    def test_partition_renders_clusters(self):
+        graph = build_harris(16, 16).build()
+        weighted = estimate_graph(graph, GTX680)
+        partition = partition_for(weighted.graph, GTX680, "optimized")
+        dot = to_dot(weighted.graph, partition, weighted.config.epsilon)
+        assert dot.count("subgraph cluster_") == 3  # three fused pairs
+        assert "fused (w=328)" in dot
+
+    def test_singleton_partition_no_clusters(self):
+        graph = chain_pipeline(("p", "p")).build()
+        dot = to_dot(graph, Partition.singletons(graph))
+        assert "subgraph" not in dot
+
+    def test_title(self):
+        graph = chain_pipeline(("p",)).build()
+        dot = to_dot(graph, title="Harris corner")
+        assert 'label="Harris corner"' in dot
+
+    def test_every_kernel_and_edge_present(self):
+        graph = build_harris(16, 16).build()
+        dot = to_dot(graph)
+        for name in graph.kernel_names:
+            assert f'"{name}"' in dot
+        assert dot.count(" -> ") == len(graph.edges)
+
+    def test_legend_covers_patterns(self):
+        assert set(legend()) == {"point", "local", "global"}

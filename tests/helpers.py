@@ -1,0 +1,149 @@
+"""Shared construction helpers for the test-suite.
+
+Small factory functions building kernels and pipelines with known
+shapes: linear chains, producer diamonds, local/point mixes.  Tests use
+these instead of the full paper applications when they only need a
+structural property.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.dsl.boundary import BoundaryMode, BoundarySpec
+from repro.dsl.functional import convolve
+from repro.dsl.image import Image
+from repro.dsl.kernel import Kernel
+from repro.dsl.mask import Mask
+from repro.dsl.pipeline import Pipeline
+from repro.ir.expr import Const
+
+#: A small unnormalized blur mask for local test kernels.
+BLUR3 = Mask([[1, 2, 1], [2, 4, 2], [1, 2, 1]])
+
+#: An asymmetric 3x3 mask (no accidental symmetry in tests).
+EDGE3 = Mask([[-1, 0, 1], [-2, 0, 2], [-1, 0, 1]])
+
+#: A 5x5 mask for mixed-size local-to-local tests.
+BLUR5 = Mask(
+    [
+        [1, 1, 2, 1, 1],
+        [1, 2, 4, 2, 1],
+        [2, 4, 8, 4, 2],
+        [1, 2, 4, 2, 1],
+        [1, 1, 2, 1, 1],
+    ]
+)
+
+
+def image(name: str, width: int = 8, height: int = 8, channels: int = 1) -> Image:
+    return Image.create(name, width, height, channels)
+
+
+def point_kernel(
+    name: str,
+    source: Image,
+    output: Image,
+    scale: float = 2.0,
+    offset: float = 1.0,
+    boundary: BoundarySpec | BoundaryMode | None = None,
+) -> Kernel:
+    """A point kernel computing ``scale * in + offset``."""
+    return Kernel.from_function(
+        name,
+        [source],
+        output,
+        lambda a: a() * Const(scale) + Const(offset),
+        boundary=boundary,
+    )
+
+
+def local_kernel(
+    name: str,
+    source: Image,
+    output: Image,
+    mask: Mask = BLUR3,
+    boundary: BoundarySpec | BoundaryMode | None = None,
+) -> Kernel:
+    """A local convolution kernel."""
+    return Kernel.from_function(
+        name,
+        [source],
+        output,
+        lambda a: convolve(a, mask),
+        boundary=boundary,
+    )
+
+
+def chain_pipeline(
+    patterns: Sequence[str],
+    width: int = 8,
+    height: int = 8,
+    boundary: BoundarySpec | BoundaryMode | None = None,
+    masks: Sequence[Mask] | None = None,
+) -> Pipeline:
+    """A linear chain of kernels, one per pattern letter.
+
+    ``patterns`` is a sequence like ``("p", "l", "p")`` — point or local
+    stages.  Images are named ``img0`` (pipeline input) through
+    ``img<n>``; kernels are named ``k0`` ... ``k<n-1>``.
+    """
+    pipe = Pipeline("chain")
+    images = [image(f"img{i}", width, height) for i in range(len(patterns) + 1)]
+    local_index = 0
+    for i, pattern in enumerate(patterns):
+        if pattern == "p":
+            pipe.add(
+                point_kernel(
+                    f"k{i}", images[i], images[i + 1], boundary=boundary
+                )
+            )
+        elif pattern == "l":
+            mask = BLUR3
+            if masks is not None:
+                mask = masks[local_index]
+            local_index += 1
+            pipe.add(
+                local_kernel(
+                    f"k{i}", images[i], images[i + 1], mask, boundary=boundary
+                )
+            )
+        else:
+            raise ValueError(f"unknown pattern {pattern!r}")
+    return pipe
+
+
+def diamond_pipeline(width: int = 8, height: int = 8) -> Pipeline:
+    """A shared-input diamond: every kernel also reads the source image.
+
+    Mirrors the Unsharp shape (Fig. 2b): source -> a (local), then
+    b = f(source, a), c = g(source, b).
+    """
+    pipe = Pipeline("diamond")
+    src = image("src", width, height)
+    mid_a = image("mid_a", width, height)
+    mid_b = image("mid_b", width, height)
+    out = image("out", width, height)
+    pipe.add(local_kernel("a", src, mid_a))
+    pipe.add(
+        Kernel.from_function(
+            "b", [src, mid_a], mid_b, lambda s, a: s() - a() * Const(0.5)
+        )
+    )
+    pipe.add(
+        Kernel.from_function(
+            "c", [src, mid_b], out, lambda s, b: s() + b() * Const(0.25)
+        )
+    )
+    return pipe
+
+
+def random_image(
+    width: int = 8, height: int = 8, channels: int = 1, seed: int = 0
+) -> np.ndarray:
+    """A deterministic random test image in [0, 255]."""
+    rng = np.random.default_rng(seed)
+    shape = (height, width) if channels == 1 else (height, width, channels)
+    return rng.uniform(0.0, 255.0, size=shape)

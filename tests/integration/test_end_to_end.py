@@ -1,0 +1,91 @@
+"""End-to-end integration: every application, every engine, every GPU.
+
+The invariant: whatever partition an engine chooses on whatever device,
+executing the partitioned pipeline must reproduce the staged pipeline
+bit-for-bit (up to floating-point associativity).
+"""
+
+import numpy as np
+import pytest
+
+from helpers import random_image
+
+from repro.apps import APPLICATIONS
+from repro.backend.codegen_cuda import generate_cuda_pipeline
+from repro.backend.numpy_exec import execute_partitioned, execute_pipeline
+from repro.eval.runner import partition_for
+from repro.model.hardware import GTX680, GTX745, K20C
+
+#: Small geometries keep the recursive fused evaluation fast.
+GEOMETRY = {
+    "Harris": (20, 20, 1),
+    "Sobel": (20, 20, 1),
+    "Unsharp": (20, 20, 1),
+    "ShiTomasi": (20, 20, 1),
+    "Enhance": (16, 16, 1),
+    "Night": (14, 12, 3),
+}
+
+PARAMS = {"gamma": 0.8}
+
+ENGINES = ("baseline", "basic", "optimized", "greedy")
+
+
+def build_small(app_name):
+    width, height, channels = GEOMETRY[app_name]
+    graph = APPLICATIONS[app_name].build(width, height).build()
+    data = random_image(width, height, channels=channels, seed=42) + 1.0
+    return graph, {"input": data}
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("app_name", sorted(GEOMETRY))
+def test_partitioned_execution_matches_staged(app_name, engine):
+    graph, inputs = build_small(app_name)
+    staged = execute_pipeline(graph, inputs, PARAMS)
+    partition = partition_for(graph, GTX680, engine)
+    env = execute_partitioned(graph, partition, inputs, PARAMS)
+    for output_name in graph.external_outputs:
+        np.testing.assert_allclose(
+            env[output_name],
+            staged[output_name],
+            rtol=1e-9,
+            atol=1e-9,
+            err_msg=f"{app_name}/{engine}/{output_name}",
+        )
+
+
+@pytest.mark.parametrize("gpu", [GTX745, GTX680, K20C], ids=lambda g: g.name)
+def test_optimized_partitions_stable_across_devices(gpu):
+    # The three devices share cost constants, so the fusion decisions
+    # of the paper's matrix are device-independent.
+    for app_name in sorted(GEOMETRY):
+        graph, _ = build_small(app_name)
+        blocks_680 = {
+            frozenset(b.vertices)
+            for b in partition_for(graph, GTX680, "optimized").blocks
+        }
+        blocks_dev = {
+            frozenset(b.vertices)
+            for b in partition_for(graph, gpu, "optimized").blocks
+        }
+        assert blocks_dev == blocks_680, app_name
+
+
+@pytest.mark.parametrize("app_name", sorted(GEOMETRY))
+def test_cuda_generation_for_every_app(app_name):
+    graph, _ = build_small(app_name)
+    partition = partition_for(graph, GTX680, "optimized")
+    source = generate_cuda_pipeline(graph, partition)
+    assert source.count("__global__ void") == len(partition)
+    # Every surviving image appears in some signature.
+    for block in partition.blocks:
+        for name in block.external_input_images():
+            assert f"In_{name}" in source
+
+
+def test_night_rgb_channels_survive_fusion():
+    graph, inputs = build_small("Night")
+    partition = partition_for(graph, GTX680, "optimized")
+    env = execute_partitioned(graph, partition, inputs, PARAMS)
+    assert env["toned"].shape == inputs["input"].shape

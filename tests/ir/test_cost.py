@@ -1,0 +1,77 @@
+"""Unit tests for ALU/SFU operation counting (feeds Eq. 6)."""
+
+from repro.ir import ops
+from repro.ir.cost import OpCounts, count_ops
+from repro.ir.expr import Cast, Const, InputAt, Select
+
+
+class TestOpCounts:
+    def test_addition(self):
+        total = OpCounts(2, 1) + OpCounts(3, 4)
+        assert total == OpCounts(5, 5)
+
+    def test_scaled(self):
+        assert OpCounts(2, 1).scaled(9) == OpCounts(18, 9)
+
+    def test_cycles_eq6(self):
+        # Eq. (6): cost_op = c_ALU * n_ALU + c_SFU * n_SFU
+        assert OpCounts(2, 0).cycles(4.0, 16.0) == 8.0
+        assert OpCounts(2, 3).cycles(4.0, 16.0) == 56.0
+
+    def test_total(self):
+        assert OpCounts(2, 3).total == 5
+
+
+class TestCountOps:
+    def test_leaves_are_free(self):
+        assert count_ops(InputAt("a")) == OpCounts(0, 0)
+        assert count_ops(Const(1.0)) == OpCounts(0, 0)
+
+    def test_alu_ops_counted(self):
+        expr = InputAt("a") * InputAt("b") + Const(1.0)
+        assert count_ops(expr) == OpCounts(2, 0)
+
+    def test_sfu_ops_counted(self):
+        expr = ops.exp(InputAt("a")) + ops.sqrt(InputAt("b"))
+        counts = count_ops(expr)
+        assert counts.sfu == 2
+        assert counts.alu == 1
+
+    def test_select_cmp_cast_are_alu(self):
+        expr = Select(
+            InputAt("a") < Const(0.0), Cast("float32", Const(1.0)), Const(2.0)
+        )
+        assert count_ops(expr) == OpCounts(3, 0)
+
+    def test_harris_square_kernel_has_two_alu(self):
+        # The paper counts n_ALU = 2 for the Harris squaring kernels.
+        expr = InputAt("Ix") * InputAt("Ix") * Const(1.0 / 65025.0)
+        assert count_ops(expr) == OpCounts(2, 0)
+
+
+class TestCseAwareCounting:
+    def test_repeated_subexpression_counted_once(self):
+        shared = InputAt("a") * Const(2.0)
+        expr = shared + shared
+        assert count_ops(expr) == OpCounts(2, 0)  # one mul + one add
+
+    def test_cse_disabled_counts_tree(self):
+        shared = InputAt("a") * Const(2.0)
+        expr = shared + shared
+        assert count_ops(expr, cse=False) == OpCounts(3, 0)
+
+    def test_distinct_offsets_not_merged(self):
+        # Producer bodies inlined at different offsets stay distinct —
+        # this is the redundant computation of Eq. (7).
+        expr = (InputAt("a", 0, 0) * Const(2.0)) + (
+            InputAt("a", 1, 0) * Const(2.0)
+        )
+        assert count_ops(expr) == OpCounts(3, 0)
+
+    def test_point_producer_inlined_many_times_costs_once(self):
+        # Point-based scenario (Eq. 5): same-offset inlining is free
+        # after the first evaluation (register reuse).
+        producer = (InputAt("src") + Const(1.0)) * Const(0.5)
+        consumer = producer * producer + producer
+        counts = count_ops(consumer)
+        assert counts.alu == 2 + 2  # producer once, plus mul and add

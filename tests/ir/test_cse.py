@@ -1,0 +1,91 @@
+"""Unit tests for CSE scheduling."""
+
+import pytest
+
+from repro.ir import ops
+from repro.ir.cost import count_ops
+from repro.ir.cse import (
+    Scheduled,
+    eliminate_common_subexpressions,
+    inline_schedule,
+)
+from repro.ir.expr import Const, InputAt, Param
+
+X = InputAt("x")
+Y = InputAt("y")
+
+
+class TestElimination:
+    def test_shared_subtree_hoisted(self):
+        shared = (X + Const(1.0)) * Const(0.5)
+        expr = shared * shared + shared
+        scheduled = eliminate_common_subexpressions(expr)
+        # Innermost sharing first: _t0 = x + 1, then _t1 = _t0 * 0.5.
+        assert scheduled.bindings[0] == ("_t0", X + Const(1.0))
+        assert scheduled.bindings[1] == ("_t1", Param("_t0") * Const(0.5))
+        assert inline_schedule(scheduled) == expr
+
+    def test_inline_recovers_original(self):
+        shared = ops.sqrt(X * X + Y * Y)
+        expr = shared + shared * Const(2.0) + shared
+        scheduled = eliminate_common_subexpressions(expr)
+        assert inline_schedule(scheduled) == expr
+
+    def test_no_sharing_no_bindings(self):
+        expr = X + Y * Const(2.0)
+        scheduled = eliminate_common_subexpressions(expr)
+        assert scheduled.bindings == ()
+        assert scheduled.root == expr
+
+    def test_bare_reads_not_hoisted(self):
+        expr = X + X + X
+        scheduled = eliminate_common_subexpressions(expr)
+        assert scheduled.bindings == ()
+
+    def test_min_ops_threshold(self):
+        small = X + Const(1.0)
+        expr = small * small
+        assert eliminate_common_subexpressions(expr, min_ops=1).bindings
+        assert not eliminate_common_subexpressions(expr, min_ops=2).bindings
+
+    def test_executed_ops_reduced(self):
+        shared = (X + Const(1.0)) * (Y + Const(2.0))
+        expr = shared + shared * shared
+        scheduled = eliminate_common_subexpressions(expr)
+        assert scheduled.total_ops() < count_ops(expr, cse=False).total
+
+    def test_nested_sharing_layers(self):
+        inner = X * Const(2.0)
+        middle = inner + Const(1.0)
+        expr = (middle * middle) + inner
+        scheduled = eliminate_common_subexpressions(expr)
+        # inner hoisted first (smallest), then middle referencing _t0.
+        assert scheduled.bindings[0][1] == inner
+        assert inline_schedule(scheduled) == expr
+        names = [n for n, _ in scheduled.bindings]
+        assert names == sorted(names)
+
+    def test_reserved_parameter_collision_rejected(self):
+        expr = Param("_t0") + X
+        with pytest.raises(ValueError, match="reserved"):
+            eliminate_common_subexpressions(expr)
+
+    def test_user_params_untouched(self):
+        shared = X * Param("gain")
+        expr = shared + shared
+        scheduled = eliminate_common_subexpressions(expr)
+        assert inline_schedule(scheduled) == expr
+        assert "gain" not in scheduled.temp_names
+
+
+class TestScheduled:
+    def test_temp_names(self):
+        shared = X + Const(1.0)
+        expr = shared * shared
+        scheduled = eliminate_common_subexpressions(expr)
+        assert scheduled.temp_names == ("_t0",)
+
+    def test_dataclass_immutable(self):
+        scheduled = Scheduled((), X)
+        with pytest.raises(AttributeError):
+            scheduled.root = Y

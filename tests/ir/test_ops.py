@@ -1,0 +1,54 @@
+"""Unit tests for the IR builder helpers."""
+
+from repro.ir import ops
+from repro.ir.expr import BinOp, Call, Cmp, Const, InputAt, Select, UnOp
+
+
+class TestAluBuilders:
+    def test_minimum_maximum(self):
+        assert ops.minimum(Const(1.0), 2).op == "min"
+        assert ops.maximum(Const(1.0), 2).op == "max"
+
+    def test_clamp_composes_min_max(self):
+        expr = ops.clamp(InputAt("a"), 0.0, 255.0)
+        assert isinstance(expr, BinOp)
+        assert expr.op == "min"
+        assert expr.lhs.op == "max"
+
+    def test_absolute(self):
+        expr = ops.absolute(-3)
+        assert isinstance(expr, UnOp)
+        assert expr.op == "abs"
+
+    def test_select(self):
+        expr = ops.select(Const(1.0) < 2.0, 1.0, 0.0)
+        assert isinstance(expr, Select)
+        assert expr.if_true == Const(1.0)
+
+    def test_eq_ne_builders(self):
+        assert isinstance(ops.eq(Const(1.0), 1.0), Cmp)
+        assert ops.ne(Const(1.0), 2.0).op == "ne"
+
+    def test_const_builder(self):
+        assert ops.const(4.2) == Const(4.2)
+
+
+class TestSfuBuilders:
+    def test_unary_functions(self):
+        for name in ("exp", "log", "sqrt", "rsqrt", "sin", "cos", "tan", "tanh"):
+            builder = getattr(ops, name if name != "pow" else "pow_")
+            expr = builder(Const(1.0))
+            assert isinstance(expr, Call)
+            assert expr.fn == name
+
+    def test_pow(self):
+        expr = ops.pow_(InputAt("a"), 2.2)
+        assert expr.fn == "pow"
+        assert len(expr.args) == 2
+
+    def test_atan2(self):
+        expr = ops.atan2(InputAt("y"), InputAt("x"))
+        assert expr.fn == "atan2"
+
+    def test_scalar_coercion(self):
+        assert ops.sqrt(4.0).args[0] == Const(4.0)

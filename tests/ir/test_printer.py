@@ -1,0 +1,58 @@
+"""Unit tests for the expression pretty printer."""
+
+from repro.ir import ops
+from repro.ir.expr import Cast, Const, InputAt, Param, Select
+from repro.ir.printer import to_source
+
+
+class TestPrinter:
+    def test_constant(self):
+        assert to_source(Const(1.5)) == "1.5"
+
+    def test_integral_float_keeps_decimal(self):
+        assert to_source(Const(2.0)) == "2.0"
+
+    def test_param(self):
+        assert to_source(Param("gamma")) == "gamma"
+
+    def test_centered_read(self):
+        assert to_source(InputAt("img")) == "img(x, y)"
+
+    def test_offset_read(self):
+        assert to_source(InputAt("img", -1, 2)) == "img(x + -1, y + 2)"
+
+    def test_binary_ops(self):
+        expr = InputAt("a") + InputAt("b") * Const(2.0)
+        assert to_source(expr) == "(a(x, y) + (b(x, y) * 2.0))"
+
+    def test_min_max_as_calls(self):
+        expr = ops.minimum(InputAt("a"), Const(0.0))
+        assert to_source(expr) == "min(a(x, y), 0.0)"
+
+    def test_negation_and_abs(self):
+        assert to_source(-Const(1.0)) == "(-1.0)"
+        assert to_source(abs(InputAt("a"))) == "fabs(a(x, y))"
+
+    def test_comparison(self):
+        assert to_source(InputAt("a") < Const(0.0)) == "(a(x, y) < 0.0)"
+
+    def test_select_as_ternary(self):
+        expr = Select(InputAt("a") > Const(0.0), Const(1.0), Const(-1.0))
+        assert to_source(expr) == "((a(x, y) > 0.0) ? 1.0 : -1.0)"
+
+    def test_sfu_call(self):
+        assert to_source(ops.sqrt(InputAt("a"))) == "sqrt(a(x, y))"
+        assert (
+            to_source(ops.pow_(InputAt("a"), Const(0.5)))
+            == "pow(a(x, y), 0.5)"
+        )
+
+    def test_cast(self):
+        assert to_source(Cast("float", Const(1.0))) == "(float)(1.0)"
+
+    def test_custom_read_function(self):
+        expr = InputAt("img", 1, 1)
+        rendered = to_source(
+            expr, read_fn=lambda name, dx, dy: f"LOAD({name},{dx},{dy})"
+        )
+        assert rendered == "LOAD(img,1,1)"

@@ -1,0 +1,126 @@
+"""Unit tests for the expression simplifier."""
+
+import math
+
+import pytest
+
+from repro.ir import ops
+from repro.ir.expr import BinOp, Cmp, Const, InputAt, Select, UnOp
+from repro.ir.simplify import simplify
+
+X = InputAt("x")
+Y = InputAt("y")
+
+
+class TestConstantFolding:
+    def test_arithmetic(self):
+        assert simplify(Const(2.0) + Const(3.0)) == Const(5.0)
+        assert simplify(Const(2.0) * Const(3.0)) == Const(6.0)
+        assert simplify(Const(7.0) - Const(3.0)) == Const(4.0)
+        assert simplify(Const(7.0) / Const(2.0)) == Const(3.5)
+
+    def test_min_max(self):
+        assert simplify(ops.minimum(Const(2.0), Const(3.0))) == Const(2.0)
+        assert simplify(ops.maximum(Const(2.0), Const(3.0))) == Const(3.0)
+
+    def test_division_by_zero_not_folded(self):
+        expr = Const(1.0) / Const(0.0)
+        assert isinstance(simplify(expr), BinOp)
+
+    def test_unary(self):
+        assert simplify(-Const(2.0)) == Const(-2.0)
+        assert simplify(abs(Const(-2.0))) == Const(2.0)
+
+    def test_sfu_calls(self):
+        assert simplify(ops.sqrt(Const(9.0))) == Const(3.0)
+        assert simplify(ops.exp(Const(0.0))) == Const(1.0)
+        assert simplify(ops.pow_(Const(2.0), Const(10.0))) == Const(1024.0)
+
+    def test_log_of_negative_not_folded(self):
+        expr = ops.log(Const(-1.0))
+        assert simplify(expr) == expr
+
+    def test_comparisons(self):
+        assert simplify(Const(1.0) < Const(2.0)) == Const(1.0)
+        assert simplify(Const(3.0) < Const(2.0)) == Const(0.0)
+
+    def test_nested_folding(self):
+        expr = (Const(1.0) + Const(2.0)) * (Const(2.0) + Const(2.0))
+        assert simplify(expr) == Const(12.0)
+
+    def test_overflow_not_folded(self):
+        expr = ops.exp(Const(1e9))
+        assert simplify(expr) == expr
+
+
+class TestIdentities:
+    def test_additive_identity(self):
+        assert simplify(X + Const(0.0)) == X
+        assert simplify(Const(0.0) + X) == X
+        assert simplify(X - Const(0.0)) == X
+
+    def test_multiplicative_identity(self):
+        assert simplify(X * Const(1.0)) == X
+        assert simplify(Const(1.0) * X) == X
+        assert simplify(X / Const(1.0)) == X
+
+    def test_annihilation(self):
+        assert simplify(X * Const(0.0)) == Const(0.0)
+        assert simplify(Const(0.0) * X) == Const(0.0)
+
+    def test_self_subtraction(self):
+        assert simplify(X - X) == Const(0.0)
+
+    def test_idempotent_min_max(self):
+        assert simplify(ops.minimum(X, X)) == X
+        assert simplify(ops.maximum(X, X)) == X
+
+    def test_double_negation(self):
+        assert simplify(UnOp("neg", UnOp("neg", X))) == X
+
+    def test_abs_of_abs(self):
+        inner = UnOp("abs", X)
+        assert simplify(UnOp("abs", inner)) == inner
+
+    def test_pow_one(self):
+        assert simplify(ops.pow_(X, Const(1.0))) == X
+
+    def test_zero_divided_by_x_not_folded(self):
+        # 0/x is NaN at x == 0; the simplifier must leave it alone.
+        expr = Const(0.0) / X
+        assert simplify(expr) == expr
+
+
+class TestSelect:
+    def test_constant_condition(self):
+        assert simplify(Select(Const(1.0), X, Y)) == X
+        assert simplify(Select(Const(0.0), X, Y)) == Y
+
+    def test_folded_condition_cascades(self):
+        expr = Select(Const(1.0) < Const(2.0), X, Y)
+        assert simplify(expr) == X
+
+    def test_equal_branches(self):
+        cond = Cmp("lt", X, Y)
+        assert simplify(Select(cond, X, X)) == X
+
+
+class TestFixpoint:
+    def test_identity_chain_collapses(self):
+        expr = ((X * Const(1.0)) + Const(0.0)) * Const(1.0)
+        assert simplify(expr) == X
+
+    def test_identity_exposes_folding(self):
+        # (x * 0 + 2) + 3 -> 2 + 3 -> 5
+        expr = (X * Const(0.0) + Const(2.0)) + Const(3.0)
+        assert simplify(expr) == Const(5.0)
+
+    def test_unsimplifiable_expression_unchanged(self):
+        expr = X * Y + ops.sqrt(X)
+        assert simplify(expr) == expr
+
+    def test_never_increases_op_count(self):
+        from repro.ir.cost import count_ops
+
+        expr = (X + Const(0.0)) * (Const(2.0) + Const(3.0)) - X * Const(0.0)
+        assert count_ops(simplify(expr)).total <= count_ops(expr).total

@@ -1,0 +1,138 @@
+"""Unit tests for IR traversal, rewriting, and inlining primitives."""
+
+from repro.ir.expr import BinOp, Call, Const, InputAt, Param, Select
+from repro.ir.traversal import (
+    children,
+    count_nodes,
+    input_extent,
+    inputs_of,
+    params_of,
+    shift_offsets,
+    substitute_inputs,
+    transform,
+    walk,
+)
+
+
+def build_sample():
+    return (InputAt("a", 1, 0) + InputAt("b")) * Param("gain") + Const(1.0)
+
+
+class TestWalk:
+    def test_walk_visits_all_nodes(self):
+        expr = build_sample()
+        kinds = [type(n).__name__ for n in walk(expr)]
+        assert kinds.count("InputAt") == 2
+        assert kinds.count("BinOp") == 3
+        assert kinds.count("Param") == 1
+        assert kinds.count("Const") == 1
+
+    def test_walk_preorder_root_first(self):
+        expr = build_sample()
+        assert next(iter(walk(expr))) is expr
+
+    def test_count_nodes(self):
+        assert count_nodes(Const(1.0)) == 1
+        assert count_nodes(Const(1.0) + Const(2.0)) == 3
+
+    def test_children_of_leaves_empty(self):
+        assert children(Const(1.0)) == ()
+        assert children(InputAt("x")) == ()
+        assert children(Param("p")) == ()
+
+    def test_walk_handles_deep_chains(self):
+        expr = Const(0.0)
+        for _ in range(5000):
+            expr = expr + Const(1.0)
+        assert count_nodes(expr) == 10001
+
+
+class TestTransform:
+    def test_identity_transform_shares_tree(self):
+        expr = build_sample()
+        assert transform(expr, lambda n: None) is expr
+
+    def test_constant_replacement(self):
+        expr = Const(1.0) + Const(2.0)
+
+        def fold(node):
+            if node == Const(1.0):
+                return Const(10.0)
+            return None
+
+        result = transform(expr, fold)
+        assert result == Const(10.0) + Const(2.0)
+
+    def test_bottom_up_order(self):
+        # Children are rewritten before the parent sees the node.
+        expr = (Const(1.0) + Const(2.0)) * Const(3.0)
+
+        def fold(node):
+            if isinstance(node, BinOp) and node.op == "add":
+                assert node.lhs == Const(9.0)  # already rewritten
+                return None
+            if node == Const(1.0):
+                return Const(9.0)
+            return None
+
+        transform(expr, fold)
+
+    def test_select_and_call_rebuilt(self):
+        expr = Select(
+            Const(1.0) < Const(2.0), Call("exp", (Const(0.0),)), Const(5.0)
+        )
+        result = transform(
+            expr, lambda n: Const(7.0) if n == Const(5.0) else None
+        )
+        assert result.if_false == Const(7.0)
+        assert result.if_true == Call("exp", (Const(0.0),))
+
+
+class TestSubstitution:
+    def test_substitute_selected_image(self):
+        expr = InputAt("mid", 1, 2) + InputAt("other")
+        result = substitute_inputs(
+            expr, {"mid": lambda dx, dy: Const(float(dx + dy))}
+        )
+        assert result == Const(3.0) + InputAt("other")
+
+    def test_substitute_receives_offsets(self):
+        expr = InputAt("m", -1, 0) + InputAt("m", 0, 4)
+        offsets = []
+
+        def capture(dx, dy):
+            offsets.append((dx, dy))
+            return Const(0.0)
+
+        substitute_inputs(expr, {"m": capture})
+        assert sorted(offsets) == [(-1, 0), (0, 4)]
+
+    def test_shift_offsets(self):
+        expr = InputAt("a", 1, -1) + InputAt("b", 0, 0)
+        shifted = shift_offsets(expr, 2, 3)
+        assert shifted == InputAt("a", 3, 2) + InputAt("b", 2, 3)
+
+    def test_shift_by_zero_is_identity(self):
+        expr = InputAt("a", 1, -1)
+        assert shift_offsets(expr, 0, 0) is expr
+
+
+class TestQueries:
+    def test_inputs_of(self):
+        expr = InputAt("a", 1, 0) + InputAt("a", -1, 0) + InputAt("b")
+        reads = inputs_of(expr)
+        assert reads == {"a": {(1, 0), (-1, 0)}, "b": {(0, 0)}}
+
+    def test_params_of(self):
+        expr = Param("x") * Param("y") + Const(1.0)
+        assert params_of(expr) == {"x", "y"}
+
+    def test_input_extent_point(self):
+        assert input_extent(InputAt("a") + Const(1.0)) == (0, 0)
+
+    def test_input_extent_window(self):
+        expr = InputAt("a", -2, 1) + InputAt("b", 1, -3)
+        assert input_extent(expr) == (2, 3)
+
+    def test_input_extent_no_reads(self):
+        assert input_extent(Const(1.0)) == (0, 0)

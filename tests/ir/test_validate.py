@@ -1,0 +1,45 @@
+"""Unit tests for IR validation."""
+
+import math
+
+import pytest
+
+from repro.ir.expr import Const, Expr, InputAt
+from repro.ir.validate import ValidationError, validate
+
+
+class TestValidate:
+    def test_valid_expression_passes(self):
+        validate(InputAt("a", 1, -1) * Const(2.0) + Const(1.0))
+
+    def test_non_numeric_constant_rejected(self):
+        with pytest.raises(ValidationError):
+            validate(Const("one"))
+
+    def test_non_finite_constant_rejected(self):
+        with pytest.raises(ValidationError):
+            validate(Const(math.inf))
+        with pytest.raises(ValidationError):
+            validate(Const(math.nan))
+
+    def test_non_integer_offset_rejected(self):
+        with pytest.raises(ValidationError):
+            validate(InputAt("a", 0.5, 0))
+
+    def test_oversized_offset_rejected(self):
+        with pytest.raises(ValidationError):
+            validate(InputAt("a", 100, 0), max_radius=64)
+
+    def test_max_radius_configurable(self):
+        validate(InputAt("a", 100, 0), max_radius=128)
+
+    def test_empty_image_name_rejected(self):
+        with pytest.raises(ValidationError):
+            validate(InputAt(""))
+
+    def test_unknown_node_rejected(self):
+        class Rogue(Expr):
+            pass
+
+        with pytest.raises((ValidationError, TypeError)):
+            validate(Rogue())

@@ -1,0 +1,207 @@
+"""Unit tests for the analytic benefit model (Eqs. 3-12)."""
+
+import pytest
+
+from helpers import chain_pipeline, image, local_kernel, point_kernel
+
+from repro.apps.harris import build_pipeline as build_harris
+from repro.apps.night import build_pipeline as build_night
+from repro.dsl.pipeline import Pipeline
+from repro.model.benefit import (
+    BenefitConfig,
+    FusionScenario,
+    estimate_edge,
+    estimate_graph,
+    fused_mask_growth,
+)
+from repro.model.hardware import GTX680
+
+
+class TestConfig:
+    def test_rejects_non_positive_epsilon(self):
+        with pytest.raises(ValueError):
+            BenefitConfig(epsilon=0.0)
+
+    def test_rejects_tiny_cmshared(self):
+        with pytest.raises(ValueError):
+            BenefitConfig(c_mshared=0.5)
+
+    def test_rejects_unknown_units(self):
+        with pytest.raises(ValueError):
+            BenefitConfig(is_units="furlongs")
+
+    def test_iteration_units(self):
+        img = image("a", 16, 8)
+        assert BenefitConfig(is_units="images").iteration_units(img) == 1.0
+        assert BenefitConfig(is_units="pixels").iteration_units(img) == 128.0
+
+
+class TestFusedMaskGrowth:
+    def test_eq9_paper_examples(self):
+        # 3x3 fused into 3x3 -> 5x5; 3x3 into 5x5 -> 7x7.
+        assert fused_mask_growth(9, 9) == 25
+        assert fused_mask_growth(9, 25) == 49
+        assert fused_mask_growth(25, 9) == 49
+
+    def test_point_source_no_growth(self):
+        assert fused_mask_growth(1, 9) == 9
+        assert fused_mask_growth(1, 1) == 1
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            fused_mask_growth(0, 9)
+
+
+class TestHarrisWeights:
+    """The paper's Fig. 3 weight assignment, reproduced exactly."""
+
+    @pytest.fixture
+    def weighted(self):
+        return estimate_graph(build_harris().build(), GTX680, BenefitConfig())
+
+    def test_point_to_local_weights(self, weighted):
+        assert weighted.estimate("sx", "gx").weight == pytest.approx(328.0)
+        assert weighted.estimate("sy", "gy").weight == pytest.approx(328.0)
+        assert weighted.estimate("sxy", "gxy").weight == pytest.approx(256.0)
+
+    def test_point_to_local_components(self, weighted):
+        est = weighted.estimate("sx", "gx")
+        assert est.scenario is FusionScenario.POINT_TO_LOCAL
+        assert est.delta == pytest.approx(400.0)  # delta_reg = IS * t_g
+        assert est.phi == pytest.approx(72.0)  # 8 cycles * 1 image * 9
+
+    def test_sxy_phi_doubles_with_two_inputs(self, weighted):
+        est = weighted.estimate("sxy", "gxy")
+        assert est.phi == pytest.approx(144.0)  # IS_ks = 2 input images
+
+    def test_illegal_edges_get_epsilon(self, weighted):
+        eps = weighted.config.epsilon
+        for src, dst in [
+            ("dx", "sx"), ("dy", "sy"), ("dx", "sxy"), ("dy", "sxy"),
+            ("gx", "hc"), ("gy", "hc"), ("gxy", "hc"),
+        ]:
+            assert weighted.estimate(src, dst).weight == eps
+
+    def test_all_weights_positive(self, weighted):
+        for edge in weighted.graph.edges:
+            assert edge.weight > 0.0
+
+    def test_total_weight(self, weighted):
+        eps = weighted.config.epsilon
+        assert weighted.graph.total_weight == pytest.approx(
+            328 + 328 + 256 + 7 * eps
+        )
+
+
+class TestScenarioDispatch:
+    def test_point_to_point_is_point_based(self, gpu):
+        graph = chain_pipeline(("p", "p")).build()
+        est = estimate_edge(graph, graph.edge("k0", "k1"), gpu)
+        assert est.scenario is FusionScenario.POINT_BASED
+        assert est.phi == 0.0
+        assert est.delta == pytest.approx(gpu.t_global)
+
+    def test_local_to_point_is_point_based(self, gpu):
+        # Eq. (5) applies regardless of the producer pattern.
+        graph = chain_pipeline(("l", "p")).build()
+        est = estimate_edge(graph, graph.edge("k0", "k1"), gpu)
+        assert est.scenario is FusionScenario.POINT_BASED
+        assert est.phi == 0.0
+
+    def test_point_to_local(self, gpu):
+        graph = chain_pipeline(("p", "l")).build()
+        est = estimate_edge(graph, graph.edge("k0", "k1"), gpu)
+        assert est.scenario is FusionScenario.POINT_TO_LOCAL
+        # phi = cost_op(k0) * IS_ks * sz(k1) = (2*4) * 1 * 9 = 72
+        assert est.phi == pytest.approx(72.0)
+        assert est.raw_benefit == pytest.approx(400.0 - 72.0)
+
+    def test_local_to_local(self, gpu):
+        graph = chain_pipeline(("l", "l")).build()
+        est = estimate_edge(graph, graph.edge("k0", "k1"), gpu)
+        assert est.scenario is FusionScenario.LOCAL_TO_LOCAL
+        # delta_smem = IS * t_g / t_s = 100 cycles
+        assert est.delta == pytest.approx(100.0)
+        # phi uses the fused window g(9, 9) = 25.
+        cost_op = graph.kernel("k0").op_counts.cycles(gpu.c_alu, gpu.c_sfu)
+        assert est.phi == pytest.approx(cost_op * 1 * 25)
+
+    def test_header_mismatch_illegal(self, gpu):
+        pipe = Pipeline("mixed")
+        src = image("src", 8, 8)
+        mid = image("mid", 8, 8)
+        small = image("small", 4, 4)
+        pipe.add(point_kernel("k0", src, mid))
+        from repro.dsl.kernel import Kernel
+
+        pipe.add(Kernel.from_function("k1", [mid], small, lambda a: a()))
+        graph = pipe.build()
+        est = estimate_edge(graph, graph.edge("k0", "k1"), gpu)
+        assert est.scenario is FusionScenario.ILLEGAL
+        assert est.weight == BenefitConfig().epsilon
+
+    def test_gamma_adds_to_weight(self, gpu):
+        graph = chain_pipeline(("p", "p")).build()
+        config = BenefitConfig(gamma=17.0)
+        est = estimate_edge(graph, graph.edge("k0", "k1"), gpu, config)
+        assert est.weight == pytest.approx(gpu.t_global + 17.0)
+
+    def test_pixels_units_scale(self, gpu):
+        graph = chain_pipeline(("p", "p"), width=8, height=8).build()
+        config = BenefitConfig(is_units="pixels")
+        est = estimate_edge(graph, graph.edge("k0", "k1"), gpu, config)
+        assert est.delta == pytest.approx(64 * gpu.t_global)
+
+
+class TestProfitability:
+    def test_night_atrous_pair_unprofitable(self, gpu):
+        # Section V-C: "the cost of redundant computation outweighs the
+        # locality improvement. Hence, the first two local kernels are
+        # not fused."
+        graph = build_night().build()
+        weighted = estimate_graph(graph, gpu)
+        est = weighted.estimate("atrous0", "atrous1")
+        assert est.scenario is FusionScenario.LOCAL_TO_LOCAL
+        assert not est.profitable
+        assert est.weight == weighted.config.epsilon
+
+    def test_night_scoto_fusion_profitable(self, gpu):
+        graph = build_night().build()
+        weighted = estimate_graph(graph, gpu)
+        est = weighted.estimate("atrous1", "scoto")
+        assert est.scenario is FusionScenario.POINT_BASED
+        assert est.profitable and est.pairwise_legal
+
+    def test_unprofitable_edge_taints_block(self, gpu):
+        graph = build_night().build()
+        weighted = estimate_graph(graph, gpu)
+        assert not weighted.is_legal_block(["atrous0", "atrous1"])
+        assert weighted.is_legal_block(["atrous1", "scoto"])
+
+    def test_expensive_producer_flips_decision(self, gpu):
+        # Ablation-style check: raising t_global enough makes even the
+        # Night local-to-local fusion profitable.
+        graph = build_night().build()
+        cheap_compute = gpu.with_costs(t_global=4.0e6, t_shared=4.0)
+        weighted = estimate_graph(graph, cheap_compute)
+        assert weighted.estimate("atrous0", "atrous1").profitable
+
+
+class TestWeightedGraph:
+    def test_fusible_edge(self, gpu):
+        graph = build_harris().build()
+        weighted = estimate_graph(graph, gpu)
+        assert weighted.fusible_edge("sx", "gx")
+        assert not weighted.fusible_edge("dx", "sx")
+
+    def test_block_legality_includes_structure(self, gpu):
+        graph = build_harris().build()
+        weighted = estimate_graph(graph, gpu)
+        assert weighted.is_legal_block(["sx", "gx"])
+        assert not weighted.is_legal_block(graph.kernel_names)
+
+    def test_describe_edges_lines(self, gpu):
+        graph = build_harris().build()
+        weighted = estimate_graph(graph, gpu)
+        lines = weighted.describe_edges().splitlines()
+        assert len(lines) == len(graph.edges)

@@ -1,0 +1,66 @@
+"""Unit tests for the GPU hardware model."""
+
+import pytest
+
+from repro.model.hardware import GTX680, GTX745, K20C, KNOWN_GPUS, GpuSpec
+
+
+class TestGpuSpec:
+    def test_paper_devices_published_configs(self):
+        # Section V-A of the paper.
+        assert GTX745.cuda_cores == 384
+        assert GTX745.base_clock_mhz == 1033.0
+        assert GTX745.mem_clock_mhz == 900.0
+        assert GTX680.cuda_cores == 1536
+        assert GTX680.base_clock_mhz == 1058.0
+        assert GTX680.mem_clock_mhz == 3004.0
+        assert K20C.cuda_cores == 2496
+        assert K20C.base_clock_mhz == 706.0
+        assert K20C.mem_clock_mhz == 2600.0
+
+    def test_shared_mem_and_registers(self):
+        # "For all three GPUs, the total amount of shared memory per
+        # block is 48 Kbytes, the total number of registers available
+        # per block is 65,536."
+        for gpu in KNOWN_GPUS.values():
+            assert gpu.shared_mem_per_block == 48 * 1024
+            assert gpu.registers_per_block == 65536
+
+    def test_default_cost_constants_match_paper(self):
+        assert GTX680.t_global == 400.0  # worked example
+        assert GTX680.c_alu == 4.0
+
+    def test_derived_quantities(self):
+        assert GTX680.cores_per_sm == 192
+        assert GTX680.clock_hz == 1058e6
+        assert GTX680.max_warps_per_sm == 64
+        assert GTX680.global_to_shared_ratio == 100.0
+
+    def test_bandwidth_ordering(self):
+        # GTX745 has by far the weakest memory system.
+        assert GTX745.peak_bandwidth < GTX680.peak_bandwidth
+        assert GTX745.peak_bandwidth < K20C.peak_bandwidth
+        assert GTX680.effective_bandwidth < GTX680.peak_bandwidth
+
+    def test_with_costs_override(self):
+        tweaked = GTX680.with_costs(t_global=800.0)
+        assert tweaked.t_global == 800.0
+        assert GTX680.t_global == 400.0  # original untouched
+        assert tweaked.name == GTX680.name
+
+    def test_invalid_core_division_rejected(self):
+        with pytest.raises(ValueError):
+            GpuSpec("bad", cuda_cores=100, sm_count=3,
+                    base_clock_mhz=1000.0, mem_clock_mhz=1000.0)
+
+    def test_invalid_hierarchy_rejected(self):
+        with pytest.raises(ValueError):
+            GpuSpec("bad", cuda_cores=384, sm_count=3,
+                    base_clock_mhz=1000.0, mem_clock_mhz=1000.0,
+                    t_global=2.0, t_shared=4.0)
+
+    def test_known_gpus_registry(self):
+        assert set(KNOWN_GPUS) == {"GTX745", "GTX680", "K20c"}
+
+    def test_str_mentions_cores(self):
+        assert "1536" in str(GTX680)

@@ -1,0 +1,215 @@
+"""Unit tests for block legality (the four Fig. 2 scenarios, Eq. 2,
+header compatibility)."""
+
+from helpers import image, local_kernel, point_kernel
+
+from repro.apps.harris import build_pipeline as build_harris
+from repro.apps.unsharp import build_pipeline as build_unsharp
+from repro.dsl.image import Image
+from repro.dsl.kernel import Accessor, Kernel, ReductionKind
+from repro.dsl.pipeline import Pipeline
+from repro.ir.expr import InputAt
+from repro.model.hardware import GTX680
+from repro.model.legality import (
+    check_block_legality,
+    check_dependences,
+    check_headers,
+    check_resources,
+)
+
+
+def fig2_pipeline(shape: str) -> Pipeline:
+    """Build the four dependence scenarios of Fig. 2.
+
+    * ``true``: ks -> kd, nothing else (Fig. 2a, legal)
+    * ``input``: ks and kd share the source input (Fig. 2b, legal)
+    * ``external_output``: ks's output also consumed outside (Fig. 2c)
+    * ``external_input``: kd reads an image unrelated to ks (Fig. 2d)
+    """
+    pipe = Pipeline(shape)
+    src = image("src")
+    mid = image("mid")
+    out = image("out")
+    if shape == "true":
+        pipe.add(point_kernel("ks", src, mid))
+        pipe.add(point_kernel("kd", mid, out))
+    elif shape == "input":
+        pipe.add(point_kernel("ks", src, mid))
+        pipe.add(
+            Kernel.from_function(
+                "kd", [src, mid], out, lambda s, m: s() + m()
+            )
+        )
+    elif shape == "external_output":
+        pipe.add(point_kernel("ks", src, mid))
+        pipe.add(point_kernel("kd", mid, out))
+        pipe.add(point_kernel("other", mid, image("other_out")))
+    elif shape == "external_input":
+        other_src = image("other_src")
+        other_mid = image("other_mid")
+        pipe.add(point_kernel("other", other_src, other_mid))
+        pipe.add(point_kernel("ks", src, mid))
+        pipe.add(
+            Kernel.from_function(
+                "kd", [mid, other_mid], out, lambda m, o: m() + o()
+            )
+        )
+    else:
+        raise ValueError(shape)
+    return pipe
+
+
+class TestDependenceScenarios:
+    def test_true_dependence_legal(self):
+        graph = fig2_pipeline("true").build()
+        assert check_dependences(graph, ["ks", "kd"]) == []
+
+    def test_shared_input_legal(self):
+        # Fig. 2b — the scenario prior work could not handle.
+        graph = fig2_pipeline("input").build()
+        assert check_dependences(graph, ["ks", "kd"]) == []
+
+    def test_external_output_illegal(self):
+        graph = fig2_pipeline("external_output").build()
+        problems = check_dependences(graph, ["ks", "kd"])
+        assert any("external output" in p for p in problems)
+
+    def test_external_input_illegal(self):
+        graph = fig2_pipeline("external_input").build()
+        problems = check_dependences(graph, ["ks", "kd"])
+        assert any("external input" in p for p in problems)
+
+    def test_whole_unsharp_diamond_legal(self):
+        graph = build_unsharp().build()
+        assert check_dependences(graph, graph.kernel_names) == []
+
+    def test_harris_whole_graph_dependences_legal(self):
+        # Harris fails only on resources, not on dependences.
+        graph = build_harris().build()
+        assert check_dependences(graph, graph.kernel_names) == []
+
+
+class TestResources:
+    def test_harris_whole_graph_violates_eq2(self):
+        graph = build_harris().build()
+        problems = check_resources(
+            graph, graph.kernel_names, GTX680, c_mshared=2.0
+        )
+        assert any("cMshared" in p for p in problems)
+
+    def test_harris_pair_satisfies_eq2(self):
+        graph = build_harris().build()
+        assert check_resources(graph, ["sx", "gx"], GTX680, 2.0) == []
+
+    def test_threshold_is_respected(self):
+        graph = build_harris().build()
+        assert check_resources(
+            graph, graph.kernel_names, GTX680, c_mshared=5.0
+        ) == []
+
+    def test_absolute_device_limit(self):
+        pipe = Pipeline("big")
+        src = image("src", 64, 64)
+        mid = image("mid", 64, 64)
+        out = image("out", 64, 64)
+        big = Kernel.from_function(
+            "k1",
+            [src],
+            mid,
+            lambda a: a(-30, -30) + a(30, 30),
+            block_shape=(32, 32),
+        )
+        pipe.add(big)
+        big2 = Kernel.from_function(
+            "k2",
+            [mid],
+            out,
+            lambda a: a(-30, -30) + a(30, 30),
+            block_shape=(32, 32),
+        )
+        pipe.add(big2)
+        graph = pipe.build()
+        # Each tile: (32+60)*(32+60)*4 B = 33.8 KB; two of them exceed
+        # the 48 KB block limit even though the ratio (2.0) passes.
+        problems = check_resources(graph, ["k1", "k2"], GTX680, 2.0)
+        assert any("limit" in p for p in problems)
+
+
+class TestHeaders:
+    def test_same_headers_pass(self):
+        graph = fig2_pipeline("true").build()
+        assert check_headers(graph, ["ks", "kd"]) == []
+
+    def test_iteration_space_mismatch(self):
+        pipe = Pipeline("mixed")
+        src = image("src", 8, 8)
+        mid = Image.create("mid", 8, 8)
+        small = Image.create("small", 4, 4)
+        pipe.add(point_kernel("k1", src, mid))
+        pipe.add(
+            Kernel.from_function(
+                "down", [mid], small, lambda a: a()
+            )
+        )
+        graph = pipe.build()
+        problems = check_headers(graph, ["k1", "down"])
+        assert any("iteration space" in p for p in problems)
+
+    def test_granularity_mismatch(self):
+        pipe = Pipeline("gran")
+        src, mid, out = image("src"), image("mid"), image("out")
+        pipe.add(point_kernel("k1", src, mid))
+        pipe.add(
+            Kernel(
+                "k2",
+                [Accessor(mid)],
+                out,
+                InputAt("mid"),
+                granularity=4,
+            )
+        )
+        graph = pipe.build()
+        problems = check_headers(graph, ["k1", "k2"])
+        assert any("granularity" in p for p in problems)
+
+    def test_global_operator_blocks_fusion(self):
+        pipe = Pipeline("glob")
+        src, mid = image("src"), image("mid")
+        total = Image.create("total", 1, 1)
+        pipe.add(point_kernel("k1", src, mid))
+        pipe.add(
+            Kernel(
+                "red",
+                [Accessor(mid)],
+                total,
+                InputAt("mid"),
+                reduction=ReductionKind.SUM,
+            )
+        )
+        graph = pipe.build()
+        problems = check_headers(graph, ["k1", "red"])
+        assert any("global operator" in p for p in problems)
+
+
+class TestBlockLegality:
+    def test_singletons_always_legal(self):
+        graph = build_harris().build()
+        for name in graph.kernel_names:
+            assert check_block_legality(graph, [name], GTX680)
+
+    def test_disconnected_block_illegal(self):
+        graph = build_harris().build()
+        report = check_block_legality(graph, ["dx", "dy"], GTX680)
+        assert not report.legal
+        assert any("not connected" in r for r in report.reasons)
+
+    def test_legal_pair(self):
+        graph = build_harris().build()
+        assert check_block_legality(graph, ["sx", "gx"], GTX680)
+
+    def test_report_truthiness(self):
+        graph = build_harris().build()
+        assert bool(check_block_legality(graph, ["sx", "gx"], GTX680))
+        assert not bool(
+            check_block_legality(graph, graph.kernel_names, GTX680)
+        )

@@ -1,0 +1,73 @@
+"""Unit tests for the CUDA occupancy calculator."""
+
+import pytest
+
+from repro.model.hardware import GTX680
+from repro.model.occupancy import occupancy
+
+
+class TestOccupancy:
+    def test_unconstrained_kernel_full_occupancy(self):
+        result = occupancy(
+            GTX680,
+            threads_per_block=256,
+            shared_bytes_per_block=0,
+            registers_per_thread=16,
+        )
+        assert result.occupancy == 1.0
+        assert result.warps_per_sm == GTX680.max_warps_per_sm
+
+    def test_shared_memory_limits_blocks(self):
+        # 24 KB per block -> 2 blocks per SM of 48 KB.
+        result = occupancy(
+            GTX680,
+            threads_per_block=128,
+            shared_bytes_per_block=24 * 1024,
+            registers_per_thread=16,
+        )
+        assert result.blocks_per_sm == 2
+        assert result.limited_by == "shared_memory"
+        assert result.occupancy == pytest.approx(8 / 64)
+
+    def test_registers_limit_blocks(self):
+        result = occupancy(
+            GTX680,
+            threads_per_block=256,
+            shared_bytes_per_block=0,
+            registers_per_thread=128,
+        )
+        # 256 * 128 = 32768 regs per block; 65536 / 32768 = 2 blocks.
+        assert result.blocks_per_sm == 2
+        assert result.limited_by == "registers"
+
+    def test_thread_limit(self):
+        result = occupancy(
+            GTX680,
+            threads_per_block=1024,
+            shared_bytes_per_block=0,
+            registers_per_thread=16,
+        )
+        assert result.blocks_per_sm == 2  # 2048 threads / 1024
+
+    def test_occupancy_monotone_in_shared_memory(self):
+        previous = 1.1
+        for smem in (0, 8 * 1024, 16 * 1024, 32 * 1024, 48 * 1024):
+            result = occupancy(GTX680, 256, smem, 16)
+            assert result.occupancy <= previous
+            previous = result.occupancy
+
+    def test_oversized_block_rejected(self):
+        with pytest.raises(ValueError):
+            occupancy(GTX680, 2048, 0, 16)
+
+    def test_oversized_shared_memory_rejected(self):
+        with pytest.raises(ValueError):
+            occupancy(GTX680, 256, 64 * 1024, 16)
+
+    def test_zero_threads_rejected(self):
+        with pytest.raises(ValueError):
+            occupancy(GTX680, 0, 0, 16)
+
+    def test_describe(self):
+        result = occupancy(GTX680, 256, 0, 16)
+        assert "warps/SM" in str(result)

@@ -1,0 +1,69 @@
+"""Unit tests for compute-pattern classification."""
+
+from helpers import image, local_kernel, point_kernel
+
+from repro.dsl.image import Image
+from repro.dsl.kernel import Accessor, ComputePattern, Kernel, ReductionKind
+from repro.ir.expr import InputAt
+from repro.model.patterns import classify, is_global, is_local, is_point
+
+
+def global_kernel(name="g"):
+    src = image("a")
+    out = Image.create("total", 1, 1)
+    return Kernel(
+        name, [Accessor(src)], out, InputAt("a"), reduction=ReductionKind.SUM
+    )
+
+
+class TestClassification:
+    def test_point(self):
+        kernel = point_kernel("k", image("a"), image("b"))
+        assert classify(kernel) is ComputePattern.POINT
+        assert is_point(kernel)
+        assert not is_local(kernel)
+        assert not is_global(kernel)
+
+    def test_local(self):
+        kernel = local_kernel("k", image("a"), image("b"))
+        assert classify(kernel) is ComputePattern.LOCAL
+        assert is_local(kernel)
+
+    def test_global(self):
+        kernel = global_kernel()
+        assert classify(kernel) is ComputePattern.GLOBAL
+        assert is_global(kernel)
+
+    def test_one_dimensional_window_is_local(self):
+        src, out = image("a"), image("b")
+        kernel = Kernel.from_function(
+            "k", [src], out, lambda a: a(-1, 0) + a(1, 0)
+        )
+        assert classify(kernel) is ComputePattern.LOCAL
+
+    def test_multi_input_point(self):
+        a, b, out = image("a"), image("b"), image("out")
+        kernel = Kernel.from_function(
+            "k", [a, b], out, lambda x, y: x() + y()
+        )
+        assert classify(kernel) is ComputePattern.POINT
+
+    def test_mixed_point_and_window_inputs_is_local(self):
+        a, b, out = image("a"), image("b"), image("out")
+        kernel = Kernel.from_function(
+            "k", [a, b], out, lambda x, y: x() + y(1, 1)
+        )
+        assert classify(kernel) is ComputePattern.LOCAL
+
+    def test_global_overrides_window(self):
+        # A reduction kernel with windowed reads is still global.
+        src = image("a")
+        out = Image.create("total", 1, 1)
+        kernel = Kernel(
+            "k",
+            [Accessor(src)],
+            out,
+            InputAt("a", 1, 0),
+            reduction=ReductionKind.MAX,
+        )
+        assert classify(kernel) is ComputePattern.GLOBAL

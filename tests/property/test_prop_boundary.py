@@ -1,0 +1,79 @@
+"""Property-based tests for boundary index resolution."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsl.boundary import BoundaryMode, resolve_array, resolve_index
+
+RESOLVING_MODES = [
+    BoundaryMode.CLAMP,
+    BoundaryMode.MIRROR,
+    BoundaryMode.REPEAT,
+    BoundaryMode.UNDEFINED,
+]
+
+indices = st.integers(min_value=-1000, max_value=1000)
+sizes = st.integers(min_value=1, max_value=64)
+
+
+@given(indices, sizes, st.sampled_from(RESOLVING_MODES))
+def test_resolution_lands_inside(i, n, mode):
+    assert 0 <= resolve_index(i, n, mode) < n
+
+
+@given(indices, sizes, st.sampled_from(RESOLVING_MODES))
+def test_in_range_indices_are_fixed_points(i, n, mode):
+    resolved = resolve_index(i, n, mode)
+    assert resolve_index(resolved, n, mode) == resolved
+
+
+@given(indices, sizes)
+def test_repeat_periodicity(i, n):
+    assert resolve_index(i, n, BoundaryMode.REPEAT) == resolve_index(
+        i + n, n, BoundaryMode.REPEAT
+    )
+
+
+@given(indices, sizes)
+def test_mirror_periodicity(i, n):
+    # Mirroring has period 2n.
+    assert resolve_index(i, n, BoundaryMode.MIRROR) == resolve_index(
+        i + 2 * n, n, BoundaryMode.MIRROR
+    )
+
+
+@given(indices, sizes)
+def test_mirror_symmetry_about_the_left_edge(i, n):
+    # Symmetric mirroring: index -1-k maps like index k.
+    assert resolve_index(-1 - i, n, BoundaryMode.MIRROR) == resolve_index(
+        i, n, BoundaryMode.MIRROR
+    )
+
+
+@given(indices, sizes)
+def test_clamp_is_monotone(i, n):
+    a = resolve_index(i, n, BoundaryMode.CLAMP)
+    b = resolve_index(i + 1, n, BoundaryMode.CLAMP)
+    assert a <= b
+
+
+@given(st.lists(indices, min_size=1, max_size=50), sizes,
+       st.sampled_from(RESOLVING_MODES))
+@settings(max_examples=50)
+def test_vectorized_matches_scalar(values, n, mode):
+    arr = np.array(values)
+    resolved, mask = resolve_array(arr, n, mode)
+    assert mask is None
+    expected = [resolve_index(v, n, mode) for v in values]
+    assert resolved.tolist() == expected
+
+
+@given(st.lists(indices, min_size=1, max_size=50), sizes)
+@settings(max_examples=50)
+def test_constant_mask_flags_exactly_out_of_range(values, n):
+    arr = np.array(values)
+    resolved, mask = resolve_array(arr, n, BoundaryMode.CONSTANT)
+    expected_mask = [(v < 0 or v >= n) for v in values]
+    assert mask.tolist() == expected_mask
+    assert resolved.min() >= 0 and resolved.max() < n

@@ -1,0 +1,103 @@
+"""Property-based tests: CSE scheduling preserves semantics and work.
+
+The scheduled (let-bound) form must evaluate to the same values as the
+original expression, and the work it executes (each binding once plus
+the root) must never exceed the tree's total operation count.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backend.numpy_exec import evaluate
+from repro.ir.cost import count_ops
+from repro.ir.cse import eliminate_common_subexpressions, inline_schedule
+from repro.ir.expr import BinOp, Call, Const, InputAt, Param
+
+
+@st.composite
+def expressions(draw, depth=0):
+    if depth >= 3 or draw(st.booleans()):
+        kind = draw(st.integers(0, 2))
+        if kind == 0:
+            return Const(draw(st.floats(min_value=-4, max_value=4,
+                                        allow_nan=False)))
+        return InputAt(draw(st.sampled_from(["a", "b"])),
+                       draw(st.integers(-1, 1)), draw(st.integers(-1, 1)))
+    # Bias toward shared subtrees: sometimes reuse one child twice.
+    left = draw(expressions(depth=depth + 1))
+    right = left if draw(st.booleans()) else draw(
+        expressions(depth=depth + 1)
+    )
+    op = draw(st.sampled_from(["add", "sub", "mul", "min", "max"]))
+    if draw(st.integers(0, 4)) == 0:
+        return Call("tanh", (BinOp(op, left, right),))
+    return BinOp(op, left, right)
+
+
+def eval_expr(expr, seed, env=None):
+    rng = np.random.default_rng(seed)
+    data = {
+        "a": rng.uniform(-3, 3, size=(6, 6)),
+        "b": rng.uniform(-3, 3, size=(6, 6)),
+    }
+
+    def read(image, dx, dy, xs, ys):
+        return data[image][(ys + dy) % 6, (xs + dx) % 6]
+
+    xs, ys = np.meshgrid(np.arange(6), np.arange(6))
+    return np.broadcast_to(
+        np.asarray(evaluate(expr, read, env or {}, xs, ys), dtype=float),
+        (6, 6),
+    )
+
+
+def eval_scheduled(scheduled, seed):
+    """Evaluate bindings in order, feeding temps through the params env."""
+    env = {}
+    for name, body in scheduled.bindings:
+        env[name] = eval_expr(body, seed, env)
+    return eval_expr(scheduled.root, seed, env)
+
+
+@given(expressions(), st.integers(0, 2**16))
+@settings(max_examples=100, deadline=None)
+def test_scheduled_evaluation_matches_original(expr, seed):
+    scheduled = eliminate_common_subexpressions(expr)
+    np.testing.assert_allclose(
+        eval_scheduled(scheduled, seed),
+        eval_expr(expr, seed),
+        rtol=1e-12,
+        atol=1e-12,
+    )
+
+
+@given(expressions())
+@settings(max_examples=100)
+def test_inline_recovers_original(expr):
+    scheduled = eliminate_common_subexpressions(expr)
+    assert inline_schedule(scheduled) == expr
+
+
+@given(expressions())
+@settings(max_examples=100)
+def test_scheduled_work_never_exceeds_tree_work(expr):
+    scheduled = eliminate_common_subexpressions(expr)
+    assert scheduled.total_ops() <= count_ops(expr, cse=False).total
+
+
+@given(expressions())
+@settings(max_examples=100)
+def test_scheduled_work_matches_cse_aware_count(expr):
+    # Executing each binding once equals the CSE-aware operation count.
+    scheduled = eliminate_common_subexpressions(expr)
+    assert scheduled.total_ops() == count_ops(expr, cse=True).total
+
+
+@given(expressions())
+@settings(max_examples=60)
+def test_temp_names_are_sequential(expr):
+    scheduled = eliminate_common_subexpressions(expr)
+    assert list(scheduled.temp_names) == [
+        f"_t{i}" for i in range(len(scheduled.bindings))
+    ]

@@ -1,0 +1,108 @@
+"""Property-based tests for the kernel-distribution pass."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers import image, local_kernel, point_kernel
+
+from repro.dsl.pipeline import Pipeline
+from repro.fusion.distribution import distribute, legality_predicate
+from repro.fusion.mincut_fusion import mincut_fusion
+from repro.graph.partition import Partition, PartitionBlock
+from repro.model.benefit import BenefitConfig, estimate_graph
+from repro.model.hardware import GTX680
+
+
+@st.composite
+def pipelines(draw):
+    n = draw(st.integers(min_value=2, max_value=7))
+    pipe = Pipeline("p")
+    images = [image("src", 8, 8)]
+    for i in range(n):
+        out = image(f"img{i}", 8, 8)
+        upstream = images[
+            draw(st.integers(min_value=0, max_value=len(images) - 1))
+        ]
+        if draw(st.sampled_from([True, False, False])):
+            pipe.add(local_kernel(f"k{i}", upstream, out))
+        else:
+            pipe.add(point_kernel(f"k{i}", upstream, out))
+        images.append(out)
+    return pipe
+
+
+@st.composite
+def pipelines_with_partitions(draw):
+    pipe = draw(pipelines())
+    graph = pipe.build()
+    # A (possibly illegal) random partition: random contiguous grouping
+    # of the topological order.
+    names = list(graph.kernel_names)
+    blocks = []
+    index = 0
+    while index < len(names):
+        size = draw(st.integers(min_value=1, max_value=len(names) - index))
+        blocks.append(PartitionBlock(graph, names[index:index + size]))
+        index += size
+    return graph, Partition(graph, blocks)
+
+
+@given(pipelines_with_partitions())
+@settings(max_examples=50, deadline=None)
+def test_distribution_result_is_fully_legal(payload):
+    graph, partition = payload
+    weighted = estimate_graph(graph, GTX680)
+    repaired = distribute(weighted, partition)
+    for block in repaired.blocks:
+        assert len(block) == 1 or weighted.is_legal_block(block.vertices)
+
+
+@given(pipelines_with_partitions())
+@settings(max_examples=50, deadline=None)
+def test_distribution_is_a_disjoint_cover(payload):
+    graph, partition = payload
+    weighted = estimate_graph(graph, GTX680)
+    repaired = distribute(weighted, partition)
+    covered = set()
+    for block in repaired.blocks:
+        assert not covered & set(block.vertices)
+        covered |= set(block.vertices)
+    assert covered == set(graph.kernel_names)
+
+
+@given(pipelines_with_partitions())
+@settings(max_examples=40, deadline=None)
+def test_distribution_idempotent(payload):
+    graph, partition = payload
+    weighted = estimate_graph(graph, GTX680)
+    once = distribute(weighted, partition)
+    twice = distribute(weighted, once)
+    assert {frozenset(b.vertices) for b in twice.blocks} == {
+        frozenset(b.vertices) for b in once.blocks
+    }
+
+
+@given(pipelines())
+@settings(max_examples=40, deadline=None)
+def test_legal_partitions_pass_through(pipe):
+    graph = pipe.build()
+    weighted = estimate_graph(graph, GTX680)
+    partition = mincut_fusion(weighted).partition
+    repaired = distribute(
+        weighted, partition, legality_predicate(weighted)
+    )
+    assert {frozenset(b.vertices) for b in repaired.blocks} == {
+        frozenset(b.vertices) for b in partition.blocks
+    }
+
+
+@given(pipelines_with_partitions(), st.integers(min_value=1, max_value=8))
+@settings(max_examples=40, deadline=None)
+def test_relaxed_threshold_partitions_get_repaired_to_strict(payload, c):
+    graph, _ = payload
+    relaxed = estimate_graph(graph, GTX680, BenefitConfig(c_mshared=8.0))
+    strict = estimate_graph(graph, GTX680, BenefitConfig(c_mshared=float(c)))
+    over_fused = mincut_fusion(relaxed).partition
+    repaired = distribute(strict, over_fused)
+    for block in repaired.blocks:
+        assert len(block) == 1 or strict.is_legal_block(block.vertices)

@@ -1,0 +1,94 @@
+"""Property-based test: fusion preserves semantics on random pipelines.
+
+Random linear pipelines of point/local stages with random boundary
+modes, mask sizes, and image data; the min-cut engine picks a partition;
+fused execution must reproduce staged execution — including borders.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers import chain_pipeline
+
+from repro.backend.numpy_exec import execute_partitioned, execute_pipeline
+from repro.dsl.boundary import BoundaryMode, BoundarySpec
+from repro.dsl.mask import Mask
+from repro.eval.runner import partition_for
+from repro.model.hardware import GTX680
+
+BOUNDARIES = [
+    BoundarySpec(BoundaryMode.CLAMP),
+    BoundarySpec(BoundaryMode.MIRROR),
+    BoundarySpec(BoundaryMode.REPEAT),
+    BoundarySpec(BoundaryMode.CONSTANT, constant=2.5),
+]
+
+
+@st.composite
+def random_masks(draw):
+    side = draw(st.sampled_from([1, 3, 5]))
+    values = draw(
+        st.lists(
+            st.floats(min_value=-3.0, max_value=3.0,
+                      allow_nan=False, allow_infinity=False),
+            min_size=side * side,
+            max_size=side * side,
+        )
+    )
+    array = np.array(values).reshape(side, side)
+    if not array.any():
+        array[side // 2, side // 2] = 1.0  # avoid the degenerate zero mask
+    return Mask(array)
+
+
+@st.composite
+def random_chains(draw):
+    length = draw(st.integers(min_value=2, max_value=4))
+    patterns = tuple(
+        draw(st.sampled_from(["p", "l"])) for _ in range(length)
+    )
+    boundary = draw(st.sampled_from(BOUNDARIES))
+    masks = [draw(random_masks()) for p in patterns if p == "l"]
+    width = draw(st.integers(min_value=5, max_value=10))
+    height = draw(st.integers(min_value=5, max_value=10))
+    return patterns, boundary, masks, width, height
+
+
+@given(random_chains(), st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=40, deadline=None)
+def test_mincut_fusion_preserves_pipeline_semantics(chain, seed):
+    patterns, boundary, masks, width, height = chain
+    pipe = chain_pipeline(patterns, width, height, boundary, masks)
+    graph = pipe.build()
+    rng = np.random.default_rng(seed)
+    data = rng.uniform(-10.0, 10.0, size=(height, width))
+
+    staged = execute_pipeline(graph, {"img0": data})
+    partition = partition_for(graph, GTX680, "optimized")
+    fused = execute_partitioned(graph, partition, {"img0": data})
+
+    final = f"img{len(patterns)}"
+    np.testing.assert_allclose(
+        fused[final], staged[final], rtol=1e-8, atol=1e-8
+    )
+
+
+@given(random_chains(), st.integers(min_value=0, max_value=2**16),
+       st.sampled_from(["basic", "greedy"]))
+@settings(max_examples=25, deadline=None)
+def test_other_engines_preserve_semantics_too(chain, seed, engine):
+    patterns, boundary, masks, width, height = chain
+    pipe = chain_pipeline(patterns, width, height, boundary, masks)
+    graph = pipe.build()
+    rng = np.random.default_rng(seed)
+    data = rng.uniform(-10.0, 10.0, size=(height, width))
+
+    staged = execute_pipeline(graph, {"img0": data})
+    partition = partition_for(graph, GTX680, engine)
+    fused = execute_partitioned(graph, partition, {"img0": data})
+
+    final = f"img{len(patterns)}"
+    np.testing.assert_allclose(
+        fused[final], staged[final], rtol=1e-8, atol=1e-8
+    )

@@ -1,0 +1,112 @@
+"""Property-based tests on IR invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backend.numpy_exec import evaluate
+from repro.ir import ops
+from repro.ir.cost import count_ops
+from repro.ir.expr import BinOp, Call, Const, InputAt
+from repro.ir.traversal import (
+    count_nodes,
+    input_extent,
+    inputs_of,
+    shift_offsets,
+    transform,
+    walk,
+)
+
+
+@st.composite
+def expressions(draw, depth=0):
+    """Random well-formed IR expressions over images a / b."""
+    if depth >= 4 or draw(st.booleans()):
+        leaf = draw(st.integers(min_value=0, max_value=2))
+        if leaf == 0:
+            return Const(draw(st.floats(min_value=-8, max_value=8,
+                                        allow_nan=False)))
+        image = draw(st.sampled_from(["a", "b"]))
+        dx = draw(st.integers(min_value=-2, max_value=2))
+        dy = draw(st.integers(min_value=-2, max_value=2))
+        return InputAt(image, dx, dy)
+    kind = draw(st.integers(min_value=0, max_value=2))
+    left = draw(expressions(depth=depth + 1))
+    right = draw(expressions(depth=depth + 1))
+    if kind == 0:
+        op = draw(st.sampled_from(["add", "sub", "mul", "min", "max"]))
+        return BinOp(op, left, right)
+    if kind == 1:
+        return ops.absolute(left)
+    return Call("tanh", (left,))
+
+
+@given(expressions())
+@settings(max_examples=100)
+def test_identity_transform_preserves_object(expr):
+    assert transform(expr, lambda n: None) is expr
+
+
+@given(expressions(), st.integers(-3, 3), st.integers(-3, 3))
+@settings(max_examples=100)
+def test_shift_offsets_translates_every_read(expr, dx, dy):
+    shifted = shift_offsets(expr, dx, dy)
+    original = inputs_of(expr)
+    moved = inputs_of(shifted)
+    assert set(original) == set(moved)
+    for name, offsets in original.items():
+        assert moved[name] == {(ox + dx, oy + dy) for ox, oy in offsets}
+
+
+@given(expressions(), st.integers(-3, 3), st.integers(-3, 3))
+@settings(max_examples=50)
+def test_shift_composition(expr, dx, dy):
+    twice = shift_offsets(shift_offsets(expr, dx, dy), -dx, -dy)
+    assert twice == expr
+
+
+@given(expressions())
+@settings(max_examples=100)
+def test_cse_count_never_exceeds_tree_count(expr):
+    deduped = count_ops(expr, cse=True)
+    full = count_ops(expr, cse=False)
+    assert deduped.alu <= full.alu
+    assert deduped.sfu <= full.sfu
+    assert full.total <= count_nodes(expr)
+
+
+@given(expressions())
+@settings(max_examples=100)
+def test_extent_covers_all_reads(expr):
+    rx, ry = input_extent(expr)
+    for offsets in inputs_of(expr).values():
+        for dx, dy in offsets:
+            assert abs(dx) <= rx and abs(dy) <= ry
+
+
+@given(expressions())
+@settings(max_examples=100)
+def test_walk_yields_consistent_counts(expr):
+    nodes = list(walk(expr))
+    assert nodes[0] is expr
+    assert len(nodes) == count_nodes(expr)
+
+
+@given(expressions(), st.integers(0, 2**16))
+@settings(max_examples=60, deadline=None)
+def test_shift_equivalence_under_evaluation(expr, seed):
+    """Shifting reads equals shifting the coordinate grids."""
+    rng = np.random.default_rng(seed)
+    data = {
+        "a": rng.uniform(-5, 5, size=(12, 12)),
+        "b": rng.uniform(-5, 5, size=(12, 12)),
+    }
+
+    def read(image, dx, dy, xs, ys):
+        # Pure gather without boundary handling; coordinates stay inside.
+        return data[image][ys + dy, xs + dx]
+
+    xs, ys = np.meshgrid(np.arange(4, 7), np.arange(4, 7))
+    base = evaluate(shift_offsets(expr, 1, -1), read, {}, xs, ys)
+    moved = evaluate(expr, read, {}, xs + 1, ys - 1)
+    np.testing.assert_allclose(base, moved, rtol=1e-12, atol=1e-12)

@@ -1,0 +1,90 @@
+"""Property-based tests for the Stoer–Wagner minimum cut."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.mincut import stoer_wagner
+
+
+@st.composite
+def connected_graphs(draw):
+    """Random connected undirected weighted graphs (3..12 vertices)."""
+    n = draw(st.integers(min_value=3, max_value=12))
+    vertices = [f"v{i}" for i in range(n)]
+    edges = []
+    # Spanning-tree backbone guarantees connectivity.
+    for i in range(1, n):
+        parent = draw(st.integers(min_value=0, max_value=i - 1))
+        weight = draw(st.floats(min_value=0.01, max_value=50.0,
+                                allow_nan=False, allow_infinity=False))
+        edges.append((vertices[parent], vertices[i], weight))
+    extra = draw(st.integers(min_value=0, max_value=2 * n))
+    for _ in range(extra):
+        a = draw(st.integers(min_value=0, max_value=n - 1))
+        b = draw(st.integers(min_value=0, max_value=n - 1))
+        if a == b:
+            continue
+        weight = draw(st.floats(min_value=0.01, max_value=50.0,
+                                allow_nan=False, allow_infinity=False))
+        edges.append((vertices[a], vertices[b], weight))
+    return vertices, edges
+
+
+def crossing_weight(edges, side):
+    return sum(w for a, b, w in edges if (a in side) != (b in side))
+
+
+@given(connected_graphs())
+@settings(max_examples=60, deadline=None)
+def test_sides_partition_the_vertex_set(graph):
+    vertices, edges = graph
+    result = stoer_wagner(vertices, edges)
+    assert result.side_a | result.side_b == set(vertices)
+    assert not result.side_a & result.side_b
+    assert result.side_a and result.side_b
+
+
+@given(connected_graphs())
+@settings(max_examples=60, deadline=None)
+def test_reported_weight_matches_sides(graph):
+    vertices, edges = graph
+    result = stoer_wagner(vertices, edges)
+    assert abs(crossing_weight(edges, result.side_a) - result.weight) < 1e-6
+
+
+@given(connected_graphs(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_no_sampled_cut_is_lighter(graph, data):
+    vertices, edges = graph
+    result = stoer_wagner(vertices, edges)
+    for _ in range(25):
+        size = data.draw(
+            st.integers(min_value=1, max_value=len(vertices) - 1)
+        )
+        side = set(
+            data.draw(
+                st.permutations(vertices)
+            )[:size]
+        )
+        assert crossing_weight(edges, side) >= result.weight - 1e-6
+
+
+@given(connected_graphs())
+@settings(max_examples=40, deadline=None)
+def test_every_single_vertex_cut_bounds_the_minimum(graph):
+    # The min cut is never heavier than isolating any single vertex.
+    vertices, edges = graph
+    result = stoer_wagner(vertices, edges)
+    for v in vertices:
+        assert crossing_weight(edges, {v}) >= result.weight - 1e-6
+
+
+@given(connected_graphs())
+@settings(max_examples=40, deadline=None)
+def test_weight_scaling_invariance(graph):
+    # Scaling all weights scales the cut weight; the sides stay optimal.
+    vertices, edges = graph
+    base = stoer_wagner(vertices, edges)
+    scaled_edges = [(a, b, 3.0 * w) for a, b, w in edges]
+    scaled = stoer_wagner(vertices, scaled_edges)
+    assert abs(scaled.weight - 3.0 * base.weight) < 1e-5

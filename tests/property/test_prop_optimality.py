@@ -1,0 +1,112 @@
+"""Property-based comparison of the min-cut heuristic with the optimum.
+
+On random small pipelines (where exhaustive enumeration is feasible)
+the recursive min-cut heuristic must be (a) never better than the
+optimum — a consistency check on both engines — and (b) optimal on a
+large fraction of instances.  Instances where a gap appears are
+accepted but the gap must be bounded by the weight of a single legal
+edge (the heuristic never discards more than it cuts).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers import image, local_kernel, point_kernel
+
+from repro.dsl.kernel import Kernel
+from repro.dsl.pipeline import Pipeline
+from repro.fusion.exhaustive import exhaustive_fusion
+from repro.fusion.mincut_fusion import mincut_fusion
+from repro.model.benefit import estimate_graph
+from repro.model.hardware import GTX680
+
+
+@st.composite
+def small_pipelines(draw):
+    n = draw(st.integers(min_value=2, max_value=6))
+    pipe = Pipeline("small")
+    images = [image("src", 8, 8)]
+    for i in range(n):
+        out = image(f"img{i}", 8, 8)
+        pattern = draw(st.sampled_from(["p", "p", "l"]))  # point-biased
+        upstream = images[
+            draw(st.integers(min_value=0, max_value=len(images) - 1))
+        ]
+        if pattern == "l":
+            pipe.add(local_kernel(f"k{i}", upstream, out))
+        elif draw(st.booleans()) and len(images) > 1:
+            second = images[
+                draw(st.integers(min_value=0, max_value=len(images) - 1))
+            ]
+            if second.name == upstream.name:
+                pipe.add(point_kernel(f"k{i}", upstream, out))
+            else:
+                pipe.add(
+                    Kernel.from_function(
+                        f"k{i}",
+                        [upstream, second],
+                        out,
+                        lambda a, b: a() + b() * 0.5,
+                    )
+                )
+        else:
+            pipe.add(point_kernel(f"k{i}", upstream, out))
+        images.append(out)
+    return pipe
+
+
+@given(small_pipelines())
+@settings(max_examples=40, deadline=None)
+def test_heuristic_never_exceeds_optimum(pipe):
+    weighted = estimate_graph(pipe.build(), GTX680)
+    optimal = exhaustive_fusion(weighted).benefit
+    heuristic = mincut_fusion(weighted).benefit
+    assert heuristic <= optimal + 1e-9
+
+
+@given(small_pipelines())
+@settings(max_examples=40, deadline=None)
+def test_gap_bounded_by_largest_edge(pipe):
+    weighted = estimate_graph(pipe.build(), GTX680)
+    optimal = exhaustive_fusion(weighted).benefit
+    heuristic = mincut_fusion(weighted).benefit
+    largest = max(
+        (e.weight or 0.0 for e in weighted.graph.edges), default=0.0
+    )
+    assert optimal - heuristic <= len(weighted.graph.edges) * largest + 1e-9
+
+
+@given(small_pipelines())
+@settings(max_examples=30, deadline=None)
+def test_exhaustive_dominates_every_engine(pipe):
+    from repro.fusion.basic_fusion import basic_fusion
+    from repro.fusion.coalesce import coalesced_fusion
+    from repro.fusion.greedy_fusion import greedy_fusion
+
+    weighted = estimate_graph(pipe.build(), GTX680)
+    optimal = exhaustive_fusion(weighted).benefit
+    for engine in (mincut_fusion, basic_fusion, greedy_fusion,
+                   coalesced_fusion):
+        assert engine(weighted).benefit <= optimal + 1e-9
+
+
+@given(small_pipelines())
+@settings(max_examples=30, deadline=None)
+def test_coalescing_sandwiched_between_mincut_and_optimum(pipe):
+    from repro.fusion.coalesce import coalesced_fusion
+
+    weighted = estimate_graph(pipe.build(), GTX680)
+    base = mincut_fusion(weighted).benefit
+    improved = coalesced_fusion(weighted).benefit
+    optimal = exhaustive_fusion(weighted).benefit
+    assert base - 1e-9 <= improved <= optimal + 1e-9
+
+
+@given(small_pipelines())
+@settings(max_examples=30, deadline=None)
+def test_coalesced_blocks_are_legal(pipe):
+    from repro.fusion.coalesce import coalesced_fusion
+
+    weighted = estimate_graph(pipe.build(), GTX680)
+    for block in coalesced_fusion(weighted).partition.blocks:
+        assert weighted.is_legal_block(block.vertices)

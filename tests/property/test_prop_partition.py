@@ -1,0 +1,125 @@
+"""Property-based tests on fusion-engine partitions.
+
+Random weighted DAGs (built as random layered pipelines) are fed to all
+three engines; every produced partition must be a legal disjoint cover
+and must respect the Eq. (13) accounting identity.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers import image, local_kernel, point_kernel
+
+from repro.dsl.kernel import Kernel
+from repro.dsl.pipeline import Pipeline
+from repro.fusion.basic_fusion import basic_fusion
+from repro.fusion.greedy_fusion import greedy_fusion
+from repro.fusion.mincut_fusion import mincut_fusion
+from repro.model.benefit import estimate_graph
+from repro.model.hardware import GTX680
+
+ENGINES = {
+    "mincut": mincut_fusion,
+    "basic": basic_fusion,
+    "greedy": greedy_fusion,
+}
+
+
+@st.composite
+def random_pipelines(draw):
+    """Random DAG pipelines: each kernel reads 1-2 earlier images."""
+    n = draw(st.integers(min_value=2, max_value=8))
+    pipe = Pipeline("random")
+    images = [image("src", 8, 8)]
+    for i in range(n):
+        out = image(f"img{i}", 8, 8)
+        pattern = draw(st.sampled_from(["p", "l"]))
+        primary = images[
+            draw(st.integers(min_value=0, max_value=len(images) - 1))
+        ]
+        if pattern == "l":
+            pipe.add(local_kernel(f"k{i}", primary, out))
+        else:
+            extra = draw(st.booleans())
+            if extra and len(images) > 1:
+                secondary = images[
+                    draw(st.integers(min_value=0, max_value=len(images) - 1))
+                ]
+                if secondary.name != primary.name:
+                    pipe.add(
+                        Kernel.from_function(
+                            f"k{i}",
+                            [primary, secondary],
+                            out,
+                            lambda a, b: a() * 0.5 + b() * 0.25,
+                        )
+                    )
+                    images.append(out)
+                    continue
+            pipe.add(point_kernel(f"k{i}", primary, out))
+        images.append(out)
+    return pipe
+
+
+@given(random_pipelines(), st.sampled_from(sorted(ENGINES)))
+@settings(max_examples=60, deadline=None)
+def test_partitions_are_disjoint_covers(pipe, engine_name):
+    graph = pipe.build()
+    weighted = estimate_graph(graph, GTX680)
+    result = ENGINES[engine_name](weighted)
+    covered = set()
+    for block in result.partition.blocks:
+        assert not covered & set(block.vertices)
+        covered |= set(block.vertices)
+    assert covered == set(graph.kernel_names)
+
+
+@given(random_pipelines(), st.sampled_from(sorted(ENGINES)))
+@settings(max_examples=60, deadline=None)
+def test_every_multi_kernel_block_is_legal(pipe, engine_name):
+    graph = pipe.build()
+    weighted = estimate_graph(graph, GTX680)
+    result = ENGINES[engine_name](weighted)
+    for block in result.partition.blocks:
+        if len(block) > 1:
+            report = weighted.block_legality(block.vertices)
+            assert report.legal, report.reasons
+
+
+@given(random_pipelines())
+@settings(max_examples=60, deadline=None)
+def test_eq13_accounting(pipe):
+    graph = pipe.build()
+    weighted = estimate_graph(graph, GTX680)
+    result = mincut_fusion(weighted)
+    partition = result.partition
+    assert partition.benefit + partition.cut_weight == pytest.approx(
+        weighted.graph.total_weight
+    )
+
+
+@given(random_pipelines())
+@settings(max_examples=60, deadline=None)
+def test_benefit_is_nonnegative_and_bounded(pipe):
+    graph = pipe.build()
+    weighted = estimate_graph(graph, GTX680)
+    for engine in ENGINES.values():
+        beta = engine(weighted).benefit
+        assert -1e-9 <= beta <= weighted.graph.total_weight + 1e-9
+
+
+@given(random_pipelines())
+@settings(max_examples=40, deadline=None)
+def test_mincut_trace_consistency(pipe):
+    # Every kernel appears in exactly one 'ready' trace event.
+    graph = pipe.build()
+    weighted = estimate_graph(graph, GTX680)
+    result = mincut_fusion(weighted)
+    ready_members = [
+        name
+        for event in result.trace
+        if event.action == "ready"
+        for name in event.block
+    ]
+    assert sorted(ready_members) == sorted(graph.kernel_names)

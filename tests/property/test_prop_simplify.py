@@ -1,0 +1,85 @@
+"""Property-based tests: simplification preserves semantics."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backend.numpy_exec import evaluate
+from repro.ir import ops
+from repro.ir.cost import count_ops
+from repro.ir.expr import BinOp, Cmp, Const, Expr, InputAt, Select, UnOp
+from repro.ir.simplify import simplify
+from repro.ir.validate import validate
+
+
+@st.composite
+def expressions(draw, depth=0):
+    if depth >= 4 or draw(st.booleans()):
+        choice = draw(st.integers(min_value=0, max_value=3))
+        if choice <= 1:
+            return Const(draw(st.floats(min_value=-4, max_value=4,
+                                        allow_nan=False)))
+        return InputAt(draw(st.sampled_from(["a", "b"])),
+                       draw(st.integers(-1, 1)), draw(st.integers(-1, 1)))
+    kind = draw(st.integers(min_value=0, max_value=4))
+    left = draw(expressions(depth=depth + 1))
+    right = draw(expressions(depth=depth + 1))
+    if kind == 0:
+        op = draw(st.sampled_from(["add", "sub", "mul", "min", "max"]))
+        return BinOp(op, left, right)
+    if kind == 1:
+        return UnOp(draw(st.sampled_from(["neg", "abs"])), left)
+    if kind == 2:
+        op = draw(st.sampled_from(["lt", "le", "gt", "ge"]))
+        return Cmp(op, left, right)
+    if kind == 3:
+        cond = draw(expressions(depth=depth + 1))
+        return Select(Cmp("lt", cond, Const(0.0)), left, right)
+    return ops.tanh(left)
+
+
+def eval_expr(expr: Expr, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    data = {
+        "a": rng.uniform(-5, 5, size=(8, 8)),
+        "b": rng.uniform(-5, 5, size=(8, 8)),
+    }
+
+    def read(image, dx, dy, xs, ys):
+        return data[image][(ys + dy) % 8, (xs + dx) % 8]
+
+    xs, ys = np.meshgrid(np.arange(8), np.arange(8))
+    return np.broadcast_to(
+        np.asarray(evaluate(expr, read, {}, xs, ys), dtype=float), (8, 8)
+    )
+
+
+@given(expressions(), st.integers(0, 2**16))
+@settings(max_examples=120, deadline=None)
+def test_simplify_preserves_semantics(expr, seed):
+    simplified = simplify(expr)
+    np.testing.assert_allclose(
+        eval_expr(simplified, seed),
+        eval_expr(expr, seed),
+        rtol=1e-10,
+        atol=1e-10,
+    )
+
+
+@given(expressions())
+@settings(max_examples=120)
+def test_simplify_never_increases_ops(expr):
+    assert count_ops(simplify(expr)).total <= count_ops(expr).total
+
+
+@given(expressions())
+@settings(max_examples=120)
+def test_simplified_expressions_stay_valid(expr):
+    validate(simplify(expr))
+
+
+@given(expressions())
+@settings(max_examples=80)
+def test_simplify_is_idempotent(expr):
+    once = simplify(expr)
+    assert simplify(once) == once
