@@ -1,0 +1,113 @@
+"""Execution-engine comparison: recursive vs. tape vs. parallel tape.
+
+Times the fused-block executors head-to-head on the workloads where the
+plan compiler matters most — deep local-to-local chains, where the
+recursive engine re-derives every producer's coordinate grids at every
+consumer tap while the tape engine interns them and deduplicates
+producer evaluations at composed offsets.
+
+Emits ``BENCH_exec_engines.json`` into ``benchmarks/output/`` with the
+measured times and speedups.  The headline acceptance figure is the
+tape-over-recursive speedup on the 2048x2048 local-to-local chain,
+required to be at least 2x.
+"""
+
+import json
+import time
+
+from helpers import BLUR3, EDGE3, chain_pipeline, image, local_kernel, random_image
+
+from repro.backend.numpy_exec import execute_block, execute_partitioned
+from repro.dsl.pipeline import Pipeline
+from repro.graph.partition import Partition, PartitionBlock
+
+#: (label, chain depth, image size) of the timed chain workloads.
+CHAIN_CASES = (
+    ("l2_2048", 2, 2048),
+    ("l3_1024", 3, 1024),
+)
+
+REPEATS = 2
+
+
+def _best_of(fn, repeats=REPEATS):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _wide_pipeline(size, lanes=4):
+    """One source feeding ``lanes`` independent two-kernel chains."""
+    pipe = Pipeline("wide")
+    src = image("src", size, size)
+    for lane in range(lanes):
+        mask = BLUR3 if lane % 2 == 0 else EDGE3
+        mid = image(f"mid{lane}", size, size)
+        out = image(f"out{lane}", size, size)
+        pipe.add(local_kernel(f"a{lane}", src, mid, mask))
+        pipe.add(local_kernel(f"b{lane}", mid, out, mask))
+    return pipe.build()
+
+
+def test_bench_exec_engines(output_dir):
+    report = {"repeats": REPEATS, "chains": {}, "parallel": {}}
+
+    for label, depth, size in CHAIN_CASES:
+        graph = chain_pipeline(("l",) * depth, size, size).build()
+        data = {"img0": random_image(size, size, seed=3)}
+        block = PartitionBlock(graph, set(graph.kernel_names))
+        execute_block(graph, block, data, engine="tape")  # compile once
+        tape = _best_of(
+            lambda: execute_block(graph, block, data, engine="tape")
+        )
+        recursive = _best_of(
+            lambda: execute_block(graph, block, data, engine="recursive")
+        )
+        report["chains"][label] = {
+            "depth": depth,
+            "size": size,
+            "recursive_s": recursive,
+            "tape_s": tape,
+            "speedup": recursive / tape,
+        }
+
+    size = 1024
+    graph = _wide_pipeline(size)
+    data = {"src": random_image(size, size, seed=4)}
+    partition = Partition(
+        graph,
+        [
+            PartitionBlock(graph, {f"a{lane}", f"b{lane}"})
+            for lane in range(4)
+        ],
+    )
+    execute_partitioned(graph, partition, data, engine="tape")
+    serial = _best_of(
+        lambda: execute_partitioned(graph, partition, data, engine="tape")
+    )
+    parallel = _best_of(
+        lambda: execute_partitioned(
+            graph, partition, data, engine="tape", workers=4
+        )
+    )
+    report["parallel"] = {
+        "size": size,
+        "blocks": 4,
+        "workers": 4,
+        "serial_s": serial,
+        "parallel_s": parallel,
+        "speedup": serial / parallel,
+    }
+
+    (output_dir / "BENCH_exec_engines.json").write_text(
+        json.dumps(report, indent=2) + "\n"
+    )
+
+    headline = report["chains"]["l2_2048"]["speedup"]
+    assert headline >= 2.0, (
+        f"tape engine only {headline:.2f}x over recursive on the "
+        "2048x2048 local-to-local chain (acceptance floor is 2x)"
+    )

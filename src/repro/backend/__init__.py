@@ -5,6 +5,10 @@
   fused execution path implements the paper's two-stage index exchange,
   so fused results are bit-comparable with unfused staged execution —
   this is the correctness oracle of the whole reproduction.
+* :mod:`repro.backend.plan` — the plan-compiling tape engine: partition
+  blocks flattened once into SSA instruction tapes with producer-result
+  caching, interned coordinate grids, and parallel block scheduling.
+  The default engine behind ``execute_pipeline``/``execute_partitioned``.
 * :mod:`repro.backend.codegen_cuda` — CUDA C source text generation
   (the "source-to-source" output of the compiler; inspectable, not
   executed here).
@@ -28,6 +32,7 @@ from repro.backend.roofline import (
 )
 from repro.backend.cpu_exec import (
     CompiledPipeline,
+    clear_compile_cache,
     compile_pipeline,
     compiler_available,
 )
@@ -40,16 +45,34 @@ from repro.backend.numpy_exec import (
     execute_kernel,
     execute_partitioned,
     execute_pipeline,
+    recursion_headroom,
+)
+from repro.backend.plan import (
+    BlockPlan,
+    GridStore,
+    PartitionPlan,
+    clear_plan_caches,
+    compile_block,
+    compile_kernel,
+    plan_for_block,
+    plan_for_partition,
 )
 
 __all__ = [
+    "BlockPlan",
     "CompiledPipeline",
     "ExecutionError",
+    "GridStore",
+    "PartitionPlan",
     "KernelCostBreakdown",
     "PipelineTiming",
     "RooflinePoint",
     "analyze_roofline",
     "block_schedule",
+    "clear_compile_cache",
+    "clear_plan_caches",
+    "compile_block",
+    "compile_kernel",
     "compile_pipeline",
     "compiler_available",
     "device_balance",
@@ -65,6 +88,9 @@ __all__ = [
     "generate_opencl",
     "generate_opencl_pipeline",
     "pipeline_roofline",
+    "plan_for_block",
+    "plan_for_partition",
+    "recursion_headroom",
     "simulate_partition",
     "simulate_runs",
 ]

@@ -10,11 +10,21 @@ against the NumPy reference executor.
 
 Requires a C compiler (``gcc`` or ``cc``) on PATH; callers can probe
 with :func:`compiler_available` and skip gracefully.
+
+Compiled libraries are kept in a **content-hash cache**: the shared
+object's file name is derived from a SHA-256 digest of the generated C
+source (and the compiler used), so building the same partitioned
+pipeline twice — within a process or across runs — reuses the cached
+``.so`` instead of re-invoking the compiler.  The cache directory
+defaults to ``<tmp>/repro-cc-cache`` and can be redirected with the
+``REPRO_CC_CACHE`` environment variable.
 """
 
 from __future__ import annotations
 
 import ctypes
+import hashlib
+import os
 import shutil
 import subprocess
 import tempfile
@@ -44,21 +54,53 @@ def _find_compiler() -> str | None:
     return None
 
 
-def _compile_shared_library(source: str, workdir: Path, cc: str) -> Path:
-    source_path = workdir / "pipeline.c"
-    library_path = workdir / "pipeline.so"
+#: Environment variable redirecting the shared-library cache directory.
+CACHE_ENV = "REPRO_CC_CACHE"
+
+
+def _cache_dir() -> Path:
+    override = os.environ.get(CACHE_ENV, "").strip()
+    if override:
+        return Path(override)
+    return Path(tempfile.gettempdir()) / "repro-cc-cache"
+
+
+def clear_compile_cache() -> None:
+    """Delete every cached shared library (tests, stale toolchains)."""
+    shutil.rmtree(_cache_dir(), ignore_errors=True)
+
+
+def _compile_shared_library(source: str, cc: str) -> tuple[Path, bool]:
+    """Compile ``source`` or reuse the content-hash cached library.
+
+    Returns ``(library_path, from_cache)``.  The library file name is a
+    digest of the compiler and source text, so identical generated
+    pipelines share one compilation across processes; the build lands
+    in a temporary file first and is moved into place atomically, which
+    keeps concurrent builders race-free.
+    """
+    digest = hashlib.sha256(f"{cc}\x00{source}".encode()).hexdigest()[:24]
+    cache = _cache_dir()
+    cache.mkdir(parents=True, exist_ok=True)
+    library_path = cache / f"pipeline-{digest}.so"
+    if library_path.exists():
+        return library_path, True
+    source_path = cache / f"pipeline-{digest}.c"
     source_path.write_text(source)
+    scratch = cache / f"pipeline-{digest}.{os.getpid()}.partial.so"
     command = [
-        cc, "-O2", "-fPIC", "-shared", "-o", str(library_path),
+        cc, "-O2", "-fPIC", "-shared", "-o", str(scratch),
         str(source_path), "-lm",
     ]
     result = subprocess.run(command, capture_output=True, text=True)
     if result.returncode != 0:
+        scratch.unlink(missing_ok=True)
         raise ExecutionError(
             f"C compilation failed:\n{result.stderr}\n--- source ---\n"
             + source
         )
-    return library_path
+    os.replace(scratch, library_path)
+    return library_path, False
 
 
 class CompiledPipeline:
@@ -89,13 +131,12 @@ class CompiledPipeline:
                     f"global operator {kernel.name!r} has no C lowering"
                 )
 
-        # Keep the temporary directory alive with the library handle.
-        self._tmpdir = tempfile.TemporaryDirectory(prefix="repro-cpu-")
         source = generate_c_pipeline(graph, partition)
-        library = _compile_shared_library(
-            source, Path(self._tmpdir.name), compiler
-        )
+        library, from_cache = _compile_shared_library(source, compiler)
         self.source = source
+        self.library_path = library
+        #: Whether the shared library came from the content-hash cache.
+        self.from_cache = from_cache
         self._lib = ctypes.CDLL(str(library))
 
         float_ptr = ctypes.POINTER(ctypes.c_float)

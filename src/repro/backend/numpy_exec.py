@@ -20,12 +20,28 @@ correctness property of the reproduction:
 Evaluation is vectorized: expressions are evaluated over full integer
 coordinate grids, so a recursive producer evaluation at exchanged
 coordinates is a fancy-indexing gather, not a per-pixel loop.
+
+Two **engines** implement these semantics:
+
+* ``"tape"`` (default) — the plan-compiling executor of
+  :mod:`repro.backend.plan`: each block is flattened once into an SSA
+  instruction tape and executed iteratively, with producer-result
+  caching, interned coordinate grids, and optional parallel execution
+  of independent blocks (``REPRO_EXEC_WORKERS``);
+* ``"recursive"`` — the original recursive walk below, retained for
+  differential testing and instrumentation (``call_counter``).
+
+Select per call with ``engine=`` or globally with the
+``REPRO_EXEC_ENGINE`` environment variable.  Both engines are
+bit-identical on every pipeline (see ``tests/backend/test_plan_equiv``).
 """
 
 from __future__ import annotations
 
+import os
 import sys
-from typing import Callable, Dict, List
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List
 
 import numpy as np
 
@@ -87,10 +103,41 @@ class ExecutionError(RuntimeError):
     """Raised for execution-time problems (missing arrays, bad shapes)."""
 
 
-def _ensure_recursion_headroom() -> None:
-    """Deeply fused bodies need more than CPython's default limit."""
-    if sys.getrecursionlimit() < 20000:
-        sys.setrecursionlimit(20000)
+#: Default engine; override per call (``engine=``) or globally with the
+#: ``REPRO_EXEC_ENGINE`` environment variable.
+DEFAULT_ENGINE = "tape"
+
+ENGINE_ENV = "REPRO_EXEC_ENGINE"
+
+_ENGINES = ("tape", "recursive")
+
+
+def _resolve_engine(engine: str | None) -> str:
+    if engine is None:
+        engine = os.environ.get(ENGINE_ENV, "").strip() or DEFAULT_ENGINE
+    if engine not in _ENGINES:
+        raise ExecutionError(
+            f"unknown execution engine {engine!r}; expected one of {_ENGINES}"
+        )
+    return engine
+
+
+@contextmanager
+def recursion_headroom(limit: int = 20000) -> Iterator[None]:
+    """Scoped recursion-limit raise for deeply fused recursive walks.
+
+    Restores the prior limit on exit; a no-op when the current limit
+    already suffices, so nesting is cheap.
+    """
+    prior = sys.getrecursionlimit()
+    if prior >= limit:
+        yield
+        return
+    sys.setrecursionlimit(limit)
+    try:
+        yield
+    finally:
+        sys.setrecursionlimit(prior)
 
 
 def _array_for(image_name: str, arrays: Arrays) -> np.ndarray:
@@ -104,7 +151,7 @@ def _apply_mask(
     values: np.ndarray, mask: np.ndarray | None, fill: float
 ) -> np.ndarray:
     """Substitute ``fill`` where ``mask`` is set (CONSTANT boundary)."""
-    if mask is None or not mask.any():
+    if mask is None:
         return values
     if values.ndim == mask.ndim + 1:  # multi-channel image
         mask = mask[..., None]
@@ -119,13 +166,13 @@ def gather(
 ) -> np.ndarray:
     """Read ``array`` at integer coordinate grids with boundary handling."""
     height, width = array.shape[:2]
-    xr, mask_x = resolve_array(xs, width, boundary.mode)
-    yr, mask_y = resolve_array(ys, height, boundary.mode)
-    values = array[yr, xr]
     if boundary.mode is BoundaryMode.CONSTANT:
-        oob = mask_x | mask_y
-        values = _apply_mask(values, oob, boundary.constant)
-    return values
+        xr, mask_x = resolve_array(xs, width, boundary.mode)
+        yr, mask_y = resolve_array(ys, height, boundary.mode)
+        return _apply_mask(array[yr, xr], mask_x | mask_y, boundary.constant)
+    xr, _ = resolve_array(xs, width, boundary.mode)
+    yr, _ = resolve_array(ys, height, boundary.mode)
+    return array[yr, xr]
 
 
 ReadFn = Callable[[str, int, int, np.ndarray, np.ndarray], np.ndarray]
@@ -239,7 +286,6 @@ def execute_kernel(
     is broadcast over the output space (histograms fill a ``bins x 1``
     output row instead).
     """
-    _ensure_recursion_headroom()
     params = params or {}
     xs, ys = _coordinate_grids(kernel)
 
@@ -247,7 +293,8 @@ def execute_kernel(
         boundary = kernel.accessor_for(image).boundary
         return gather(_array_for(image, arrays), cx + dx, cy + dy, boundary)
 
-    values = evaluate(kernel.body, read, params, xs, ys, memo={})
+    with recursion_headroom():
+        values = evaluate(kernel.body, read, params, xs, ys, memo={})
 
     if kernel.reduction is None:
         return _broadcast_output(values, kernel)
@@ -265,13 +312,24 @@ def execute_kernel(
 
 
 def execute_pipeline(
-    graph: KernelGraph, inputs: Arrays, params: Params | None = None
+    graph: KernelGraph,
+    inputs: Arrays,
+    params: Params | None = None,
+    *,
+    engine: str | None = None,
+    workers: int | None = None,
 ) -> Arrays:
     """Staged (unfused) execution: one kernel at a time, in topo order.
 
     Returns the environment mapping every image name — inputs and all
-    produced images — to its array.
+    produced images — to its array.  ``engine`` selects the tape
+    (default) or recursive implementation; ``workers`` enables parallel
+    execution of independent kernels under the tape engine.
     """
+    if _resolve_engine(engine) == "tape":
+        from repro.backend.plan import execute_pipeline_tape
+
+        return execute_pipeline_tape(graph, inputs, params, workers)
     env: Arrays = dict(inputs)
     for name in graph.kernel_names:
         kernel = graph.kernel(name)
@@ -286,6 +344,8 @@ def execute_block(
     params: Params | None = None,
     naive_borders: bool = False,
     call_counter: Dict[str, int] | None = None,
+    *,
+    engine: str | None = None,
 ) -> np.ndarray:
     """Execute a partition block with fused-kernel semantics.
 
@@ -303,9 +363,16 @@ def execute_block(
     each member kernel was (re)evaluated — the empirical recomputation
     factors behind the benefit model's φ term: a point consumer
     evaluates its producer once (the Eq. 5 register reuse), a local
-    consumer once per distinct window offset.
+    consumer once per distinct window offset.  Passing a counter forces
+    the recursive engine — the counts instrument *its* evaluation order
+    (the tape engine deduplicates producer evaluations by grid).
     """
-    _ensure_recursion_headroom()
+    if call_counter is None and _resolve_engine(engine) == "tape":
+        from repro.backend.plan import execute_block_tape
+
+        return execute_block_tape(
+            graph, block, arrays, params, naive_borders=naive_borders
+        )
     params = params or {}
     producer_of = {
         graph.kernel(name).output.name: name for name in block.vertices
@@ -343,7 +410,8 @@ def execute_block(
 
     destination = graph.kernel(destinations[0])
     xs, ys = _coordinate_grids(destination)
-    values = eval_member(destinations[0], xs, ys)
+    with recursion_headroom():
+        values = eval_member(destinations[0], xs, ys)
     return _broadcast_output(values, destination)
 
 
@@ -373,6 +441,9 @@ def execute_partitioned(
     inputs: Arrays,
     params: Params | None = None,
     naive_borders: bool = False,
+    *,
+    engine: str | None = None,
+    workers: int | None = None,
 ) -> Arrays:
     """Execute a pipeline under a fusion partition.
 
@@ -380,7 +451,22 @@ def execute_partitioned(
     :func:`execute_block`.  Only images that survive fusion — block
     external inputs and destination outputs — appear in the returned
     environment, mirroring what the generated program would allocate.
+
+    ``engine`` selects the tape (default) or recursive implementation;
+    ``workers`` lets the tape engine run independent blocks in parallel
+    (``REPRO_EXEC_WORKERS`` sets the default).
     """
+    if _resolve_engine(engine) == "tape":
+        from repro.backend.plan import execute_partitioned_tape
+
+        return execute_partitioned_tape(
+            graph,
+            partition,
+            inputs,
+            params,
+            naive_borders=naive_borders,
+            workers=workers,
+        )
     env: Arrays = dict(inputs)
     for block in block_schedule(graph, partition):
         if len(block) == 1:
@@ -390,6 +476,11 @@ def execute_partitioned(
         else:
             destination = graph.kernel(block.destination_kernels()[0])
             env[destination.output.name] = execute_block(
-                graph, block, env, params, naive_borders=naive_borders
+                graph,
+                block,
+                env,
+                params,
+                naive_borders=naive_borders,
+                engine="recursive",
             )
     return env

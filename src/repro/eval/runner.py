@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.apps import APPLICATIONS, AppSpec
 from repro.backend.launch import PipelineTiming, simulate_partition, simulate_runs
+from repro.backend.numpy_exec import Arrays, execute_partitioned
 from repro.fusion.basic_fusion import basic_fusion
 from repro.fusion.greedy_fusion import greedy_fusion
 from repro.fusion.mincut_fusion import mincut_fusion
@@ -102,6 +103,42 @@ def run_configuration(
     timing = simulate_partition(graph, partition, gpu)
     samples = simulate_runs(timing, runs=runs, seed=_seed(spec.name, gpu.name, version))
     return AppResult(spec.name, gpu.name, version, partition, timing, samples)
+
+
+def execute_configuration(
+    spec: AppSpec,
+    gpu: GpuSpec,
+    version: str,
+    width: int = 96,
+    height: int = 64,
+    config: BenefitConfig | None = None,
+    params: Dict[str, float] | None = None,
+    seed: int = 0,
+    engine: str | None = None,
+    workers: int | None = None,
+) -> Arrays:
+    """Numerically execute one configuration's fused pipeline.
+
+    Complements :func:`run_configuration` (which *simulates* timing):
+    the application is built at the given geometry, partitioned for the
+    version, and run on deterministic random inputs through
+    :func:`repro.backend.numpy_exec.execute_partitioned` — the tape
+    engine by default, with ``workers`` forwarded for parallel block
+    execution.  Returns the surviving-image environment.
+    """
+    graph = spec.build(width, height).build()
+    partition = partition_for(graph, gpu, version, config)
+    rng = np.random.default_rng(_seed(spec.name, gpu.name, version) ^ seed)
+    shape = (height, width)
+    if spec.channels > 1:
+        shape = shape + (spec.channels,)
+    inputs = {
+        name: rng.uniform(0.0, 255.0, size=shape)
+        for name in graph.pipeline_inputs()
+    }
+    return execute_partitioned(
+        graph, partition, inputs, params, engine=engine, workers=workers
+    )
 
 
 def run_matrix(
