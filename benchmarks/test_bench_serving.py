@@ -1,0 +1,48 @@
+"""Serving-runtime throughput: cached plans vs per-request recompile.
+
+Runs the six paper applications as a concurrent request stream through
+:class:`repro.serve.ServingRuntime` and compares against a baseline
+that rebuilds, re-fuses, and re-plans every request from scratch — the
+cost model the serving layer exists to amortize.
+
+Emits ``BENCH_serving.json`` into ``benchmarks/output/``.  Acceptance:
+at least **3x** throughput over the per-request baseline with a plan
+cache hit rate of at least **0.9**, with every served result
+bit-identical to its baseline counterpart.
+"""
+
+import json
+
+from repro.serve.bench import run_serving_benchmark
+
+REQUESTS_PER_APP = 25
+WIDTH, HEIGHT = 64, 48
+
+
+def test_bench_serving(output_dir):
+    report = run_serving_benchmark(
+        requests_per_app=REQUESTS_PER_APP,
+        width=WIDTH,
+        height=HEIGHT,
+        client_threads=8,
+        scheduler_workers=2,
+    )
+
+    (output_dir / "BENCH_serving.json").write_text(
+        json.dumps(report, indent=2) + "\n"
+    )
+
+    assert report["bit_identical"], (
+        f"{report['mismatches']} serving results diverged from direct "
+        "execution"
+    )
+    hit_rate = report["serving"]["hit_rate"]
+    assert hit_rate >= 0.9, (
+        f"plan cache hit rate {hit_rate:.3f} below the 0.9 acceptance "
+        "floor"
+    )
+    speedup = report["speedup"]
+    assert speedup >= 3.0, (
+        f"serving only {speedup:.2f}x over per-request re-fuse/re-plan "
+        "(acceptance floor is 3x)"
+    )

@@ -24,14 +24,18 @@ from __future__ import annotations
 
 import ctypes
 import hashlib
+import itertools
 import os
 import shutil
 import subprocess
 import tempfile
+import threading
 from pathlib import Path
 from typing import Dict, List, Sequence
 
 import numpy as np
+
+from repro.envknobs import dir_env
 
 from repro.backend.codegen_c import generate_c_pipeline
 from repro.backend.numpy_exec import Arrays, ExecutionError, Params, block_schedule
@@ -59,15 +63,31 @@ CACHE_ENV = "REPRO_CC_CACHE"
 
 
 def _cache_dir() -> Path:
-    override = os.environ.get(CACHE_ENV, "").strip()
-    if override:
-        return Path(override)
-    return Path(tempfile.gettempdir()) / "repro-cc-cache"
+    return dir_env(CACHE_ENV, Path(tempfile.gettempdir()) / "repro-cc-cache")
 
 
 def clear_compile_cache() -> None:
     """Delete every cached shared library (tests, stale toolchains)."""
     shutil.rmtree(_cache_dir(), ignore_errors=True)
+
+
+# In-process serialization of compilation per content digest: threads
+# racing to build the same pipeline wait for one compiler invocation
+# and share its result (cross-process races stay safe through the
+# atomic rename below).  ``_digest_locks`` entries are tiny and bounded
+# by the number of distinct pipelines a process compiles.
+_digest_locks: Dict[str, threading.Lock] = {}
+_digest_locks_guard = threading.Lock()
+_scratch_counter = itertools.count()
+
+
+def _lock_for_digest(digest: str) -> threading.Lock:
+    with _digest_locks_guard:
+        lock = _digest_locks.get(digest)
+        if lock is None:
+            lock = threading.Lock()
+            _digest_locks[digest] = lock
+        return lock
 
 
 def _compile_shared_library(source: str, cc: str) -> tuple[Path, bool]:
@@ -76,31 +96,36 @@ def _compile_shared_library(source: str, cc: str) -> tuple[Path, bool]:
     Returns ``(library_path, from_cache)``.  The library file name is a
     digest of the compiler and source text, so identical generated
     pipelines share one compilation across processes; the build lands
-    in a temporary file first and is moved into place atomically, which
-    keeps concurrent builders race-free.
+    in a temporary file first and is moved into place atomically, and
+    the scratch name embeds pid, thread id, and a counter so concurrent
+    builders — across processes *or* threads — never collide.
     """
     digest = hashlib.sha256(f"{cc}\x00{source}".encode()).hexdigest()[:24]
-    cache = _cache_dir()
-    cache.mkdir(parents=True, exist_ok=True)
-    library_path = cache / f"pipeline-{digest}.so"
-    if library_path.exists():
-        return library_path, True
-    source_path = cache / f"pipeline-{digest}.c"
-    source_path.write_text(source)
-    scratch = cache / f"pipeline-{digest}.{os.getpid()}.partial.so"
-    command = [
-        cc, "-O2", "-fPIC", "-shared", "-o", str(scratch),
-        str(source_path), "-lm",
-    ]
-    result = subprocess.run(command, capture_output=True, text=True)
-    if result.returncode != 0:
-        scratch.unlink(missing_ok=True)
-        raise ExecutionError(
-            f"C compilation failed:\n{result.stderr}\n--- source ---\n"
-            + source
+    with _lock_for_digest(digest):
+        cache = _cache_dir()
+        cache.mkdir(parents=True, exist_ok=True)
+        library_path = cache / f"pipeline-{digest}.so"
+        if library_path.exists():
+            return library_path, True
+        source_path = cache / f"pipeline-{digest}.c"
+        source_path.write_text(source)
+        scratch = cache / (
+            f"pipeline-{digest}.{os.getpid()}-{threading.get_ident()}"
+            f"-{next(_scratch_counter)}.partial.so"
         )
-    os.replace(scratch, library_path)
-    return library_path, False
+        command = [
+            cc, "-O2", "-fPIC", "-shared", "-o", str(scratch),
+            str(source_path), "-lm",
+        ]
+        result = subprocess.run(command, capture_output=True, text=True)
+        if result.returncode != 0:
+            scratch.unlink(missing_ok=True)
+            raise ExecutionError(
+                f"C compilation failed:\n{result.stderr}\n--- source ---\n"
+                + source
+            )
+        os.replace(scratch, library_path)
+        return library_path, False
 
 
 class CompiledPipeline:

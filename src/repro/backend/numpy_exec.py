@@ -38,12 +38,13 @@ bit-identical on every pipeline (see ``tests/backend/test_plan_equiv``).
 
 from __future__ import annotations
 
-import os
 import sys
 from contextlib import contextmanager
 from typing import Callable, Dict, Iterator, List
 
 import numpy as np
+
+from repro.envknobs import choice_env
 
 from repro.dsl.boundary import BoundaryMode, BoundarySpec, resolve_array
 from repro.dsl.kernel import Kernel, ReductionKind
@@ -114,7 +115,10 @@ _ENGINES = ("tape", "recursive")
 
 def _resolve_engine(engine: str | None) -> str:
     if engine is None:
-        engine = os.environ.get(ENGINE_ENV, "").strip() or DEFAULT_ENGINE
+        # A bad environment value raises EnvKnobError (a ValueError)
+        # naming the variable; a bad explicit argument stays an
+        # ExecutionError — the caller passed it, not the environment.
+        return choice_env(ENGINE_ENV, _ENGINES, DEFAULT_ENGINE)
     if engine not in _ENGINES:
         raise ExecutionError(
             f"unknown execution engine {engine!r}; expected one of {_ENGINES}"
@@ -318,6 +322,7 @@ def execute_pipeline(
     *,
     engine: str | None = None,
     workers: int | None = None,
+    runtime=None,
 ) -> Arrays:
     """Staged (unfused) execution: one kernel at a time, in topo order.
 
@@ -325,7 +330,16 @@ def execute_pipeline(
     produced images — to its array.  ``engine`` selects the tape
     (default) or recursive implementation; ``workers`` enables parallel
     execution of independent kernels under the tape engine.
+
+    ``runtime`` (a :class:`repro.serve.runtime.ServingRuntime`) routes
+    the call through the serving layer instead: same staged semantics
+    (a singleton partition), but the compiled plan is cached and the
+    execution micro-batched with concurrent callers.
     """
+    if runtime is not None:
+        return runtime.execute_graph(
+            graph, inputs, params, Partition.singletons(graph)
+        )
     if _resolve_engine(engine) == "tape":
         from repro.backend.plan import execute_pipeline_tape
 
@@ -444,6 +458,7 @@ def execute_partitioned(
     *,
     engine: str | None = None,
     workers: int | None = None,
+    runtime=None,
 ) -> Arrays:
     """Execute a pipeline under a fusion partition.
 
@@ -454,8 +469,15 @@ def execute_partitioned(
 
     ``engine`` selects the tape (default) or recursive implementation;
     ``workers`` lets the tape engine run independent blocks in parallel
-    (``REPRO_EXEC_WORKERS`` sets the default).
+    (``REPRO_EXEC_WORKERS`` sets the default).  ``runtime`` routes the
+    call through a :class:`repro.serve.runtime.ServingRuntime`, which
+    caches the compiled plan across calls (the partition's block
+    structure is part of the cache key).
     """
+    if runtime is not None:
+        return runtime.execute_graph(
+            graph, inputs, params, partition, naive_borders=naive_borders
+        )
     if _resolve_engine(engine) == "tape":
         from repro.backend.plan import execute_partitioned_tape
 

@@ -38,13 +38,15 @@ environment knob; the default is the serial fallback.
 
 from __future__ import annotations
 
-import os
+import threading
 import weakref
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
+
+from repro.envknobs import int_env
 
 from repro.backend.numpy_exec import (
     _BIN_FN,
@@ -135,56 +137,67 @@ class GridStore:
     and mask combination broadcast them back to full ``(h, w)`` planes,
     producing bit-identical gathers at a fraction of the index
     arithmetic.  Entries are computed at most once per key and shared
-    across every tape compiled against this store (``setdefault`` keeps
-    one canonical array even under concurrent block execution).
+    across every tape compiled against this store.
+
+    The store is **thread-safe**: one reentrant lock covers lookup,
+    materialization, and the hit/materialized counters, so concurrent
+    block execution (the tape engine's worker pool, the serving
+    runtime's scheduler threads) sees exactly one canonical array per
+    key and exact statistics.  The lock is reentrant because derived
+    grids materialize their parents recursively.
     """
 
     def __init__(self) -> None:
         self._grids: Dict[tuple, np.ndarray] = {}
         self._masks: Dict[tuple, np.ndarray] = {}
+        self._lock = threading.RLock()
         self.hits = 0
         self.materialized = 0
 
     def grid(self, key: tuple) -> np.ndarray:
-        array = self._grids.get(key)
-        if array is not None:
-            self.hits += 1
-            return array
-        tag = key[0]
-        if tag == "base":
-            _, axis, width, height = key
-            if axis == "x":
-                array = np.arange(width)[None, :]
-            else:
-                array = np.arange(height)[:, None]
-        elif tag == "shift":
-            _, parent, delta = key
-            array = self.grid(parent) + delta
-        elif tag == "resolve":
-            _, parent, n, mode = key
-            array, _ = resolve_array(self.grid(parent), n, BoundaryMode(mode))
-        else:  # pragma: no cover - compiler emits only the keys above
-            raise ExecutionError(f"unknown grid key {key!r}")
-        self.materialized += 1
-        return self._grids.setdefault(key, array)
+        with self._lock:
+            array = self._grids.get(key)
+            if array is not None:
+                self.hits += 1
+                return array
+            tag = key[0]
+            if tag == "base":
+                _, axis, width, height = key
+                if axis == "x":
+                    array = np.arange(width)[None, :]
+                else:
+                    array = np.arange(height)[:, None]
+            elif tag == "shift":
+                _, parent, delta = key
+                array = self.grid(parent) + delta
+            elif tag == "resolve":
+                _, parent, n, mode = key
+                array, _ = resolve_array(
+                    self.grid(parent), n, BoundaryMode(mode)
+                )
+            else:  # pragma: no cover - compiler emits only the keys above
+                raise ExecutionError(f"unknown grid key {key!r}")
+            self.materialized += 1
+            return self._grids.setdefault(key, array)
 
     def mask(self, key: tuple) -> np.ndarray:
-        mask = self._masks.get(key)
-        if mask is not None:
-            self.hits += 1
-            return mask
-        tag = key[0]
-        if tag == "oob":
-            _, parent, n = key
-            index = self.grid(parent)
-            mask = (index < 0) | (index >= n)
-        elif tag == "ormask":
-            _, xmask, ymask = key
-            mask = self.mask(xmask) | self.mask(ymask)
-        else:  # pragma: no cover - compiler emits only the keys above
-            raise ExecutionError(f"unknown mask key {key!r}")
-        self.materialized += 1
-        return self._masks.setdefault(key, mask)
+        with self._lock:
+            mask = self._masks.get(key)
+            if mask is not None:
+                self.hits += 1
+                return mask
+            tag = key[0]
+            if tag == "oob":
+                _, parent, n = key
+                index = self.grid(parent)
+                mask = (index < 0) | (index >= n)
+            elif tag == "ormask":
+                _, xmask, ymask = key
+                mask = self.mask(xmask) | self.mask(ymask)
+            else:  # pragma: no cover - compiler emits only the keys above
+                raise ExecutionError(f"unknown mask key {key!r}")
+            self.materialized += 1
+            return self._masks.setdefault(key, mask)
 
     def __len__(self) -> int:
         return len(self._grids) + len(self._masks)
@@ -707,18 +720,15 @@ class PartitionPlan:
 
 def resolve_workers(workers: int | None = None) -> int:
     """The effective worker count: explicit argument, else the
-    ``REPRO_EXEC_WORKERS`` environment knob, else serial (1)."""
+    ``REPRO_EXEC_WORKERS`` environment knob, else serial (1).
+
+    A malformed environment value raises
+    :class:`repro.envknobs.EnvKnobError` (a :class:`ValueError`) naming
+    the variable.
+    """
     if workers is not None:
         return max(1, int(workers))
-    raw = os.environ.get(WORKERS_ENV, "").strip()
-    if not raw:
-        return 1
-    try:
-        return max(1, int(raw))
-    except ValueError:
-        raise ExecutionError(
-            f"invalid {WORKERS_ENV}={raw!r}: expected an integer"
-        ) from None
+    return max(1, int_env(WORKERS_ENV, default=1))
 
 
 # ---------------------------------------------------------------------------
@@ -728,6 +738,8 @@ def resolve_workers(workers: int | None = None) -> int:
 # Plans and grid stores are cached per graph (weakly, so graphs can be
 # collected) and keyed by partition/block shape — repeated executions of
 # the same configuration reuse both the tape and the interned grids.
+# One lock covers every cache: compilation happens exactly once per
+# (graph, partition/block) even when serving threads race to it.
 
 _graph_stores: "weakref.WeakKeyDictionary[KernelGraph, GridStore]" = (
     weakref.WeakKeyDictionary()
@@ -738,6 +750,7 @@ _partition_plans: "weakref.WeakKeyDictionary[KernelGraph, dict]" = (
 _block_plans: "weakref.WeakKeyDictionary[KernelGraph, dict]" = (
     weakref.WeakKeyDictionary()
 )
+_plan_cache_lock = threading.Lock()
 
 
 def _store_for(graph: KernelGraph) -> GridStore:
@@ -748,30 +761,25 @@ def _store_for(graph: KernelGraph) -> GridStore:
     return store
 
 
-def _partition_signature(partition: Partition) -> tuple:
-    return tuple(
-        tuple(sorted(block.vertices)) for block in partition.blocks
-    )
-
-
 def plan_for_partition(
     graph: KernelGraph,
     partition: Partition,
     naive_borders: bool = False,
 ) -> PartitionPlan:
     """The (cached) compiled plan of a partition."""
-    cache = _partition_plans.get(graph)
-    if cache is None:
-        cache = {}
-        _partition_plans[graph] = cache
-    key = (_partition_signature(partition), bool(naive_borders))
-    plan = cache.get(key)
-    if plan is None:
-        plan = PartitionPlan(
-            graph, partition, naive_borders, store=_store_for(graph)
-        )
-        cache[key] = plan
-    return plan
+    key = (partition.signature(), bool(naive_borders))
+    with _plan_cache_lock:
+        cache = _partition_plans.get(graph)
+        if cache is None:
+            cache = {}
+            _partition_plans[graph] = cache
+        plan = cache.get(key)
+        if plan is None:
+            plan = PartitionPlan(
+                graph, partition, naive_borders, store=_store_for(graph)
+            )
+            cache[key] = plan
+        return plan
 
 
 def plan_for_block(
@@ -781,29 +789,31 @@ def plan_for_block(
 ) -> BlockPlan:
     """The (cached) compiled plan of one block (``execute_block``
     semantics: the destination body is never reduced)."""
-    cache = _block_plans.get(graph)
-    if cache is None:
-        cache = {}
-        _block_plans[graph] = cache
-    key = (tuple(sorted(block.vertices)), bool(naive_borders))
-    plan = cache.get(key)
-    if plan is None:
-        plan = compile_block(
-            graph,
-            block,
-            naive_borders=naive_borders,
-            store=_store_for(graph),
-            apply_reduction=False,
-        )
-        cache[key] = plan
-    return plan
+    key = (block.signature(), bool(naive_borders))
+    with _plan_cache_lock:
+        cache = _block_plans.get(graph)
+        if cache is None:
+            cache = {}
+            _block_plans[graph] = cache
+        plan = cache.get(key)
+        if plan is None:
+            plan = compile_block(
+                graph,
+                block,
+                naive_borders=naive_borders,
+                store=_store_for(graph),
+                apply_reduction=False,
+            )
+            cache[key] = plan
+        return plan
 
 
 def clear_plan_caches() -> None:
     """Drop every cached plan and grid store (tests, memory pressure)."""
-    _graph_stores.clear()
-    _partition_plans.clear()
-    _block_plans.clear()
+    with _plan_cache_lock:
+        _graph_stores.clear()
+        _partition_plans.clear()
+        _block_plans.clear()
 
 
 # ---------------------------------------------------------------------------

@@ -231,6 +231,89 @@ def cmd_figure3(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the serving runtime over a synthetic request stream.
+
+    Registers the paper apps, fires ``--requests`` concurrent requests
+    spread across them, and prints the metrics snapshot — a smoke of
+    the plan cache, scheduler, and metrics layers in one command.
+    """
+    import json
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.serve import ServingRuntime, default_registry, fusion_settings
+    from repro.serve.bench import request_inputs
+
+    names = args.apps or sorted(APPLICATIONS)
+    for name in names:
+        _resolve_app(name)
+    registry = default_registry(include_extensions=True, apps=set(names))
+    fusion = fusion_settings(
+        version=args.version, gpu=_resolve_gpu(args.gpu), config=_config(args)
+    )
+    workload = [
+        (name, request_inputs(ALL_APPS[name], args.width, args.height, seed=i))
+        for i, name in enumerate(
+            names[i % len(names)] for i in range(args.requests)
+        )
+    ]
+    with ServingRuntime(
+        registry,
+        fusion=fusion,
+        workers=args.workers,
+        max_batch=args.max_batch,
+    ) as runtime:
+        with ThreadPoolExecutor(max_workers=args.clients) as clients:
+            futures = [
+                clients.submit(runtime.execute, name, inputs)
+                for name, inputs in workload
+            ]
+            for future in futures:
+                future.result()
+        snapshot = runtime.metrics_snapshot()
+    if args.json:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+        return 0
+    cache = snapshot["plan_cache"]
+    latency = snapshot["histograms"].get("total_ms", {})
+    print(f"served {args.requests} requests over {len(names)} pipelines "
+          f"({args.width}x{args.height}, version={args.version})")
+    print(f"plan cache: {cache['hits']} hits / {cache['misses']} misses "
+          f"(hit rate {cache['hit_rate']:.3f}, "
+          f"{cache['coalesced']} coalesced)")
+    print(f"latency ms: p50={latency.get('p50', 0.0):.2f} "
+          f"p95={latency.get('p95', 0.0):.2f} "
+          f"p99={latency.get('p99', 0.0):.2f}")
+    batches = snapshot["counters"].get("batches_executed", 0)
+    if batches:
+        print(f"batches: {batches} "
+              f"(mean size {args.requests / batches:.2f})")
+    return 0
+
+
+def cmd_serve_bench(args: argparse.Namespace) -> int:
+    """Benchmark cached serving against per-request recompilation."""
+    import json
+
+    from repro.serve.bench import run_serving_benchmark
+
+    report = run_serving_benchmark(
+        apps=args.apps or list(APPLICATIONS),
+        requests_per_app=args.requests_per_app,
+        width=args.width,
+        height=args.height,
+        client_threads=args.clients,
+        scheduler_workers=args.workers,
+    )
+    text = json.dumps(report, indent=2, sort_keys=True)
+    print(text)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    return 0 if report["bit_identical"] else 1
+
+
 def cmd_figure4(args: argparse.Namespace) -> int:
     """Print the Fig. 4 border-fusion worked example."""
     from repro.eval.figures import figure4_example
@@ -323,6 +406,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     artifact.add_argument("--out", default="artifact")
     artifact.add_argument("--runs", type=int, default=500)
+
+    def add_serve_flags(p):
+        p.add_argument("--apps", nargs="*", default=None,
+                       help="pipelines to serve (default: the six "
+                            "paper apps)")
+        p.add_argument("--width", type=int, default=96)
+        p.add_argument("--height", type=int, default=64)
+        p.add_argument("--workers", type=int, default=2,
+                       help="scheduler worker threads")
+        p.add_argument("--clients", type=int, default=8,
+                       help="concurrent client threads")
+        p.add_argument("--max-batch", type=int, default=8,
+                       help="micro-batch size cap")
+
+    serve = sub.add_parser(
+        "serve", help="run the serving runtime over a synthetic "
+                      "request stream and print metrics"
+    )
+    serve.add_argument("--requests", type=int, default=100)
+    serve.add_argument("--version", default="optimized",
+                       help="fusion version served (baseline, basic, "
+                            "optimized, ...)")
+    serve.add_argument("--json", action="store_true",
+                       help="print the raw metrics snapshot as JSON")
+    add_serve_flags(serve)
+    add_model_flags(serve)
+
+    serve_bench = sub.add_parser(
+        "serve-bench", help="benchmark cached serving vs per-request "
+                            "recompilation (JSON report)"
+    )
+    serve_bench.add_argument("--requests-per-app", type=int, default=20)
+    serve_bench.add_argument("--out", default=None,
+                             help="also write the report to a file")
+    add_serve_flags(serve_bench)
     return parser
 
 
@@ -338,6 +456,8 @@ COMMANDS = {
     "figure4": cmd_figure4,
     "verify": cmd_verify,
     "artifact": cmd_artifact,
+    "serve": cmd_serve,
+    "serve-bench": cmd_serve_bench,
 }
 
 

@@ -17,8 +17,21 @@ from repro.dsl.boundary import BoundaryMode, BoundarySpec
 from repro.dsl.image import Image, IterationSpace
 from repro.ir.expr import Expr, InputAt
 from repro.ir.cost import OpCounts, count_ops
+from repro.ir.signature import expr_signature
 from repro.ir.traversal import input_extent, inputs_of, params_of
 from repro.ir.validate import validate
+
+
+def _image_signature(image: Image) -> tuple:
+    """Structural identity of an image: name, geometry, element size."""
+    space = image.space
+    return (
+        image.name,
+        space.width,
+        space.height,
+        space.channels,
+        image.bytes_per_pixel,
+    )
 
 
 class ComputePattern(enum.Enum):
@@ -230,6 +243,39 @@ class Kernel:
         if cached is None:
             cached = params_of(self.body)
             self._param_names_cache = cached
+        return cached
+
+    def structural_signature(self) -> tuple:
+        """A hashable signature of everything execution depends on.
+
+        Two kernels built separately by the same construction code have
+        equal signatures; any change to the body (constants, operators,
+        offsets), the header (spaces, granularity, block shape), the
+        boundary handling, or the reduction kind changes it.  The
+        serving runtime's plan cache keys on the pipeline-level
+        aggregate of these (:meth:`repro.graph.dag.KernelGraph.structural_signature`).
+        """
+        cached = getattr(self, "_signature_cache", None)
+        if cached is None:
+            cached = (
+                "kernel",
+                self.name,
+                _image_signature(self.output),
+                tuple(
+                    (
+                        _image_signature(a.image),
+                        a.boundary.mode.value,
+                        float(a.boundary.constant),
+                    )
+                    for a in self.accessors
+                ),
+                self.reduction.value if self.reduction else None,
+                self.granularity,
+                tuple(self.block_shape),
+                self.force_no_shared_memory,
+                expr_signature(self.body),
+            )
+            self._signature_cache = cached
         return cached
 
     def reads(self) -> Dict[str, Set[Tuple[int, int]]]:

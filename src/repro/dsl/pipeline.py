@@ -64,6 +64,17 @@ class Pipeline:
     def image(self, name: str) -> Image:
         return self._images[name]
 
+    def signature(self) -> str:
+        """The structural signature of the pipeline's dependence DAG.
+
+        Delegates to :meth:`repro.graph.dag.KernelGraph.structural_signature`
+        on a freshly built graph, so two pipelines assembled separately
+        by the same construction code sign identically — the property
+        the serving plan cache relies on.  Raises
+        :class:`PipelineError` for pipelines that cannot build.
+        """
+        return self.build().structural_signature()
+
     def build(self) -> KernelGraph:
         """Materialize the dependence DAG.
 

@@ -1,0 +1,80 @@
+"""Hardened parsing of ``REPRO_*`` environment knobs.
+
+Every runtime tunable that can arrive through the environment —
+``REPRO_EXEC_WORKERS``, ``REPRO_EXEC_ENGINE``, ``REPRO_CC_CACHE`` —
+funnels through the helpers here, so a typo in a deployment manifest
+fails with one clear message naming the variable and the accepted
+values instead of a bare ``int()`` traceback deep inside an executor.
+
+The helpers raise :class:`EnvKnobError`, a :class:`ValueError`:
+misconfigured environments are configuration errors, not execution
+errors, and long-lived serving processes (:mod:`repro.serve`) want to
+reject them at startup.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Sequence
+
+
+class EnvKnobError(ValueError):
+    """An environment variable holds a value the knob cannot accept."""
+
+
+def raw_env(name: str) -> str | None:
+    """The stripped value of ``name``; ``None`` when unset or blank."""
+    raw = os.environ.get(name)
+    if raw is None:
+        return None
+    raw = raw.strip()
+    return raw or None
+
+
+def int_env(name: str, default: int, minimum: int | None = None) -> int:
+    """Parse an integer knob; blank/unset yields ``default``."""
+    raw = raw_env(name)
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise EnvKnobError(
+            f"invalid {name}={raw!r}: expected an integer"
+        ) from None
+    if minimum is not None and value < minimum:
+        raise EnvKnobError(
+            f"invalid {name}={raw!r}: expected an integer >= {minimum}"
+        )
+    return value
+
+
+def choice_env(name: str, choices: Sequence[str], default: str) -> str:
+    """Parse an enumerated knob; blank/unset yields ``default``."""
+    raw = raw_env(name)
+    if raw is None:
+        return default
+    if raw not in choices:
+        raise EnvKnobError(
+            f"invalid {name}={raw!r}: expected one of {tuple(choices)}"
+        )
+    return raw
+
+
+def dir_env(name: str, default: Path) -> Path:
+    """Parse a directory knob; blank/unset yields ``default``.
+
+    The directory need not exist yet (caches create it on first use),
+    but an existing *non-directory* at the path is rejected here rather
+    than surfacing later as an opaque ``mkdir`` failure.
+    """
+    raw = raw_env(name)
+    if raw is None:
+        return default
+    path = Path(raw)
+    if path.exists() and not path.is_dir():
+        raise EnvKnobError(
+            f"invalid {name}={raw!r}: path exists and is not a directory"
+        )
+    return path

@@ -116,6 +116,7 @@ def execute_configuration(
     seed: int = 0,
     engine: str | None = None,
     workers: int | None = None,
+    runtime=None,
 ) -> Arrays:
     """Numerically execute one configuration's fused pipeline.
 
@@ -125,6 +126,11 @@ def execute_configuration(
     :func:`repro.backend.numpy_exec.execute_partitioned` — the tape
     engine by default, with ``workers`` forwarded for parallel block
     execution.  Returns the surviving-image environment.
+
+    ``runtime`` (a :class:`repro.serve.runtime.ServingRuntime`) routes
+    execution through the serving layer: the fused plan is cached
+    across calls, so evaluation sweeps that revisit a configuration
+    compile it once.
     """
     graph = spec.build(width, height).build()
     partition = partition_for(graph, gpu, version, config)
@@ -137,7 +143,13 @@ def execute_configuration(
         for name in graph.pipeline_inputs()
     }
     return execute_partitioned(
-        graph, partition, inputs, params, engine=engine, workers=workers
+        graph,
+        partition,
+        inputs,
+        params,
+        engine=engine,
+        workers=workers,
+        runtime=runtime,
     )
 
 

@@ -12,6 +12,7 @@ pipeline); the legality analysis needs both.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Set, Tuple
 
@@ -170,6 +171,32 @@ class KernelGraph:
     def successors(self, name: str) -> Tuple[str, ...]:
         succs = {e.dst for e in self._edges if e.src == name}
         return tuple(n for n in self._topo_order if n in succs)
+
+    def structural_signature(self) -> str:
+        """A stable hex digest of the graph's structure.
+
+        Covers every kernel signature (in topological order), the edge
+        set, and the external outputs — everything plan compilation and
+        execution semantics depend on — while ignoring object identity
+        and edge *weights* (weights belong to the fusion configuration,
+        which plan caches key separately).  Two graphs built separately
+        by the same pipeline code hash identically, which is what lets
+        the serving runtime's plan cache (:mod:`repro.serve.plancache`)
+        reuse compiled plans across requests and sessions.
+        """
+        cached = getattr(self, "_signature_cache", None)
+        if cached is None:
+            payload = (
+                tuple(
+                    self._kernels[name].structural_signature()
+                    for name in self._topo_order
+                ),
+                tuple(sorted((e.src, e.dst, e.image) for e in self._edges)),
+                tuple(sorted(self._external_outputs)),
+            )
+            cached = hashlib.sha256(repr(payload).encode()).hexdigest()
+            self._signature_cache = cached
+        return cached
 
     @property
     def total_weight(self) -> float:

@@ -109,6 +109,14 @@ class PartitionBlock:
     def is_connected(self) -> bool:
         return self.graph.is_connected(set(self.vertices))
 
+    def signature(self) -> Tuple[str, ...]:
+        """The block's members as a canonical sorted tuple.
+
+        Hashable and independent of graph object identity; plan caches
+        key compiled block tapes on it.
+        """
+        return tuple(sorted(self.vertices))
+
     def __repr__(self) -> str:
         return f"PartitionBlock({sorted(self.vertices)})"
 
@@ -175,6 +183,16 @@ class Partition:
         fusion is applied.
         """
         return cls(graph, [PartitionBlock(graph, {n}) for n in graph.kernel_names])
+
+    def signature(self) -> Tuple[Tuple[str, ...], ...]:
+        """Canonical per-block signatures in deterministic block order.
+
+        Two partitions of structurally identical graphs with the same
+        block structure share one signature — the fusion-level half of
+        the serving plan-cache key (the graph-level half is
+        :meth:`repro.graph.dag.KernelGraph.structural_signature`).
+        """
+        return tuple(block.signature() for block in self.blocks)
 
     def describe(self) -> str:
         """Human-readable one-line-per-block summary."""

@@ -52,6 +52,7 @@ from repro.ir.ops import (
 )
 from repro.ir.cost import OpCounts, count_ops
 from repro.ir.printer import to_source
+from repro.ir.signature import expr_signature
 from repro.ir.simplify import simplify, simplify_once
 from repro.ir.traversal import (
     expr_equal,
@@ -88,6 +89,7 @@ __all__ = [
     "count_ops",
     "exp",
     "expr_equal",
+    "expr_signature",
     "input_extent",
     "inputs_of",
     "log",

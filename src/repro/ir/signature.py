@@ -1,0 +1,114 @@
+"""Structural signatures of IR expressions.
+
+The serving runtime (:mod:`repro.serve`) caches compiled plans across
+*separately built* pipelines: two clients that each call
+``harris.build_pipeline()`` must land on the same cache entry even
+though every ``Expr`` object differs by identity.  That requires a
+signature that depends only on *structure* — operators, constants,
+read offsets — never on object identity or insertion order.
+
+:func:`expr_signature` flattens an expression DAG into a value-numbered
+tuple of node descriptors: identical subcomputations — whether
+physically shared or built as separate copies — collapse to one slot
+and are referenced by index afterwards (the same discipline as
+:mod:`repro.ir.cse` and the tape compiler's value numbering).  Two
+expressions computing the same thing produce identical signatures
+regardless of how their construction code shared nodes; changing any
+constant, operator, offset, or image name changes the signature.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.ir.expr import (
+    BinOp,
+    Call,
+    Cast,
+    Cmp,
+    Const,
+    Expr,
+    InputAt,
+    Param,
+    Select,
+    UnOp,
+)
+
+#: One node descriptor: an op tag plus immediates and child slot indices.
+NodeSig = Tuple
+#: A whole-expression signature: descriptors in first-visit order.
+ExprSig = Tuple[NodeSig, ...]
+
+
+def expr_signature(root: Expr) -> ExprSig:
+    """The value-numbered structural signature of ``root``.
+
+    The walk is iterative (explicit stack), so deeply fused bodies do
+    not consume Python stack frames.  Slots are assigned by descriptor,
+    not by object identity: a physically shared subtree and two
+    structurally equal copies produce the same signature (identity only
+    short-circuits re-walking shared nodes).
+    """
+    nodes: List[NodeSig] = []
+    slot_of: Dict[int, int] = {}
+    slot_by_descriptor: Dict[NodeSig, int] = {}
+    # Post-order via (node, visited) stack entries: children are
+    # assigned slots before their parent emits its descriptor.
+    stack: List[Tuple[Expr, bool]] = [(root, False)]
+    while stack:
+        node, visited = stack.pop()
+        if id(node) in slot_of:
+            continue
+        if not visited:
+            stack.append((node, True))
+            for child in reversed(_children(node)):
+                if id(child) not in slot_of:
+                    stack.append((child, False))
+            continue
+        refs = tuple(slot_of[id(child)] for child in _children(node))
+        descriptor = _descriptor(node, refs)
+        slot = slot_by_descriptor.get(descriptor)
+        if slot is None:
+            nodes.append(descriptor)
+            slot = len(nodes) - 1
+            slot_by_descriptor[descriptor] = slot
+        slot_of[id(node)] = slot
+    return tuple(nodes)
+
+
+def _children(node: Expr) -> Tuple[Expr, ...]:
+    if isinstance(node, BinOp):
+        return (node.lhs, node.rhs)
+    if isinstance(node, UnOp):
+        return (node.operand,)
+    if isinstance(node, Cmp):
+        return (node.lhs, node.rhs)
+    if isinstance(node, Select):
+        return (node.cond, node.if_true, node.if_false)
+    if isinstance(node, Call):
+        return tuple(node.args)
+    if isinstance(node, Cast):
+        return (node.operand,)
+    return ()
+
+
+def _descriptor(node: Expr, refs: Tuple[int, ...]) -> NodeSig:
+    if isinstance(node, Const):
+        return ("const", float(node.value))
+    if isinstance(node, Param):
+        return ("param", node.name)
+    if isinstance(node, InputAt):
+        return ("input", node.image, node.dx, node.dy)
+    if isinstance(node, BinOp):
+        return ("bin", node.op) + refs
+    if isinstance(node, UnOp):
+        return ("un", node.op) + refs
+    if isinstance(node, Cmp):
+        return ("cmp", node.op) + refs
+    if isinstance(node, Select):
+        return ("select",) + refs
+    if isinstance(node, Call):
+        return ("call", node.fn) + refs
+    if isinstance(node, Cast):
+        return ("cast", node.dtype) + refs
+    raise TypeError(f"cannot sign node {type(node).__name__}")

@@ -1,0 +1,69 @@
+"""The serving runtime: pipelines as a long-lived, cached service.
+
+Everything upstream of this package treats each execution as a
+one-shot: build, fuse, plan, run, discard.  :mod:`repro.serve` turns
+that into a service with the compile-once/run-many cost model the
+paper's analysis implies:
+
+* :mod:`~repro.serve.registry` — named, shape-polymorphic pipelines
+  (the six paper apps pre-registered);
+* :mod:`~repro.serve.plancache` — LRU cache of fused partitions +
+  compiled tapes keyed on structural signature, geometry, engine, and
+  fusion configuration, with in-flight build coalescing;
+* :mod:`~repro.serve.scheduler` — bounded-queue micro-batching with
+  backpressure, deadlines, and graceful drain;
+* :mod:`~repro.serve.metrics` — counters/gauges/latency histograms
+  behind one snapshot call;
+* :mod:`~repro.serve.runtime` — :class:`ServingRuntime`, composing the
+  above; results are bit-identical to direct execution;
+* :mod:`~repro.serve.bench` — the throughput benchmark backing
+  ``python -m repro serve-bench``.
+"""
+
+from repro.serve.metrics import Counter, Gauge, Histogram, Metrics
+from repro.serve.plancache import (
+    CachedPlan,
+    FusionSettings,
+    PlanCache,
+    inputs_signature,
+    plan_key,
+)
+from repro.serve.registry import (
+    PipelineEntry,
+    PipelineRegistry,
+    RegistryError,
+    default_registry,
+)
+from repro.serve.runtime import ServingRuntime, fusion_settings
+from repro.serve.scheduler import (
+    BackpressureError,
+    DeadlineExceeded,
+    MicroBatchScheduler,
+    ResponseHandle,
+    SchedulerClosed,
+    ServeRequest,
+)
+
+__all__ = [
+    "BackpressureError",
+    "CachedPlan",
+    "Counter",
+    "DeadlineExceeded",
+    "FusionSettings",
+    "Gauge",
+    "Histogram",
+    "Metrics",
+    "MicroBatchScheduler",
+    "PipelineEntry",
+    "PipelineRegistry",
+    "PlanCache",
+    "RegistryError",
+    "ResponseHandle",
+    "SchedulerClosed",
+    "ServeRequest",
+    "ServingRuntime",
+    "default_registry",
+    "fusion_settings",
+    "inputs_signature",
+    "plan_key",
+]

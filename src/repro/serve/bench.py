@@ -1,0 +1,203 @@
+"""Serving throughput benchmark: cached plans vs per-request recompilation.
+
+The serving runtime's value proposition is that fusing and
+tape-compiling a pipeline is pure overhead to repeat per request: the
+result depends only on structure, geometry, and configuration.  This
+module measures exactly that claim:
+
+* **baseline** — every request rebuilds the pipeline, re-runs fusion
+  (:func:`repro.eval.runner.partition_for`), re-compiles the
+  instruction tapes against a fresh grid store, then executes.  This
+  is the cost model of a process that treats every request as the
+  first.
+* **serving** — the same request stream submitted concurrently to a
+  :class:`~repro.serve.runtime.ServingRuntime`: the first request per
+  (pipeline, geometry) compiles, every later one hits the plan cache.
+
+Both paths execute every request with the same tape engine, and the
+report records that their outputs are **bit-identical** — the speedup
+is bookkeeping removed, not arithmetic skipped.
+
+:func:`run_serving_benchmark` returns a JSON-ready report; the
+``serve-bench`` CLI and ``benchmarks/test_bench_serving.py`` both wrap
+it.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.apps import ALL_APPS, AppSpec
+from repro.backend.numpy_exec import Arrays
+from repro.backend.plan import GridStore, PartitionPlan
+from repro.eval.runner import partition_for
+from repro.model.benefit import BenefitConfig
+from repro.model.hardware import KNOWN_GPUS
+from repro.serve.plancache import FusionSettings
+from repro.serve.registry import DEFAULT_APP_PARAMS, default_registry
+from repro.serve.runtime import ServingRuntime
+
+__all__ = ["DEFAULT_BENCH_APPS", "request_inputs", "run_serving_benchmark"]
+
+#: The paper's six applications, the default serving workload.
+DEFAULT_BENCH_APPS: Tuple[str, ...] = (
+    "Harris",
+    "Sobel",
+    "Unsharp",
+    "ShiTomasi",
+    "Enhance",
+    "Night",
+)
+
+
+def request_inputs(
+    spec: AppSpec, width: int, height: int, seed: int
+) -> Arrays:
+    """Deterministic random input arrays for one request."""
+    graph = spec.build(width, height).build()
+    rng = np.random.default_rng(seed)
+    shape: Tuple[int, ...] = (height, width)
+    if spec.channels > 1:
+        shape = shape + (spec.channels,)
+    return {
+        name: rng.uniform(0.0, 255.0, size=shape)
+        for name in graph.pipeline_inputs()
+    }
+
+
+def _benefit_config(fusion: FusionSettings) -> BenefitConfig:
+    return BenefitConfig(
+        c_mshared=fusion.c_mshared,
+        epsilon=fusion.epsilon,
+        gamma=fusion.gamma,
+        is_units=fusion.is_units,
+    )
+
+
+def _baseline_once(
+    spec: AppSpec,
+    width: int,
+    height: int,
+    inputs: Arrays,
+    fusion: FusionSettings,
+) -> Arrays:
+    """One request the expensive way: rebuild, re-fuse, re-plan, run."""
+    graph = spec.build(width, height).build()
+    partition = partition_for(
+        graph,
+        KNOWN_GPUS[fusion.gpu_name],
+        fusion.version,
+        _benefit_config(fusion),
+    )
+    plan = PartitionPlan(
+        graph,
+        partition,
+        naive_borders=fusion.naive_borders,
+        store=GridStore(),
+    )
+    return plan.execute(inputs, DEFAULT_APP_PARAMS.get(spec.name))
+
+
+def run_serving_benchmark(
+    apps: Sequence[str] = DEFAULT_BENCH_APPS,
+    requests_per_app: int = 20,
+    width: int = 64,
+    height: int = 48,
+    client_threads: int = 8,
+    scheduler_workers: int = 2,
+    max_batch: int = 8,
+    fusion: Optional[FusionSettings] = None,
+    check_identity: bool = True,
+) -> Dict[str, Any]:
+    """Measure serving throughput against per-request recompilation.
+
+    Fires ``requests_per_app`` requests per application (each with its
+    own deterministic random inputs) through both paths and reports
+    wall-clock throughput, the achieved cache hit rate, latency
+    percentiles, and — when ``check_identity`` — whether every serving
+    result matched its baseline result bit for bit.
+    """
+    fusion = fusion or FusionSettings()
+    specs = [ALL_APPS[name] for name in apps]
+    workload: List[Tuple[AppSpec, Arrays]] = [
+        (spec, request_inputs(spec, width, height, seed=1000 * i + n))
+        for i, spec in enumerate(specs)
+        for n in range(requests_per_app)
+    ]
+
+    started = time.perf_counter()
+    baseline_results = [
+        _baseline_once(spec, width, height, inputs, fusion)
+        for spec, inputs in workload
+    ]
+    baseline_seconds = time.perf_counter() - started
+
+    registry = default_registry(include_extensions=True, apps=set(apps))
+    mismatches = 0
+    with ServingRuntime(
+        registry,
+        fusion=fusion,
+        workers=scheduler_workers,
+        max_batch=max_batch,
+    ) as runtime:
+        with ThreadPoolExecutor(max_workers=client_threads) as clients:
+            started = time.perf_counter()
+            futures = [
+                clients.submit(runtime.execute, spec.name, inputs)
+                for spec, inputs in workload
+            ]
+            served_results = [future.result() for future in futures]
+            serving_seconds = time.perf_counter() - started
+        snapshot = runtime.metrics_snapshot()
+
+    if check_identity:
+        for reference, served in zip(baseline_results, served_results):
+            if set(reference) != set(served) or any(
+                not np.array_equal(reference[name], served[name])
+                for name in reference
+            ):
+                mismatches += 1
+
+    total = len(workload)
+    baseline_rps = total / baseline_seconds if baseline_seconds else 0.0
+    serving_rps = total / serving_seconds if serving_seconds else 0.0
+    latency = snapshot["histograms"].get("total_ms", {})
+    return {
+        "benchmark": "serving",
+        "config": {
+            "apps": list(apps),
+            "requests_per_app": requests_per_app,
+            "requests_total": total,
+            "width": width,
+            "height": height,
+            "client_threads": client_threads,
+            "scheduler_workers": scheduler_workers,
+            "max_batch": max_batch,
+            "fusion_version": fusion.version,
+            "gpu": fusion.gpu_name,
+        },
+        "baseline": {
+            "seconds": baseline_seconds,
+            "throughput_rps": baseline_rps,
+        },
+        "serving": {
+            "seconds": serving_seconds,
+            "throughput_rps": serving_rps,
+            "hit_rate": snapshot["plan_cache"]["hit_rate"],
+            "cache": snapshot["plan_cache"],
+            "latency_ms": {
+                "p50": latency.get("p50", 0.0),
+                "p95": latency.get("p95", 0.0),
+                "p99": latency.get("p99", 0.0),
+                "mean": latency.get("mean", 0.0),
+            },
+            "batches": snapshot["counters"].get("batches_executed", 0),
+        },
+        "speedup": (serving_rps / baseline_rps) if baseline_rps else 0.0,
+        "bit_identical": (mismatches == 0) if check_identity else None,
+        "mismatches": mismatches if check_identity else None,
+    }

@@ -1,0 +1,234 @@
+"""The compiled-plan cache: fuse once, plan once, serve forever.
+
+Every entry point of the reproduction used to re-fuse and re-plan per
+call; the whole point of the paper's compile-time analysis is that the
+result is **reusable** — the fused partition and the compiled
+instruction tapes depend only on the pipeline's structure, the input
+geometry/dtype, the execution engine, and the fusion configuration.
+:class:`PlanCache` materializes exactly that key:
+
+    (graph structural signature, input shapes/dtypes, engine,
+     fusion configuration)
+
+and holds the fused :class:`~repro.graph.partition.Partition` together
+with the compiled :class:`~repro.backend.plan.PartitionPlan` under LRU
+eviction.  Two *separately built* but structurally identical pipelines
+hash to the same entry (see :mod:`repro.ir.signature`); changing a mask
+constant, an image shape, or any fusion knob misses.
+
+Concurrent requests for the same missing key are **coalesced**: one
+thread compiles, the rest wait on the in-flight build and share its
+result — a cold cache under a request storm still compiles each plan
+exactly once.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.backend.plan import PartitionPlan
+from repro.graph.dag import KernelGraph
+from repro.graph.partition import Partition
+
+__all__ = [
+    "CachedPlan",
+    "FusionSettings",
+    "PlanCache",
+    "inputs_signature",
+    "plan_key",
+]
+
+
+@dataclass(frozen=True)
+class FusionSettings:
+    """The fusion half of a plan-cache key.
+
+    ``version`` selects the fusion engine (``baseline`` / ``basic`` /
+    ``optimized`` / ...), ``gpu`` the hardware model feeding the benefit
+    estimate, and the three floats are the :class:`~repro.model.benefit.
+    BenefitConfig` constants.  Together they determine the partition a
+    graph fuses into, so they are part of plan identity.
+    """
+
+    version: str = "optimized"
+    gpu_name: str = "GTX680"
+    c_mshared: float = 2.0
+    epsilon: float = 1e-3
+    gamma: float = 0.0
+    is_units: str = "images"
+    naive_borders: bool = False
+
+    def key(self) -> tuple:
+        return (
+            self.version,
+            self.gpu_name,
+            self.c_mshared,
+            self.epsilon,
+            self.gamma,
+            self.is_units,
+            self.naive_borders,
+        )
+
+
+def inputs_signature(inputs: Dict[str, np.ndarray]) -> tuple:
+    """Canonical (name, shape, dtype) triples of a request's arrays."""
+    return tuple(
+        (name, tuple(np.shape(inputs[name])), np.asarray(inputs[name]).dtype.str)
+        for name in sorted(inputs)
+    )
+
+
+def plan_key(
+    graph_signature: str,
+    inputs: Dict[str, np.ndarray],
+    engine: str,
+    fusion: FusionSettings,
+) -> tuple:
+    """The full cache key of one (pipeline, request shape, config)."""
+    return (graph_signature, inputs_signature(inputs), engine, fusion.key())
+
+
+@dataclass
+class CachedPlan:
+    """One cache entry: the fused partition plus its compiled plan."""
+
+    key: tuple
+    graph: KernelGraph
+    partition: Partition
+    plan: PartitionPlan
+    #: Per-stage compile-time breakdown in milliseconds:
+    #: ``fuse`` (benefit estimate + partitioning) and ``plan`` (tape
+    #: compilation), the costs the cache amortizes across requests.
+    timings_ms: Dict[str, float] = field(default_factory=dict)
+    created_at: float = field(default_factory=time.time)
+    serves: int = 0
+
+
+class _InFlight:
+    """A build in progress; waiters block on ``event``."""
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.entry: Optional[CachedPlan] = None
+        self.error: Optional[BaseException] = None
+
+
+class PlanCache:
+    """LRU cache of :class:`CachedPlan` entries with hit/miss stats."""
+
+    def __init__(self, capacity: int = 64):
+        if capacity < 1:
+            raise ValueError("plan cache capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[tuple, CachedPlan]" = OrderedDict()
+        self._building: Dict[tuple, _InFlight] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.coalesced = 0
+        self.evictions = 0
+
+    def get(self, key: tuple) -> Optional[CachedPlan]:
+        """The cached entry for ``key``, or ``None`` (counts a hit/miss)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            entry.serves += 1
+            return entry
+
+    def get_or_build(
+        self, key: tuple, builder: Callable[[], CachedPlan]
+    ) -> Tuple[CachedPlan, bool]:
+        """The entry for ``key``, building it at most once per process.
+
+        Returns ``(entry, hit)`` where ``hit`` is False only for the
+        thread that actually ran ``builder``.  Threads that arrive while
+        a build is in flight wait for it and count as ``coalesced``
+        hits — they paid latency, but no compile.
+        """
+        while True:
+            with self._lock:
+                entry = self._entries.get(key)
+                if entry is not None:
+                    self._entries.move_to_end(key)
+                    self.hits += 1
+                    entry.serves += 1
+                    return entry, True
+                pending = self._building.get(key)
+                if pending is None:
+                    pending = _InFlight()
+                    self._building[key] = pending
+                    self.misses += 1
+                    building = True
+                else:
+                    building = False
+            if not building:
+                pending.event.wait()
+                if pending.error is not None:
+                    raise pending.error
+                if pending.entry is not None:
+                    with self._lock:
+                        self.hits += 1
+                        self.coalesced += 1
+                        pending.entry.serves += 1
+                    return pending.entry, True
+                continue  # builder failed silently? retry from scratch
+            try:
+                entry = builder()
+            except BaseException as err:
+                with self._lock:
+                    self._building.pop(key, None)
+                pending.error = err
+                pending.event.set()
+                raise
+            entry.serves += 1
+            with self._lock:
+                self._entries[key] = entry
+                self._entries.move_to_end(key)
+                while len(self._entries) > self.capacity:
+                    self._entries.popitem(last=False)
+                    self.evictions += 1
+                self._building.pop(key, None)
+            pending.entry = entry
+            pending.event.set()
+            return entry, False
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits (including coalesced waits) over all lookups."""
+        total = self.hits + self.misses
+        return (self.hits / total) if total else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "coalesced": self.coalesced,
+                "evictions": self.evictions,
+                "hit_rate": (
+                    self.hits / (self.hits + self.misses)
+                    if (self.hits + self.misses)
+                    else 0.0
+                ),
+            }

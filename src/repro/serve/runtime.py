@@ -1,0 +1,410 @@
+"""The serving runtime: registry + plan cache + scheduler + metrics.
+
+:class:`ServingRuntime` turns the reproduction into a long-lived
+pipeline service.  A request names a registered pipeline and binds
+input arrays; the runtime
+
+1. resolves the pipeline's dependence DAG at the request's geometry
+   (inferred from the bound arrays — one registered pipeline serves
+   any image size),
+2. derives the plan-cache key from the graph's structural signature,
+   the input shapes/dtypes, the execution engine, and the fusion
+   configuration,
+3. enqueues the request in the micro-batching scheduler; a worker
+   groups it with same-key requests, fetches (or compiles, exactly
+   once) the fused partition + instruction tapes from the
+   :class:`~repro.serve.plancache.PlanCache`, and runs each request on
+   the cached plan through the tape executor of PR 1,
+4. records per-stage metrics: queue wait, execution latency,
+   end-to-end latency, compile/fuse timings on misses, cache hit rate,
+   queue depth, batch sizes.
+
+Results are **bit-identical** to direct
+:func:`repro.backend.numpy_exec.execute_partitioned` execution — the
+serving layer reorders *when* work happens, never *what* is computed.
+
+The runtime is a context manager; exiting drains the queue and joins
+the workers.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+from typing import Any, Dict, List
+
+import numpy as np
+
+from repro.backend.numpy_exec import Arrays, Params
+from repro.backend.plan import plan_for_partition, resolve_workers
+from repro.graph.dag import KernelGraph
+from repro.graph.partition import Partition
+from repro.model.benefit import BenefitConfig
+from repro.model.hardware import KNOWN_GPUS, GpuSpec
+from repro.serve.metrics import Metrics
+from repro.serve.plancache import (
+    CachedPlan,
+    FusionSettings,
+    PlanCache,
+    plan_key,
+)
+from repro.serve.registry import PipelineRegistry, default_registry
+from repro.serve.scheduler import (
+    BackpressureError,
+    DeadlineExceeded,
+    MicroBatchScheduler,
+    ResponseHandle,
+    ServeRequest,
+)
+
+__all__ = ["ServingRuntime", "fusion_settings"]
+
+
+def fusion_settings(
+    version: str = "optimized",
+    gpu: "GpuSpec | str" = "GTX680",
+    config: BenefitConfig | None = None,
+    naive_borders: bool = False,
+) -> FusionSettings:
+    """Build :class:`FusionSettings` from the toolchain's native types."""
+    gpu_name = gpu if isinstance(gpu, str) else gpu.name
+    if gpu_name not in KNOWN_GPUS:
+        known = ", ".join(sorted(KNOWN_GPUS))
+        raise ValueError(f"unknown GPU {gpu_name!r}; known: {known}")
+    config = config or BenefitConfig()
+    return FusionSettings(
+        version=version,
+        gpu_name=gpu_name,
+        c_mshared=config.c_mshared,
+        epsilon=config.epsilon,
+        gamma=config.gamma,
+        is_units=config.is_units,
+        naive_borders=naive_borders,
+    )
+
+
+class ServingRuntime:
+    """A long-lived, thread-safe pipeline service.
+
+    Parameters
+    ----------
+    registry:
+        Named pipelines to serve; defaults to the six paper apps
+        (:func:`repro.serve.registry.default_registry`).
+    fusion:
+        Fusion configuration applied to every request (engine version,
+        GPU model, benefit constants).  Part of the plan-cache key.
+    workers:
+        Scheduler worker threads — the request-level concurrency.
+    intra_workers:
+        Block-level parallelism *within* one request, forwarded to the
+        tape executor (``None`` defers to ``REPRO_EXEC_WORKERS``).
+    max_queue / max_batch:
+        Queue bound (backpressure) and micro-batch size cap.
+    cache_capacity:
+        LRU capacity of the plan cache, in distinct plans.
+    """
+
+    def __init__(
+        self,
+        registry: PipelineRegistry | None = None,
+        *,
+        fusion: FusionSettings | None = None,
+        workers: int = 2,
+        intra_workers: int | None = None,
+        max_queue: int = 128,
+        max_batch: int = 8,
+        cache_capacity: int = 64,
+        engine: str = "tape",
+        metrics: Metrics | None = None,
+    ):
+        self.registry = registry if registry is not None else default_registry()
+        self.fusion = fusion or FusionSettings()
+        if self.fusion.gpu_name not in KNOWN_GPUS:
+            known = ", ".join(sorted(KNOWN_GPUS))
+            raise ValueError(
+                f"unknown GPU {self.fusion.gpu_name!r}; known: {known}"
+            )
+        self.gpu: GpuSpec = KNOWN_GPUS[self.fusion.gpu_name]
+        self.engine = engine
+        self.intra_workers = intra_workers
+        self.cache = PlanCache(capacity=cache_capacity)
+        self.metrics = metrics or Metrics()
+        self._closed = False
+        self.scheduler = MicroBatchScheduler(
+            self._handle_batch,
+            workers=workers,
+            max_queue=max_queue,
+            max_batch=max_batch,
+        )
+
+    # -- request admission -------------------------------------------------
+
+    def submit(
+        self,
+        pipeline: str,
+        inputs: Arrays,
+        params: Params | None = None,
+        *,
+        deadline_s: float | None = None,
+        block: bool = True,
+        queue_timeout: float | None = None,
+    ) -> ResponseHandle:
+        """Enqueue one request against a registered pipeline.
+
+        ``deadline_s`` is the request's total latency budget (queue wait
+        included); expired requests fail with
+        :class:`~repro.serve.scheduler.DeadlineExceeded`.  ``block`` /
+        ``queue_timeout`` control backpressure behaviour when the queue
+        is full.  Returns a handle; ``handle.result()`` yields the same
+        surviving-image environment ``execute_partitioned`` returns.
+        """
+        entry = self.registry.get(pipeline)
+        height, width = _infer_geometry(inputs)
+        graph = entry.graph(width, height)
+        merged = dict(entry.params)
+        merged.update(params or {})
+        return self._submit_graph(
+            graph,
+            inputs,
+            merged,
+            partition=None,
+            deadline_s=deadline_s,
+            block=block,
+            queue_timeout=queue_timeout,
+        )
+
+    def execute(
+        self,
+        pipeline: str,
+        inputs: Arrays,
+        params: Params | None = None,
+        *,
+        deadline_s: float | None = None,
+    ) -> Arrays:
+        """Synchronous convenience: submit and wait for the result."""
+        return self.submit(
+            pipeline, inputs, params, deadline_s=deadline_s
+        ).result()
+
+    def execute_graph(
+        self,
+        graph: KernelGraph,
+        inputs: Arrays,
+        params: Params | None = None,
+        partition: Partition | None = None,
+        *,
+        naive_borders: bool | None = None,
+        deadline_s: float | None = None,
+    ) -> Arrays:
+        """Serve an unregistered graph through the runtime.
+
+        This is the integration hook behind
+        ``execute_pipeline(..., runtime=...)``: ``partition=None``
+        fuses under the runtime's settings, while an explicit partition
+        serves exactly those blocks (``Partition.singletons`` for
+        staged semantics).  Plan caching still applies — the key is the
+        graph's structural signature plus the partition's block
+        signature, so repeated calls with structurally identical graphs
+        reuse one compiled plan.  ``naive_borders`` overrides the
+        runtime's border handling for this call (part of the key).
+        """
+        handle = self._submit_graph(
+            graph,
+            inputs,
+            params,
+            partition=partition,
+            naive_borders=naive_borders,
+            deadline_s=deadline_s,
+        )
+        return handle.result()
+
+    def _submit_graph(
+        self,
+        graph: KernelGraph,
+        inputs: Arrays,
+        params: Params | None,
+        partition: Partition | None,
+        naive_borders: bool | None = None,
+        deadline_s: float | None = None,
+        block: bool = True,
+        queue_timeout: float | None = None,
+    ) -> ResponseHandle:
+        if naive_borders is None:
+            naive_borders = self.fusion.naive_borders
+        fusion = self.fusion
+        if naive_borders != fusion.naive_borders:
+            fusion = replace(fusion, naive_borders=naive_borders)
+        if partition is None:
+            key = plan_key(
+                graph.structural_signature(), inputs, self.engine, fusion
+            )
+        else:
+            # Explicit partition: fusion settings do not matter, the
+            # block structure is the plan identity.
+            key = (
+                graph.structural_signature(),
+                plan_key("", inputs, self.engine, self.fusion)[1],
+                self.engine,
+                ("explicit", partition.signature(), naive_borders),
+            )
+        request = ServeRequest(
+            batch_key=key,
+            payload={
+                "graph": graph,
+                "inputs": inputs,
+                "params": params,
+                "partition": partition,
+                "naive_borders": naive_borders,
+            },
+            deadline=(
+                time.monotonic() + deadline_s if deadline_s is not None else None
+            ),
+        )
+        self.metrics.counter("requests_submitted").inc()
+        try:
+            self.scheduler.submit(request, block=block, timeout=queue_timeout)
+        except BackpressureError:
+            self.metrics.counter("requests_rejected").inc()
+            raise
+        self.metrics.gauge("queue_depth").set(self.scheduler.queue_depth)
+        return request.handle
+
+    # -- batch execution (scheduler workers land here) ----------------------
+
+    def _handle_batch(self, key: Any, batch: List[ServeRequest]) -> None:
+        self.metrics.counter("batches_executed").inc()
+        self.metrics.histogram("batch_size").observe(len(batch))
+        self.metrics.gauge("queue_depth").set(self.scheduler.queue_depth)
+        for request in batch:
+            now = time.monotonic()
+            self.metrics.histogram("queue_wait_ms").observe(
+                request.queue_wait_s(now) * 1e3
+            )
+            if request.expired(now):
+                self.metrics.counter("requests_timed_out").inc()
+                request.handle.set_error(
+                    DeadlineExceeded(
+                        "deadline expired after "
+                        f"{request.queue_wait_s(now):.3f}s in queue"
+                    )
+                )
+                continue
+            try:
+                entry, hit = self.cache.get_or_build(
+                    key, lambda: self._build_plan(key, request)
+                )
+                started = time.monotonic()
+                env = entry.plan.execute(
+                    request.payload["inputs"],
+                    request.payload["params"],
+                    workers=self.intra_workers,
+                )
+                finished = time.monotonic()
+            except BaseException as err:
+                self.metrics.counter("requests_failed").inc()
+                request.handle.set_error(err)
+                continue
+            self.metrics.histogram("execute_ms").observe(
+                (finished - started) * 1e3
+            )
+            self.metrics.histogram("total_ms").observe(
+                (finished - request.enqueued_at) * 1e3
+            )
+            self.metrics.counter("requests_completed").inc()
+            request.handle.set_result(env)
+
+    def _build_plan(self, key: Any, request: ServeRequest) -> CachedPlan:
+        """Fuse and tape-compile one plan (cache miss path)."""
+        graph: KernelGraph = request.payload["graph"]
+        partition: Partition | None = request.payload["partition"]
+        timings: Dict[str, float] = {}
+        if partition is None:
+            from repro.eval.runner import partition_for
+
+            started = time.perf_counter()
+            partition = partition_for(
+                graph,
+                self.gpu,
+                self.fusion.version,
+                BenefitConfig(
+                    c_mshared=self.fusion.c_mshared,
+                    epsilon=self.fusion.epsilon,
+                    gamma=self.fusion.gamma,
+                    is_units=self.fusion.is_units,
+                ),
+            )
+            timings["fuse_ms"] = (time.perf_counter() - started) * 1e3
+        started = time.perf_counter()
+        plan = plan_for_partition(
+            graph,
+            partition,
+            naive_borders=request.payload.get(
+                "naive_borders", self.fusion.naive_borders
+            ),
+        )
+        timings["plan_ms"] = (time.perf_counter() - started) * 1e3
+        for stage, value in timings.items():
+            self.metrics.histogram(f"compile_{stage}").observe(value)
+        return CachedPlan(
+            key=key,
+            graph=graph,
+            partition=partition,
+            plan=plan,
+            timings_ms=timings,
+        )
+
+    # -- observability -------------------------------------------------------
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """Instruments + plan-cache stats + scheduler state, one dict."""
+        snapshot = self.metrics.snapshot()
+        snapshot["plan_cache"] = self.cache.stats()
+        snapshot["scheduler"] = {
+            "queue_depth": self.scheduler.queue_depth,
+            "inflight": self.scheduler.inflight,
+            "max_queue": self.scheduler.max_queue,
+            "max_batch": self.scheduler.max_batch,
+            "intra_workers": resolve_workers(self.intra_workers),
+        }
+        snapshot["fusion"] = dict(zip(
+            (
+                "version",
+                "gpu",
+                "c_mshared",
+                "epsilon",
+                "gamma",
+                "is_units",
+                "naive_borders",
+            ),
+            self.fusion.key(),
+        ))
+        return snapshot
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def drain(self, timeout: float | None = None) -> bool:
+        return self.scheduler.drain(timeout)
+
+    def close(self, drain: bool = True, timeout: float | None = None) -> None:
+        """Stop admissions, optionally finish queued work, join workers."""
+        if self._closed:
+            return
+        self._closed = True
+        self.scheduler.close(drain=drain, timeout=timeout)
+
+    def __enter__(self) -> "ServingRuntime":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def _infer_geometry(inputs: Arrays) -> tuple[int, int]:
+    """(height, width) from the bound arrays; they must agree."""
+    geometries = {np.shape(a)[:2] for a in inputs.values()}
+    if len(geometries) != 1:
+        raise ValueError(
+            f"cannot infer request geometry from input shapes {geometries}"
+        )
+    return geometries.pop()

@@ -1,0 +1,280 @@
+"""Micro-batching request scheduler.
+
+Kernel fusion amortizes memory traffic across kernels; the scheduler
+amortizes *serving* overhead across requests.  Requests enter a bounded
+FIFO queue; worker threads pull the oldest request and then sweep the
+queue for every request sharing its **batch key** (same pipeline, same
+geometry, same configuration — i.e. same compiled plan), up to
+``max_batch``.  The whole batch executes against one cached plan, so
+plan lookup, grid-store warmup, and scheduling bookkeeping are paid
+once per batch instead of once per request (the runtime analogue of
+Filipovič et al.'s per-launch overhead argument for kernel fusion).
+
+Operational semantics, in one place:
+
+* **Backpressure** — the queue is bounded; ``submit`` blocks until
+  space frees (optionally up to a timeout) or raises
+  :class:`BackpressureError` immediately with ``block=False``.
+* **Deadlines** — each request may carry a latency budget; requests
+  whose budget expires while queued fail with
+  :class:`DeadlineExceeded` instead of wasting execution on an answer
+  nobody is waiting for.
+* **Graceful shutdown** — ``close(drain=True)`` stops admissions,
+  lets queued work finish, then joins the workers; ``drain=False``
+  fails queued requests with :class:`SchedulerClosed`.
+
+The scheduler is execution-agnostic: a *handler* callback receives
+``(batch_key, [requests])`` and settles each request's
+:class:`ResponseHandle`.  The serving runtime supplies the handler that
+looks up plans and runs tapes.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+__all__ = [
+    "BackpressureError",
+    "DeadlineExceeded",
+    "MicroBatchScheduler",
+    "ResponseHandle",
+    "SchedulerClosed",
+    "ServeRequest",
+]
+
+
+class SchedulerClosed(RuntimeError):
+    """Submission after shutdown, or request dropped by a hard close."""
+
+
+class BackpressureError(RuntimeError):
+    """The bounded queue is full and the caller declined to wait."""
+
+
+class DeadlineExceeded(TimeoutError):
+    """The request's latency budget expired before execution."""
+
+
+class ResponseHandle:
+    """A waitable, one-shot result slot for a submitted request."""
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._result: Any = None
+        self._error: Optional[BaseException] = None
+
+    def set_result(self, value: Any) -> None:
+        self._result = value
+        self._event.set()
+
+    def set_error(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> Any:
+        """Block for the outcome; re-raises the request's error."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("request not completed within timeout")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    def exception(self, timeout: float | None = None) -> Optional[BaseException]:
+        if not self._event.wait(timeout):
+            raise TimeoutError("request not completed within timeout")
+        return self._error
+
+
+@dataclass
+class ServeRequest:
+    """One queued unit of work.
+
+    ``batch_key`` groups requests that share a compiled plan;
+    ``payload`` is opaque to the scheduler (the runtime stores the
+    bound arrays, parameters, and plan builder there).  ``deadline`` is
+    an absolute ``time.monotonic()`` instant, or ``None`` for
+    best-effort requests.
+    """
+
+    batch_key: Any
+    payload: Dict[str, Any]
+    deadline: Optional[float] = None
+    handle: ResponseHandle = field(default_factory=ResponseHandle)
+    enqueued_at: float = field(default_factory=time.monotonic)
+
+    def expired(self, now: float | None = None) -> bool:
+        if self.deadline is None:
+            return False
+        return (now if now is not None else time.monotonic()) >= self.deadline
+
+    def queue_wait_s(self, now: float | None = None) -> float:
+        return (now if now is not None else time.monotonic()) - self.enqueued_at
+
+
+Handler = Callable[[Any, List[ServeRequest]], None]
+
+
+class MicroBatchScheduler:
+    """Bounded queue + worker pool grouping same-key requests."""
+
+    def __init__(
+        self,
+        handler: Handler,
+        workers: int = 2,
+        max_queue: int = 128,
+        max_batch: int = 8,
+        name: str = "repro-serve",
+    ):
+        if workers < 1:
+            raise ValueError("scheduler needs at least one worker")
+        if max_queue < 1:
+            raise ValueError("queue bound must be >= 1")
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self._handler = handler
+        self.max_queue = max_queue
+        self.max_batch = max_batch
+        self._pending: Deque[ServeRequest] = deque()
+        self._cond = threading.Condition()
+        self._accepting = True
+        self._stop = False
+        self._inflight = 0
+        self._threads = [
+            threading.Thread(
+                target=self._worker, name=f"{name}-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- admission ---------------------------------------------------------
+
+    def submit(
+        self,
+        request: ServeRequest,
+        block: bool = True,
+        timeout: float | None = None,
+    ) -> ResponseHandle:
+        """Enqueue ``request``; returns its handle.
+
+        Raises :class:`SchedulerClosed` after shutdown began and
+        :class:`BackpressureError` when the queue stays full
+        (immediately with ``block=False``, after ``timeout`` seconds
+        otherwise; ``timeout=None`` waits indefinitely).
+        """
+        limit = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while True:
+                if not self._accepting:
+                    raise SchedulerClosed("scheduler is shut down")
+                if len(self._pending) < self.max_queue:
+                    break
+                if not block:
+                    raise BackpressureError(
+                        f"queue full ({self.max_queue} pending)"
+                    )
+                remaining = None if limit is None else limit - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    raise BackpressureError(
+                        f"queue full ({self.max_queue} pending) "
+                        f"after {timeout:g}s"
+                    )
+                self._cond.wait(remaining)
+            self._pending.append(request)
+            self._cond.notify_all()
+        return request.handle
+
+    # -- worker loop -------------------------------------------------------
+
+    def _worker(self) -> None:
+        while True:
+            with self._cond:
+                while not self._pending and not self._stop:
+                    self._cond.wait()
+                if not self._pending and self._stop:
+                    return
+                batch = self._take_batch()
+                self._inflight += len(batch)
+                self._cond.notify_all()
+            try:
+                self._handler(batch[0].batch_key, batch)
+            except BaseException as err:  # handler bug: fail the batch
+                for request in batch:
+                    if not request.handle.done():
+                        request.handle.set_error(err)
+            finally:
+                with self._cond:
+                    self._inflight -= len(batch)
+                    self._cond.notify_all()
+
+    def _take_batch(self) -> List[ServeRequest]:
+        """Pop the head request plus queued same-key requests (FIFO kept)."""
+        first = self._pending.popleft()
+        batch = [first]
+        if self.max_batch > 1 and self._pending:
+            keep: Deque[ServeRequest] = deque()
+            while self._pending:
+                request = self._pending.popleft()
+                if (
+                    len(batch) < self.max_batch
+                    and request.batch_key == first.batch_key
+                ):
+                    batch.append(request)
+                else:
+                    keep.append(request)
+            self._pending.extend(keep)
+        return batch
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        with self._cond:
+            return len(self._pending)
+
+    @property
+    def inflight(self) -> int:
+        with self._cond:
+            return self._inflight
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Block until queue and in-flight work are empty; True on success."""
+        limit = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while self._pending or self._inflight:
+                remaining = None if limit is None else limit - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._cond.wait(remaining)
+            return True
+
+    def close(self, drain: bool = True, timeout: float | None = None) -> None:
+        """Stop admissions, optionally drain, then join the workers.
+
+        With ``drain=False`` (or on drain timeout) still-queued
+        requests fail with :class:`SchedulerClosed` rather than hanging
+        their waiters forever.
+        """
+        with self._cond:
+            self._accepting = False
+            self._cond.notify_all()
+        if drain:
+            self.drain(timeout)
+        with self._cond:
+            self._stop = True
+            while self._pending:
+                request = self._pending.popleft()
+                request.handle.set_error(
+                    SchedulerClosed("scheduler shut down before execution")
+                )
+            self._cond.notify_all()
+        for thread in self._threads:
+            thread.join(timeout=5.0)

@@ -226,7 +226,7 @@ class TestEngineSelection:
         monkeypatch.setenv("REPRO_EXEC_WORKERS", "3")
         assert resolve_workers() == 3
         monkeypatch.setenv("REPRO_EXEC_WORKERS", "not-a-number")
-        with pytest.raises(ExecutionError, match="REPRO_EXEC_WORKERS"):
+        with pytest.raises(ValueError, match="REPRO_EXEC_WORKERS"):
             resolve_workers()
         monkeypatch.delenv("REPRO_EXEC_WORKERS")
         assert resolve_workers() == 1

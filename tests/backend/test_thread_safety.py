@@ -1,0 +1,158 @@
+"""Concurrency regressions for the execution backends.
+
+The serving runtime executes cached plans from multiple scheduler
+threads at once, so the structures under a plan — the interned
+coordinate grids of :class:`~repro.backend.plan.GridStore`, the weak
+per-graph plan caches, and the content-hashed compile cache of
+:mod:`repro.backend.cpu_exec` — must tolerate concurrent first-use and
+reuse.  Each test here hammers one of those paths and asserts the
+results stay bit-identical to a serial run.
+"""
+
+import shutil
+import tempfile
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from helpers import BLUR3, BLUR5, chain_pipeline, diamond_pipeline, random_image
+
+from repro.backend.plan import (
+    GridStore,
+    clear_plan_caches,
+    plan_for_partition,
+)
+from repro.eval.runner import partition_for
+from repro.graph.partition import Partition
+from repro.model.hardware import GTX680
+
+THREADS = 8
+ROUNDS = 25
+
+
+class TestGridStoreConcurrency:
+    def test_concurrent_interning_yields_one_grid_per_key(self):
+        graph = chain_pipeline(("l", "l"), 16, 12, masks=[BLUR3, BLUR5]).build()
+        partition = partition_for(graph, GTX680, "optimized")
+        barrier = threading.Barrier(THREADS)
+
+        # Shared store, many threads interning the same grids at once.
+        store = GridStore()
+        from repro.backend.plan import PartitionPlan
+
+        def build_and_run():
+            barrier.wait()
+            plan = PartitionPlan(
+                graph, partition, naive_borders=False, store=store
+            )
+            return plan.execute({"img0": random_image(16, 12, seed=5)}, None)
+
+        with ThreadPoolExecutor(max_workers=THREADS) as pool:
+            futures = [pool.submit(build_and_run) for _ in range(THREADS)]
+            results = [future.result(timeout=60) for future in futures]
+
+        reference = results[0]
+        for env in results[1:]:
+            assert set(env) == set(reference)
+            for name in reference:
+                assert np.array_equal(env[name], reference[name])
+
+    def test_interned_grids_are_shared(self):
+        store = GridStore()
+        key = ("base", "x", 12, 8)
+        grids = []
+
+        def intern():
+            grids.append(store.grid(key))
+
+        threads = [threading.Thread(target=intern) for _ in range(THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert all(g is grids[0] for g in grids)
+        assert store.materialized == 1
+
+
+class TestPlanCacheConcurrency:
+    def test_concurrent_plan_for_partition_returns_one_plan(self):
+        clear_plan_caches()
+        graph = diamond_pipeline(16, 12).build()
+        partition = partition_for(graph, GTX680, "optimized")
+        barrier = threading.Barrier(THREADS)
+
+        def fetch():
+            barrier.wait()
+            return plan_for_partition(graph, partition)
+
+        with ThreadPoolExecutor(max_workers=THREADS) as pool:
+            plans = [
+                future.result(timeout=60)
+                for future in [pool.submit(fetch) for _ in range(THREADS)]
+            ]
+        assert all(plan is plans[0] for plan in plans)
+
+    def test_concurrent_reuse_is_bit_identical_to_serial(self):
+        clear_plan_caches()
+        graph = chain_pipeline(("l", "p", "l"), 20, 14).build()
+        partition = partition_for(graph, GTX680, "optimized")
+        plan = plan_for_partition(graph, partition)
+        workload = [
+            {"img0": random_image(20, 14, seed=seed)} for seed in range(ROUNDS)
+        ]
+        serial = [plan.execute(inputs, None) for inputs in workload]
+
+        with ThreadPoolExecutor(max_workers=THREADS) as pool:
+            futures = [
+                pool.submit(plan.execute, inputs, None)
+                for inputs in workload
+            ]
+            concurrent = [future.result(timeout=60) for future in futures]
+
+        for expected, got in zip(serial, concurrent):
+            assert set(expected) == set(got)
+            for name in expected:
+                assert np.array_equal(expected[name], got[name])
+
+
+class TestCompileCacheConcurrency:
+    def test_concurrent_compiles_of_same_source(self, monkeypatch):
+        from repro.backend.cpu_exec import (
+            CACHE_ENV,
+            compile_pipeline,
+            compiler_available,
+        )
+
+        if not compiler_available():
+            pytest.skip("no C compiler on PATH")
+
+        cache_dir = Path(tempfile.mkdtemp(prefix="repro-cc-test-"))
+        monkeypatch.setenv(CACHE_ENV, str(cache_dir))
+        try:
+            graph = chain_pipeline(("p", "l"), 12, 10).build()
+            partition = Partition.singletons(graph)
+            barrier = threading.Barrier(4)
+
+            def compile_and_run():
+                barrier.wait()
+                compiled = compile_pipeline(graph, partition)
+                return compiled.run({"img0": random_image(12, 10, seed=9)})
+
+            with ThreadPoolExecutor(max_workers=4) as pool:
+                futures = [pool.submit(compile_and_run) for _ in range(4)]
+                results = [future.result(timeout=120) for future in futures]
+
+            reference = results[0]
+            for env in results[1:]:
+                for name in reference:
+                    assert np.array_equal(env[name], reference[name])
+            # The content-hash cache holds exactly one library for the
+            # one distinct source, and no scratch leftovers.
+            libraries = list(cache_dir.glob("pipeline-*.so"))
+            assert len(libraries) == 1
+            assert not list(cache_dir.glob("*.partial.so"))
+        finally:
+            shutil.rmtree(cache_dir, ignore_errors=True)

@@ -1,0 +1,109 @@
+"""The serving metrics layer: counters, gauges, histograms, snapshot."""
+
+import json
+import threading
+
+import pytest
+
+from repro.serve import Counter, Gauge, Histogram, Metrics
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter("requests")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("requests").inc(-1)
+
+    def test_thread_safe(self):
+        counter = Counter("requests")
+
+        def spin():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=spin) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 8000
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = Gauge("depth")
+        gauge.set(7)
+        gauge.add(-2)
+        assert gauge.value == 5
+
+
+class TestHistogram:
+    def test_exact_totals(self):
+        hist = Histogram("latency")
+        for value in (1.0, 2.0, 3.0, 4.0):
+            hist.observe(value)
+        snap = hist.snapshot()
+        assert snap["count"] == 4
+        assert snap["sum"] == pytest.approx(10.0)
+        assert snap["mean"] == pytest.approx(2.5)
+        assert snap["min"] == 1.0
+        assert snap["max"] == 4.0
+
+    def test_percentiles(self):
+        hist = Histogram("latency")
+        for value in range(1, 101):
+            hist.observe(float(value))
+        assert hist.percentile(50.0) == pytest.approx(50.0, abs=1.0)
+        assert hist.percentile(95.0) == pytest.approx(95.0, abs=1.0)
+        assert hist.percentile(99.0) == pytest.approx(99.0, abs=1.0)
+        assert hist.percentile(0.0) == 1.0
+        assert hist.percentile(100.0) == 100.0
+
+    def test_empty_histogram(self):
+        hist = Histogram("latency")
+        assert hist.percentile(50.0) == 0.0
+        snap = hist.snapshot()
+        assert snap["count"] == 0
+        assert snap["p99"] == 0.0
+
+    def test_reservoir_is_bounded_but_totals_exact(self):
+        hist = Histogram("latency", capacity=16)
+        for value in range(1000):
+            hist.observe(float(value))
+        snap = hist.snapshot()
+        assert snap["count"] == 1000
+        assert snap["sum"] == pytest.approx(sum(range(1000)))
+        # Quantiles reflect the newest window, not the whole history.
+        assert hist.percentile(50.0) >= 984.0
+
+    def test_percentile_range_checked(self):
+        with pytest.raises(ValueError):
+            Histogram("latency").percentile(101.0)
+
+    def test_capacity_positive(self):
+        with pytest.raises(ValueError):
+            Histogram("latency", capacity=0)
+
+
+class TestMetricsRegistry:
+    def test_create_or_return(self):
+        metrics = Metrics()
+        assert metrics.counter("a") is metrics.counter("a")
+        assert metrics.gauge("g") is metrics.gauge("g")
+        assert metrics.histogram("h") is metrics.histogram("h")
+
+    def test_snapshot_is_json_serializable(self):
+        metrics = Metrics()
+        metrics.counter("requests").inc(3)
+        metrics.gauge("depth").set(2)
+        metrics.histogram("latency").observe(1.5)
+        snap = metrics.snapshot()
+        parsed = json.loads(json.dumps(snap))
+        assert parsed["counters"]["requests"] == 3
+        assert parsed["gauges"]["depth"] == 2
+        assert parsed["histograms"]["latency"]["count"] == 1

@@ -1,0 +1,122 @@
+"""PlanCache: LRU behaviour, stats, and concurrent build coalescing."""
+
+import threading
+
+import pytest
+
+from repro.serve import PlanCache
+from repro.serve.plancache import CachedPlan
+
+
+def _entry(key) -> CachedPlan:
+    # Cache mechanics don't inspect the payload; a stub entry suffices.
+    return CachedPlan(key=key, graph=None, partition=None, plan=None)
+
+
+class TestLookup:
+    def test_miss_then_hit(self):
+        cache = PlanCache(capacity=4)
+        assert cache.get("k") is None
+        entry, hit = cache.get_or_build("k", lambda: _entry("k"))
+        assert not hit
+        again, hit = cache.get_or_build("k", lambda: _entry("k"))
+        assert hit
+        assert again is entry
+        assert cache.stats()["misses"] == 2  # the get() and the build
+        assert cache.stats()["hits"] == 1
+
+    def test_builder_runs_once_per_key(self):
+        cache = PlanCache(capacity=4)
+        builds = []
+
+        def build():
+            builds.append(1)
+            return _entry("k")
+
+        for _ in range(5):
+            cache.get_or_build("k", build)
+        assert len(builds) == 1
+
+    def test_builder_error_propagates_and_retries(self):
+        cache = PlanCache(capacity=4)
+
+        def explode():
+            raise RuntimeError("fusion failed")
+
+        with pytest.raises(RuntimeError, match="fusion failed"):
+            cache.get_or_build("k", explode)
+        # A failed build leaves no entry behind; the next call rebuilds.
+        entry, hit = cache.get_or_build("k", lambda: _entry("k"))
+        assert not hit
+        assert entry.key == "k"
+
+    def test_serves_counter(self):
+        cache = PlanCache(capacity=4)
+        entry, _ = cache.get_or_build("k", lambda: _entry("k"))
+        cache.get_or_build("k", lambda: _entry("k"))
+        cache.get("k")
+        assert entry.serves == 3
+
+
+class TestEviction:
+    def test_lru_evicts_oldest(self):
+        cache = PlanCache(capacity=2)
+        cache.get_or_build("a", lambda: _entry("a"))
+        cache.get_or_build("b", lambda: _entry("b"))
+        cache.get_or_build("a", lambda: _entry("a"))  # refresh a
+        cache.get_or_build("c", lambda: _entry("c"))  # evicts b
+        assert cache.get("a") is not None
+        assert cache.get("b") is None
+        assert cache.get("c") is not None
+        assert cache.stats()["evictions"] == 1
+
+    def test_len_tracks_entries(self):
+        cache = PlanCache(capacity=8)
+        for key in "abc":
+            cache.get_or_build(key, lambda key=key: _entry(key))
+        assert len(cache) == 3
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            PlanCache(capacity=0)
+
+
+class TestCoalescing:
+    def test_concurrent_builds_coalesce(self):
+        cache = PlanCache(capacity=4)
+        release = threading.Event()
+        builds = []
+
+        def slow_build():
+            builds.append(1)
+            release.wait(5.0)
+            return _entry("k")
+
+        results = []
+
+        def worker():
+            results.append(cache.get_or_build("k", slow_build))
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        release.set()
+        for thread in threads:
+            thread.join(5.0)
+
+        assert len(builds) == 1
+        entries = {id(entry) for entry, _ in results}
+        assert len(entries) == 1
+        misses = [hit for _, hit in results].count(False)
+        assert misses == 1
+        assert cache.stats()["coalesced"] == 5
+
+    def test_hit_rate(self):
+        cache = PlanCache(capacity=4)
+        assert cache.hit_rate == 0.0
+        cache.get_or_build("k", lambda: _entry("k"))
+        for _ in range(9):
+            cache.get_or_build("k", lambda: _entry("k"))
+        assert cache.hit_rate == pytest.approx(0.9)

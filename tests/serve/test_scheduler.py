@@ -1,0 +1,214 @@
+"""MicroBatchScheduler: batching, backpressure, deadlines, shutdown."""
+
+import threading
+import time
+
+import pytest
+
+from repro.serve import (
+    BackpressureError,
+    MicroBatchScheduler,
+    SchedulerClosed,
+    ServeRequest,
+)
+
+
+def _request(key="k", payload=None, deadline=None):
+    return ServeRequest(
+        batch_key=key, payload=payload or {}, deadline=deadline
+    )
+
+
+def _echo_handler(key, batch):
+    for request in batch:
+        request.handle.set_result((key, request.payload))
+
+
+class TestBasics:
+    def test_submit_and_result(self):
+        scheduler = MicroBatchScheduler(_echo_handler, workers=1)
+        try:
+            handle = scheduler.submit(_request(payload={"n": 1}))
+            key, payload = handle.result(timeout=5.0)
+            assert key == "k"
+            assert payload == {"n": 1}
+        finally:
+            scheduler.close()
+
+    def test_handler_exception_fails_request(self):
+        def explode(key, batch):
+            raise RuntimeError("handler bug")
+
+        scheduler = MicroBatchScheduler(explode, workers=1)
+        try:
+            handle = scheduler.submit(_request())
+            with pytest.raises(RuntimeError, match="handler bug"):
+                handle.result(timeout=5.0)
+        finally:
+            scheduler.close()
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            MicroBatchScheduler(_echo_handler, workers=0)
+        with pytest.raises(ValueError):
+            MicroBatchScheduler(_echo_handler, max_queue=0)
+        with pytest.raises(ValueError):
+            MicroBatchScheduler(_echo_handler, max_batch=0)
+
+
+class TestBatching:
+    def test_same_key_requests_grouped(self):
+        batches = []
+        gate = threading.Event()
+
+        def handler(key, batch):
+            gate.wait(5.0)  # hold the worker so the queue fills
+            batches.append([r.payload["n"] for r in batch])
+            for request in batch:
+                request.handle.set_result(None)
+
+        scheduler = MicroBatchScheduler(handler, workers=1, max_batch=8)
+        try:
+            handles = [
+                scheduler.submit(_request(payload={"n": i}))
+                for i in range(5)
+            ]
+            gate.set()
+            for handle in handles:
+                handle.result(timeout=5.0)
+        finally:
+            scheduler.close()
+        # First batch may be the lone head request the worker grabbed
+        # before the gate; the rest must be grouped.
+        assert sum(len(b) for b in batches) == 5
+        assert len(batches) <= 3
+        # FIFO within the key.
+        flattened = [n for batch in batches for n in batch]
+        assert flattened == sorted(flattened)
+
+    def test_different_keys_not_grouped(self):
+        batches = []
+        gate = threading.Event()
+
+        def handler(key, batch):
+            gate.wait(5.0)
+            batches.append((key, len(batch)))
+            for request in batch:
+                request.handle.set_result(None)
+
+        scheduler = MicroBatchScheduler(handler, workers=1, max_batch=8)
+        try:
+            handles = [
+                scheduler.submit(_request(key=f"k{i % 2}", payload={"n": i}))
+                for i in range(4)
+            ]
+            gate.set()
+            for handle in handles:
+                handle.result(timeout=5.0)
+        finally:
+            scheduler.close()
+        for key, size in batches:
+            assert size <= 2
+
+    def test_max_batch_respected(self):
+        sizes = []
+        gate = threading.Event()
+
+        def handler(key, batch):
+            gate.wait(5.0)
+            sizes.append(len(batch))
+            for request in batch:
+                request.handle.set_result(None)
+
+        scheduler = MicroBatchScheduler(handler, workers=1, max_batch=2)
+        try:
+            handles = [scheduler.submit(_request()) for _ in range(6)]
+            gate.set()
+            for handle in handles:
+                handle.result(timeout=5.0)
+        finally:
+            scheduler.close()
+        assert max(sizes) <= 2
+
+
+class TestBackpressure:
+    def test_nonblocking_submit_raises_when_full(self):
+        gate = threading.Event()
+
+        def handler(key, batch):
+            gate.wait(5.0)
+            for request in batch:
+                request.handle.set_result(None)
+
+        scheduler = MicroBatchScheduler(handler, workers=1, max_queue=2)
+        try:
+            scheduler.submit(_request())  # taken by the worker
+            time.sleep(0.05)
+            scheduler.submit(_request(), block=False)
+            scheduler.submit(_request(), block=False)
+            with pytest.raises(BackpressureError):
+                scheduler.submit(_request(), block=False)
+        finally:
+            gate.set()
+            scheduler.close()
+
+    def test_blocking_submit_times_out(self):
+        gate = threading.Event()
+
+        def handler(key, batch):
+            gate.wait(5.0)
+            for request in batch:
+                request.handle.set_result(None)
+
+        scheduler = MicroBatchScheduler(handler, workers=1, max_queue=1)
+        try:
+            scheduler.submit(_request())
+            time.sleep(0.05)
+            scheduler.submit(_request(), block=False)
+            with pytest.raises(BackpressureError):
+                scheduler.submit(_request(), timeout=0.05)
+        finally:
+            gate.set()
+            scheduler.close()
+
+
+class TestLifecycle:
+    def test_submit_after_close_raises(self):
+        scheduler = MicroBatchScheduler(_echo_handler, workers=1)
+        scheduler.close()
+        with pytest.raises(SchedulerClosed):
+            scheduler.submit(_request())
+
+    def test_close_drains_queued_work(self):
+        scheduler = MicroBatchScheduler(_echo_handler, workers=2)
+        handles = [
+            scheduler.submit(_request(payload={"n": i})) for i in range(20)
+        ]
+        scheduler.close(drain=True)
+        for handle in handles:
+            assert handle.result(timeout=1.0) is not None
+
+    def test_hard_close_fails_pending(self):
+        gate = threading.Event()
+
+        def handler(key, batch):
+            gate.wait(5.0)
+            for request in batch:
+                request.handle.set_result(None)
+
+        scheduler = MicroBatchScheduler(handler, workers=1, max_queue=8)
+        taken = scheduler.submit(_request())
+        time.sleep(0.05)
+        queued = scheduler.submit(_request(key="other"))
+        scheduler.close(drain=False)
+        gate.set()
+        with pytest.raises(SchedulerClosed):
+            queued.result(timeout=5.0)
+        taken.result(timeout=5.0)  # in-flight work still completes
+
+    def test_drain_returns_true_when_idle(self):
+        scheduler = MicroBatchScheduler(_echo_handler, workers=1)
+        try:
+            assert scheduler.drain(timeout=1.0)
+        finally:
+            scheduler.close()

@@ -1,0 +1,135 @@
+"""Structural signatures: the identity half of the plan cache.
+
+Two separately built but structurally identical pipelines must sign
+identically (so they share one cached plan); any change that alters
+execution — a mask constant, a geometry, a boundary mode, an extra
+kernel — must change the signature (so it misses).
+"""
+
+import numpy as np
+import pytest
+
+from repro.dsl.boundary import BoundaryMode
+from repro.dsl.mask import Mask
+from repro.ir import expr_signature
+from repro.ir.expr import BinOp, Const, Param
+from repro.serve import FusionSettings, inputs_signature, plan_key
+
+from helpers import BLUR3, EDGE3, chain_pipeline, diamond_pipeline
+
+
+class TestExprSignature:
+    def test_identical_expressions_sign_equal(self):
+        a = BinOp("add", Const(1.0), Param("gamma"))
+        b = BinOp("add", Const(1.0), Param("gamma"))
+        assert expr_signature(a) == expr_signature(b)
+
+    def test_constant_change_signs_different(self):
+        a = BinOp("add", Const(1.0), Param("gamma"))
+        b = BinOp("add", Const(2.0), Param("gamma"))
+        assert expr_signature(a) != expr_signature(b)
+
+    def test_shared_subtree_vs_duplicate_subtree(self):
+        # Value numbering: a physically shared subtree signs the same
+        # as two structurally equal copies (same computation).
+        shared = BinOp("mul", Const(3.0), Param("x"))
+        with_sharing = BinOp("add", shared, shared)
+        without = BinOp(
+            "add",
+            BinOp("mul", Const(3.0), Param("x")),
+            BinOp("mul", Const(3.0), Param("x")),
+        )
+        assert expr_signature(with_sharing) == expr_signature(without)
+
+
+class TestGraphSignature:
+    def test_separately_built_pipelines_sign_equal(self):
+        one = chain_pipeline(("l", "p", "l")).build()
+        two = chain_pipeline(("l", "p", "l")).build()
+        assert one is not two
+        assert one.structural_signature() == two.structural_signature()
+
+    def test_mask_constant_changes_signature(self):
+        one = chain_pipeline(("l",), masks=[BLUR3]).build()
+        two = chain_pipeline(("l",), masks=[EDGE3]).build()
+        assert one.structural_signature() != two.structural_signature()
+
+    def test_single_mask_entry_changes_signature(self):
+        tweaked = Mask([[1, 2, 1], [2, 5, 2], [1, 2, 1]])  # BLUR3 center+1
+        one = chain_pipeline(("l",), masks=[BLUR3]).build()
+        two = chain_pipeline(("l",), masks=[tweaked]).build()
+        assert one.structural_signature() != two.structural_signature()
+
+    def test_geometry_changes_signature(self):
+        one = chain_pipeline(("l", "p"), width=8, height=8).build()
+        two = chain_pipeline(("l", "p"), width=16, height=8).build()
+        assert one.structural_signature() != two.structural_signature()
+
+    def test_boundary_mode_changes_signature(self):
+        one = chain_pipeline(("l",), boundary=BoundaryMode.CLAMP).build()
+        two = chain_pipeline(("l",), boundary=BoundaryMode.MIRROR).build()
+        assert one.structural_signature() != two.structural_signature()
+
+    def test_topology_changes_signature(self):
+        chain = chain_pipeline(("l", "p", "p")).build()
+        diamond = diamond_pipeline().build()
+        assert chain.structural_signature() != diamond.structural_signature()
+
+    def test_pipeline_signature_matches_graph(self):
+        pipe = chain_pipeline(("p", "l"))
+        assert pipe.signature() == pipe.build().structural_signature()
+
+    def test_signature_is_cached_and_stable(self):
+        graph = diamond_pipeline().build()
+        assert graph.structural_signature() == graph.structural_signature()
+
+
+class TestPlanKey:
+    def test_same_structure_same_key(self):
+        fusion = FusionSettings()
+        inputs = {"img0": np.zeros((8, 8))}
+        one = plan_key(
+            chain_pipeline(("l", "p")).build().structural_signature(),
+            inputs,
+            "tape",
+            fusion,
+        )
+        two = plan_key(
+            chain_pipeline(("l", "p")).build().structural_signature(),
+            inputs,
+            "tape",
+            fusion,
+        )
+        assert one == two
+
+    def test_shape_and_dtype_change_key(self):
+        fusion = FusionSettings()
+        signature = chain_pipeline(("l",)).build().structural_signature()
+        base = plan_key(signature, {"img0": np.zeros((8, 8))}, "tape", fusion)
+        wide = plan_key(signature, {"img0": np.zeros((8, 16))}, "tape", fusion)
+        f32 = plan_key(
+            signature,
+            {"img0": np.zeros((8, 8), dtype=np.float32)},
+            "tape",
+            fusion,
+        )
+        assert base != wide
+        assert base != f32
+
+    def test_fusion_settings_change_key(self):
+        signature = chain_pipeline(("l",)).build().structural_signature()
+        inputs = {"img0": np.zeros((8, 8))}
+        base = plan_key(signature, inputs, "tape", FusionSettings())
+        basic = plan_key(
+            signature, inputs, "tape", FusionSettings(version="basic")
+        )
+        gpu = plan_key(
+            signature, inputs, "tape", FusionSettings(gpu_name="K20c")
+        )
+        assert base != basic
+        assert base != gpu
+
+    def test_inputs_signature_is_order_independent(self):
+        a = {"x": np.zeros((4, 4)), "y": np.ones((4, 4))}
+        b = {"y": np.ones((4, 4)), "x": np.zeros((4, 4))}
+        assert inputs_signature(a) == inputs_signature(b)

@@ -1,0 +1,110 @@
+"""Environment-knob hardening: every ``REPRO_*`` variable rejects bad
+values with a :class:`ValueError` naming the variable and what it
+expected — at the parsing layer and through the public entry points
+that consume it."""
+
+import numpy as np
+import pytest
+
+from helpers import chain_pipeline, random_image
+
+from repro.backend.cpu_exec import CACHE_ENV, _cache_dir
+from repro.backend.numpy_exec import ENGINE_ENV, execute_pipeline
+from repro.backend.plan import WORKERS_ENV, resolve_workers
+from repro.envknobs import (
+    EnvKnobError,
+    choice_env,
+    dir_env,
+    int_env,
+    raw_env,
+)
+
+
+class TestHelpers:
+    def test_raw_env_blank_is_unset(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_KNOB", "   ")
+        assert raw_env("REPRO_TEST_KNOB") is None
+        monkeypatch.delenv("REPRO_TEST_KNOB")
+        assert raw_env("REPRO_TEST_KNOB") is None
+
+    def test_int_env_parses_and_defaults(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_KNOB", " 7 ")
+        assert int_env("REPRO_TEST_KNOB", default=1) == 7
+        monkeypatch.delenv("REPRO_TEST_KNOB")
+        assert int_env("REPRO_TEST_KNOB", default=3) == 3
+
+    def test_int_env_rejects_garbage_naming_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_KNOB", "many")
+        with pytest.raises(EnvKnobError, match="REPRO_TEST_KNOB"):
+            int_env("REPRO_TEST_KNOB", default=1)
+
+    def test_int_env_enforces_minimum(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_KNOB", "0")
+        with pytest.raises(EnvKnobError, match=">= 1"):
+            int_env("REPRO_TEST_KNOB", default=1, minimum=1)
+
+    def test_choice_env_lists_choices(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_KNOB", "warp")
+        with pytest.raises(EnvKnobError) as err:
+            choice_env("REPRO_TEST_KNOB", ("tape", "recursive"), "tape")
+        assert "REPRO_TEST_KNOB" in str(err.value)
+        assert "tape" in str(err.value)
+
+    def test_dir_env_rejects_file_path(self, monkeypatch, tmp_path):
+        afile = tmp_path / "not-a-dir"
+        afile.write_text("")
+        monkeypatch.setenv("REPRO_TEST_KNOB", str(afile))
+        with pytest.raises(EnvKnobError, match="REPRO_TEST_KNOB"):
+            dir_env("REPRO_TEST_KNOB", tmp_path)
+
+    def test_env_knob_error_is_value_error(self):
+        assert issubclass(EnvKnobError, ValueError)
+
+
+class TestWorkersKnob:
+    def test_invalid_workers_raises_value_error(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "lots")
+        with pytest.raises(ValueError, match=WORKERS_ENV):
+            resolve_workers()
+
+    def test_explicit_argument_bypasses_environment(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "lots")
+        assert resolve_workers(3) == 3
+
+    def test_valid_workers_parsed(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "4")
+        assert resolve_workers() == 4
+
+    def test_non_positive_workers_clamped(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "-2")
+        assert resolve_workers() == 1
+
+
+class TestEngineKnob:
+    def test_invalid_engine_raises_value_error(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV, "warp-drive")
+        graph = chain_pipeline(("p",), 6, 6).build()
+        with pytest.raises(ValueError, match=ENGINE_ENV):
+            execute_pipeline(graph, {"img0": random_image(6, 6)})
+
+    def test_valid_engine_from_environment(self, monkeypatch):
+        graph = chain_pipeline(("p",), 6, 6).build()
+        data = random_image(6, 6)
+        monkeypatch.setenv(ENGINE_ENV, "recursive")
+        via_env = execute_pipeline(graph, {"img0": data})
+        monkeypatch.delenv(ENGINE_ENV)
+        default = execute_pipeline(graph, {"img0": data})
+        np.testing.assert_array_equal(via_env["img1"], default["img1"])
+
+
+class TestCacheDirKnob:
+    def test_invalid_cache_path_raises_value_error(self, monkeypatch, tmp_path):
+        afile = tmp_path / "occupied"
+        afile.write_text("")
+        monkeypatch.setenv(CACHE_ENV, str(afile))
+        with pytest.raises(ValueError, match=CACHE_ENV):
+            _cache_dir()
+
+    def test_cache_dir_from_environment(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_ENV, str(tmp_path / "cc"))
+        assert _cache_dir() == tmp_path / "cc"
