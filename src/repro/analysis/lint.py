@@ -1,0 +1,166 @@
+"""Lint orchestration: run every analysis pass over one application.
+
+``repro lint <app>`` lands here.  :func:`lint_app` builds the
+application's pipeline at a small geometry (the passes are structural —
+geometry only scales array sizes, not findings), then runs
+
+1. the **pipeline lint** (:mod:`repro.analysis.passes`),
+2. **fusion** under the requested engine version, checking that every
+   block of the final partition is legal
+   (:mod:`repro.analysis.explain`) — and keeping the engine trace so
+   ``--explain`` can show *why* each cut or rejection happened,
+3. the **plan verifier** (:mod:`repro.analysis.verifier`) over the
+   compiled instruction tapes of that partition.
+
+The report's error gate covers the diagnostics only; trace events are
+explanatory context (a cut is a decision, not a defect).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    Severity,
+    has_errors,
+    render_diagnostics,
+)
+from repro.analysis.explain import explain_block
+from repro.analysis.passes import lint_pipeline
+from repro.analysis.verifier import verify_partition_plan
+from repro.model.benefit import BenefitConfig
+from repro.model.hardware import KNOWN_GPUS, GpuSpec
+
+#: Default lint geometry: big enough for every paper mask, small enough
+#: that tape compilation and verification stay instant.
+LINT_WIDTH = 64
+LINT_HEIGHT = 48
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run found for one application."""
+
+    app: str
+    version: str
+    diagnostics: Tuple[Diagnostic, ...] = field(default_factory=tuple)
+    #: Engine trace events (``ready`` / ``cut`` / ``reject``) with their
+    #: structured legality explanations — ``--explain`` output.
+    trace: Tuple[Any, ...] = field(default_factory=tuple)
+    #: Final partition blocks as sorted member tuples.
+    blocks: Tuple[Tuple[str, ...], ...] = field(default_factory=tuple)
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity diagnostic was found."""
+        return not has_errors(self.diagnostics)
+
+    def count(self, severity: Severity) -> int:
+        return sum(1 for d in self.diagnostics if d.severity is severity)
+
+    def render(self, explain: bool = False) -> str:
+        errors = self.count(Severity.ERROR)
+        warnings = self.count(Severity.WARNING)
+        lines = [
+            f"{self.app} [{self.version}]: "
+            f"{errors} error(s), {warnings} warning(s), "
+            f"{len(self.blocks)} block(s)"
+        ]
+        if self.diagnostics:
+            lines.append(render_diagnostics(self.diagnostics))
+        if explain:
+            for event in self.trace:
+                lines.append("  " + event.describe())
+                for diagnostic in getattr(event, "diagnostics", ()):
+                    lines.append("      " + diagnostic.render())
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "app": self.app,
+            "version": self.version,
+            "ok": self.ok,
+            "errors": self.count(Severity.ERROR),
+            "warnings": self.count(Severity.WARNING),
+            "blocks": [list(b) for b in self.blocks],
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+
+def lint_app(
+    app,
+    width: int = LINT_WIDTH,
+    height: int = LINT_HEIGHT,
+    gpu: "GpuSpec | str" = "GTX680",
+    config: Optional[BenefitConfig] = None,
+    version: str = "optimized",
+    verify_plans: bool = True,
+) -> LintReport:
+    """Run the whole analysis stack over one application.
+
+    ``app`` is an :class:`~repro.apps.AppSpec` or a registered app name.
+    ``version`` selects the fusion engine whose final partition is
+    checked and whose trace the report keeps.  ``verify_plans=False``
+    skips tape compilation/verification (pipeline + fusion passes only).
+    """
+    from repro.apps import ALL_APPS
+
+    if isinstance(app, str):
+        try:
+            app = ALL_APPS[app]
+        except KeyError:
+            known = ", ".join(sorted(ALL_APPS))
+            raise KeyError(f"unknown application {app!r}; known: {known}")
+    if isinstance(gpu, str):
+        gpu = KNOWN_GPUS[gpu]
+    config = config or BenefitConfig()
+
+    pipeline = app.build(width, height)
+    diagnostics: List[Diagnostic] = list(lint_pipeline(pipeline))
+
+    trace: Tuple[Any, ...] = ()
+    blocks: Tuple[Tuple[str, ...], ...] = ()
+    if not has_errors(diagnostics):
+        # Fusion + plan verification need a buildable graph; with
+        # structural errors present there is nothing sound to fuse.
+        graph = pipeline.build()
+        partition, result = _fuse(graph, gpu, version, config)
+        if result is not None:
+            trace = tuple(result.trace)
+        blocks = partition.signature()
+        for block in partition:
+            diagnostics.extend(
+                explain_block(graph, block.vertices, gpu, config.c_mshared)
+            )
+        if verify_plans:
+            from repro.backend.plan import plan_for_partition
+
+            plan = plan_for_partition(graph, partition)
+            diagnostics.extend(verify_partition_plan(plan, graph=graph))
+    return LintReport(
+        app=app.name,
+        version=version,
+        diagnostics=tuple(diagnostics),
+        trace=trace,
+        blocks=blocks,
+    )
+
+
+def _fuse(graph, gpu, version, config):
+    """The fused partition plus the engine result (None for baseline)."""
+    from repro.eval.runner import partition_for
+    from repro.fusion.greedy_fusion import greedy_fusion
+    from repro.fusion.mincut_fusion import mincut_fusion
+    from repro.graph.partition import Partition
+    from repro.model.benefit import estimate_graph
+
+    if version == "baseline":
+        return Partition.singletons(graph), None
+    traced = {"optimized": mincut_fusion, "greedy": greedy_fusion}
+    engine = traced.get(version)
+    if engine is not None:
+        result = engine(estimate_graph(graph, gpu, config))
+        return result.partition, result
+    return partition_for(graph, gpu, version, config), None

@@ -1,0 +1,392 @@
+"""Pipeline lint: collect-all checks over kernels and dependence graphs.
+
+Two pass families, both tolerant — a broken pipeline yields diagnostics,
+never an exception, so one lint run reports *every* problem at once:
+
+* :func:`lint_kernels` checks each kernel in isolation: IR
+  well-formedness (shared with :mod:`repro.ir.validate`), dtype
+  validity, constant-folding finiteness, SFU domains, and the
+  accessor/boundary contracts (unused accessors, windowed reads under
+  ``UNDEFINED`` boundary handling, windows wider than the image);
+* :func:`lint_graph` checks the pipeline structure without building a
+  :class:`~repro.graph.dag.KernelGraph` (which raises on the first
+  structural problem): duplicate names/producers, self-reads, cycles,
+  dead kernels, and unknown declared outputs.
+
+:func:`lint_pipeline` runs both families over a
+:class:`~repro.dsl.pipeline.Pipeline` or an already-built graph.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.analysis.diagnostics import Diagnostic, diag
+from repro.ir.expr import BinOp, Call, Cast, Cmp, Const, Expr, NODE_TYPES, Select, UnOp
+from repro.ir.validate import collect_expr_diagnostics, named_children
+
+_SFU_FOLD = {
+    "exp": math.exp,
+    "log": math.log,
+    "sqrt": math.sqrt,
+    "rsqrt": lambda x: 1.0 / math.sqrt(x),
+    "sin": math.sin,
+    "cos": math.cos,
+    "tan": math.tan,
+    "tanh": math.tanh,
+    "pow": math.pow,
+    "atan2": math.atan2,
+}
+
+_BIN_FOLD = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "div": lambda a, b: a / b,
+    "mod": lambda a, b: math.fmod(a, b),
+    "min": min,
+    "max": max,
+}
+
+_CMP_FOLD = {
+    "lt": lambda a, b: 1.0 if a < b else 0.0,
+    "le": lambda a, b: 1.0 if a <= b else 0.0,
+    "gt": lambda a, b: 1.0 if a > b else 0.0,
+    "ge": lambda a, b: 1.0 if a >= b else 0.0,
+    "eq": lambda a, b: 1.0 if a == b else 0.0,
+    "ne": lambda a, b: 1.0 if a != b else 0.0,
+}
+
+
+def _postorder_with_paths(expr: Expr) -> List[Tuple[str, Expr]]:
+    """``(path, node)`` pairs, children before parents; unknown-node safe."""
+    out: List[Tuple[str, Expr]] = []
+    stack: List[Tuple[str, Expr, bool]] = [("body", expr, False)]
+    while stack:
+        path, node, visited = stack.pop()
+        if visited or not isinstance(node, NODE_TYPES):
+            out.append((path, node))
+            continue
+        stack.append((path, node, True))
+        for name, child in named_children(node):
+            stack.append((f"{path}.{name}", child, False))
+    return out
+
+
+def _lint_constant_folding(expr: Expr, kernel: Optional[str]) -> List[Diagnostic]:
+    """IR008/IR009/IR010: problems visible in constant subexpressions.
+
+    Folds bottom-up over constant-valued subtrees and reports at the
+    *lowest* offending node only — a non-finite value does not propagate,
+    so one root cause yields one diagnostic, not a cascade.
+    """
+    found: List[Diagnostic] = []
+    values: Dict[int, Optional[float]] = {}
+    for path, node in _postorder_with_paths(expr):
+        value: Optional[float] = None
+        if isinstance(node, Const):
+            if (
+                not isinstance(node.value, bool)
+                and isinstance(node.value, (int, float))
+                and math.isfinite(node.value)
+            ):
+                value = float(node.value)
+        elif isinstance(node, (BinOp, Cmp, UnOp, Select, Call)):
+            kids = [values.get(id(c)) for _, c in named_children(node)]
+            if isinstance(node, BinOp) and node.op in ("div", "mod"):
+                rhs = node.rhs
+                if isinstance(rhs, Const) and rhs.value == 0:
+                    found.append(
+                        diag(
+                            "IR008",
+                            f"{node.op} by a constant zero",
+                            kernel=kernel,
+                            path=path,
+                            op=node.op,
+                        )
+                    )
+                    values[id(node)] = None
+                    continue
+            if all(k is not None for k in kids):
+                try:
+                    if isinstance(node, BinOp):
+                        value = _BIN_FOLD[node.op](*kids)
+                    elif isinstance(node, Cmp):
+                        value = _CMP_FOLD[node.op](*kids)
+                    elif isinstance(node, UnOp):
+                        value = -kids[0] if node.op == "neg" else abs(kids[0])
+                    elif isinstance(node, Select):
+                        value = kids[1] if kids[0] != 0.0 else kids[2]
+                    else:
+                        value = _SFU_FOLD[node.fn](*kids)
+                except ValueError:
+                    found.append(
+                        diag(
+                            "IR009",
+                            f"{node.fn}({', '.join(str(k) for k in kids)}) is "
+                            "outside the function's real domain",
+                            kernel=kernel,
+                            path=path,
+                            fn=node.fn,
+                            args=[float(k) for k in kids],
+                        )
+                    )
+                    value = None
+                except (OverflowError, ZeroDivisionError):
+                    value = math.inf
+                if value is not None and not math.isfinite(value):
+                    found.append(
+                        diag(
+                            "IR010",
+                            "constant subexpression folds to a non-finite "
+                            f"value ({value})",
+                            kernel=kernel,
+                            path=path,
+                            value=str(value),
+                        )
+                    )
+                    value = None
+        values[id(node)] = value
+    return found
+
+
+def _lint_casts(expr: Expr, kernel: Optional[str]) -> List[Diagnostic]:
+    """IR007: every Cast dtype must be a valid NumPy dtype string."""
+    found: List[Diagnostic] = []
+    for path, node in _postorder_with_paths(expr):
+        if isinstance(node, Cast):
+            try:
+                np.dtype(node.dtype)
+            except TypeError:
+                found.append(
+                    diag(
+                        "IR007",
+                        f"cast to invalid dtype {node.dtype!r}",
+                        kernel=kernel,
+                        path=path,
+                        dtype=repr(node.dtype),
+                    )
+                )
+    return found
+
+
+def lint_kernel(kernel, max_radius: int = 64) -> List[Diagnostic]:
+    """All per-kernel diagnostics for one kernel."""
+    name = kernel.name
+    found = collect_expr_diagnostics(kernel.body, max_radius=max_radius, kernel=name)
+    found.extend(_lint_casts(kernel.body, name))
+    found.extend(_lint_constant_folding(kernel.body, name))
+
+    reads = kernel.reads()
+    declared = {a.image.name for a in kernel.accessors}
+
+    for image in sorted(set(reads) - declared):
+        found.append(
+            diag(
+                "PIPE009",
+                f"kernel {name!r} reads {image!r} without a declared accessor",
+                kernel=name,
+                image=image,
+            )
+        )
+    for accessor in kernel.accessors:
+        image = accessor.image.name
+        offsets = reads.get(image)
+        if not offsets:
+            found.append(
+                diag(
+                    "PIPE007",
+                    f"accessor for {image!r} is declared but never read",
+                    kernel=name,
+                    image=image,
+                )
+            )
+            continue
+        rx = max(abs(dx) for dx, _ in offsets)
+        ry = max(abs(dy) for _, dy in offsets)
+        windowed = rx > 0 or ry > 0
+        if windowed and accessor.boundary.mode.value == "undefined":
+            found.append(
+                diag(
+                    "PIPE008",
+                    f"window of radius ({rx}, {ry}) over {image!r} is read "
+                    "under UNDEFINED boundary handling; border pixels are "
+                    "unspecified",
+                    kernel=name,
+                    image=image,
+                    rx=rx,
+                    ry=ry,
+                )
+            )
+        space = accessor.image.space
+        if 2 * rx + 1 > space.width or 2 * ry + 1 > space.height:
+            found.append(
+                diag(
+                    "PIPE010",
+                    f"read window ({2 * rx + 1}x{2 * ry + 1}) over {image!r} "
+                    f"is wider than the image ({space.width}x{space.height})",
+                    kernel=name,
+                    image=image,
+                    window=(2 * rx + 1, 2 * ry + 1),
+                    image_shape=(space.width, space.height),
+                )
+            )
+    return found
+
+
+def lint_kernels(kernels: Iterable, max_radius: int = 64) -> List[Diagnostic]:
+    """Per-kernel diagnostics over a kernel collection."""
+    found: List[Diagnostic] = []
+    for kernel in kernels:
+        found.extend(lint_kernel(kernel, max_radius=max_radius))
+    return found
+
+
+def lint_graph(
+    kernels: Sequence,
+    external_outputs: Iterable[str] = (),
+) -> List[Diagnostic]:
+    """Structural diagnostics over the dependence relation.
+
+    Tolerant sibling of :class:`~repro.graph.dag.KernelGraph`
+    construction: every structural problem the constructor would raise
+    for — and a few it cannot see, like dead kernels — becomes one
+    diagnostic, and analysis continues past it.
+    """
+    found: List[Diagnostic] = []
+    kernels = list(kernels)
+
+    seen_names: Set[str] = set()
+    for kernel in kernels:
+        if kernel.name in seen_names:
+            found.append(
+                diag(
+                    "PIPE001",
+                    f"duplicate kernel name {kernel.name!r}",
+                    kernel=kernel.name,
+                )
+            )
+        seen_names.add(kernel.name)
+
+    producers: Dict[str, List[str]] = {}
+    for kernel in kernels:
+        producers.setdefault(kernel.output.name, []).append(kernel.name)
+    for image, names in sorted(producers.items()):
+        if len(names) > 1:
+            found.append(
+                diag(
+                    "PIPE002",
+                    f"image {image!r} is produced by {len(names)} kernels: "
+                    f"{names}",
+                    image=image,
+                    producers=names,
+                )
+            )
+
+    for kernel in kernels:
+        out = kernel.output.name
+        reads = set(kernel.reads())
+        declared = {a.image.name for a in kernel.accessors}
+        if out in reads or out in declared:
+            how = "reads" if out in reads else "declares an accessor for"
+            found.append(
+                diag(
+                    "PIPE003",
+                    f"kernel {kernel.name!r} {how} its own output {out!r}",
+                    kernel=kernel.name,
+                    image=out,
+                )
+            )
+
+    # Dependence edges (self-edges excluded — reported above as PIPE003).
+    producer_of = {k.output.name: k.name for k in kernels}
+    succs: Dict[str, Set[str]] = {k.name: set() for k in kernels}
+    preds: Dict[str, Set[str]] = {k.name: set() for k in kernels}
+    consumed: Set[str] = set()
+    for kernel in kernels:
+        for image in kernel.reads():
+            producer = producer_of.get(image)
+            if producer is not None:
+                consumed.add(image)
+                if producer != kernel.name:
+                    succs[producer].add(kernel.name)
+                    preds[kernel.name].add(producer)
+
+    # Tolerant Kahn: kernels left with positive in-degree sit on a cycle.
+    indegree = {name: len(p) for name, p in preds.items()}
+    ready = sorted(name for name, deg in indegree.items() if deg == 0)
+    order: List[str] = []
+    while ready:
+        name = ready.pop(0)
+        order.append(name)
+        for succ in sorted(succs[name]):
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                ready.append(succ)
+        ready.sort()
+    stuck = sorted(set(succs) - set(order))
+    if stuck:
+        found.append(
+            diag(
+                "PIPE004",
+                f"dependence cycle involving {stuck}",
+                kernels=stuck,
+            )
+        )
+
+    declared_outputs = set(external_outputs)
+    for image in sorted(declared_outputs - set(producer_of)):
+        found.append(
+            diag(
+                "PIPE006",
+                f"declared output {image!r} is produced by no kernel",
+                image=image,
+            )
+        )
+
+    # Dead kernels: cannot reach any externally observed image.  Sink
+    # outputs are external automatically (mirroring KernelGraph), so in
+    # a well-formed DAG every kernel is live; dead kernels appear when
+    # cycles swallow a subgraph whose outputs never escape.
+    sinks = {k.output.name for k in kernels} - consumed
+    external = (declared_outputs & set(producer_of)) | sinks
+    live: Set[str] = set()
+    stack = [producer_of[image] for image in external]
+    while stack:
+        name = stack.pop()
+        if name in live:
+            continue
+        live.add(name)
+        stack.extend(preds[name] - live)
+    for kernel in kernels:
+        if kernel.name not in live:
+            found.append(
+                diag(
+                    "PIPE005",
+                    f"kernel {kernel.name!r} reaches no pipeline output",
+                    kernel=kernel.name,
+                )
+            )
+    return found
+
+
+def lint_pipeline(pipeline, max_radius: int = 64) -> List[Diagnostic]:
+    """Run the per-kernel and structural lints over a whole pipeline.
+
+    Accepts a :class:`~repro.dsl.pipeline.Pipeline` or an already-built
+    :class:`~repro.graph.dag.KernelGraph`.
+    """
+    from repro.graph.dag import KernelGraph
+
+    if isinstance(pipeline, KernelGraph):
+        kernels: Sequence = pipeline.kernels()
+        externals: Iterable[str] = pipeline.external_outputs
+    else:
+        kernels = pipeline.kernels
+        externals = pipeline.extra_outputs
+    return lint_kernels(kernels, max_radius=max_radius) + lint_graph(
+        kernels, external_outputs=externals
+    )

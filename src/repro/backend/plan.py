@@ -46,7 +46,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
-from repro.envknobs import int_env
+from repro.envknobs import int_env, validate_mode
 
 from repro.backend.numpy_exec import (
     _BIN_FN,
@@ -429,6 +429,8 @@ class BlockPlan:
         store: GridStore,
         apply_reduction: bool,
         stats: PlanStats,
+        naive_borders: bool = False,
+        kind: str = "block",
     ):
         self.destination = destination
         self.output_name = destination.output.name
@@ -437,6 +439,11 @@ class BlockPlan:
         self.store = store
         self.apply_reduction = apply_reduction
         self.stats = stats
+        # Compilation provenance, recorded so the static verifier
+        # (:mod:`repro.analysis.verifier`) can recompile a reference tape
+        # and diff against it.
+        self.naive_borders = naive_borders
+        self.kind = kind
         self._release = _release_schedule(tape, root)
 
     def execute(self, arrays: Arrays, params: Params | None = None) -> np.ndarray:
@@ -579,6 +586,7 @@ def compile_kernel(
         store or GridStore(),
         apply_reduction=True,
         stats=stats,
+        kind="kernel",
     )
 
 
@@ -623,6 +631,8 @@ def compile_block(
         store or GridStore(),
         apply_reduction=False,
         stats=stats,
+        naive_borders=naive_borders,
+        kind="block",
     )
 
 
@@ -761,6 +771,24 @@ def _store_for(graph: KernelGraph) -> GridStore:
     return store
 
 
+def _strict_verify(plan, graph: KernelGraph, block=None) -> None:
+    """Run the static plan verifier on a freshly built plan when
+    ``REPRO_VALIDATE=strict``; raises
+    :class:`repro.analysis.verifier.PlanVerificationError` on failure.
+
+    Imported lazily: the verifier sits above this module (it recompiles
+    reference tapes through :func:`compile_block`).
+    """
+    if validate_mode() != "strict":
+        return
+    from repro.analysis.verifier import enforce, verify_plan
+
+    enforce(
+        verify_plan(plan, graph=graph, block=block),
+        context=f"graph {graph.structural_signature()[:12]}",
+    )
+
+
 def plan_for_partition(
     graph: KernelGraph,
     partition: Partition,
@@ -778,6 +806,7 @@ def plan_for_partition(
             plan = PartitionPlan(
                 graph, partition, naive_borders, store=_store_for(graph)
             )
+            _strict_verify(plan, graph)
             cache[key] = plan
         return plan
 
@@ -804,6 +833,7 @@ def plan_for_block(
                 store=_store_for(graph),
                 apply_reduction=False,
             )
+            _strict_verify(plan, graph, block=block)
             cache[key] = plan
         return plan
 

@@ -9,6 +9,7 @@ enable/disable fusion, inspect the generated code, run the evaluation.
     python -m repro fuse Harris --engine mincut --trace
     python -m repro codegen Unsharp --engine mincut
     python -m repro simulate Sobel
+    python -m repro lint --explain
     python -m repro evaluate --runs 500
     python -m repro figure3
     python -m repro figure4
@@ -314,6 +315,42 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0 if report["bit_identical"] else 1
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run the static-analysis passes; exit 1 on any error diagnostic.
+
+    Lints the pipeline IR, explains the legality of every fused block,
+    and verifies the compiled instruction tapes of the final partition
+    (see :mod:`repro.analysis`).
+    """
+    import json
+
+    from repro.analysis import describe_codes, lint_app
+
+    if args.codes:
+        print(describe_codes())
+        return 0
+    names = args.apps or sorted(APPLICATIONS)
+    for name in names:
+        _resolve_app(name)
+    reports = [
+        lint_app(
+            name,
+            gpu=_resolve_gpu(args.gpu),
+            config=_config(args),
+            version=args.version,
+            verify_plans=not args.no_plans,
+        )
+        for name in names
+    ]
+    if args.json:
+        print(json.dumps([r.to_dict() for r in reports], indent=2,
+                         sort_keys=True))
+    else:
+        for report in reports:
+            print(report.render(explain=args.explain))
+    return 0 if all(r.ok for r in reports) else 1
+
+
 def cmd_figure4(args: argparse.Namespace) -> int:
     """Print the Fig. 4 border-fusion worked example."""
     from repro.eval.figures import figure4_example
@@ -420,6 +457,26 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--max-batch", type=int, default=8,
                        help="micro-batch size cap")
 
+    lint = sub.add_parser(
+        "lint", help="run the static-analysis passes over applications "
+                     "(exit 1 on any error diagnostic)"
+    )
+    lint.add_argument("apps", nargs="*",
+                      help="applications to lint (default: the six "
+                           "paper apps)")
+    lint.add_argument("--version", default="optimized",
+                      help="fusion engine whose partition is checked")
+    lint.add_argument("--explain", action="store_true",
+                      help="print the fusion trace with per-cut "
+                           "legality explanations")
+    lint.add_argument("--json", action="store_true",
+                      help="print the reports as JSON")
+    lint.add_argument("--codes", action="store_true",
+                      help="print the diagnostic-code catalog and exit")
+    lint.add_argument("--no-plans", action="store_true",
+                      help="skip tape compilation/verification")
+    add_model_flags(lint)
+
     serve = sub.add_parser(
         "serve", help="run the serving runtime over a synthetic "
                       "request stream and print metrics"
@@ -454,6 +511,7 @@ COMMANDS = {
     "evaluate": cmd_evaluate,
     "figure3": cmd_figure3,
     "figure4": cmd_figure4,
+    "lint": cmd_lint,
     "verify": cmd_verify,
     "artifact": cmd_artifact,
     "serve": cmd_serve,

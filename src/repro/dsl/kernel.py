@@ -150,6 +150,14 @@ class Kernel:
                     f"kernel {name!r}: duplicate accessor for image "
                     f"{accessor.image.name!r}"
                 )
+            if accessor.image.name == output.name:
+                # Even unread, such an accessor would put a self-edge in
+                # the dependence graph and surface later as a baffling
+                # "dependence cycle" involving a single kernel.
+                raise ValueError(
+                    f"kernel {name!r} must not declare an accessor for "
+                    f"its own output {output.name!r}"
+                )
             seen.add(accessor.image.name)
         read_images = set(inputs_of(body))
         missing = read_images - seen

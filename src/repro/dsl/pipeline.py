@@ -61,6 +61,11 @@ class Pipeline:
     def kernels(self) -> Sequence[Kernel]:
         return tuple(self._kernels)
 
+    @property
+    def extra_outputs(self) -> Sequence[str]:
+        """Images explicitly marked external via :meth:`mark_output`."""
+        return tuple(self._extra_outputs)
+
     def image(self, name: str) -> Image:
         return self._images[name]
 

@@ -1,10 +1,11 @@
 """Hardened parsing of ``REPRO_*`` environment knobs.
 
 Every runtime tunable that can arrive through the environment —
-``REPRO_EXEC_WORKERS``, ``REPRO_EXEC_ENGINE``, ``REPRO_CC_CACHE`` —
-funnels through the helpers here, so a typo in a deployment manifest
-fails with one clear message naming the variable and the accepted
-values instead of a bare ``int()`` traceback deep inside an executor.
+``REPRO_EXEC_WORKERS``, ``REPRO_EXEC_ENGINE``, ``REPRO_CC_CACHE``,
+``REPRO_VALIDATE`` — funnels through the helpers here, so a typo in a
+deployment manifest fails with one clear message naming the variable
+and the accepted values instead of a bare ``int()`` traceback deep
+inside an executor.
 
 The helpers raise :class:`EnvKnobError`, a :class:`ValueError`:
 misconfigured environments are configuration errors, not execution
@@ -60,6 +61,36 @@ def choice_env(name: str, choices: Sequence[str], default: str) -> str:
             f"invalid {name}={raw!r}: expected one of {tuple(choices)}"
         )
     return raw
+
+
+#: Environment knob selecting the static-validation level.
+VALIDATE_ENV = "REPRO_VALIDATE"
+
+#: Accepted ``REPRO_VALIDATE`` values, weakest first.
+VALIDATE_MODES = ("off", "standard", "strict")
+
+
+def validate_mode() -> str:
+    """The ``REPRO_VALIDATE`` level: ``off``, ``standard`` or ``strict``.
+
+    ``standard`` (the default) keeps construction-time checks exactly
+    as they always were; ``strict`` additionally runs the static plan
+    verifier (:mod:`repro.analysis.verifier`) on every compiled tape
+    before it is cached or served; ``off`` skips the optional analysis
+    layers for benchmarking.  Anything else raises
+    :class:`EnvKnobError` naming the variable and the accepted values.
+    Case-insensitive: ``STRICT`` in a deployment manifest means strict.
+    """
+    raw = raw_env(VALIDATE_ENV)
+    if raw is None:
+        return "standard"
+    mode = raw.lower()
+    if mode not in VALIDATE_MODES:
+        raise EnvKnobError(
+            f"invalid {VALIDATE_ENV}={raw!r}: expected one of "
+            f"{VALIDATE_MODES}"
+        )
+    return mode
 
 
 def dir_env(name: str, default: Path) -> Path:

@@ -70,8 +70,9 @@ def greedy_fusion(weighted: WeightedGraph) -> FusionResult:
         )
         merged = blocks[i] | blocks[j]
         iteration += 1
-        if weighted.is_legal_block(merged):
-            ordered = tuple(n for n in graph.kernel_names if n in merged)
+        ordered = tuple(n for n in graph.kernel_names if n in merged)
+        report = weighted.block_legality(merged)
+        if report.legal:
             trace.append(
                 TraceEvent(
                     iteration,
@@ -86,6 +87,15 @@ def greedy_fusion(weighted: WeightedGraph) -> FusionResult:
             # merges only grow blocks, so those frozensets never reappear.
         else:
             dead.add((blocks[i], blocks[j]))
+            trace.append(
+                TraceEvent(
+                    iteration,
+                    ordered,
+                    "reject",
+                    reasons=report.reasons,
+                    diagnostics=report.diagnostics,
+                )
+            )
 
     partition = Partition(graph, [PartitionBlock(graph, b) for b in blocks])
     return FusionResult(partition, weighted, trace, engine="greedy")

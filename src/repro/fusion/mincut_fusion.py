@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import FrozenSet, List, Tuple
 
+from repro.analysis.diagnostics import Diagnostic
 from repro.graph.mincut import min_cut_partition
 from repro.graph.partition import Partition, PartitionBlock
 from repro.model.benefit import WeightedGraph
@@ -29,10 +30,14 @@ from repro.model.benefit import WeightedGraph
 
 @dataclass(frozen=True)
 class TraceEvent:
-    """One step of Algorithm 1.
+    """One step of a fusion engine.
 
     ``action`` is ``"ready"`` (block was legal or a singleton and moved
-    to the ready set) or ``"cut"`` (block was illegal and split).
+    to the ready set), ``"cut"`` (block was illegal and split by the
+    min-cut engine), or ``"reject"`` (a greedy merge candidate was
+    discarded).  ``diagnostics`` carries the structured legality
+    violations behind ``reasons`` (codes FUS001–FUS010), making every
+    partition decision auditable.
     """
 
     iteration: int
@@ -41,13 +46,18 @@ class TraceEvent:
     reasons: Tuple[str, ...] = field(default_factory=tuple)
     cut_weight: float | None = None
     parts: Tuple[Tuple[str, ...], ...] = field(default_factory=tuple)
+    diagnostics: Tuple[Diagnostic, ...] = field(
+        default_factory=tuple, compare=False
+    )
 
     def describe(self) -> str:
         members = "{" + ", ".join(self.block) + "}"
         if self.action == "ready":
             return f"[{self.iteration}] {members}: legal -> ready set"
-        parts = " | ".join("{" + ", ".join(p) + "}" for p in self.parts)
         why = f" ({self.reasons[0]})" if self.reasons else ""
+        if self.action == "reject":
+            return f"[{self.iteration}] {members}: merge rejected{why}"
+        parts = " | ".join("{" + ", ".join(p) + "}" for p in self.parts)
         return (
             f"[{self.iteration}] {members}: illegal{why}; "
             f"min-cut weight {self.cut_weight:g} -> {parts}"
@@ -122,6 +132,7 @@ def mincut_fusion(
                 reasons=report.reasons,
                 cut_weight=cut.weight,
                 parts=(part_a, part_b),
+                diagnostics=report.diagnostics,
             )
         )
         working.append(cut.side_a)

@@ -82,6 +82,14 @@ class KernelGraph:
                 producer = producers.get(image.name)
                 if producer is None:
                     continue  # pipeline input
+                if producer == kernel.name:
+                    # Kernel.__init__ already rejects this; keep a clear
+                    # message for graphs assembled from hand-built
+                    # kernels rather than a one-vertex "cycle" report.
+                    raise GraphError(
+                        f"kernel {kernel.name!r} reads its own output "
+                        f"image {image.name!r}"
+                    )
                 key = (producer, kernel.name, image.name)
                 if key not in edge_keys:
                     edge_keys.add(key)

@@ -4,48 +4,173 @@ Kernel construction validates its body once; backends may then assume a
 well-formed tree.  Checks are structural only — type checking is not
 needed because the execution model is scalar floating point (matching
 the single-precision GPU kernels of the paper).
+
+Two entry points share one collect-all pass:
+
+* :func:`collect_expr_diagnostics` walks the whole tree and returns
+  every problem as a :class:`~repro.analysis.diagnostics.Diagnostic`
+  (stable code, severity, expression path) — the pipeline lint of
+  :mod:`repro.analysis.passes` builds on it;
+* :func:`validate` keeps the historical raise-on-first-error contract
+  (:class:`ValidationError`) but is reimplemented on the collect-all
+  pass, so both report identical findings.
 """
 
 from __future__ import annotations
 
 import math
+from typing import Iterator, List, Optional, Tuple
 
-from repro.ir.expr import Const, Expr, InputAt, NODE_TYPES
-from repro.ir.traversal import walk
+from repro.analysis.diagnostics import Diagnostic, Severity, diag
+from repro.ir.expr import (
+    BinOp,
+    Call,
+    Cast,
+    Cmp,
+    Const,
+    Expr,
+    InputAt,
+    NODE_TYPES,
+    Select,
+    UnOp,
+)
 
 
 class ValidationError(ValueError):
     """Raised when an expression tree is malformed."""
 
 
+def named_children(expr: Expr) -> Tuple[Tuple[str, Expr], ...]:
+    """Direct sub-expressions with their field names (for paths)."""
+    if isinstance(expr, (BinOp, Cmp)):
+        return (("lhs", expr.lhs), ("rhs", expr.rhs))
+    if isinstance(expr, UnOp):
+        return (("operand", expr.operand),)
+    if isinstance(expr, Cast):
+        return (("operand", expr.operand),)
+    if isinstance(expr, Select):
+        return (
+            ("cond", expr.cond),
+            ("if_true", expr.if_true),
+            ("if_false", expr.if_false),
+        )
+    if isinstance(expr, Call):
+        return tuple((f"args[{i}]", a) for i, a in enumerate(expr.args))
+    return ()
+
+
+def _walk_with_paths(expr: Expr) -> Iterator[Tuple[str, Expr]]:
+    """Pre-order ``(path, node)`` pairs; iterative, unknown-node safe.
+
+    Unknown node types are yielded but not descended into — the
+    collector reports them instead of crashing the traversal.
+    """
+    stack: List[Tuple[str, Expr]] = [("body", expr)]
+    while stack:
+        path, node = stack.pop()
+        yield path, node
+        if isinstance(node, NODE_TYPES):
+            for name, child in reversed(named_children(node)):
+                stack.append((f"{path}.{name}", child))
+
+
+def collect_expr_diagnostics(
+    expr: Expr,
+    max_radius: int = 64,
+    kernel: Optional[str] = None,
+) -> List[Diagnostic]:
+    """Every well-formedness problem of one expression tree.
+
+    ``max_radius`` bounds read offsets; a kernel reading further than
+    this is almost certainly a construction bug (masks in the target
+    domain are small).  ``kernel`` labels the diagnostics' location.
+    """
+    found: List[Diagnostic] = []
+    for path, node in _walk_with_paths(expr):
+        if not isinstance(node, NODE_TYPES):
+            found.append(
+                diag(
+                    "IR001",
+                    f"unknown node type: {type(node).__name__}",
+                    kernel=kernel,
+                    path=path,
+                    node_type=type(node).__name__,
+                )
+            )
+            continue
+        if isinstance(node, Const):
+            if isinstance(node.value, bool) or not isinstance(
+                node.value, (int, float)
+            ):
+                found.append(
+                    diag(
+                        "IR002",
+                        "constant must be numeric, got "
+                        f"{type(node.value).__name__}",
+                        kernel=kernel,
+                        path=path,
+                        value=repr(node.value),
+                    )
+                )
+            elif isinstance(node.value, float) and not math.isfinite(node.value):
+                found.append(
+                    diag(
+                        "IR003",
+                        f"constant must be finite, got {node.value}",
+                        kernel=kernel,
+                        path=path,
+                        value=repr(node.value),
+                    )
+                )
+        if isinstance(node, InputAt):
+            if not isinstance(node.dx, int) or not isinstance(node.dy, int):
+                found.append(
+                    diag(
+                        "IR004",
+                        f"read offsets must be integers: {node.image}"
+                        f"({node.dx!r}, {node.dy!r})",
+                        kernel=kernel,
+                        path=path,
+                        image=node.image,
+                        dx=repr(node.dx),
+                        dy=repr(node.dy),
+                    )
+                )
+            elif abs(node.dx) > max_radius or abs(node.dy) > max_radius:
+                found.append(
+                    diag(
+                        "IR005",
+                        f"read offset ({node.dx}, {node.dy}) of "
+                        f"{node.image!r} exceeds the maximum radius "
+                        f"{max_radius}",
+                        kernel=kernel,
+                        path=path,
+                        image=node.image,
+                        dx=node.dx,
+                        dy=node.dy,
+                        max_radius=max_radius,
+                    )
+                )
+            if not node.image:
+                found.append(
+                    diag(
+                        "IR006",
+                        "image name must be non-empty",
+                        kernel=kernel,
+                        path=path,
+                    )
+                )
+    return found
+
+
 def validate(expr: Expr, max_radius: int = 64) -> None:
     """Validate an expression tree.
 
-    Raises :class:`ValidationError` on the first problem found.
-    ``max_radius`` bounds read offsets; a kernel reading further than
-    this is almost certainly a construction bug (masks in the target
-    domain are small).
+    Raises :class:`ValidationError` on the first problem found (by
+    pre-order position).  Callers wanting the complete list use
+    :func:`collect_expr_diagnostics` (or the richer pipeline lint in
+    :mod:`repro.analysis.passes`) instead.
     """
-    for node in walk(expr):
-        if not isinstance(node, NODE_TYPES):
-            raise ValidationError(f"unknown node type: {type(node).__name__}")
-        if isinstance(node, Const):
-            if not isinstance(node.value, (int, float)):
-                raise ValidationError(
-                    f"constant must be numeric, got {type(node.value).__name__}"
-                )
-            if isinstance(node.value, float) and not math.isfinite(node.value):
-                raise ValidationError(f"constant must be finite, got {node.value}")
-        if isinstance(node, InputAt):
-            if not isinstance(node.dx, int) or not isinstance(node.dy, int):
-                raise ValidationError(
-                    f"read offsets must be integers: {node.image}"
-                    f"({node.dx!r}, {node.dy!r})"
-                )
-            if abs(node.dx) > max_radius or abs(node.dy) > max_radius:
-                raise ValidationError(
-                    f"read offset ({node.dx}, {node.dy}) of {node.image!r} "
-                    f"exceeds the maximum radius {max_radius}"
-                )
-            if not node.image:
-                raise ValidationError("image name must be non-empty")
+    for diagnostic in collect_expr_diagnostics(expr, max_radius=max_radius):
+        if diagnostic.severity is Severity.ERROR:
+            raise ValidationError(diagnostic.message)

@@ -28,6 +28,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Tuple
 
+from repro.analysis.diagnostics import diag
 from repro.dsl.image import Image
 from repro.dsl.kernel import ComputePattern, Kernel
 from repro.graph.dag import Edge, KernelGraph
@@ -281,19 +282,27 @@ class WeightedGraph:
         report = check_block_legality(
             self.graph, vertex_list, self.gpu, self.config.c_mshared
         )
-        problems = list(report.reasons)
+        diagnostics = list(report.diagnostics)
         vertex_set = set(vertex_list)
         if len(vertex_list) > 1:
             for edge in self.graph.induced_edges(vertex_set):
                 estimate = self.estimates[edge.key]
                 if estimate.raw_benefit is not None and not estimate.profitable:
-                    problems.append(
-                        f"edge {edge.src!r}->{edge.dst!r} has non-positive "
-                        "benefit and is treated as an illegal scenario"
+                    diagnostics.append(
+                        diag(
+                            "FUS010",
+                            f"edge {edge.src!r}->{edge.dst!r} has non-positive "
+                            "benefit and is treated as an illegal scenario",
+                            kernel=edge.dst,
+                            src=edge.src,
+                            dst=edge.dst,
+                            raw_benefit=estimate.raw_benefit,
+                            delta=estimate.delta,
+                            phi=estimate.phi,
+                            scenario=estimate.scenario.value,
+                        )
                     )
-        if problems:
-            return LegalityReport.fail(problems)
-        return LegalityReport.ok()
+        return LegalityReport.from_diagnostics(diagnostics)
 
     def is_legal_block(self, vertices: Iterable[str]) -> bool:
         return bool(self.block_legality(vertices))

@@ -23,26 +23,45 @@ kernel:
 
 4. **Connectivity** — a partition block is a connected subset of ``G``
    (Section II); fusing unrelated kernels expresses no locality benefit.
+
+The checks themselves live in :mod:`repro.analysis.explain`, which
+reports each violation as a structured
+:class:`~repro.analysis.diagnostics.Diagnostic` (stable code, Fig. 2
+scenario, Eq. 2 arithmetic).  This module keeps the historical
+string-based API on top: ``check_*`` return the diagnostic messages,
+and :class:`LegalityReport` carries both forms.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Tuple
+from typing import Iterable, List, Sequence, Tuple
 
-from repro.dsl.kernel import ComputePattern
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.explain import (
+    explain_block,
+    explain_dependences,
+    explain_headers,
+    explain_resources,
+)
 from repro.graph.dag import KernelGraph
-from repro.graph.partition import PartitionBlock
 from repro.model.hardware import GpuSpec
-from repro.model.resources import block_shared_bytes, shared_memory_ratio
 
 
 @dataclass(frozen=True)
 class LegalityReport:
-    """Outcome of all legality checks for one candidate block."""
+    """Outcome of all legality checks for one candidate block.
+
+    ``reasons`` are the human-readable messages (historical API);
+    ``diagnostics`` the structured records behind them, when the report
+    came from :func:`check_block_legality`.
+    """
 
     legal: bool
     reasons: Tuple[str, ...] = field(default_factory=tuple)
+    diagnostics: Tuple[Diagnostic, ...] = field(
+        default_factory=tuple, compare=False
+    )
 
     @classmethod
     def ok(cls) -> "LegalityReport":
@@ -52,37 +71,23 @@ class LegalityReport:
     def fail(cls, reasons: List[str]) -> "LegalityReport":
         return cls(False, tuple(reasons))
 
+    @classmethod
+    def from_diagnostics(
+        cls, diagnostics: Sequence[Diagnostic]
+    ) -> "LegalityReport":
+        return cls(
+            legal=not diagnostics,
+            reasons=tuple(d.message for d in diagnostics),
+            diagnostics=tuple(diagnostics),
+        )
+
     def __bool__(self) -> bool:
         return self.legal
 
 
 def check_dependences(graph: KernelGraph, vertices: Iterable[str]) -> List[str]:
     """Fig. 2 external-dependence checks; returns violation messages."""
-    block = PartitionBlock(graph, vertices)
-    problems: List[str] = []
-
-    destinations = block.destination_kernels()
-    if len(destinations) > 1:
-        problems.append(
-            "external output dependence: outputs of "
-            f"{sorted(destinations)} all escape the block (Fig. 2c)"
-        )
-    elif not destinations:
-        problems.append("block has no escaping output (dead code?)")
-
-    source_inputs = set()
-    for name in block.source_kernels():
-        source_inputs.update(graph.kernel(name).input_names)
-    produced = {graph.kernel(n).output.name for n in block.vertices}
-    for name in block.ordered_vertices():
-        for image in graph.kernel(name).input_names:
-            if image in produced or image in source_inputs:
-                continue
-            problems.append(
-                f"external input dependence: {name!r} reads {image!r}, "
-                "which no source kernel of the block reads (Fig. 2d)"
-            )
-    return problems
+    return [d.message for d in explain_dependences(graph, vertices)]
 
 
 def check_resources(
@@ -92,47 +97,12 @@ def check_resources(
     c_mshared: float,
 ) -> List[str]:
     """Eq. (2) plus the absolute device limit."""
-    vertex_list = list(vertices)
-    problems: List[str] = []
-    ratio = shared_memory_ratio(graph, vertex_list)
-    if ratio > c_mshared:
-        problems.append(
-            f"shared memory ratio {ratio:.2f} exceeds cMshared={c_mshared:g} "
-            "(Eq. 2)"
-        )
-    total = block_shared_bytes(graph, vertex_list)
-    if total > gpu.shared_mem_per_block:
-        problems.append(
-            f"fused kernel needs {total} B shared memory, device limit is "
-            f"{gpu.shared_mem_per_block} B"
-        )
-    return problems
+    return [d.message for d in explain_resources(graph, vertices, gpu, c_mshared)]
 
 
 def check_headers(graph: KernelGraph, vertices: Iterable[str]) -> List[str]:
     """Same iteration space, same granularity, no global operators."""
-    vertex_list = list(vertices)
-    problems: List[str] = []
-    kernels = [graph.kernel(name) for name in vertex_list]
-    for kernel in kernels:
-        if kernel.pattern is ComputePattern.GLOBAL and len(vertex_list) > 1:
-            problems.append(
-                f"{kernel.name!r} is a global operator and cannot fuse"
-            )
-    reference = kernels[0]
-    for kernel in kernels[1:]:
-        if not kernel.space.compatible_with(reference.space):
-            problems.append(
-                f"iteration space mismatch: {reference.name!r} is "
-                f"{reference.space}, {kernel.name!r} is {kernel.space}"
-            )
-        if kernel.granularity != reference.granularity:
-            problems.append(
-                f"access granularity mismatch: {reference.name!r} has "
-                f"{reference.granularity}, {kernel.name!r} has "
-                f"{kernel.granularity}"
-            )
-    return problems
+    return [d.message for d in explain_headers(graph, vertices)]
 
 
 def check_block_legality(
@@ -147,15 +117,6 @@ def check_block_legality(
     illegal scenario otherwise) is layered on top by the fusion
     algorithm, because it needs the edge estimates of the benefit model.
     """
-    vertex_list = list(vertices)
-    if len(vertex_list) == 1:
-        return LegalityReport.ok()
-    problems: List[str] = []
-    if not graph.is_connected(set(vertex_list)):
-        problems.append("block is not connected")
-    problems.extend(check_headers(graph, vertex_list))
-    problems.extend(check_dependences(graph, vertex_list))
-    problems.extend(check_resources(graph, vertex_list, gpu, c_mshared))
-    if problems:
-        return LegalityReport.fail(problems)
-    return LegalityReport.ok()
+    return LegalityReport.from_diagnostics(
+        explain_block(graph, vertices, gpu, c_mshared)
+    )

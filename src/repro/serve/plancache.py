@@ -108,6 +108,9 @@ class CachedPlan:
     timings_ms: Dict[str, float] = field(default_factory=dict)
     created_at: float = field(default_factory=time.time)
     serves: int = 0
+    #: True when the static plan verifier (:mod:`repro.analysis.verifier`)
+    #: checked this entry at insert time (``REPRO_VALIDATE=strict``).
+    verified: bool = False
 
 
 class _InFlight:

@@ -37,6 +37,7 @@ import numpy as np
 
 from repro.backend.numpy_exec import Arrays, Params
 from repro.backend.plan import plan_for_partition, resolve_workers
+from repro.envknobs import validate_mode
 from repro.graph.dag import KernelGraph
 from repro.graph.partition import Partition
 from repro.model.benefit import BenefitConfig
@@ -344,6 +345,20 @@ class ServingRuntime:
             ),
         )
         timings["plan_ms"] = (time.perf_counter() - started) * 1e3
+        verified = False
+        if validate_mode() == "strict":
+            # Strict mode verifies every plan cache insert — including
+            # plans that were compiled earlier (module-level plan cache
+            # hit) under a weaker validation mode.
+            from repro.analysis.verifier import enforce, verify_partition_plan
+
+            started = time.perf_counter()
+            enforce(
+                verify_partition_plan(plan, graph=graph),
+                context="plan cache insert",
+            )
+            timings["verify_ms"] = (time.perf_counter() - started) * 1e3
+            verified = True
         for stage, value in timings.items():
             self.metrics.histogram(f"compile_{stage}").observe(value)
         return CachedPlan(
@@ -352,6 +367,7 @@ class ServingRuntime:
             partition=partition,
             plan=plan,
             timings_ms=timings,
+            verified=verified,
         )
 
     # -- observability -------------------------------------------------------

@@ -1,0 +1,102 @@
+"""Unit tests for the diagnostic records and the code registry."""
+
+import json
+
+import pytest
+
+from repro.analysis.diagnostics import (
+    CODES,
+    Diagnostic,
+    Severity,
+    describe_codes,
+    diag,
+    has_errors,
+    max_severity,
+    only,
+    render_diagnostics,
+)
+
+
+class TestSeverity:
+    def test_total_order(self):
+        assert Severity.INFO < Severity.WARNING < Severity.ERROR
+        assert Severity.ERROR >= Severity.WARNING >= Severity.INFO
+
+    def test_rank_matches_order(self):
+        ranks = [s.rank for s in (Severity.INFO, Severity.WARNING, Severity.ERROR)]
+        assert ranks == sorted(ranks)
+
+
+class TestRegistry:
+    def test_all_code_families_present(self):
+        families = {code[:-3] for code in CODES}
+        assert families == {"IR", "PIPE", "FUS", "TAPE", "PLAN"}
+
+    def test_codes_are_stable_identifiers(self):
+        # Renumbering a released code breaks consumers filtering on it;
+        # this pins the format so additions stay append-only.
+        for code in CODES:
+            assert code[-3:].isdigit()
+
+    def test_describe_codes_lists_every_code(self):
+        table = describe_codes()
+        for code in CODES:
+            assert code in table
+
+    def test_unregistered_code_rejected(self):
+        with pytest.raises(ValueError, match="unregistered"):
+            Diagnostic(code="XXX999", message="nope")
+
+
+class TestDiagnostic:
+    def test_diag_uses_registered_default_severity(self):
+        assert diag("IR001", "x").severity is Severity.ERROR
+        assert diag("PIPE005", "x").severity is Severity.WARNING
+
+    def test_location_forms(self):
+        assert diag("IR001", "x").location == "-"
+        assert diag("IR001", "x", kernel="k").location == "k"
+        assert diag("IR001", "x", kernel="k", path="body.lhs").location == "k:body.lhs"
+        assert diag("IR001", "x", path="body").location == "body"
+
+    def test_details_excluded_from_equality_and_hash(self):
+        a = diag("FUS004", "ratio", ratio=5.0)
+        b = diag("FUS004", "ratio", ratio=7.0)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a.details["ratio"] != b.details["ratio"]
+
+    def test_render_one_line(self):
+        line = diag("TAPE001", "bad slot", kernel="mag", path="tape[3]").render()
+        assert "TAPE001" in line
+        assert "[mag:tape[3]]" in line
+        assert "\n" not in line
+
+    def test_to_dict_is_json_ready(self):
+        d = diag("FUS004", "ratio", kernel="hc", ratio=5.0, block=["a", "b"])
+        payload = json.loads(json.dumps(d.to_dict()))
+        assert payload["code"] == "FUS004"
+        assert payload["details"]["ratio"] == 5.0
+
+
+class TestAggregates:
+    def test_max_severity_empty_is_none(self):
+        assert max_severity([]) is None
+
+    def test_max_severity_picks_highest(self):
+        ds = [diag("PIPE005", "w"), diag("IR001", "e"), diag("PIPE005", "w")]
+        assert max_severity(ds) is Severity.ERROR
+        assert has_errors(ds)
+        assert not has_errors([diag("PIPE005", "w")])
+
+    def test_only_filters_by_severity_and_code(self):
+        ds = [diag("IR001", "e"), diag("PIPE005", "w"), diag("IR001", "e2")]
+        assert len(only(ds, severity=Severity.ERROR)) == 2
+        assert len(only(ds, code="PIPE005")) == 1
+        assert only(ds, severity=Severity.WARNING, code="IR001") == []
+
+    def test_render_diagnostics_errors_first(self):
+        ds = [diag("PIPE005", "warn first in input"), diag("IR001", "error")]
+        lines = render_diagnostics(ds).splitlines()
+        assert lines[0].startswith("error")
+        assert lines[1].startswith("warning")

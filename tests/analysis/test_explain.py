@@ -1,0 +1,199 @@
+"""Fusion explainability: each Fig. 2 scenario, the Eq. 2 arithmetic,
+and header mismatches surface as coded diagnostics — and the legality
+layer's messages stay byte-identical to them."""
+
+import pytest
+
+from helpers import image, point_kernel
+from model.test_legality import fig2_pipeline
+
+from repro.analysis.diagnostics import Severity
+from repro.analysis.explain import (
+    explain_block,
+    explain_dependences,
+    explain_headers,
+    explain_resources,
+)
+from repro.apps import APPLICATIONS
+from repro.apps.harris import build_pipeline as build_harris
+from repro.dsl.image import Image
+from repro.dsl.kernel import Accessor, Kernel, ReductionKind
+from repro.dsl.pipeline import Pipeline
+from repro.eval.runner import partition_for
+from repro.fusion.greedy_fusion import greedy_fusion
+from repro.fusion.mincut_fusion import mincut_fusion
+from repro.ir.expr import InputAt
+from repro.model.benefit import estimate_graph
+from repro.model.hardware import GTX680
+from repro.model.legality import check_block_legality
+from repro.model.resources import shared_memory_ratio
+
+
+class TestFig2Scenarios:
+    def test_true_dependence_clean(self):
+        graph = fig2_pipeline("true").build()
+        assert explain_dependences(graph, ["ks", "kd"]) == []
+
+    def test_shared_input_clean(self):
+        graph = fig2_pipeline("input").build()
+        assert explain_dependences(graph, ["ks", "kd"]) == []
+
+    def test_external_output_is_fus001(self):
+        graph = fig2_pipeline("external_output").build()
+        found = explain_dependences(graph, ["ks", "kd"])
+        assert [d.code for d in found] == ["FUS001"]
+        assert found[0].details["scenario"] == "fig2c"
+        assert found[0].details["block"] == ["kd", "ks"]
+
+    def test_external_input_is_fus002(self):
+        graph = fig2_pipeline("external_input").build()
+        found = explain_dependences(graph, ["ks", "kd"])
+        assert [d.code for d in found] == ["FUS002"]
+        assert found[0].details["scenario"] == "fig2d"
+        assert found[0].kernel == "kd"
+        assert found[0].details["image"] == "other_mid"
+
+
+class TestEq2Arithmetic:
+    def test_harris_over_budget_exposes_budget_terms(self):
+        graph = build_harris().build()
+        found = explain_resources(
+            graph, graph.kernel_names, GTX680, c_mshared=2.0
+        )
+        budget = [d for d in found if d.code == "FUS004"]
+        assert len(budget) == 1
+        details = budget[0].details
+        assert details["ratio"] == pytest.approx(
+            shared_memory_ratio(graph, graph.kernel_names)
+        )
+        assert details["ratio"] > details["c_mshared"] == 2.0
+        # The reported arithmetic must be self-consistent: the ratio is
+        # total footprint over the largest single member (Eq. 2).
+        assert details["ratio"] == pytest.approx(
+            details["total_bytes"] / details["max_member_bytes"]
+        )
+        assert sum(details["member_bytes"].values()) == details["total_bytes"]
+
+    def test_within_budget_clean(self):
+        graph = build_harris().build()
+        assert explain_resources(graph, ["sx", "gx"], GTX680, 2.0) == []
+
+    def test_device_limit_is_fus005(self):
+        pipe = Pipeline("big")
+        src, mid, out = (image(n, 64, 64) for n in ("src", "mid", "out"))
+        for name, a, b in (("k1", src, mid), ("k2", mid, out)):
+            pipe.add(
+                Kernel.from_function(
+                    name, [a], b,
+                    lambda acc: acc(-30, -30) + acc(30, 30),
+                    block_shape=(32, 32),
+                )
+            )
+        graph = pipe.build()
+        found = explain_resources(graph, ["k1", "k2"], GTX680, c_mshared=5.0)
+        limits = [d for d in found if d.code == "FUS005"]
+        assert len(limits) == 1
+        assert limits[0].details["total_bytes"] > limits[0].details["limit_bytes"]
+
+
+class TestHeaders:
+    def test_global_operator_is_fus006(self):
+        pipe = Pipeline("glob")
+        src, mid = image("src"), image("mid")
+        total = Image.create("total", 1, 1)
+        pipe.add(point_kernel("k1", src, mid))
+        pipe.add(
+            Kernel("red", [Accessor(mid)], total, InputAt("mid"),
+                   reduction=ReductionKind.SUM)
+        )
+        graph = pipe.build()
+        codes = {d.code for d in explain_headers(graph, ["k1", "red"])}
+        assert "FUS006" in codes
+
+    def test_granularity_mismatch_names_both_kernels(self):
+        pipe = Pipeline("gran")
+        src, mid, out = image("src"), image("mid"), image("out")
+        pipe.add(point_kernel("k1", src, mid))
+        pipe.add(
+            Kernel("k2", [Accessor(mid)], out, InputAt("mid"), granularity=4)
+        )
+        graph = pipe.build()
+        found = [
+            d for d in explain_headers(graph, ["k1", "k2"])
+            if d.code == "FUS008"
+        ]
+        assert len(found) == 1
+        assert found[0].details["reference_granularity"] == 1
+        assert found[0].details["kernel_granularity"] == 4
+
+    def test_iteration_space_mismatch_is_fus007(self):
+        pipe = Pipeline("mixed")
+        src = image("src", 8, 8)
+        mid = Image.create("mid", 8, 8)
+        small = Image.create("small", 4, 4)
+        pipe.add(point_kernel("k1", src, mid))
+        pipe.add(Kernel.from_function("down", [mid], small, lambda a: a()))
+        graph = pipe.build()
+        codes = [d.code for d in explain_headers(graph, ["k1", "down"])]
+        assert codes == ["FUS007"]
+
+
+class TestExplainBlock:
+    def test_singletons_need_no_justification(self):
+        graph = build_harris().build()
+        for name in graph.kernel_names:
+            assert explain_block(graph, [name], GTX680) == []
+
+    def test_disconnected_block_is_fus009(self):
+        graph = build_harris().build()
+        codes = {d.code for d in explain_block(graph, ["dx", "dy"], GTX680)}
+        assert "FUS009" in codes
+
+    def test_every_diagnostic_is_an_error(self):
+        graph = build_harris().build()
+        found = explain_block(graph, graph.kernel_names, GTX680)
+        assert found
+        assert all(d.severity is Severity.ERROR for d in found)
+
+    @pytest.mark.parametrize("app", sorted(APPLICATIONS))
+    def test_final_partitions_of_all_paper_apps_are_clean(self, app):
+        graph = APPLICATIONS[app].build(48, 32).build()
+        partition = partition_for(graph, GTX680, "optimized")
+        for block in partition:
+            assert explain_block(graph, block.vertices, GTX680) == []
+
+
+class TestLegalityWrappers:
+    def test_reasons_are_the_diagnostic_messages(self):
+        graph = build_harris().build()
+        report = check_block_legality(graph, graph.kernel_names, GTX680)
+        assert not report.legal
+        assert report.reasons == tuple(d.message for d in report.diagnostics)
+        assert {d.code for d in report.diagnostics} == {"FUS004"}
+
+    def test_legal_block_has_no_diagnostics(self):
+        graph = build_harris().build()
+        report = check_block_legality(graph, ["sx", "gx"], GTX680)
+        assert report.legal
+        assert report.diagnostics == ()
+
+
+class TestEngineTraces:
+    def test_mincut_cut_events_carry_diagnostics(self):
+        graph = build_harris().build()
+        result = mincut_fusion(estimate_graph(graph, GTX680))
+        cuts = [e for e in result.trace if e.action == "cut"]
+        assert cuts
+        for event in cuts:
+            assert event.diagnostics
+            assert tuple(d.message for d in event.diagnostics) == event.reasons
+            assert "illegal" in event.describe()
+
+    def test_greedy_reject_events_carry_diagnostics(self):
+        graph = build_harris().build()
+        result = greedy_fusion(estimate_graph(graph, GTX680))
+        rejects = [e for e in result.trace if e.action == "reject"]
+        assert rejects
+        for event in rejects:
+            assert event.diagnostics
+            assert "merge rejected" in event.describe()

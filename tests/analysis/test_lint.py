@@ -1,0 +1,230 @@
+"""Pipeline lint: per-kernel and structural passes collect every
+problem as diagnostics, and the ``repro lint`` orchestration runs the
+whole stack clean over the paper applications."""
+
+import pytest
+
+from helpers import image, local_kernel, point_kernel
+
+from repro.analysis.diagnostics import Severity, only
+from repro.analysis.lint import LintReport, lint_app
+from repro.analysis.passes import lint_graph, lint_kernel, lint_pipeline
+from repro.apps import ALL_APPS, APPLICATIONS
+from repro.cli import main
+from repro.dsl.boundary import BoundaryMode
+from repro.dsl.image import Image
+from repro.dsl.kernel import Accessor, Kernel
+from repro.graph.dag import GraphError, KernelGraph
+from repro.ir.expr import BinOp, Call, Cast, Const, InputAt
+
+
+def codes(diagnostics):
+    return [d.code for d in diagnostics]
+
+
+class TestKernelLint:
+    def test_clean_kernel(self):
+        kernel = point_kernel("k", image("src"), image("out"))
+        assert lint_kernel(kernel) == []
+
+    def test_unused_accessor_is_pipe007(self):
+        kernel = Kernel("k", [Accessor(image("src"))], image("out"), Const(1.0))
+        found = lint_kernel(kernel)
+        assert codes(found) == ["PIPE007"]
+        assert found[0].severity is Severity.WARNING
+
+    def test_undefined_boundary_window_is_pipe008(self):
+        kernel = local_kernel(
+            "k", image("src"), image("out"), boundary=BoundaryMode.UNDEFINED
+        )
+        assert "PIPE008" in codes(lint_kernel(kernel))
+
+    def test_window_wider_than_image_is_pipe010(self):
+        kernel = local_kernel("k", image("src", 1, 1), image("out", 1, 1))
+        assert "PIPE010" in codes(lint_kernel(kernel))
+
+    def test_read_without_accessor_is_pipe009(self):
+        kernel = point_kernel("k", image("src"), image("out"))
+        kernel.accessors = ()  # simulate a hand-built, broken kernel
+        found = lint_kernel(kernel)
+        assert codes(found) == ["PIPE009"]
+        assert found[0].details["image"] == "src"
+
+    def test_invalid_cast_dtype_is_ir007(self):
+        kernel = Kernel(
+            "k",
+            [Accessor(image("src"))],
+            image("out"),
+            Cast("floaty128", InputAt("src")),
+        )
+        found = lint_kernel(kernel)
+        assert codes(found) == ["IR007"]
+        assert found[0].path == "body"
+
+    def test_division_by_constant_zero_is_ir008(self):
+        body = InputAt("src") + BinOp("div", Const(1.0), Const(0.0))
+        kernel = Kernel("k", [Accessor(image("src"))], image("out"), body)
+        found = only(lint_kernel(kernel), code="IR008")
+        assert len(found) == 1
+        assert found[0].severity is Severity.WARNING
+
+    def test_sfu_domain_violation_is_ir009(self):
+        body = InputAt("src") + Call("sqrt", (Const(-1.0),))
+        kernel = Kernel("k", [Accessor(image("src"))], image("out"), body)
+        found = only(lint_kernel(kernel), code="IR009")
+        assert len(found) == 1
+        assert found[0].details["fn"] == "sqrt"
+
+    def test_constant_overflow_is_ir010(self):
+        body = InputAt("src") + BinOp("mul", Const(1e308), Const(1e308))
+        kernel = Kernel("k", [Accessor(image("src"))], image("out"), body)
+        found = only(lint_kernel(kernel), code="IR010")
+        assert len(found) == 1
+
+    def test_one_root_cause_one_diagnostic(self):
+        # The non-finite fold must not cascade into the parent ops.
+        big = BinOp("mul", Const(1e308), Const(1e308))
+        body = InputAt("src") + (big + Const(1.0)) * Const(2.0)
+        kernel = Kernel("k", [Accessor(image("src"))], image("out"), body)
+        assert len(only(lint_kernel(kernel), code="IR010")) == 1
+
+
+class TestGraphLint:
+    def test_duplicate_name_is_pipe001(self):
+        ks = [
+            point_kernel("k", image("a"), image("b")),
+            point_kernel("k", image("b"), image("c")),
+        ]
+        assert "PIPE001" in codes(lint_graph(ks))
+
+    def test_duplicate_producer_is_pipe002(self):
+        ks = [
+            point_kernel("k1", image("src"), image("a")),
+            point_kernel("k2", image("src"), image("a")),
+        ]
+        found = only(lint_graph(ks), code="PIPE002")
+        assert len(found) == 1
+        assert found[0].details["producers"] == ["k1", "k2"]
+
+    def test_cycle_is_pipe004_and_members_are_dead(self):
+        ks = [
+            point_kernel("k1", image("b"), image("a")),
+            point_kernel("k2", image("a"), image("b")),
+        ]
+        found = lint_graph(ks)
+        cycle = only(found, code="PIPE004")
+        assert len(cycle) == 1
+        assert cycle[0].details["kernels"] == ["k1", "k2"]
+        # Nothing escapes the cycle, so both kernels are also dead.
+        assert len(only(found, code="PIPE005")) == 2
+
+    def test_unknown_declared_output_is_pipe006(self):
+        ks = [point_kernel("k", image("src"), image("out"))]
+        found = only(lint_graph(ks, external_outputs=["ghost"]), code="PIPE006")
+        assert len(found) == 1
+
+    def test_self_read_is_pipe003(self):
+        kernel = point_kernel("k", image("mid"), image("out"))
+        kernel.output = image("mid")  # simulate a hand-built, broken kernel
+        found = only(lint_graph([kernel]), code="PIPE003")
+        assert len(found) == 1
+        assert "reads" in found[0].message
+
+    def test_collects_all_problems_at_once(self):
+        ks = [
+            point_kernel("k", image("src"), image("a")),
+            point_kernel("k", image("src"), image("a")),
+        ]
+        got = set(codes(lint_graph(ks, external_outputs=["ghost"])))
+        assert {"PIPE001", "PIPE002", "PIPE006"} <= got
+
+    @pytest.mark.parametrize("app", sorted(ALL_APPS))
+    def test_all_apps_lint_clean(self, app):
+        assert lint_pipeline(ALL_APPS[app].build(48, 32)) == []
+
+    def test_lint_pipeline_accepts_built_graph(self):
+        graph = APPLICATIONS["Sobel"].build(48, 32).build()
+        assert lint_pipeline(graph) == []
+
+
+class TestConstructionRegressions:
+    """The two validation gaps closed by this PR (satellite 6)."""
+
+    def test_kernel_rejects_accessor_for_own_output(self):
+        out = image("out")
+        with pytest.raises(ValueError, match="its own output"):
+            Kernel("k", [Accessor(image("src")), Accessor(out)], out,
+                   InputAt("src"))
+
+    def test_kernel_rejects_reading_own_output(self):
+        out = image("out")
+        with pytest.raises(ValueError, match="own output"):
+            Kernel("k", [Accessor(out)], out, InputAt("out"))
+
+    def test_graph_names_self_read_instead_of_cycle(self):
+        kernel = point_kernel("k3", image("mid"), image("out"))
+        kernel.output = image("mid")
+        with pytest.raises(GraphError, match="reads its own output"):
+            KernelGraph([kernel])
+
+    def test_graph_still_rejects_duplicate_outputs(self):
+        ks = [
+            point_kernel("k1", image("src"), image("a")),
+            point_kernel("k2", image("src"), image("a")),
+        ]
+        with pytest.raises(GraphError, match="produced by both"):
+            KernelGraph(ks)
+
+
+class TestLintApp:
+    def test_harris_is_clean(self):
+        report = lint_app("Harris")
+        assert isinstance(report, LintReport)
+        assert report.ok
+        assert report.diagnostics == ()
+        assert report.blocks  # fused partition was computed
+        assert report.trace  # with its engine trace
+
+    def test_unknown_app_raises(self):
+        with pytest.raises(KeyError, match="unknown application"):
+            lint_app("NoSuchApp")
+
+    def test_baseline_version_has_singleton_blocks_and_no_trace(self):
+        report = lint_app("Sobel", version="baseline")
+        assert report.ok
+        assert all(len(b) == 1 for b in report.blocks)
+        assert report.trace == ()
+
+    def test_report_serializes(self):
+        payload = lint_app("Unsharp", verify_plans=False).to_dict()
+        assert payload["ok"] is True
+        assert payload["app"] == "Unsharp"
+        assert payload["diagnostics"] == []
+
+    def test_render_mentions_counts(self):
+        text = lint_app("Sobel", verify_plans=False).render()
+        assert "0 error(s)" in text
+
+
+class TestLintCommand:
+    def test_lint_all_paper_apps_exits_zero(self, capsys):
+        assert main(["lint", "--no-plans"]) == 0
+        out = capsys.readouterr().out
+        for app in APPLICATIONS:
+            assert app in out
+
+    def test_lint_codes_table(self, capsys):
+        assert main(["lint", "--codes"]) == 0
+        out = capsys.readouterr().out
+        assert "IR001" in out and "PLAN004" in out
+
+    def test_lint_json(self, capsys):
+        import json
+
+        assert main(["lint", "Sobel", "--json", "--no-plans"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["app"] == "Sobel"
+
+    def test_lint_unknown_app_is_an_error(self):
+        with pytest.raises(SystemExit):
+            main(["lint", "NoSuchApp"])

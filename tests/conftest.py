@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 import sys
 from pathlib import Path
 
@@ -9,6 +10,12 @@ import pytest
 
 # Make tests/helpers.py importable as ``helpers`` from every test package.
 sys.path.insert(0, str(Path(__file__).parent))
+
+# The static plan verifier always runs in tests (ISSUE 3): every freshly
+# compiled tape is checked against its invariants and a reference
+# recompilation.  ``setdefault`` lets a developer still test the other
+# modes explicitly (REPRO_VALIDATE=off pytest ...).
+os.environ.setdefault("REPRO_VALIDATE", "strict")
 
 # The fused executor raises the recursion limit on first use; doing it
 # here keeps Hypothesis from warning about mid-test limit changes.

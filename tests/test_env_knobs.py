@@ -12,11 +12,14 @@ from repro.backend.cpu_exec import CACHE_ENV, _cache_dir
 from repro.backend.numpy_exec import ENGINE_ENV, execute_pipeline
 from repro.backend.plan import WORKERS_ENV, resolve_workers
 from repro.envknobs import (
+    VALIDATE_ENV,
+    VALIDATE_MODES,
     EnvKnobError,
     choice_env,
     dir_env,
     int_env,
     raw_env,
+    validate_mode,
 )
 
 
@@ -95,6 +98,45 @@ class TestEngineKnob:
         monkeypatch.delenv(ENGINE_ENV)
         default = execute_pipeline(graph, {"img0": data})
         np.testing.assert_array_equal(via_env["img1"], default["img1"])
+
+
+class TestValidateKnob:
+    def test_default_is_standard(self, monkeypatch):
+        monkeypatch.delenv(VALIDATE_ENV, raising=False)
+        assert validate_mode() == "standard"
+
+    @pytest.mark.parametrize("mode", VALIDATE_MODES)
+    def test_every_documented_mode_parses(self, monkeypatch, mode):
+        monkeypatch.setenv(VALIDATE_ENV, mode)
+        assert validate_mode() == mode
+
+    def test_whitespace_and_case_are_tolerated(self, monkeypatch):
+        monkeypatch.setenv(VALIDATE_ENV, "  STRICT ")
+        assert validate_mode() == "strict"
+
+    def test_invalid_mode_names_variable_and_choices(self, monkeypatch):
+        monkeypatch.setenv(VALIDATE_ENV, "paranoid")
+        with pytest.raises(EnvKnobError) as err:
+            validate_mode()
+        message = str(err.value)
+        assert VALIDATE_ENV in message
+        for mode in VALIDATE_MODES:
+            assert mode in message
+
+    def test_strict_mode_verifies_fresh_plans(self, monkeypatch):
+        # End to end: a fresh plan build under strict runs the verifier
+        # (and therefore succeeds only because the plan is sound).
+        from repro.backend.plan import clear_plan_caches, plan_for_partition
+        from repro.eval.runner import partition_for
+        from repro.graph.partition import Partition
+        from repro.model.hardware import GTX680
+
+        monkeypatch.setenv(VALIDATE_ENV, "strict")
+        graph = chain_pipeline(("p", "l"), 8, 8).build()
+        clear_plan_caches()
+        plan = plan_for_partition(graph, Partition.singletons(graph))
+        assert plan.plans
+        clear_plan_caches()
 
 
 class TestCacheDirKnob:
