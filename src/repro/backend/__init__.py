@@ -9,6 +9,12 @@
   blocks flattened once into SSA instruction tapes with producer-result
   caching, interned coordinate grids, and parallel block scheduling.
   The default engine behind ``execute_pipeline``/``execute_partitioned``.
+* :mod:`repro.backend.native_exec` — the native engine: block tapes
+  lowered to tiled, optionally OpenMP-parallel C kernels, compiled
+  through the :mod:`~repro.backend.cpu_exec` artifact cache and driven
+  via ctypes on zero-copy NumPy buffers.  Opt-in via
+  ``engine="native"`` / ``REPRO_EXEC_ENGINE=native``; falls back to the
+  tape engine per block (and entirely, without a C compiler).
 * :mod:`repro.backend.codegen_cuda` — CUDA C source text generation
   (the "source-to-source" output of the compiler; inspectable, not
   executed here).
@@ -37,6 +43,17 @@ from repro.backend.cpu_exec import (
     compiler_available,
 )
 from repro.backend.launch import PipelineTiming, simulate_partition, simulate_runs
+from repro.backend.native_exec import (
+    NativeBlockPlan,
+    NativeLoweringError,
+    NativePartitionPlan,
+    NativeVerificationError,
+    clear_native_caches,
+    lower_block_source,
+    native_available,
+    native_plan_for_block,
+    native_plan_for_partition,
+)
 from repro.backend.memsim import KernelCostBreakdown, estimate_kernel_time
 from repro.backend.numpy_exec import (
     ExecutionError,
@@ -63,6 +80,10 @@ __all__ = [
     "CompiledPipeline",
     "ExecutionError",
     "GridStore",
+    "NativeBlockPlan",
+    "NativeLoweringError",
+    "NativePartitionPlan",
+    "NativeVerificationError",
     "PartitionPlan",
     "KernelCostBreakdown",
     "PipelineTiming",
@@ -70,6 +91,7 @@ __all__ = [
     "analyze_roofline",
     "block_schedule",
     "clear_compile_cache",
+    "clear_native_caches",
     "clear_plan_caches",
     "compile_block",
     "compile_kernel",
@@ -87,6 +109,10 @@ __all__ = [
     "generate_cuda_pipeline",
     "generate_opencl",
     "generate_opencl_pipeline",
+    "lower_block_source",
+    "native_available",
+    "native_plan_for_block",
+    "native_plan_for_partition",
     "pipeline_roofline",
     "plan_for_block",
     "plan_for_partition",

@@ -35,7 +35,7 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
-from repro.envknobs import dir_env
+from repro.envknobs import dir_env, size_env
 
 from repro.backend.codegen_c import generate_c_pipeline
 from repro.backend.numpy_exec import Arrays, ExecutionError, Params, block_schedule
@@ -61,6 +61,17 @@ def _find_compiler() -> str | None:
 #: Environment variable redirecting the shared-library cache directory.
 CACHE_ENV = "REPRO_CC_CACHE"
 
+#: Environment variable capping the on-disk cache size in bytes
+#: (accepts ``K``/``M``/``G`` suffixes, e.g. ``REPRO_CC_CACHE_MAX=256M``).
+#: Unset means unbounded — the historical behaviour; ``0`` keeps only
+#: the most recently built artifact's source/library pair.
+CACHE_MAX_ENV = "REPRO_CC_CACHE_MAX"
+
+#: Default eviction cap applied when ``REPRO_CC_CACHE_MAX`` is unset.
+#: ``None`` — the cache has no implicit bound, matching pre-eviction
+#: releases; deployments opt in through the knob.
+DEFAULT_CACHE_MAX: int | None = None
+
 
 def _cache_dir() -> Path:
     return dir_env(CACHE_ENV, Path(tempfile.gettempdir()) / "repro-cc-cache")
@@ -69,6 +80,53 @@ def _cache_dir() -> Path:
 def clear_compile_cache() -> None:
     """Delete every cached shared library (tests, stale toolchains)."""
     shutil.rmtree(_cache_dir(), ignore_errors=True)
+
+
+def evict_stale_artifacts(keep: Path | None = None) -> int:
+    """Trim the on-disk cache to the ``REPRO_CC_CACHE_MAX`` byte cap.
+
+    Artifacts (``.so`` plus matching ``.c``) are dropped oldest-access
+    first until the cache fits; ``keep`` names a library that must
+    survive regardless (the artifact the caller is about to load).
+    Returns the number of libraries evicted.  A no-op when the knob is
+    unset.  Concurrent evictors and builders tolerate each other: a
+    file deleted under our feet is simply skipped, and a reader that
+    loses its library to eviction recompiles (see
+    :func:`load_shared_library`).
+    """
+    limit = size_env(CACHE_MAX_ENV, DEFAULT_CACHE_MAX)
+    if limit is None:
+        return 0
+    cache = _cache_dir()
+    entries = []
+    try:
+        libraries = list(cache.glob("pipeline-*.so"))
+    except OSError:
+        return 0
+    for library in libraries:
+        if library.name.endswith(".partial.so"):
+            continue  # an in-flight build owned by another thread
+        try:
+            stat = library.stat()
+        except OSError:
+            continue
+        source = library.with_suffix(".c")
+        try:
+            size = stat.st_size + source.stat().st_size
+        except OSError:
+            size = stat.st_size
+        entries.append((stat.st_mtime, size, library, source))
+    entries.sort(reverse=True)  # newest first; evict from the tail
+    evicted = 0
+    total = 0
+    for mtime, size, library, source in entries:
+        total += size
+        if total <= limit or (keep is not None and library == keep):
+            continue
+        library.unlink(missing_ok=True)
+        source.unlink(missing_ok=True)
+        evicted += 1
+    return evicted
 
 
 # In-process serialization of compilation per content digest: threads
@@ -90,22 +148,37 @@ def _lock_for_digest(digest: str) -> threading.Lock:
         return lock
 
 
-def _compile_shared_library(source: str, cc: str) -> tuple[Path, bool]:
+def compile_shared_library(
+    source: str, cc: str, extra_flags: Sequence[str] = ()
+) -> tuple[Path, bool]:
     """Compile ``source`` or reuse the content-hash cached library.
 
     Returns ``(library_path, from_cache)``.  The library file name is a
-    digest of the compiler and source text, so identical generated
-    pipelines share one compilation across processes; the build lands
-    in a temporary file first and is moved into place atomically, and
-    the scratch name embeds pid, thread id, and a counter so concurrent
-    builders — across processes *or* threads — never collide.
+    digest of the compiler, the extra flags, and the source text, so
+    identical generated pipelines share one compilation across
+    processes; the build lands in a temporary file first and is moved
+    into place atomically, and the scratch name embeds pid, thread id,
+    and a counter so concurrent builders — across processes *or*
+    threads — never collide.
+
+    A cache hit refreshes the library's mtime (the LRU clock of
+    :func:`evict_stale_artifacts`); a build triggers eviction of the
+    oldest artifacts beyond the ``REPRO_CC_CACHE_MAX`` cap, never
+    including the one just built.
     """
-    digest = hashlib.sha256(f"{cc}\x00{source}".encode()).hexdigest()[:24]
+    flags = tuple(extra_flags)
+    digest = hashlib.sha256(
+        "\x00".join((cc, *flags, source)).encode()
+    ).hexdigest()[:24]
     with _lock_for_digest(digest):
         cache = _cache_dir()
         cache.mkdir(parents=True, exist_ok=True)
         library_path = cache / f"pipeline-{digest}.so"
         if library_path.exists():
+            try:
+                os.utime(library_path)
+            except OSError:
+                pass  # concurrently evicted; the caller's load retries
             return library_path, True
         source_path = cache / f"pipeline-{digest}.c"
         source_path.write_text(source)
@@ -114,7 +187,7 @@ def _compile_shared_library(source: str, cc: str) -> tuple[Path, bool]:
             f"-{next(_scratch_counter)}.partial.so"
         )
         command = [
-            cc, "-O2", "-fPIC", "-shared", "-o", str(scratch),
+            cc, "-O2", "-fPIC", "-shared", *flags, "-o", str(scratch),
             str(source_path), "-lm",
         ]
         result = subprocess.run(command, capture_output=True, text=True)
@@ -125,7 +198,65 @@ def _compile_shared_library(source: str, cc: str) -> tuple[Path, bool]:
                 + source
             )
         os.replace(scratch, library_path)
+        evict_stale_artifacts(keep=library_path)
         return library_path, False
+
+
+def _compile_shared_library(source: str, cc: str) -> tuple[Path, bool]:
+    """Backward-compatible alias of :func:`compile_shared_library`."""
+    return compile_shared_library(source, cc)
+
+
+def load_shared_library(
+    source: str, cc: str, extra_flags: Sequence[str] = ()
+) -> tuple[ctypes.CDLL, Path, bool]:
+    """Compile (or fetch) and ``dlopen`` a generated library.
+
+    Returns ``(library, path, from_cache)``.  Tolerates the race where
+    a concurrent evictor removes the cached ``.so`` between the cache
+    probe and the ``dlopen``: the load is retried once with a fresh
+    compilation.
+    """
+    library_path, from_cache = compile_shared_library(source, cc, extra_flags)
+    try:
+        return ctypes.CDLL(str(library_path)), library_path, from_cache
+    except OSError:
+        if not from_cache:
+            raise
+    library_path, from_cache = compile_shared_library(source, cc, extra_flags)
+    return ctypes.CDLL(str(library_path)), library_path, from_cache
+
+
+_openmp_probe: Dict[str, bool] = {}
+_openmp_probe_lock = threading.Lock()
+
+_OPENMP_PROBE_SOURCE = """\
+#include <omp.h>
+int repro_openmp_probe(void) { return omp_get_max_threads(); }
+"""
+
+
+def openmp_available(cc: str | None = None) -> bool:
+    """Whether the compiler accepts ``-fopenmp`` (probed once, cached).
+
+    The probe compiles a one-liner through the regular content-hash
+    cache, so across processes it costs one compiler invocation total.
+    """
+    compiler = cc or _find_compiler()
+    if compiler is None:
+        return False
+    with _openmp_probe_lock:
+        cached = _openmp_probe.get(compiler)
+        if cached is None:
+            try:
+                compile_shared_library(
+                    _OPENMP_PROBE_SOURCE, compiler, ("-fopenmp",)
+                )
+                cached = True
+            except (ExecutionError, OSError):
+                cached = False
+            _openmp_probe[compiler] = cached
+        return cached
 
 
 class CompiledPipeline:

@@ -1,0 +1,1116 @@
+"""Native execution engine: block tapes lowered to compiled C kernels.
+
+The tape interpreter (:mod:`repro.backend.plan`) already removes the
+recursive engine's Python-dispatch tax, but it still *interprets* each
+SSA instruction as a separate NumPy op: every intermediate slot is a
+full ``(h, w)`` array that round-trips through memory — exactly the
+"global memory" traffic Eq. 3–4 credits kernel fusion for removing.
+This module finishes the journey from loop fusion to kernel fusion on
+the CPU: each :class:`~repro.backend.plan.BlockPlan` tape is lowered to
+**one C function** — a single row-tiled loop nest whose per-pixel SSA
+slots become ``const double`` register temporaries (the degenerate,
+tightest form of per-tile scratch), compiled through
+:mod:`repro.backend.cpu_exec`'s content-hash ``.so`` cache and driven
+via :mod:`ctypes` on zero-copy ``float64`` NumPy buffers.
+
+The loop nest mirrors :mod:`repro.backend.codegen_c`'s region analysis
+(Section IV-B): an **interior** body where every boundary resolver is
+provably the identity (direct loads, no branches), and a **halo** body
+that replays the tape's index exchange exactly — ``idx_clamp`` /
+``idx_mirror`` / ``idx_repeat`` resolvers and CONSTANT-mode masks are
+bit-compatible with :func:`repro.dsl.boundary.resolve_array`.  Rows are
+processed in tiles (``REPRO_NATIVE_TILE`` rows each) and tiles are the
+OpenMP work units (``REPRO_NATIVE_THREADS``; compiled in only when the
+toolchain supports ``-fopenmp``).
+
+**Numerical contract.**  Sources compile with ``-ffp-contract=off`` so
+the compiler cannot fuse multiply-adds; every ALU op (`+ - * /`, the
+NumPy-exact ``repro_mod`` / ``repro_min`` / ``repro_max`` helpers),
+comparisons, selects, ``sqrt`` and ``rsqrt`` (``1/sqrt``; both
+IEEE-correctly rounded) are then **bit-identical** to the tape
+interpreter.  Remaining libm calls (``exp``, ``tan``, ``pow``, …) may
+differ from NumPy by a couple of ulp, so plans whose tapes use them
+carry an explicit tolerance instead — :func:`tolerance_for` pins the
+policy, and ``REPRO_VALIDATE=strict`` differentially verifies native
+output against the tape interpreter on a plan's first execution.
+
+**Fallbacks.**  The engine degrades gracefully, block by block, to the
+tape interpreter: when no C compiler is on PATH, when a block cannot be
+lowered (global reduction operators, casts to unsupported dtypes), or —
+at call time — when the bound arrays are not plain ``float64`` planes
+of the declared geometry (the tape resolves such cases dynamically;
+baking their shapes would change semantics).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import math
+import re
+import threading
+import time
+import weakref
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.envknobs import int_env, validate_mode
+
+from repro.backend.cpu_exec import (
+    _find_compiler,
+    compiler_available,
+    load_shared_library,
+    openmp_available,
+)
+from repro.backend.numpy_exec import (
+    Arrays,
+    ExecutionError,
+    Params,
+    _array_for,
+)
+from repro.backend.plan import (
+    BlockPlan,
+    PartitionPlan,
+    plan_for_block,
+    plan_for_partition,
+    resolve_key,
+)
+from repro.dsl.boundary import BoundaryMode
+from repro.graph.dag import KernelGraph
+from repro.graph.partition import Partition, PartitionBlock
+
+__all__ = [
+    "NATIVE_THREADS_ENV",
+    "NATIVE_TILE_ENV",
+    "NativeBlock",
+    "NativeBlockPlan",
+    "NativeLoweringError",
+    "NativePartitionPlan",
+    "NativeVerificationError",
+    "assert_native_equiv",
+    "clear_native_caches",
+    "execute_block_native",
+    "execute_partitioned_native",
+    "execute_pipeline_native",
+    "lower_block_source",
+    "native_available",
+    "native_plan_for_block",
+    "native_plan_for_partition",
+    "resolve_native_threads",
+    "resolve_native_tile",
+    "tolerance_for",
+]
+
+#: Environment knob: OpenMP threads for the row-tiled loop nests.
+NATIVE_THREADS_ENV = "REPRO_NATIVE_THREADS"
+
+#: Environment knob: rows per parallel tile (the OpenMP work unit).
+NATIVE_TILE_ENV = "REPRO_NATIVE_TILE"
+
+#: Default rows per tile — large enough to amortize scheduling, small
+#: enough to load-balance tall images across threads.
+DEFAULT_TILE_ROWS = 64
+
+
+def native_available() -> bool:
+    """Whether the native engine can compile (a C compiler is on PATH)."""
+    return compiler_available()
+
+
+def resolve_native_threads(threads: int | None = None) -> int:
+    """The effective OpenMP thread count: explicit argument, else the
+    ``REPRO_NATIVE_THREADS`` knob, else serial (1)."""
+    if threads is not None:
+        return max(1, int(threads))
+    return max(1, int_env(NATIVE_THREADS_ENV, default=1))
+
+
+def resolve_native_tile() -> int:
+    """Rows per parallel tile (``REPRO_NATIVE_TILE``, default 64)."""
+    return int_env(NATIVE_TILE_ENV, default=DEFAULT_TILE_ROWS, minimum=1)
+
+
+class NativeLoweringError(ExecutionError):
+    """A block tape has no native lowering (reduction, exotic cast).
+
+    Raised by the lowering pass and caught by the plan builders, which
+    fall back to the tape interpreter for the offending block.
+    """
+
+
+class NativeVerificationError(ExecutionError):
+    """Strict-mode differential verification against the tape failed."""
+
+
+class _RuntimeFallback(Exception):
+    """Bound arrays do not fit the compiled geometry; use the tape."""
+
+
+# ---------------------------------------------------------------------------
+# Tolerance policy
+# ---------------------------------------------------------------------------
+
+#: Tape ``call`` functions whose C lowering is bit-identical to NumPy:
+#: IEEE 754 requires correctly-rounded sqrt and division, so ``sqrt``
+#: and ``rsqrt`` (``1.0 / sqrt``) carry no tolerance.  Every other libm
+#: function (exp, log, trig, pow, atan2) is only guaranteed to within a
+#: few ulp of NumPy's implementation.
+EXACT_CALLS = frozenset({"sqrt", "rsqrt"})
+
+#: Relative/absolute tolerance for plans that use non-exact libm calls.
+#: Measured libm-vs-NumPy divergence is <= ~4e-16 relative per call;
+#: 1e-12 leaves four orders of magnitude of headroom for compounding
+#: across fused chains while still catching any real lowering bug.
+LIBM_RTOL = 1e-12
+LIBM_ATOL = 1e-12
+
+
+def tolerance_for(plans: Sequence[BlockPlan]) -> Optional[Tuple[float, float]]:
+    """The pinned comparison policy for native output vs the tape.
+
+    Returns ``None`` when the tapes only use bit-exact operations
+    (ALU ops, comparisons, selects, ``sqrt``/``rsqrt``) — outputs must
+    then be **bit-identical** — or ``(rtol, atol)`` when any other libm
+    call is present.
+    """
+    calls = set()
+    for plan in plans:
+        calls.update(
+            instr.aux[0] for instr in plan.tape if instr.op == "call"
+        )
+    if calls <= EXACT_CALLS:
+        return None
+    return (LIBM_RTOL, LIBM_ATOL)
+
+
+def assert_native_equiv(
+    expected: np.ndarray,
+    actual: np.ndarray,
+    tolerance: Optional[Tuple[float, float]],
+    context: str = "output",
+) -> None:
+    """Compare native output against the tape under the pinned policy.
+
+    Bit-identical (``tolerance=None``) or ``allclose`` within
+    ``(rtol, atol)``; raises :class:`NativeVerificationError` with the
+    NumPy diff report on mismatch.
+    """
+    try:
+        if tolerance is None:
+            np.testing.assert_array_equal(actual, expected)
+        else:
+            rtol, atol = tolerance
+            np.testing.assert_allclose(
+                actual, expected, rtol=rtol, atol=atol
+            )
+    except AssertionError as err:
+        raise NativeVerificationError(
+            f"native output diverges from the tape interpreter for "
+            f"{context!r}:\n{err}"
+        ) from None
+
+
+# ---------------------------------------------------------------------------
+# C lowering
+# ---------------------------------------------------------------------------
+
+_PREAMBLE = """\
+/* Generated by repro (kernel fusion reproduction of Qiao et al., CGO 2019).
+ * Native tape backend: one row-tiled loop nest per fused block, SSA
+ * slots in registers, interior/halo splitting, boundary resolvers
+ * bit-compatible with repro.dsl.boundary.resolve_array.  Compile with
+ * -ffp-contract=off: the numerical contract forbids FMA contraction. */
+#include <math.h>
+
+static inline int idx_clamp(int i, int n) {
+    return i < 0 ? 0 : (i >= n ? n - 1 : i);
+}
+static inline int idx_mirror(int i, int n) {
+    int p = 2 * n;
+    int j = ((i % p) + p) % p;
+    return j < n ? j : p - 1 - j;
+}
+static inline int idx_repeat(int i, int n) {
+    return ((i % n) + n) % n;
+}
+/* np.mod: remainder with the divisor's sign (and np.mod's signed zero). */
+static inline double repro_mod(double a, double b) {
+    double r = fmod(a, b);
+    if (r != 0.0) {
+        if ((r < 0.0) != (b < 0.0)) r += b;
+    } else {
+        r = copysign(0.0, b);
+    }
+    return r;
+}
+/* np.minimum / np.maximum: NaN-propagating (unlike fmin/fmax). */
+static inline double repro_min(double a, double b) {
+    if (isnan(a)) return a;
+    if (isnan(b)) return b;
+    return a < b ? a : b;
+}
+static inline double repro_max(double a, double b) {
+    if (isnan(a)) return a;
+    if (isnan(b)) return b;
+    return a > b ? a : b;
+}
+"""
+
+_BIN_C = {
+    "add": "({} + {})",
+    "sub": "({} - {})",
+    "mul": "({} * {})",
+    "div": "({} / {})",
+    "mod": "repro_mod({}, {})",
+    "min": "repro_min({}, {})",
+    "max": "repro_max({}, {})",
+}
+
+_CMP_C = {"lt": "<", "le": "<=", "gt": ">", "ge": ">=", "eq": "==", "ne": "!="}
+
+_CALL_C = {
+    "exp": "exp({})",
+    "log": "log({})",
+    "sqrt": "sqrt({})",
+    "rsqrt": "(1.0 / sqrt({}))",
+    "sin": "sin({})",
+    "cos": "cos({})",
+    "tan": "tan({})",
+    "tanh": "tanh({})",
+    "pow": "pow({}, {})",
+    "atan2": "atan2({}, {})",
+}
+
+_RESOLVER_C = {
+    "clamp": "idx_clamp",
+    "undefined": "idx_clamp",
+    "mirror": "idx_mirror",
+    "repeat": "idx_repeat",
+}
+
+
+def _double_literal(value: float) -> str:
+    """An exact C99 literal for a Python float (hex-float form)."""
+    value = float(value)
+    if math.isnan(value):
+        return "NAN"
+    if math.isinf(value):
+        return "INFINITY" if value > 0 else "-INFINITY"
+    return value.hex()
+
+
+def _identifier(prefix: str, name: str, used: set) -> str:
+    candidate = f"{prefix}_{re.sub(r'[^0-9A-Za-z_]', '_', name)}"
+    while candidate in used:
+        candidate += "_"
+    used.add(candidate)
+    return candidate
+
+
+def _axis_of(key: tuple) -> str:
+    while key[0] != "base":
+        key = key[1]
+    return key[1]
+
+
+def _offsets(key: tuple) -> Tuple[int, int]:
+    """Offset interval of a grid key relative to its base coordinate,
+    under the interior assumption that every resolver is the identity."""
+    tag = key[0]
+    if tag == "base":
+        return (0, 0)
+    if tag == "shift":
+        low, high = _offsets(key[1])
+        return (low + key[2], high + key[2])
+    if tag == "resolve":
+        return _offsets(key[1])
+    raise NativeLoweringError(f"grid key {key!r} has no native lowering")
+
+
+def _interior_bounds(
+    tape: Sequence, width: int, height: int
+) -> Tuple[int, int, int, int]:
+    """``(xlo, xhi, ylo, yhi)`` of the interior region (half-open).
+
+    A pixel is interior when every boundary resolver and out-of-bounds
+    mask in the tape — including the runtime resolution of external
+    gathers against the baked ``(width, height)`` geometry — is provably
+    the identity there, so the interior body can load directly.
+    """
+    x_cons: List[Tuple[int, int]] = []
+    y_cons: List[Tuple[int, int]] = []
+
+    def note(parent: tuple, n: int) -> None:
+        low, high = _offsets(parent)
+        cons = x_cons if _axis_of(parent) == "x" else y_cons
+        cons.append((-low, n - high))
+
+    def walk(key: tuple) -> None:
+        if key[0] == "shift":
+            walk(key[1])
+        elif key[0] == "resolve":
+            note(key[1], key[2])
+            walk(key[1])
+
+    for instr in tape:
+        if instr.op == "gather":
+            _, xi, yi, boundary = instr.aux
+            walk(xi)
+            walk(yi)
+            for key, n in ((xi, width), (yi, height)):
+                if resolve_key(key, n, boundary.mode) != key:
+                    note(key, n)
+                if boundary.mode is BoundaryMode.CONSTANT:
+                    note(key, n)
+        elif instr.op == "maskfill":
+            mask_key = instr.aux[0]
+            for _, parent, n in mask_key[1:]:
+                note(parent, n)
+                walk(parent)
+    xlo = max([0] + [lo for lo, _ in x_cons])
+    xhi = min([width] + [hi for _, hi in x_cons])
+    ylo = max([0] + [lo for lo, _ in y_cons])
+    yhi = min([height] + [hi for _, hi in y_cons])
+    return (xlo, max(xlo, xhi), ylo, max(ylo, yhi))
+
+
+class _Body:
+    """Emits one per-pixel body variant (interior or halo) from a tape.
+
+    Coordinate and mask expressions are value-numbered per grid key, so
+    shared resolve chains (the producer-result cache's grids) land in
+    one ``const int`` temporary each.
+    """
+
+    def __init__(
+        self,
+        interior: bool,
+        width: int,
+        height: int,
+        img_ids: Dict[str, str],
+    ):
+        self.interior = interior
+        self.width = width
+        self.height = height
+        self.img_ids = img_ids
+        self.lines: List[str] = []
+        self._coords: Dict[tuple, str] = {}
+        self._oobs: Dict[tuple, str] = {}
+        self._counter = 0
+
+    def _temp(self, expr: str) -> str:
+        name = f"c{self._counter}"
+        self._counter += 1
+        self.lines.append(f"    const int {name} = {expr};")
+        return name
+
+    def coord(self, key: tuple) -> str:
+        cached = self._coords.get(key)
+        if cached is not None:
+            return cached
+        tag = key[0]
+        if tag == "base":
+            out = "x" if key[1] == "x" else "y"
+        elif tag == "shift":
+            out = f"({self.coord(key[1])} + ({key[2]}))"
+        elif tag == "resolve":
+            parent = self.coord(key[1])
+            if self.interior:
+                out = parent
+            else:
+                _, _, n, mode = key
+                if mode == "constant":
+                    raw = self._temp(parent)
+                    out = self._temp(
+                        f"({raw} < 0 || {raw} >= {n}) ? 0 : {raw}"
+                    )
+                else:
+                    resolver = _RESOLVER_C.get(mode)
+                    if resolver is None:
+                        raise NativeLoweringError(
+                            f"boundary mode {mode!r} has no native lowering"
+                        )
+                    out = self._temp(f"{resolver}({parent}, {n})")
+        else:
+            raise NativeLoweringError(
+                f"grid key {key!r} has no native lowering"
+            )
+        self._coords[key] = out
+        return out
+
+    def oob(self, key: tuple) -> str:
+        if self.interior:
+            return "0"
+        cached = self._oobs.get(key)
+        if cached is not None:
+            return cached
+        _, parent, n = key
+        raw = self._temp(self.coord(parent))
+        out = self._temp(f"({raw} < 0 || {raw} >= {n})")
+        self._oobs[key] = out
+        return out
+
+    def mask(self, key: tuple) -> str:
+        if self.interior:
+            return "0"
+        _, xmask, ymask = key
+        return f"({self.oob(xmask)} || {self.oob(ymask)})"
+
+    def read(self, image: str, xi: tuple, yi: tuple, boundary) -> str:
+        width, height = self.width, self.height
+        buffer = self.img_ids[image]
+        if self.interior:
+            return (
+                f"{buffer}[({self.coord(yi)}) * {width} "
+                f"+ ({self.coord(xi)})]"
+            )
+        mode = boundary.mode
+        xr = self.coord(resolve_key(xi, width, mode))
+        yr = self.coord(resolve_key(yi, height, mode))
+        value = f"{buffer}[({yr}) * {width} + ({xr})]"
+        if mode is BoundaryMode.CONSTANT:
+            oob = self.mask(
+                ("ormask", ("oob", xi, width), ("oob", yi, height))
+            )
+            fill = _double_literal(boundary.constant)
+            value = f"({oob} ? {fill} : {value})"
+        return value
+
+
+def _emit_body(
+    plan: BlockPlan,
+    interior: bool,
+    img_ids: Dict[str, str],
+    param_ids: Dict[str, str],
+) -> List[str]:
+    space = plan.destination.space
+    body = _Body(interior, space.width, space.height, img_ids)
+    for index, instr in enumerate(plan.tape):
+        op, args, aux = instr.op, instr.args, instr.aux
+        if op == "const":
+            expr = _double_literal(aux[0])
+        elif op == "param":
+            expr = param_ids[aux[0]]
+        elif op == "gather":
+            expr = body.read(*aux)
+        elif op == "bin":
+            template = _BIN_C.get(aux[0])
+            if template is None:
+                raise NativeLoweringError(
+                    f"binary op {aux[0]!r} has no native lowering"
+                )
+            expr = template.format(f"s{args[0]}", f"s{args[1]}")
+        elif op == "un":
+            expr = (
+                f"(-s{args[0]})" if aux[0] == "neg" else f"fabs(s{args[0]})"
+            )
+        elif op == "cmp":
+            operator = _CMP_C.get(aux[0])
+            if operator is None:
+                raise NativeLoweringError(
+                    f"comparison {aux[0]!r} has no native lowering"
+                )
+            expr = f"((s{args[0]} {operator} s{args[1]}) ? 1.0 : 0.0)"
+        elif op == "select":
+            expr = f"((s{args[0]} != 0.0) ? s{args[1]} : s{args[2]})"
+        elif op == "call":
+            template = _CALL_C.get(aux[0])
+            if template is None:
+                raise NativeLoweringError(
+                    f"call {aux[0]!r} has no native lowering"
+                )
+            expr = template.format(*(f"s{slot}" for slot in args))
+        elif op == "cast":
+            if aux[0] == "float64":
+                expr = f"s{args[0]}"
+            elif aux[0] == "float32":
+                expr = f"((double)(float)s{args[0]})"
+            else:
+                raise NativeLoweringError(
+                    f"cast to {aux[0]!r} has no native lowering"
+                )
+        elif op == "maskfill":
+            mask = body.mask(aux[0])
+            if mask == "0":
+                expr = f"s{args[0]}"
+            else:
+                expr = f"({mask} ? {_double_literal(aux[1])} : s{args[0]})"
+        else:
+            raise NativeLoweringError(
+                f"tape op {op!r} has no native lowering"
+            )
+        body.lines.append(f"    const double s{index} = {expr};")
+    body.lines.append(f"    return s{plan.root};")
+    return body.lines
+
+
+class _BlockSpec:
+    """The lowered form of one block: C source + call signature."""
+
+    def __init__(
+        self,
+        fn_name: str,
+        source: str,
+        images: Tuple[str, ...],
+        params: Tuple[str, ...],
+        width: int,
+        height: int,
+        channels: int,
+    ):
+        self.fn_name = fn_name
+        self.source = source
+        self.images = images
+        self.params = params
+        self.width = width
+        self.height = height
+        self.channels = channels
+
+
+def _lower_block(plan: BlockPlan, fn_name: str, tile: int) -> _BlockSpec:
+    """Lower one block tape to a C function (raises
+    :class:`NativeLoweringError` when the tape has no lowering)."""
+    kernel = plan.destination
+    if plan.apply_reduction and kernel.reduction is not None:
+        raise NativeLoweringError(
+            f"global operator {kernel.name!r} "
+            f"({plan.destination.reduction.value}) has no native lowering"
+        )
+    space = kernel.space
+    width, height, channels = space.width, space.height, space.channels
+    images = tuple(
+        sorted({i.aux[0] for i in plan.tape if i.op == "gather"})
+    )
+    params = tuple(
+        sorted({i.aux[0] for i in plan.tape if i.op == "param"})
+    )
+    used: set = set()
+    img_ids = {name: _identifier("in", name, used) for name in images}
+    param_ids = {name: _identifier("p", name, used) for name in params}
+
+    halo_lines = _emit_body(plan, False, img_ids, param_ids)
+    xlo, xhi, ylo, yhi = _interior_bounds(plan.tape, width, height)
+    has_interior = xlo < xhi and ylo < yhi
+
+    pixel_args = ", ".join(
+        [f"const double *restrict {img_ids[n]}" for n in images]
+        + [f"const double {param_ids[n]}" for n in params]
+        + ["const int x", "const int y"]
+    )
+    call_args = ", ".join(
+        [img_ids[n] for n in images]
+        + [param_ids[n] for n in params]
+        + ["x", "y"]
+    )
+    driver_args = ", ".join(
+        ["double *restrict out"]
+        + [f"const double *restrict {img_ids[n]}" for n in images]
+        + [f"const double {param_ids[n]}" for n in params]
+        + ["const int threads"]
+    )
+
+    parts = [
+        f"static double {fn_name}_halo({pixel_args})",
+        "{",
+        *halo_lines,
+        "}",
+    ]
+    if has_interior:
+        interior_lines = _emit_body(plan, True, img_ids, param_ids)
+        parts += [
+            f"static double {fn_name}_interior({pixel_args})",
+            "{",
+            *interior_lines,
+            "}",
+        ]
+
+    tiles = (height + tile - 1) // tile
+    halo_row = (
+        f"                for (int x = 0; x < {width}; ++x)\n"
+        f"                    out[y * {width} + x] = "
+        f"{fn_name}_halo({call_args});"
+    )
+    if has_interior:
+        row_body = f"""\
+                if (y >= {ylo} && y < {yhi}) {{
+                    for (int x = 0; x < {xlo}; ++x)
+                        out[y * {width} + x] = {fn_name}_halo({call_args});
+                    for (int x = {xlo}; x < {xhi}; ++x)
+                        out[y * {width} + x] = {fn_name}_interior({call_args});
+                    for (int x = {xhi}; x < {width}; ++x)
+                        out[y * {width} + x] = {fn_name}_halo({call_args});
+                }} else {{
+{halo_row}
+                }}"""
+    else:
+        row_body = halo_row
+    parts += [
+        f"void {fn_name}({driver_args})",
+        "{",
+        "    (void)threads;",
+        "#ifdef _OPENMP",
+        "#pragma omp parallel for schedule(static) "
+        "num_threads(threads > 0 ? threads : 1)",
+        "#endif",
+        f"    for (int t = 0; t < {tiles}; ++t) {{",
+        f"        const int y_end = "
+        f"(t + 1) * {tile} < {height} ? (t + 1) * {tile} : {height};",
+        f"        for (int y = t * {tile}; y < y_end; ++y) {{",
+        row_body,
+        "        }",
+        "    }",
+        "}",
+        "",
+    ]
+    return _BlockSpec(
+        fn_name, "\n".join(parts), images, params, width, height, channels
+    )
+
+
+def lower_block_source(
+    plan: BlockPlan, fn_name: str = "repro_block", tile: int | None = None
+) -> str:
+    """The standalone C source of one lowered block (inspection/tests)."""
+    spec = _lower_block(plan, fn_name, tile or resolve_native_tile())
+    return _PREAMBLE + "\n" + spec.source
+
+
+# ---------------------------------------------------------------------------
+# ctypes wrappers
+# ---------------------------------------------------------------------------
+
+_DOUBLE_P = ctypes.POINTER(ctypes.c_double)
+
+
+class NativeBlock:
+    """One compiled block: the bound C function plus its tape fallback.
+
+    ``execute`` drives the compiled row-tiled loop nest on zero-copy
+    ``float64`` buffers (multi-channel images run channel plane by
+    channel plane); inputs that do not match the compiled geometry or
+    dtype transparently fall back to the tape plan.
+    """
+
+    def __init__(self, plan: BlockPlan, spec: _BlockSpec, fn) -> None:
+        self.plan = plan
+        self.spec = spec
+        self.output_name = plan.output_name
+        self._fn = fn
+        fn.restype = None
+        fn.argtypes = (
+            [_DOUBLE_P] * (1 + len(spec.images))
+            + [ctypes.c_double] * len(spec.params)
+            + [ctypes.c_int]
+        )
+
+    def execute(
+        self,
+        arrays: Arrays,
+        params: Params | None = None,
+        threads: int | None = None,
+    ) -> np.ndarray:
+        """Run the block; falls back to the tape plan when the bound
+        arrays do not fit the compiled geometry/dtype."""
+        try:
+            return self._execute_native(arrays, params, threads)
+        except _RuntimeFallback:
+            return self.plan.execute(arrays, params)
+
+    def _execute_native(
+        self,
+        arrays: Arrays,
+        params: Params | None,
+        threads: int | None,
+    ) -> np.ndarray:
+        params = params or {}
+        spec = self.spec
+        height, width, channels = spec.height, spec.width, spec.channels
+        expected = (
+            (height, width, channels) if channels > 1 else (height, width)
+        )
+        inputs = []
+        for name in spec.images:
+            array = _array_for(name, arrays)
+            if array.dtype != np.float64 or array.shape != expected:
+                raise _RuntimeFallback(name)
+            inputs.append(array)
+        values = []
+        for name in spec.params:
+            try:
+                values.append(float(params[name]))
+            except KeyError:
+                raise ExecutionError(
+                    f"unbound parameter {name!r}"
+                ) from None
+        thread_count = resolve_native_threads(threads)
+        if channels > 1:
+            out = np.empty((height, width, channels), dtype=np.float64)
+            for c in range(channels):
+                planes = [
+                    np.ascontiguousarray(a[:, :, c]) for a in inputs
+                ]
+                plane = np.empty((height, width), dtype=np.float64)
+                self._call(plane, planes, values, thread_count)
+                out[:, :, c] = plane
+            return out
+        out = np.empty((height, width), dtype=np.float64)
+        buffers = [np.ascontiguousarray(a) for a in inputs]
+        self._call(out, buffers, values, thread_count)
+        return out
+
+    def _call(
+        self,
+        out: np.ndarray,
+        inputs: List[np.ndarray],
+        params: List[float],
+        threads: int,
+    ) -> None:
+        args = [out.ctypes.data_as(_DOUBLE_P)]
+        args += [a.ctypes.data_as(_DOUBLE_P) for a in inputs]
+        args += params
+        args.append(threads)
+        self._fn(*args)
+
+
+class _VerifyOnce:
+    """First-execution differential verification state (strict mode)."""
+
+    def __init__(self) -> None:
+        self.pending = True
+        self.lock = threading.Lock()
+
+
+class NativePartitionPlan:
+    """A partition compiled to native code, block by block.
+
+    Wraps the cached tape :class:`~repro.backend.plan.PartitionPlan`:
+    lowerable blocks run their compiled loop nests, the rest (global
+    reductions, unsupported tapes, or — when no compiler is available —
+    every block) run the tape interpreter.  Under
+    ``REPRO_VALIDATE=strict`` the first execution is differentially
+    verified against the tape under the pinned tolerance policy
+    (:func:`tolerance_for`).
+    """
+
+    def __init__(
+        self,
+        plan: PartitionPlan,
+        blocks: List[Tuple[BlockPlan, Optional[NativeBlock]]],
+        compile_ms: float,
+        from_cache: bool,
+        fallback_reasons: Dict[str, str],
+        source: str | None,
+    ):
+        self.plan = plan
+        self.graph = plan.graph
+        self.partition = plan.partition
+        self.blocks = blocks
+        #: Wall-clock spent lowering + compiling (0 when fully cached).
+        self.compile_ms = compile_ms
+        #: Whether the shared library came from the content-hash cache.
+        self.from_cache = from_cache
+        #: Per-output reasons for blocks that fell back to the tape.
+        self.fallback_reasons = fallback_reasons
+        #: The generated C source (``None`` when nothing was lowered).
+        self.source = source
+        self.tolerance = tolerance_for([plan for plan, _ in blocks])
+        self._verify = _VerifyOnce()
+
+    @property
+    def native_block_count(self) -> int:
+        """Blocks running compiled code (the rest use the tape)."""
+        return sum(1 for _, native in self.blocks if native is not None)
+
+    @property
+    def fallback_block_count(self) -> int:
+        """Blocks executing through the tape interpreter."""
+        return sum(1 for _, native in self.blocks if native is None)
+
+    def execute(
+        self,
+        inputs: Arrays,
+        params: Params | None = None,
+        workers: int | None = None,
+    ) -> Arrays:
+        """Run every block; returns the surviving-image environment.
+
+        ``workers`` (block-level thread parallelism of the tape engine)
+        is accepted for interface compatibility but ignored: native
+        parallelism lives *inside* each loop nest
+        (``REPRO_NATIVE_THREADS``), where it parallelizes the actual
+        pixel work instead of the block DAG's usually-short critical
+        path.
+        """
+        del workers
+        params = params or {}
+        if self._verify.pending and validate_mode() == "strict":
+            with self._verify.lock:
+                if self._verify.pending:
+                    result = self._execute_blocks(inputs, params)
+                    self._differential_verify(inputs, params, result)
+                    self._verify.pending = False
+                    return result
+        return self._execute_blocks(inputs, params)
+
+    def _execute_blocks(self, inputs: Arrays, params: Params) -> Arrays:
+        env: Arrays = dict(inputs)
+        for block_plan, native in self.blocks:
+            if native is not None:
+                env[block_plan.output_name] = native.execute(env, params)
+            else:
+                env[block_plan.output_name] = block_plan.execute(env, params)
+        return env
+
+    def _differential_verify(
+        self, inputs: Arrays, params: Params, result: Arrays
+    ) -> None:
+        expected = self.plan.execute(dict(inputs), params)
+        for block_plan, native in self.blocks:
+            if native is None:
+                continue  # the tape verified against itself is vacuous
+            name = block_plan.output_name
+            assert_native_equiv(
+                expected[name], result[name], self.tolerance, context=name
+            )
+
+
+class NativeBlockPlan:
+    """A single block under ``execute_block`` semantics, native first.
+
+    The native counterpart of
+    :func:`repro.backend.plan.plan_for_block`'s result: runs the
+    compiled loop nest when one exists, the tape otherwise, with the
+    same strict-mode first-execution differential verification as
+    :class:`NativePartitionPlan`.
+    """
+
+    def __init__(self, plan: BlockPlan, native: Optional[NativeBlock]):
+        self.plan = plan
+        self.native = native
+        self.output_name = plan.output_name
+        self.tolerance = tolerance_for([plan])
+        self._verify = _VerifyOnce()
+
+    def execute(
+        self, arrays: Arrays, params: Params | None = None
+    ) -> np.ndarray:
+        """Run the block over bound arrays; returns the output array."""
+        params = params or {}
+        if self.native is None:
+            return self.plan.execute(arrays, params)
+        result = self.native.execute(arrays, params)
+        if self._verify.pending and validate_mode() == "strict":
+            with self._verify.lock:
+                if self._verify.pending:
+                    expected = self.plan.execute(arrays, params)
+                    assert_native_equiv(
+                        expected,
+                        result,
+                        self.tolerance,
+                        context=self.output_name,
+                    )
+                    self._verify.pending = False
+        return result
+
+
+# ---------------------------------------------------------------------------
+# Plan construction + caches
+# ---------------------------------------------------------------------------
+
+
+def _native_flags(cc: str) -> Tuple[str, ...]:
+    flags = ["-ffp-contract=off"]
+    if openmp_available(cc):
+        flags.append("-fopenmp")
+    return tuple(flags)
+
+
+def _compile_specs(
+    specs: List[Optional[_BlockSpec]],
+) -> Tuple[Optional[ctypes.CDLL], Optional[str], bool]:
+    lowered = [spec for spec in specs if spec is not None]
+    if not lowered:
+        return None, None, False
+    cc = _find_compiler()
+    if cc is None:
+        return None, None, False
+    source = _PREAMBLE + "\n" + "\n".join(spec.source for spec in lowered)
+    library, _, from_cache = load_shared_library(
+        source, cc, _native_flags(cc)
+    )
+    return library, source, from_cache
+
+
+def _build_native_partition(
+    graph: KernelGraph, partition: Partition, naive_borders: bool
+) -> NativePartitionPlan:
+    plan = plan_for_partition(graph, partition, naive_borders)
+    started = time.perf_counter()
+    tile = resolve_native_tile()
+    specs: List[Optional[_BlockSpec]] = []
+    reasons: Dict[str, str] = {}
+    for index, block_plan in enumerate(plan.plans):
+        fn_name = f"repro_block_{index}_" + re.sub(
+            r"[^0-9A-Za-z_]", "_", block_plan.output_name
+        )
+        try:
+            specs.append(_lower_block(block_plan, fn_name, tile))
+        except NativeLoweringError as err:
+            specs.append(None)
+            reasons[block_plan.output_name] = str(err)
+    library, source, from_cache = _compile_specs(specs)
+    blocks: List[Tuple[BlockPlan, Optional[NativeBlock]]] = []
+    for block_plan, spec in zip(plan.plans, specs):
+        if spec is None or library is None:
+            if spec is not None:
+                reasons.setdefault(
+                    block_plan.output_name, "no C compiler on PATH"
+                )
+            blocks.append((block_plan, None))
+            continue
+        fn = getattr(library, spec.fn_name)
+        blocks.append((block_plan, NativeBlock(block_plan, spec, fn)))
+    compile_ms = (time.perf_counter() - started) * 1e3
+    return NativePartitionPlan(
+        plan, blocks, compile_ms, from_cache, reasons, source
+    )
+
+
+_native_partition_plans: "weakref.WeakKeyDictionary[KernelGraph, dict]" = (
+    weakref.WeakKeyDictionary()
+)
+_native_block_plans: "weakref.WeakKeyDictionary[KernelGraph, dict]" = (
+    weakref.WeakKeyDictionary()
+)
+_native_cache_lock = threading.Lock()
+
+
+def native_plan_for_partition(
+    graph: KernelGraph,
+    partition: Partition,
+    naive_borders: bool = False,
+) -> NativePartitionPlan:
+    """The (cached) native plan of a partition.
+
+    Cached per graph alongside the tape plan caches; the key includes
+    the tile size so changing ``REPRO_NATIVE_TILE`` recompiles.  The
+    underlying ``.so`` additionally lives in the cross-process
+    content-hash cache, so a cache *miss* here usually still skips the
+    C compiler.
+    """
+    key = (
+        partition.signature(),
+        bool(naive_borders),
+        resolve_native_tile(),
+    )
+    with _native_cache_lock:
+        cache = _native_partition_plans.get(graph)
+        if cache is None:
+            cache = {}
+            _native_partition_plans[graph] = cache
+        plan = cache.get(key)
+        if plan is None:
+            plan = _build_native_partition(graph, partition, naive_borders)
+            cache[key] = plan
+        return plan
+
+
+def native_plan_for_block(
+    graph: KernelGraph,
+    block: PartitionBlock,
+    naive_borders: bool = False,
+) -> NativeBlockPlan:
+    """The (cached) native plan of one block (``execute_block``
+    semantics: the destination body is never reduced)."""
+    tile = resolve_native_tile()
+    key = (block.signature(), bool(naive_borders), tile)
+    with _native_cache_lock:
+        cache = _native_block_plans.get(graph)
+        if cache is None:
+            cache = {}
+            _native_block_plans[graph] = cache
+        plan = cache.get(key)
+        if plan is None:
+            block_plan = plan_for_block(graph, block, naive_borders)
+            fn_name = "repro_block_0_" + re.sub(
+                r"[^0-9A-Za-z_]", "_", block_plan.output_name
+            )
+            try:
+                spec = _lower_block(block_plan, fn_name, tile)
+            except NativeLoweringError:
+                spec = None
+            library, _, _ = _compile_specs([spec])
+            native = None
+            if spec is not None and library is not None:
+                native = NativeBlock(
+                    block_plan, spec, getattr(library, spec.fn_name)
+                )
+            plan = NativeBlockPlan(block_plan, native)
+            cache[key] = plan
+        return plan
+
+
+def clear_native_caches() -> None:
+    """Drop every cached native plan (tests, knob changes)."""
+    with _native_cache_lock:
+        _native_partition_plans.clear()
+        _native_block_plans.clear()
+
+
+# ---------------------------------------------------------------------------
+# Engine entry points (called by numpy_exec's ``engine=`` dispatch)
+# ---------------------------------------------------------------------------
+
+
+def execute_pipeline_native(
+    graph: KernelGraph,
+    inputs: Arrays,
+    params: Params | None = None,
+    workers: int | None = None,
+) -> Arrays:
+    """Staged execution through the native engine (singleton partition);
+    falls back to the tape engine when no C compiler is available."""
+    if not native_available():
+        from repro.backend.plan import execute_pipeline_tape
+
+        return execute_pipeline_tape(graph, inputs, params, workers)
+    plan = native_plan_for_partition(graph, Partition.singletons(graph))
+    return plan.execute(inputs, params, workers)
+
+
+def execute_partitioned_native(
+    graph: KernelGraph,
+    partition: Partition,
+    inputs: Arrays,
+    params: Params | None = None,
+    naive_borders: bool = False,
+    workers: int | None = None,
+) -> Arrays:
+    """Partitioned execution through the native engine; falls back to
+    the tape engine when no C compiler is available."""
+    if not native_available():
+        from repro.backend.plan import execute_partitioned_tape
+
+        return execute_partitioned_tape(
+            graph, partition, inputs, params, naive_borders, workers
+        )
+    plan = native_plan_for_partition(graph, partition, naive_borders)
+    return plan.execute(inputs, params, workers)
+
+
+def execute_block_native(
+    graph: KernelGraph,
+    block: PartitionBlock,
+    arrays: Arrays,
+    params: Params | None = None,
+    naive_borders: bool = False,
+) -> np.ndarray:
+    """Fused-block execution through the native engine; falls back to
+    the tape engine when no C compiler is available."""
+    if not native_available():
+        from repro.backend.plan import execute_block_tape
+
+        return execute_block_tape(
+            graph, block, arrays, params, naive_borders=naive_borders
+        )
+    plan = native_plan_for_block(graph, block, naive_borders)
+    return plan.execute(arrays, params)

@@ -21,7 +21,7 @@ Evaluation is vectorized: expressions are evaluated over full integer
 coordinate grids, so a recursive producer evaluation at exchanged
 coordinates is a fancy-indexing gather, not a per-pixel loop.
 
-Two **engines** implement these semantics:
+Three **engines** implement these semantics:
 
 * ``"tape"`` (default) — the plan-compiling executor of
   :mod:`repro.backend.plan`: each block is flattened once into an SSA
@@ -29,11 +29,20 @@ Two **engines** implement these semantics:
   caching, interned coordinate grids, and optional parallel execution
   of independent blocks (``REPRO_EXEC_WORKERS``);
 * ``"recursive"`` — the original recursive walk below, retained for
-  differential testing and instrumentation (``call_counter``).
+  differential testing and instrumentation (``call_counter``);
+* ``"native"`` — the compiled executor of
+  :mod:`repro.backend.native_exec`: each block tape is lowered to one
+  row-tiled C loop nest (OpenMP via ``REPRO_NATIVE_THREADS``), with
+  graceful per-block fallback to the tape when no C compiler is on
+  PATH or a block has no lowering.
 
 Select per call with ``engine=`` or globally with the
-``REPRO_EXEC_ENGINE`` environment variable.  Both engines are
-bit-identical on every pipeline (see ``tests/backend/test_plan_equiv``).
+``REPRO_EXEC_ENGINE`` environment variable.  Tape and recursive are
+bit-identical on every pipeline (see ``tests/backend/test_plan_equiv``);
+native matches under the pinned tolerance policy of
+:func:`repro.backend.native_exec.tolerance_for` — bit-identical unless
+the tape calls libm functions beyond ``sqrt``/``rsqrt`` (see
+``tests/backend/test_native_equiv``).
 """
 
 from __future__ import annotations
@@ -110,7 +119,7 @@ DEFAULT_ENGINE = "tape"
 
 ENGINE_ENV = "REPRO_EXEC_ENGINE"
 
-_ENGINES = ("tape", "recursive")
+_ENGINES = ("tape", "recursive", "native")
 
 
 def _resolve_engine(engine: str | None) -> str:
@@ -328,8 +337,9 @@ def execute_pipeline(
 
     Returns the environment mapping every image name — inputs and all
     produced images — to its array.  ``engine`` selects the tape
-    (default) or recursive implementation; ``workers`` enables parallel
-    execution of independent kernels under the tape engine.
+    (default), recursive, or native (compiled C) implementation;
+    ``workers`` enables parallel execution of independent kernels under
+    the tape engine.
 
     ``runtime`` (a :class:`repro.serve.runtime.ServingRuntime`) routes
     the call through the serving layer instead: same staged semantics
@@ -340,7 +350,12 @@ def execute_pipeline(
         return runtime.execute_graph(
             graph, inputs, params, Partition.singletons(graph)
         )
-    if _resolve_engine(engine) == "tape":
+    resolved = _resolve_engine(engine)
+    if resolved == "native":
+        from repro.backend.native_exec import execute_pipeline_native
+
+        return execute_pipeline_native(graph, inputs, params, workers)
+    if resolved == "tape":
         from repro.backend.plan import execute_pipeline_tape
 
         return execute_pipeline_tape(graph, inputs, params, workers)
@@ -381,7 +396,14 @@ def execute_block(
     the recursive engine — the counts instrument *its* evaluation order
     (the tape engine deduplicates producer evaluations by grid).
     """
-    if call_counter is None and _resolve_engine(engine) == "tape":
+    resolved = "recursive" if call_counter is not None else _resolve_engine(engine)
+    if resolved == "native":
+        from repro.backend.native_exec import execute_block_native
+
+        return execute_block_native(
+            graph, block, arrays, params, naive_borders=naive_borders
+        )
+    if resolved == "tape":
         from repro.backend.plan import execute_block_tape
 
         return execute_block_tape(
@@ -467,7 +489,8 @@ def execute_partitioned(
     external inputs and destination outputs — appear in the returned
     environment, mirroring what the generated program would allocate.
 
-    ``engine`` selects the tape (default) or recursive implementation;
+    ``engine`` selects the tape (default), recursive, or native
+    (compiled C) implementation;
     ``workers`` lets the tape engine run independent blocks in parallel
     (``REPRO_EXEC_WORKERS`` sets the default).  ``runtime`` routes the
     call through a :class:`repro.serve.runtime.ServingRuntime`, which
@@ -478,7 +501,19 @@ def execute_partitioned(
         return runtime.execute_graph(
             graph, inputs, params, partition, naive_borders=naive_borders
         )
-    if _resolve_engine(engine) == "tape":
+    resolved = _resolve_engine(engine)
+    if resolved == "native":
+        from repro.backend.native_exec import execute_partitioned_native
+
+        return execute_partitioned_native(
+            graph,
+            partition,
+            inputs,
+            params,
+            naive_borders=naive_borders,
+            workers=workers,
+        )
+    if resolved == "tape":
         from repro.backend.plan import execute_partitioned_tape
 
         return execute_partitioned_tape(

@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import threading
 import weakref
+from collections import OrderedDict
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
@@ -129,36 +130,79 @@ def resolve_key(parent: tuple, n: int, mode: BoundaryMode) -> tuple:
     return ("resolve", parent, n, mode.value)
 
 
+#: Environment knob bounding interned grid/mask entries per store.
+GRID_CACHE_ENV = "REPRO_GRID_CACHE"
+
+#: Default :class:`GridStore` capacity.  Grid entries are tiny
+#: (broadcast-form ``O(w + h)`` index vectors) but masks are full
+#: ``(h, w)`` boolean planes, and a long-lived serving process
+#: accumulates one entry per (shape, boundary-key) it ever sees —
+#: unbounded before this cap existed.  4096 entries keeps every
+#: realistic working set fully interned while bounding drift.
+DEFAULT_GRID_CACHE = 4096
+
+
 class GridStore:
-    """Interned coordinate grids and out-of-bounds masks.
+    """Interned coordinate grids and out-of-bounds masks, LRU-bounded.
 
     Grids are integer index arrays in broadcast form: x-axis grids are
     ``(1, w)`` rows, y-axis grids ``(h, 1)`` columns.  Fancy indexing
     and mask combination broadcast them back to full ``(h, w)`` planes,
     producing bit-identical gathers at a fraction of the index
-    arithmetic.  Entries are computed at most once per key and shared
-    across every tape compiled against this store.
+    arithmetic.  Entries are computed at most once per key while
+    resident and shared across every tape compiled against this store.
+
+    The store holds at most ``capacity`` entries (grids + masks
+    combined), evicting least-recently-used ones beyond it — serving
+    processes that see an unbounded stream of request geometries no
+    longer leak interned grids.  ``capacity`` defaults to the
+    ``REPRO_GRID_CACHE`` environment knob (``0`` restores the unbounded
+    historical behaviour); an evicted key is simply re-materialized on
+    its next use, so eviction affects footprint, never results.
 
     The store is **thread-safe**: one reentrant lock covers lookup,
-    materialization, and the hit/materialized counters, so concurrent
-    block execution (the tape engine's worker pool, the serving
-    runtime's scheduler threads) sees exactly one canonical array per
+    materialization, eviction, and the counters, so concurrent block
+    execution (the tape engine's worker pool, the serving runtime's
+    scheduler threads) sees exactly one canonical array per resident
     key and exact statistics.  The lock is reentrant because derived
     grids materialize their parents recursively.
     """
 
-    def __init__(self) -> None:
-        self._grids: Dict[tuple, np.ndarray] = {}
-        self._masks: Dict[tuple, np.ndarray] = {}
+    def __init__(self, capacity: int | None = None) -> None:
+        if capacity is None:
+            capacity = int_env(
+                GRID_CACHE_ENV, default=DEFAULT_GRID_CACHE, minimum=0
+            )
+        #: Maximum resident entries; ``0`` means unbounded.
+        self.capacity = capacity
+        self._entries: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
         self._lock = threading.RLock()
         self.hits = 0
         self.materialized = 0
+        self.evictions = 0
+
+    def _get(self, key: tuple) -> np.ndarray | None:
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+        return entry
+
+    def _insert(self, key: tuple, array: np.ndarray) -> np.ndarray:
+        self.materialized += 1
+        resident = self._entries.setdefault(key, array)
+        self._entries.move_to_end(key)
+        if self.capacity > 0:
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+        return resident
 
     def grid(self, key: tuple) -> np.ndarray:
+        """The materialized index array for a grid key (interned)."""
         with self._lock:
-            array = self._grids.get(key)
+            array = self._get(key)
             if array is not None:
-                self.hits += 1
                 return array
             tag = key[0]
             if tag == "base":
@@ -177,14 +221,13 @@ class GridStore:
                 )
             else:  # pragma: no cover - compiler emits only the keys above
                 raise ExecutionError(f"unknown grid key {key!r}")
-            self.materialized += 1
-            return self._grids.setdefault(key, array)
+            return self._insert(key, array)
 
     def mask(self, key: tuple) -> np.ndarray:
+        """The materialized boolean mask for a mask key (interned)."""
         with self._lock:
-            mask = self._masks.get(key)
+            mask = self._get(key)
             if mask is not None:
-                self.hits += 1
                 return mask
             tag = key[0]
             if tag == "oob":
@@ -196,11 +239,10 @@ class GridStore:
                 mask = self.mask(xmask) | self.mask(ymask)
             else:  # pragma: no cover - compiler emits only the keys above
                 raise ExecutionError(f"unknown mask key {key!r}")
-            self.materialized += 1
-            return self._masks.setdefault(key, mask)
+            return self._insert(key, mask)
 
     def __len__(self) -> int:
-        return len(self._grids) + len(self._masks)
+        return len(self._entries)
 
 
 # ---------------------------------------------------------------------------

@@ -263,6 +263,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         fusion=fusion,
         workers=args.workers,
         max_batch=args.max_batch,
+        engine=args.exec_engine,
     ) as runtime:
         with ThreadPoolExecutor(max_workers=args.clients) as clients:
             futures = [
@@ -277,8 +278,17 @@ def cmd_serve(args: argparse.Namespace) -> int:
         return 0
     cache = snapshot["plan_cache"]
     latency = snapshot["histograms"].get("total_ms", {})
+    engine = snapshot["engine"]
     print(f"served {args.requests} requests over {len(names)} pipelines "
-          f"({args.width}x{args.height}, version={args.version})")
+          f"({args.width}x{args.height}, version={args.version}, "
+          f"engine={engine['active']})")
+    if engine["active"] != engine["requested"]:
+        print(f"note: engine {engine['requested']!r} unavailable "
+              f"(no C compiler); served with {engine['active']!r}")
+    native_ms = snapshot["histograms"].get("compile_native_compile_ms")
+    if native_ms and native_ms.get("count"):
+        print(f"native compile ms: mean={native_ms['mean']:.1f} "
+              f"over {native_ms['count']} plans")
     print(f"plan cache: {cache['hits']} hits / {cache['misses']} misses "
           f"(hit rate {cache['hit_rate']:.3f}, "
           f"{cache['coalesced']} coalesced)")
@@ -305,6 +315,7 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         height=args.height,
         client_threads=args.clients,
         scheduler_workers=args.workers,
+        engine=args.exec_engine,
     )
     text = json.dumps(report, indent=2, sort_keys=True)
     print(text)
@@ -456,6 +467,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="concurrent client threads")
         p.add_argument("--max-batch", type=int, default=8,
                        help="micro-batch size cap")
+        p.add_argument("--exec-engine", default="tape",
+                       choices=("tape", "recursive", "native"),
+                       help="execution engine serving requests; "
+                            "'native' compiles block tapes to C and "
+                            "falls back to 'tape' without a compiler")
 
     lint = sub.add_parser(
         "lint", help="run the static-analysis passes over applications "

@@ -2,6 +2,7 @@
 
 Every runtime tunable that can arrive through the environment —
 ``REPRO_EXEC_WORKERS``, ``REPRO_EXEC_ENGINE``, ``REPRO_CC_CACHE``,
+``REPRO_CC_CACHE_MAX``, ``REPRO_NATIVE_THREADS``, ``REPRO_GRID_CACHE``,
 ``REPRO_VALIDATE`` — funnels through the helpers here, so a typo in a
 deployment manifest fails with one clear message naming the variable
 and the accepted values instead of a bare ``int()`` traceback deep
@@ -49,6 +50,38 @@ def int_env(name: str, default: int, minimum: int | None = None) -> int:
             f"invalid {name}={raw!r}: expected an integer >= {minimum}"
         )
     return value
+
+
+#: Multipliers accepted by :func:`size_env` suffixes (case-insensitive).
+_SIZE_SUFFIXES = {"": 1, "k": 1024, "m": 1024**2, "g": 1024**3}
+
+
+def size_env(name: str, default: int | None) -> int | None:
+    """Parse a byte-size knob; blank/unset yields ``default``.
+
+    Accepts a plain byte count (``1048576``) or a ``K``/``M``/``G``
+    suffix (``512M``, ``1g``) with 1024-based multipliers.  ``0``
+    disables the limit the knob governs, by convention; negative sizes
+    are rejected.
+    """
+    raw = raw_env(name)
+    if raw is None:
+        return default
+    suffix = raw[-1].lower() if raw[-1].isalpha() else ""
+    digits = raw[:-1] if suffix else raw
+    multiplier = _SIZE_SUFFIXES.get(suffix)
+    try:
+        value = int(digits)
+    except ValueError:
+        multiplier = None
+    if multiplier is None:
+        raise EnvKnobError(
+            f"invalid {name}={raw!r}: expected a byte count with an "
+            "optional K/M/G suffix"
+        ) from None
+    if value < 0:
+        raise EnvKnobError(f"invalid {name}={raw!r}: expected a size >= 0")
+    return value * multiplier
 
 
 def choice_env(name: str, choices: Sequence[str], default: str) -> str:

@@ -125,7 +125,10 @@ def execute_configuration(
     version, and run on deterministic random inputs through
     :func:`repro.backend.numpy_exec.execute_partitioned` — the tape
     engine by default, with ``workers`` forwarded for parallel block
-    execution.  Returns the surviving-image environment.
+    execution.  ``engine="native"`` (or ``REPRO_EXEC_ENGINE=native``)
+    runs the compiled-C backend of :mod:`repro.backend.native_exec`
+    when a C toolchain is available.  Returns the surviving-image
+    environment.
 
     ``runtime`` (a :class:`repro.serve.runtime.ServingRuntime`) routes
     execution through the serving layer: the fused plan is cached

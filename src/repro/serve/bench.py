@@ -112,6 +112,7 @@ def run_serving_benchmark(
     max_batch: int = 8,
     fusion: Optional[FusionSettings] = None,
     check_identity: bool = True,
+    engine: str = "tape",
 ) -> Dict[str, Any]:
     """Measure serving throughput against per-request recompilation.
 
@@ -119,7 +120,12 @@ def run_serving_benchmark(
     own deterministic random inputs) through both paths and reports
     wall-clock throughput, the achieved cache hit rate, latency
     percentiles, and — when ``check_identity`` — whether every serving
-    result matched its baseline result bit for bit.
+    result matched its baseline result bit for bit.  ``engine`` selects
+    the runtime's execution engine; with ``"native"`` the identity
+    check uses the pinned native tolerance
+    (:data:`repro.backend.native_exec.LIBM_RTOL`) instead of bitwise
+    equality, since transcendental libm calls lowered to C may differ
+    from NumPy in the last ulp.
     """
     fusion = fusion or FusionSettings()
     specs = [ALL_APPS[name] for name in apps]
@@ -143,6 +149,7 @@ def run_serving_benchmark(
         fusion=fusion,
         workers=scheduler_workers,
         max_batch=max_batch,
+        engine=engine,
     ) as runtime:
         with ThreadPoolExecutor(max_workers=client_threads) as clients:
             started = time.perf_counter()
@@ -155,9 +162,19 @@ def run_serving_benchmark(
         snapshot = runtime.metrics_snapshot()
 
     if check_identity:
+        if snapshot["engine"]["active"] == "native":
+            from repro.backend.native_exec import LIBM_ATOL, LIBM_RTOL
+
+            def _matches(a: np.ndarray, b: np.ndarray) -> bool:
+                return np.allclose(
+                    a, b, rtol=LIBM_RTOL, atol=LIBM_ATOL, equal_nan=True
+                )
+
+        else:
+            _matches = np.array_equal
         for reference, served in zip(baseline_results, served_results):
             if set(reference) != set(served) or any(
-                not np.array_equal(reference[name], served[name])
+                not _matches(reference[name], served[name])
                 for name in reference
             ):
                 mismatches += 1
@@ -179,6 +196,7 @@ def run_serving_benchmark(
             "max_batch": max_batch,
             "fusion_version": fusion.version,
             "gpu": fusion.gpu_name,
+            "engine": snapshot["engine"],
         },
         "baseline": {
             "seconds": baseline_seconds,

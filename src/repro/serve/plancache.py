@@ -11,8 +11,9 @@ geometry/dtype, the execution engine, and the fusion configuration.
      fusion configuration)
 
 and holds the fused :class:`~repro.graph.partition.Partition` together
-with the compiled :class:`~repro.backend.plan.PartitionPlan` under LRU
-eviction.  Two *separately built* but structurally identical pipelines
+with the compiled :class:`~repro.backend.plan.PartitionPlan` — plus,
+for ``engine="native"``, the loaded native-kernel plan whose ``.so``
+artifact makes a hit skip the C compile too — under LRU eviction.  Two *separately built* but structurally identical pipelines
 hash to the same entry (see :mod:`repro.ir.signature`); changing a mask
 constant, an image shape, or any fusion knob misses.
 
@@ -111,6 +112,13 @@ class CachedPlan:
     #: True when the static plan verifier (:mod:`repro.analysis.verifier`)
     #: checked this entry at insert time (``REPRO_VALIDATE=strict``).
     verified: bool = False
+    #: Compiled-native execution plan
+    #: (:class:`repro.backend.native_exec.NativePartitionPlan`) carried
+    #: alongside the tape plan when the runtime serves
+    #: ``engine="native"``; ``None`` otherwise.  Because the native
+    #: plan holds the loaded ``.so`` artifact, a cache hit on this
+    #: entry skips fusion, tape planning *and* the C compile.
+    native_plan: Optional[object] = None
 
 
 class _InFlight:

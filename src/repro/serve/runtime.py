@@ -104,6 +104,14 @@ class ServingRuntime:
         Queue bound (backpressure) and micro-batch size cap.
     cache_capacity:
         LRU capacity of the plan cache, in distinct plans.
+    engine:
+        Execution engine serving requests: ``"tape"`` (default),
+        ``"recursive"``, or ``"native"`` — the compiled-C backend of
+        :mod:`repro.backend.native_exec`.  With ``"native"`` each plan
+        cache entry also carries the loaded kernel library, so a cache
+        hit skips fusion, tape planning *and* the C compile; hosts
+        without a C toolchain downgrade to ``"tape"`` at construction
+        (recorded under ``metrics_snapshot()["engine"]``).
     """
 
     def __init__(
@@ -127,6 +135,21 @@ class ServingRuntime:
                 f"unknown GPU {self.fusion.gpu_name!r}; known: {known}"
             )
         self.gpu: GpuSpec = KNOWN_GPUS[self.fusion.gpu_name]
+        if engine not in ("tape", "recursive", "native"):
+            raise ValueError(
+                f"unknown engine {engine!r}; expected 'tape', 'recursive' "
+                "or 'native'"
+            )
+        #: The engine the caller asked for, before availability checks.
+        self.requested_engine = engine
+        if engine == "native":
+            from repro.backend.native_exec import native_available
+
+            if not native_available():
+                # No C toolchain on this host: serve through the tape
+                # engine instead of failing every request.  The
+                # downgrade is visible in ``metrics_snapshot()``.
+                engine = "tape"
         self.engine = engine
         self.intra_workers = intra_workers
         self.cache = PlanCache(capacity=cache_capacity)
@@ -295,8 +318,13 @@ class ServingRuntime:
                 entry, hit = self.cache.get_or_build(
                     key, lambda: self._build_plan(key, request)
                 )
+                plan = (
+                    entry.native_plan
+                    if entry.native_plan is not None
+                    else entry.plan
+                )
                 started = time.monotonic()
-                env = entry.plan.execute(
+                env = plan.execute(
                     request.payload["inputs"],
                     request.payload["params"],
                     workers=self.intra_workers,
@@ -306,6 +334,8 @@ class ServingRuntime:
                 self.metrics.counter("requests_failed").inc()
                 request.handle.set_error(err)
                 continue
+            executed = "native" if entry.native_plan is not None else "tape"
+            self.metrics.counter(f"engine_{executed}_executions").inc()
             self.metrics.histogram("execute_ms").observe(
                 (finished - started) * 1e3
             )
@@ -345,6 +375,30 @@ class ServingRuntime:
             ),
         )
         timings["plan_ms"] = (time.perf_counter() - started) * 1e3
+        native_plan = None
+        if self.engine == "native":
+            from repro.backend.native_exec import native_plan_for_partition
+
+            started = time.perf_counter()
+            native_plan = native_plan_for_partition(
+                graph,
+                partition,
+                naive_borders=request.payload.get(
+                    "naive_borders", self.fusion.naive_borders
+                ),
+            )
+            timings["native_compile_ms"] = (
+                time.perf_counter() - started
+            ) * 1e3
+            self.metrics.counter("native_blocks_compiled").inc(
+                native_plan.native_block_count
+            )
+            if native_plan.fallback_block_count:
+                self.metrics.counter("native_blocks_fallback").inc(
+                    native_plan.fallback_block_count
+                )
+            if native_plan.from_cache:
+                self.metrics.counter("native_artifact_cache_hits").inc()
         verified = False
         if validate_mode() == "strict":
             # Strict mode verifies every plan cache insert — including
@@ -368,6 +422,7 @@ class ServingRuntime:
             plan=plan,
             timings_ms=timings,
             verified=verified,
+            native_plan=native_plan,
         )
 
     # -- observability -------------------------------------------------------
@@ -376,6 +431,10 @@ class ServingRuntime:
         """Instruments + plan-cache stats + scheduler state, one dict."""
         snapshot = self.metrics.snapshot()
         snapshot["plan_cache"] = self.cache.stats()
+        snapshot["engine"] = {
+            "requested": self.requested_engine,
+            "active": self.engine,
+        }
         snapshot["scheduler"] = {
             "queue_depth": self.scheduler.queue_depth,
             "inflight": self.scheduler.inflight,

@@ -1,0 +1,386 @@
+"""Differential tests: native engine vs tape engine vs recursive engine.
+
+The native backend (:mod:`repro.backend.native_exec`) lowers block
+tapes to compiled C loop nests; these tests pin its numerical contract
+against the tape interpreter (and, transitively, the recursive
+reference engine) on every paper application and randomized legal
+partitions.
+
+**Pinned tolerance policy** (:func:`repro.backend.native_exec.
+tolerance_for`): a block tape whose ``call`` instructions all lie in
+``EXACT_CALLS`` (``sqrt``/``rsqrt`` — IEEE 754 correctly-rounded
+operations) must produce **bit-identical** output, because every other
+lowered operation (arithmetic, comparisons, selects, boundary index
+resolution, NumPy-compatible ``mod``/``min``/``max``) is exact and the
+kernels compile with ``-ffp-contract=off`` to forbid FMA contraction.
+Tapes using any other libm call (``exp``, ``pow``, ``tanh``, ...)
+compare under ``rtol = atol = 1e-12`` — glibc's transcendentals are
+faithfully- but not correctly-rounded, so the last ulp (measured
+divergence ~4e-16 relative per call) may legitimately differ from
+NumPy's; 1e-12 leaves headroom for compounding across fused chains
+while still failing loudly on any real lowering bug.
+
+Tests that need a C toolchain are skipped without one; the fallback
+tests run everywhere.
+"""
+
+import zlib
+
+import numpy as np
+import pytest
+
+from helpers import chain_pipeline, random_image
+
+from repro.apps import ALL_APPS, APPLICATIONS
+from repro.backend.numpy_exec import (
+    execute_partitioned,
+    execute_pipeline,
+)
+from repro.backend import native_exec
+from repro.backend.native_exec import (
+    EXACT_CALLS,
+    NativeVerificationError,
+    assert_native_equiv,
+    lower_block_source,
+    native_available,
+    native_plan_for_block,
+    native_plan_for_partition,
+    resolve_native_threads,
+    tolerance_for,
+)
+from repro.backend.numpy_exec import block_schedule
+from repro.backend.plan import plan_for_block
+from repro.dsl.boundary import BoundaryMode, BoundarySpec
+from repro.eval.runner import partition_for
+from repro.graph.partition import Partition, PartitionBlock
+from repro.model.hardware import GTX680
+
+needs_cc = pytest.mark.skipif(
+    not native_available(), reason="requires a C compiler on PATH"
+)
+
+#: Runtime parameter bindings covering every app's ``Param`` reads.
+APP_PARAMS = {"gamma": 0.8, "threshold": 100.0}
+
+#: The six evaluation applications, at shrunk geometry (border-heavy).
+APP_GEOMETRY = {
+    "Harris": (40, 28),
+    "Sobel": (40, 28),
+    "Unsharp": (40, 28),
+    "ShiTomasi": (40, 28),
+    "Enhance": (40, 28),
+    "Night": (24, 18),
+}
+
+
+def _build(app_name, registry=APPLICATIONS):
+    spec = registry[app_name]
+    width, height = APP_GEOMETRY.get(app_name, (24, 18))
+    graph = spec.build(width, height).build()
+    shape = (height, width)
+    if spec.channels > 1:
+        shape = shape + (spec.channels,)
+    rng = np.random.default_rng(zlib.crc32(app_name.encode()))
+    inputs = {
+        name: rng.uniform(0.0, 255.0, size=shape)
+        for name in graph.pipeline_inputs()
+    }
+    return graph, inputs
+
+
+def _random_partition(graph, rng):
+    """A randomized legal partition: greedy random edge merges (the
+    same constraints the executors enforce — unique destination, no
+    reductions inside a fused group, acyclic schedule)."""
+    blocks = [set(b.vertices) for b in Partition.singletons(graph).blocks]
+    edges = list(graph.edges)
+    rng.shuffle(edges)
+    for edge in edges:
+        src_block = next(b for b in blocks if edge.src in b)
+        dst_block = next(b for b in blocks if edge.dst in b)
+        if src_block is dst_block:
+            continue
+        merged = src_block | dst_block
+        if any(graph.kernel(n).reduction is not None for n in merged):
+            continue
+        candidate = [
+            b for b in blocks if b is not src_block and b is not dst_block
+        ]
+        candidate.append(merged)
+        try:
+            merged_block = PartitionBlock(graph, merged)
+            if len(merged_block.destination_kernels()) != 1:
+                continue
+            partition = Partition(
+                graph, [PartitionBlock(graph, b) for b in candidate]
+            )
+            block_schedule(graph, partition)
+        except Exception:
+            continue
+        blocks = candidate
+    return Partition(graph, [PartitionBlock(graph, b) for b in blocks])
+
+
+def _partitions_for(graph, app_name):
+    partitions = {
+        "baseline": Partition.singletons(graph),
+        "optimized": partition_for(graph, GTX680, "optimized"),
+        "basic": partition_for(graph, GTX680, "basic"),
+    }
+    for seed in (1, 2, 3):
+        rng = np.random.default_rng(
+            seed * 1000 + zlib.crc32(app_name.encode())
+        )
+        partitions[f"random{seed}"] = _random_partition(graph, rng)
+    return partitions
+
+
+def _assert_env_equiv(native, expected, tolerance, context):
+    assert set(native) == set(expected), context
+    for name in expected:
+        assert_native_equiv(
+            expected[name], native[name], tolerance, f"{context}/{name}"
+        )
+
+
+@needs_cc
+@pytest.mark.parametrize("app_name", sorted(APP_GEOMETRY))
+class TestSixAppNativeEquivalence:
+    def test_native_matches_tape_and_recursive(self, app_name):
+        graph, inputs = _build(app_name)
+        recursive = execute_pipeline(
+            graph, inputs, APP_PARAMS, engine="recursive"
+        )
+        for label, partition in _partitions_for(graph, app_name).items():
+            nplan = native_plan_for_partition(graph, partition)
+            assert nplan.native_block_count >= 1, (app_name, label)
+            native = nplan.execute(dict(inputs), APP_PARAMS)
+            tape = execute_partitioned(
+                graph, partition, inputs, APP_PARAMS, engine="tape"
+            )
+            _assert_env_equiv(
+                native, tape, nplan.tolerance, f"{app_name}/{label}"
+            )
+            # The pipeline outputs must also match the recursive oracle
+            # (intermediates consumed by fusion are not comparable).
+            for name in set(native) & set(recursive):
+                assert_native_equiv(
+                    recursive[name],
+                    native[name],
+                    nplan.tolerance,
+                    f"{app_name}/{label}/{name} vs recursive",
+                )
+
+    def test_naive_borders_match_tape(self, app_name):
+        graph, inputs = _build(app_name)
+        for label, partition in _partitions_for(graph, app_name).items():
+            nplan = native_plan_for_partition(
+                graph, partition, naive_borders=True
+            )
+            native = nplan.execute(dict(inputs), APP_PARAMS)
+            tape = execute_partitioned(
+                graph, partition, inputs, APP_PARAMS,
+                naive_borders=True, engine="tape",
+            )
+            _assert_env_equiv(
+                native, tape, nplan.tolerance, f"{app_name}/{label}/naive"
+            )
+
+    def test_engine_dispatch_matches_plan_api(self, app_name):
+        graph, inputs = _build(app_name)
+        partition = partition_for(graph, GTX680, "optimized")
+        dispatched = execute_partitioned(
+            graph, partition, inputs, APP_PARAMS, engine="native"
+        )
+        nplan = native_plan_for_partition(graph, partition)
+        direct = nplan.execute(dict(inputs), APP_PARAMS)
+        for name in direct:
+            np.testing.assert_array_equal(dispatched[name], direct[name])
+
+
+MODES = [
+    BoundarySpec(BoundaryMode.CLAMP),
+    BoundarySpec(BoundaryMode.MIRROR),
+    BoundarySpec(BoundaryMode.REPEAT),
+    BoundarySpec(BoundaryMode.CONSTANT, constant=3.5),
+]
+
+
+@needs_cc
+class TestBoundaryAndThreads:
+    @pytest.mark.parametrize("mode", MODES, ids=lambda m: str(m))
+    def test_boundary_modes_bit_identical(self, mode):
+        # Convolution-only chains use no libm calls: the policy demands
+        # bitwise equality for every boundary mode, interior and halo.
+        graph = chain_pipeline(("l", "l", "l"), 12, 10, boundary=mode).build()
+        data = {"img0": random_image(12, 10, seed=21)}
+        block = PartitionBlock(graph, {"k0", "k1", "k2"})
+        nplan = native_plan_for_block(graph, block)
+        assert nplan.native is not None
+        assert nplan.tolerance is None
+        tape = plan_for_block(graph, block).execute(dict(data), {})
+        np.testing.assert_array_equal(nplan.execute(data), tape)
+
+    @pytest.mark.parametrize("mode", MODES, ids=lambda m: str(m))
+    def test_naive_borders_block(self, mode):
+        graph = chain_pipeline(("l", "l"), 10, 9, boundary=mode).build()
+        data = {"img0": random_image(10, 9, seed=22)}
+        block = PartitionBlock(graph, {"k0", "k1"})
+        nplan = native_plan_for_block(graph, block, naive_borders=True)
+        tape = plan_for_block(graph, block, naive_borders=True).execute(
+            dict(data), {}
+        )
+        np.testing.assert_array_equal(nplan.execute(data), tape)
+
+    def test_threaded_rows_bit_identical(self, monkeypatch):
+        # Row tiles are independent: OpenMP scheduling must not change
+        # a single bit of the output.
+        graph = chain_pipeline(("l", "p", "l"), 64, 200).build()
+        data = {"img0": random_image(64, 200, seed=23)}
+        partition = Partition(
+            graph, [PartitionBlock(graph, set(graph.kernel_names))]
+        )
+        serial = native_plan_for_partition(graph, partition).execute(
+            dict(data), {}
+        )
+        monkeypatch.setenv("REPRO_NATIVE_THREADS", "4")
+        assert resolve_native_threads() == 4
+        threaded = native_plan_for_partition(graph, partition).execute(
+            dict(data), {}
+        )
+        for name in serial:
+            np.testing.assert_array_equal(threaded[name], serial[name])
+
+    def test_tile_size_bit_identical(self, monkeypatch):
+        graph = chain_pipeline(("l", "l"), 16, 50).build()
+        data = {"img0": random_image(16, 50, seed=24)}
+        partition = Partition.singletons(graph)
+        default = native_plan_for_partition(graph, partition).execute(
+            dict(data), {}
+        )
+        monkeypatch.setenv("REPRO_NATIVE_TILE", "7")
+        tiled = native_plan_for_partition(graph, partition).execute(
+            dict(data), {}
+        )
+        for name in default:
+            np.testing.assert_array_equal(tiled[name], default[name])
+
+
+class TestTolerancePolicy:
+    def test_exact_calls_are_pinned(self):
+        # The exactness set is part of the numerical contract; growing
+        # it requires demonstrating the call is correctly rounded.
+        assert EXACT_CALLS == {"sqrt", "rsqrt"}
+
+    def test_exact_tape_demands_bit_equality(self):
+        graph = chain_pipeline(("l", "l"), 8, 8).build()
+        block = PartitionBlock(graph, {"k0", "k1"})
+        assert tolerance_for([plan_for_block(graph, block)]) is None
+
+    def test_transcendental_tape_gets_libm_tolerance(self):
+        graph, _ = _build("Enhance")  # gamma curve: pow/exp territory
+        plans = [
+            plan_for_block(graph, block)
+            for block in Partition.singletons(graph).blocks
+        ]
+        assert tolerance_for(plans) == (
+            native_exec.LIBM_RTOL,
+            native_exec.LIBM_ATOL,
+        )
+
+    def test_assert_native_equiv_raises_on_divergence(self):
+        a = np.zeros((4, 4))
+        b = np.full((4, 4), 1e-6)
+        with pytest.raises(NativeVerificationError, match="diverges"):
+            assert_native_equiv(a, b, None, "unit")
+        with pytest.raises(NativeVerificationError, match="diverges"):
+            assert_native_equiv(a, b, (1e-12, 1e-12), "unit")
+        assert_native_equiv(a, a, None, "unit")
+
+
+class TestFallbacks:
+    def test_no_compiler_falls_back_to_tape(self, monkeypatch):
+        graph = chain_pipeline(("p", "l"), 10, 8).build()
+        data = {"img0": random_image(10, 8, seed=31)}
+        tape = execute_pipeline(graph, data, engine="tape")
+        monkeypatch.setattr(native_exec, "native_available", lambda: False)
+        fallback = native_exec.execute_pipeline_native(graph, data)
+        for name in tape:
+            np.testing.assert_array_equal(fallback[name], tape[name])
+
+    @needs_cc
+    def test_reduction_block_falls_back(self):
+        # DoG ends in a global MAX reduction; that block cannot lower
+        # to the per-pixel loop nest and must run the tape — while the
+        # stencil blocks ahead of it still run natively.
+        graph, inputs = _build("DoG", registry=ALL_APPS)
+        params = {"tau": 4.0}
+        partition = Partition.singletons(graph)
+        nplan = native_plan_for_partition(graph, partition)
+        assert nplan.fallback_block_count >= 1
+        assert nplan.native_block_count >= 1
+        assert nplan.fallback_reasons
+        native = nplan.execute(dict(inputs), params)
+        tape = execute_partitioned(
+            graph, partition, inputs, params, engine="tape"
+        )
+        _assert_env_equiv(native, tape, nplan.tolerance, "DoG")
+
+    @needs_cc
+    def test_runtime_dtype_mismatch_falls_back(self):
+        # The compiled kernel is specialized to float64 at the baked
+        # geometry; a float32 request transparently reruns the tape.
+        graph = chain_pipeline(("l", "l"), 10, 8).build()
+        block = PartitionBlock(graph, {"k0", "k1"})
+        nplan = native_plan_for_block(graph, block)
+        assert nplan.native is not None
+        data32 = {
+            "img0": random_image(10, 8, seed=32).astype(np.float32)
+        }
+        tape = plan_for_block(graph, block).execute(dict(data32), {})
+        np.testing.assert_array_equal(nplan.execute(data32), tape)
+
+    @needs_cc
+    def test_strict_mode_verifies_first_execution(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VALIDATE", "strict")
+        native_exec.clear_native_caches()
+        graph = chain_pipeline(("l", "l"), 12, 10).build()
+        data = {"img0": random_image(12, 10, seed=33)}
+        partition = Partition.singletons(graph)
+        nplan = native_plan_for_partition(graph, partition)
+        assert nplan._verify.pending
+        nplan.execute(dict(data), {})
+        assert not nplan._verify.pending  # differential check consumed
+
+
+@needs_cc
+class TestNativePlanCaching:
+    def test_partition_plan_cached_by_signature(self):
+        graph = chain_pipeline(("p", "l", "p"), 8, 8).build()
+        partition = Partition.singletons(graph)
+        first = native_plan_for_partition(graph, partition)
+        assert native_plan_for_partition(graph, partition) is first
+        assert native_plan_for_partition(
+            graph, partition, naive_borders=True
+        ) is not first
+        native_exec.clear_native_caches()
+        assert native_plan_for_partition(graph, partition) is not first
+
+    def test_recompile_hits_artifact_cache(self):
+        graph = chain_pipeline(("l", "p"), 9, 7).build()
+        partition = Partition.singletons(graph)
+        native_plan_for_partition(graph, partition)
+        native_exec.clear_native_caches()
+        rebuilt = native_plan_for_partition(graph, partition)
+        assert rebuilt.from_cache  # same source -> content-hash .so hit
+
+
+class TestLoweredSource:
+    def test_source_is_inspectable_without_compiler(self):
+        graph = chain_pipeline(("l", "l"), 8, 8).build()
+        block = PartitionBlock(graph, {"k0", "k1"})
+        source = lower_block_source(plan_for_block(graph, block))
+        assert "repro_block" in source
+        assert "-ffp-contract=off" in source  # contract documented
+        assert "idx_clamp" in source
+        assert "#pragma omp" in source

@@ -273,6 +273,62 @@ class TestPlanCachingAndInterning:
         plan.execute(data)  # second run: every grid is a cache hit
         assert plan.store.materialized == materialized
 
+    def test_gridstore_lru_bounds_and_reinterns(self):
+        from repro.backend.plan import GridStore
+
+        store = GridStore(capacity=2)
+        keys = [("base", "x", width, 4) for width in (5, 6, 7)]
+        first = store.grid(keys[0])
+        store.grid(keys[1])
+        store.grid(keys[2])  # evicts keys[0] (least recently used)
+        assert len(store) == 2
+        assert store.evictions == 1
+        assert store.materialized == 3
+        again = store.grid(keys[0])  # re-materialized, not an error
+        assert store.materialized == 4
+        np.testing.assert_array_equal(again, first)
+        # Touching an entry protects it from the next eviction.
+        store.grid(keys[2])
+        store.grid(keys[1])  # evicts keys[0] again, not keys[2]
+        assert store.grid(keys[2]) is not None
+        hits_before = store.hits
+        store.grid(keys[2])
+        assert store.hits == hits_before + 1
+
+    def test_gridstore_env_capacity(self, monkeypatch):
+        from repro.backend.plan import GRID_CACHE_ENV, GridStore
+
+        monkeypatch.setenv(GRID_CACHE_ENV, "1")
+        store = GridStore()
+        assert store.capacity == 1
+        store.grid(("base", "x", 5, 4))
+        store.grid(("base", "y", 5, 4))
+        assert len(store) == 1
+        monkeypatch.setenv(GRID_CACHE_ENV, "0")  # unbounded
+        unbounded = GridStore()
+        for width in range(3, 40):
+            unbounded.grid(("base", "x", width, 4))
+        assert len(unbounded) == 37
+        assert unbounded.evictions == 0
+        monkeypatch.setenv(GRID_CACHE_ENV, "-3")
+        with pytest.raises(ValueError, match=GRID_CACHE_ENV):
+            GridStore()
+
+    def test_gridstore_derived_chain_survives_within_capacity(self):
+        # Derived keys materialize parents recursively; a resolve over
+        # a shifted grid stays correct when entries recycle.
+        from repro.backend.plan import GridStore
+
+        store = GridStore(capacity=3)
+        base = ("base", "x", 6, 4)
+        shifted = ("shift", base, 2)
+        resolved = ("resolve", shifted, 6, BoundaryMode.CLAMP.value)
+        expected = np.clip(np.arange(6)[None, :] + 2, 0, 5)
+        np.testing.assert_array_equal(store.grid(resolved), expected)
+        np.testing.assert_array_equal(
+            GridStore(capacity=1).grid(resolved), expected
+        )
+
     def test_producer_result_cache_deduplicates(self):
         # Two members read the same producer at the same grid: the
         # recursive engine evaluates the producer per consumer read;

@@ -156,3 +156,109 @@ class TestCompileCacheConcurrency:
             assert not list(cache_dir.glob("*.partial.so"))
         finally:
             shutil.rmtree(cache_dir, ignore_errors=True)
+
+
+class TestCompileCacheEviction:
+    """Stale-artifact eviction (``REPRO_CC_CACHE_MAX``) under load."""
+
+    @pytest.fixture
+    def cache_dir(self, monkeypatch):
+        from repro.backend.cpu_exec import CACHE_ENV
+
+        path = Path(tempfile.mkdtemp(prefix="repro-cc-evict-"))
+        monkeypatch.setenv(CACHE_ENV, str(path))
+        yield path
+        shutil.rmtree(path, ignore_errors=True)
+
+    @staticmethod
+    def _fake_artifact(cache_dir, index, size, mtime):
+        library = cache_dir / f"pipeline-{index:024d}.so"
+        library.write_bytes(b"\0" * size)
+        import os
+
+        os.utime(library, (mtime, mtime))
+        return library
+
+    def test_evicts_oldest_beyond_cap(self, cache_dir, monkeypatch):
+        from repro.backend.cpu_exec import CACHE_MAX_ENV, evict_stale_artifacts
+
+        libraries = [
+            self._fake_artifact(cache_dir, i, size=1000, mtime=1000.0 + i)
+            for i in range(6)
+        ]
+        monkeypatch.setenv(CACHE_MAX_ENV, "3000")
+        assert evict_stale_artifacts() == 3
+        survivors = sorted(p.name for p in cache_dir.glob("pipeline-*.so"))
+        assert survivors == sorted(p.name for p in libraries[3:])
+
+    def test_keep_pins_artifact_and_unset_knob_is_noop(
+        self, cache_dir, monkeypatch
+    ):
+        from repro.backend.cpu_exec import CACHE_MAX_ENV, evict_stale_artifacts
+
+        oldest = self._fake_artifact(cache_dir, 0, size=1000, mtime=1000.0)
+        newest = self._fake_artifact(cache_dir, 1, size=1000, mtime=2000.0)
+        assert evict_stale_artifacts() == 0  # knob unset: unbounded
+        monkeypatch.setenv(CACHE_MAX_ENV, "1")  # cap below any artifact
+        assert evict_stale_artifacts(keep=oldest) == 1
+        assert oldest.exists()  # pinned despite being over budget
+        assert not newest.exists()
+
+    def test_concurrent_eviction_and_reload(self, cache_dir, monkeypatch):
+        # Readers racing an evictor must never crash and always end up
+        # with a working library: load_shared_library recompiles when
+        # its freshly-hit artifact is unlinked before dlopen.
+        from repro.backend.cpu_exec import (
+            CACHE_MAX_ENV,
+            _find_compiler,
+            compiler_available,
+            evict_stale_artifacts,
+            load_shared_library,
+        )
+
+        if not compiler_available():
+            pytest.skip("no C compiler on PATH")
+        cc = _find_compiler()
+        sources = [
+            f"double repro_probe_{i}(void) {{ return {i}.0; }}\n"
+            for i in range(4)
+        ]
+        monkeypatch.setenv(CACHE_MAX_ENV, "1")  # evict everything else
+        barrier = threading.Barrier(THREADS)
+        errors = []
+
+        def hammer(thread_index):
+            barrier.wait()
+            for round_index in range(6):
+                source = sources[(thread_index + round_index) % len(sources)]
+                try:
+                    library, _, _ = load_shared_library(source, cc)
+                    fn = getattr(
+                        library,
+                        f"repro_probe_{sources.index(source)}",
+                    )
+                    import ctypes
+
+                    fn.restype = ctypes.c_double
+                    assert fn() == float(sources.index(source))
+                    evict_stale_artifacts()
+                except Exception as err:  # pragma: no cover - failure path
+                    errors.append(err)
+
+        threads = [
+            threading.Thread(target=hammer, args=(i,))
+            for i in range(THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert not list(cache_dir.glob("*.partial.so"))
+
+    def test_bad_size_knob_names_variable(self, monkeypatch):
+        from repro.backend.cpu_exec import CACHE_MAX_ENV, evict_stale_artifacts
+
+        monkeypatch.setenv(CACHE_MAX_ENV, "lots")
+        with pytest.raises(ValueError, match=CACHE_MAX_ENV):
+            evict_stale_artifacts()

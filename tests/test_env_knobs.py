@@ -19,6 +19,7 @@ from repro.envknobs import (
     dir_env,
     int_env,
     raw_env,
+    size_env,
     validate_mode,
 )
 
@@ -63,6 +64,34 @@ class TestHelpers:
     def test_env_knob_error_is_value_error(self):
         assert issubclass(EnvKnobError, ValueError)
 
+    @pytest.mark.parametrize(
+        "raw, expected",
+        [
+            ("1048576", 1048576),
+            ("512k", 512 * 1024),
+            ("512K", 512 * 1024),
+            ("2M", 2 * 1024**2),
+            ("1g", 1024**3),
+            ("0", 0),
+        ],
+    )
+    def test_size_env_parses_suffixes(self, monkeypatch, raw, expected):
+        monkeypatch.setenv("REPRO_TEST_KNOB", raw)
+        assert size_env("REPRO_TEST_KNOB", default=None) == expected
+
+    def test_size_env_defaults_when_unset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TEST_KNOB", raising=False)
+        assert size_env("REPRO_TEST_KNOB", default=None) is None
+        assert size_env("REPRO_TEST_KNOB", default=4096) == 4096
+
+    @pytest.mark.parametrize("raw", ["many", "1T", "12kb", "-1", "-2M"])
+    def test_size_env_rejects_garbage_naming_variable(
+        self, monkeypatch, raw
+    ):
+        monkeypatch.setenv("REPRO_TEST_KNOB", raw)
+        with pytest.raises(EnvKnobError, match="REPRO_TEST_KNOB"):
+            size_env("REPRO_TEST_KNOB", default=None)
+
 
 class TestWorkersKnob:
     def test_invalid_workers_raises_value_error(self, monkeypatch):
@@ -98,6 +127,46 @@ class TestEngineKnob:
         monkeypatch.delenv(ENGINE_ENV)
         default = execute_pipeline(graph, {"img0": data})
         np.testing.assert_array_equal(via_env["img1"], default["img1"])
+
+
+class TestNativeKnobs:
+    def test_native_threads_default_and_parse(self, monkeypatch):
+        from repro.backend.native_exec import (
+            NATIVE_THREADS_ENV,
+            resolve_native_threads,
+        )
+
+        monkeypatch.delenv(NATIVE_THREADS_ENV, raising=False)
+        assert resolve_native_threads() == 1
+        monkeypatch.setenv(NATIVE_THREADS_ENV, "6")
+        assert resolve_native_threads() == 6
+        assert resolve_native_threads(2) == 2  # argument wins
+        monkeypatch.setenv(NATIVE_THREADS_ENV, "-4")
+        assert resolve_native_threads() == 1  # clamped like workers
+        monkeypatch.setenv(NATIVE_THREADS_ENV, "plenty")
+        with pytest.raises(EnvKnobError, match=NATIVE_THREADS_ENV):
+            resolve_native_threads()
+
+    def test_native_tile_default_and_minimum(self, monkeypatch):
+        from repro.backend.native_exec import (
+            DEFAULT_TILE_ROWS,
+            NATIVE_TILE_ENV,
+            resolve_native_tile,
+        )
+
+        monkeypatch.delenv(NATIVE_TILE_ENV, raising=False)
+        assert resolve_native_tile() == DEFAULT_TILE_ROWS
+        monkeypatch.setenv(NATIVE_TILE_ENV, "16")
+        assert resolve_native_tile() == 16
+        monkeypatch.setenv(NATIVE_TILE_ENV, "0")
+        with pytest.raises(EnvKnobError, match=NATIVE_TILE_ENV):
+            resolve_native_tile()
+
+    def test_cc_cache_max_flows_through_size_env(self, monkeypatch):
+        from repro.backend.cpu_exec import CACHE_MAX_ENV
+
+        monkeypatch.setenv(CACHE_MAX_ENV, "64M")
+        assert size_env(CACHE_MAX_ENV, default=None) == 64 * 1024**2
 
 
 class TestValidateKnob:
