@@ -32,8 +32,17 @@ Quickstart::
     weighted = estimate_graph(graph, GTX680)
     result = mincut_fusion(weighted, start_vertex="dx")
     print(result.describe())
+
+Execution goes through the canonical API (:mod:`repro.api`)::
+
+    from repro import ExecutionOptions, run
+
+    env = run(graph, {"input": image})                        # fuse + tape
+    env = run(graph, {"input": image},
+              options=ExecutionOptions(engine="native"))      # compiled C
 """
 
+from repro.api import ExecutionOptions, run, run_block
 from repro.dsl import (
     Accessor,
     BoundaryMode,
@@ -64,6 +73,7 @@ __all__ = [
     "BoundaryMode",
     "BoundarySpec",
     "Domain",
+    "ExecutionOptions",
     "GTX680",
     "GTX745",
     "GpuSpec",
@@ -81,4 +91,6 @@ __all__ = [
     "estimate_graph",
     "greedy_fusion",
     "mincut_fusion",
+    "run",
+    "run_block",
 ]

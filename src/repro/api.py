@@ -1,0 +1,341 @@
+"""The canonical execution API: one entry point, one options object.
+
+The reproduction grew nine ways to run a pipeline — ``execute_pipeline``
+/ ``execute_block`` / ``execute_partitioned`` and their ``*_tape`` /
+``*_native`` engine variants — each threading its own subset of loose
+keyword arguments (engine, workers, runtime, naive borders, ...).  This
+module replaces that sprawl with a single dispatch path:
+
+>>> from repro.api import ExecutionOptions, run
+>>> env = run(graph, {"src": image})                      # fuse + tape
+>>> env = run(graph, {"src": image},
+...           options=ExecutionOptions(engine="native"))  # compiled C
+>>> env = run("Harris", {"src": image})                   # by app name
+
+:class:`ExecutionOptions` carries everything that used to be a keyword:
+the execution engine, intra-request parallelism, an optional
+:class:`~repro.serve.runtime.ServingRuntime` to route through, a
+per-call validation level, the fusion configuration (version / GPU
+model / benefit constants) or an explicit
+:class:`~repro.graph.partition.Partition`, and an optional
+:class:`~repro.serve.resilience.ResiliencePolicy` whose degradation
+ladder also protects direct (non-serving) execution.
+
+The legacy ``execute_*`` entry points survive as thin shims over
+:func:`run` / :func:`run_block` that emit ``DeprecationWarning`` — the
+differential test suites keep passing through them, but first-party
+code calls this module (CI enforces it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.backend.numpy_exec import (
+    _ENGINES,
+    Arrays,
+    ExecutionError,
+    Params,
+    _execute_block_recursive,
+    _execute_partitioned_recursive,
+    _execute_pipeline_recursive,
+    _resolve_engine,
+)
+from repro.envknobs import VALIDATE_MODES, validate_override
+from repro.graph.dag import KernelGraph
+from repro.graph.partition import Partition, PartitionBlock
+from repro.model.benefit import BenefitConfig
+from repro.model.hardware import KNOWN_GPUS, GpuSpec
+
+__all__ = ["ExecutionOptions", "run", "run_block"]
+
+
+@dataclass(frozen=True)
+class ExecutionOptions:
+    """Everything that shapes one execution, in one immutable object.
+
+    Parameters
+    ----------
+    engine:
+        ``"tape"`` / ``"recursive"`` / ``"native"``; ``None`` defers to
+        ``REPRO_EXEC_ENGINE`` (default tape).  A requested native
+        engine falls back to tape on hosts without a C compiler.
+    workers:
+        Parallelism across independent blocks within the call
+        (``None`` defers to ``REPRO_EXEC_WORKERS``).
+    runtime:
+        A :class:`~repro.serve.runtime.ServingRuntime` to route the
+        call through — plan caching, micro-batching, and the serving
+        resilience layer apply; the options' own engine/fusion fields
+        are ignored in favour of the runtime's configuration.
+    validate:
+        Per-call validation level (``"off"`` / ``"standard"`` /
+        ``"strict"``) scoped over the call via
+        :func:`repro.envknobs.validate_override`; ``None`` leaves the
+        ``REPRO_VALIDATE`` environment level in force.
+    fuse:
+        With no explicit ``partition``: ``True`` fuses the graph under
+        the fusion configuration below, ``False`` runs staged
+        (unfused) semantics — every kernel separately.
+    partition:
+        An explicit fusion partition to execute; overrides ``fuse``.
+    naive_borders:
+        ``True`` reproduces the border-incorrect single-stage
+        composition (Fig. 4b); ``None``/``False`` is correct fusion.
+        ``None`` additionally defers to the runtime's configured
+        default when routing through one.
+    fusion_version / gpu / benefit:
+        The fusion configuration used when ``fuse=True`` and no
+        partition is given: algorithm version (``baseline`` …
+        ``exhaustive``), the GPU model feeding the benefit estimate,
+        and the benefit-model constants.
+    resilience:
+        A :class:`~repro.serve.resilience.ResiliencePolicy`.  For
+        direct execution an enabled policy walks the degradation
+        ladder from the requested engine on failure; when constructing
+        a runtime (``ServingRuntime.from_options``) it becomes the
+        runtime's policy.
+    """
+
+    engine: Optional[str] = None
+    workers: Optional[int] = None
+    runtime: Optional[Any] = None
+    validate: Optional[str] = None
+    fuse: bool = True
+    partition: Optional[Partition] = None
+    naive_borders: Optional[bool] = None
+    fusion_version: str = "optimized"
+    gpu: Union[str, GpuSpec] = "GTX680"
+    benefit: Optional[BenefitConfig] = None
+    resilience: Optional[Any] = None
+
+    def __post_init__(self) -> None:
+        if self.engine is not None and self.engine not in _ENGINES:
+            raise ExecutionError(
+                f"unknown execution engine {self.engine!r}; "
+                f"expected one of {_ENGINES}"
+            )
+        if self.validate is not None and self.validate not in VALIDATE_MODES:
+            raise ExecutionError(
+                f"unknown validation level {self.validate!r}; "
+                f"expected one of {VALIDATE_MODES}"
+            )
+        gpu_name = self.gpu if isinstance(self.gpu, str) else self.gpu.name
+        if gpu_name not in KNOWN_GPUS:
+            known = ", ".join(sorted(KNOWN_GPUS))
+            raise ExecutionError(
+                f"unknown GPU {gpu_name!r}; known: {known}"
+            )
+
+    @property
+    def gpu_spec(self) -> GpuSpec:
+        return (
+            KNOWN_GPUS[self.gpu] if isinstance(self.gpu, str) else self.gpu
+        )
+
+    def fusion_settings(self):
+        """The equivalent :class:`repro.serve.plancache.FusionSettings`
+        (for building a :class:`ServingRuntime` from these options)."""
+        from repro.serve.runtime import fusion_settings
+
+        return fusion_settings(
+            version=self.fusion_version,
+            gpu=self.gpu_spec,
+            config=self.benefit,
+            naive_borders=bool(self.naive_borders),
+        )
+
+
+def run(
+    pipeline: Union[KernelGraph, str],
+    inputs: Arrays,
+    params: Params | None = None,
+    *,
+    options: ExecutionOptions | None = None,
+) -> Arrays:
+    """Run a pipeline: the one entry point every path dispatches through.
+
+    ``pipeline`` is a built :class:`~repro.graph.dag.KernelGraph` or
+    the name of a registered paper app (``"Harris"``, ``"Canny"``, …);
+    names resolve against ``options.runtime``'s registry when routing
+    through a serving runtime, otherwise against the default registry
+    at the geometry inferred from ``inputs``.  Returns the environment
+    mapping surviving image names to arrays — identical, bit for bit,
+    to what the legacy ``execute_*`` entry points return for the same
+    configuration.
+    """
+    opts = options or ExecutionOptions()
+    if opts.runtime is not None:
+        if isinstance(pipeline, str):
+            return opts.runtime.execute(pipeline, inputs, params)
+        partition = opts.partition
+        if partition is None and not opts.fuse:
+            partition = Partition.singletons(pipeline)
+        return opts.runtime.execute_graph(
+            pipeline,
+            inputs,
+            params,
+            partition,
+            naive_borders=opts.naive_borders,
+        )
+    graph, params = _resolve_pipeline(pipeline, inputs, params)
+    engine = _resolve_engine(opts.engine)
+    with validate_override(opts.validate):
+        if opts.resilience is not None and getattr(
+            opts.resilience, "degradation", False
+        ):
+            return _run_ladder(graph, inputs, params, opts, engine)
+        return _run_direct(graph, inputs, params, opts, engine)
+
+
+def run_block(
+    graph: KernelGraph,
+    block: PartitionBlock,
+    arrays: Arrays,
+    params: Params | None = None,
+    *,
+    options: ExecutionOptions | None = None,
+    call_counter: Dict[str, int] | None = None,
+) -> np.ndarray:
+    """Run one partition block with fused-kernel semantics.
+
+    ``call_counter`` (when given) is filled with per-kernel
+    re-evaluation counts and forces the recursive engine — the counts
+    instrument *its* evaluation order (the tape engine deduplicates
+    producer evaluations by grid).
+    """
+    opts = options or ExecutionOptions()
+    naive = bool(opts.naive_borders)
+    engine = (
+        "recursive"
+        if call_counter is not None
+        else _resolve_engine(opts.engine)
+    )
+    with validate_override(opts.validate):
+        if engine == "native":
+            from repro.backend.native_exec import (
+                native_available,
+                native_plan_for_block,
+            )
+
+            if native_available():
+                plan = native_plan_for_block(graph, block, naive)
+                return plan.execute(arrays, params)
+            engine = "tape"
+        if engine == "tape":
+            from repro.backend.plan import plan_for_block
+
+            return plan_for_block(graph, block, naive).execute(arrays, params)
+        return _execute_block_recursive(
+            graph,
+            block,
+            arrays,
+            params,
+            naive_borders=naive,
+            call_counter=call_counter,
+        )
+
+
+def _resolve_pipeline(
+    pipeline: Union[KernelGraph, str],
+    inputs: Arrays,
+    params: Params | None,
+) -> Tuple[KernelGraph, Params | None]:
+    if isinstance(pipeline, KernelGraph):
+        return pipeline, params
+    if isinstance(pipeline, str):
+        from repro.serve.registry import default_registry
+
+        entry = default_registry().get(pipeline)
+        geometries = {np.shape(a)[:2] for a in inputs.values()}
+        if len(geometries) != 1:
+            raise ExecutionError(
+                "cannot infer pipeline geometry from input shapes "
+                f"{geometries}"
+            )
+        height, width = geometries.pop()
+        merged = dict(entry.params)
+        merged.update(params or {})
+        return entry.graph(width, height), merged
+    raise ExecutionError(
+        f"cannot run a {type(pipeline).__name__}; expected a KernelGraph "
+        "or a registered pipeline name"
+    )
+
+
+def _partition_of(graph: KernelGraph, opts: ExecutionOptions) -> Partition:
+    """The partition one call executes: explicit, fused, or singletons."""
+    if opts.partition is not None:
+        return opts.partition
+    if not opts.fuse:
+        return Partition.singletons(graph)
+    from repro.eval.runner import partition_for
+
+    return partition_for(
+        graph,
+        opts.gpu_spec,
+        opts.fusion_version,
+        opts.benefit or BenefitConfig(),
+    )
+
+
+def _run_direct(
+    graph: KernelGraph,
+    inputs: Arrays,
+    params: Params | None,
+    opts: ExecutionOptions,
+    engine: str,
+) -> Arrays:
+    staged = opts.partition is None and not opts.fuse
+    naive = bool(opts.naive_borders)
+    if engine == "recursive" and staged:
+        # The reference walk of the unfused program, kernel by kernel.
+        return _execute_pipeline_recursive(graph, inputs, params)
+    partition = _partition_of(graph, opts)
+    if engine == "native":
+        from repro.backend.native_exec import (
+            native_available,
+            native_plan_for_partition,
+        )
+
+        if native_available():
+            plan = native_plan_for_partition(graph, partition, naive)
+            return plan.execute(inputs, params, opts.workers)
+        engine = "tape"
+    if engine == "tape":
+        from repro.backend.plan import plan_for_partition
+
+        plan = plan_for_partition(graph, partition, naive)
+        return plan.execute(inputs, params, opts.workers)
+    return _execute_partitioned_recursive(
+        graph, partition, inputs, params, naive_borders=naive
+    )
+
+
+def _run_ladder(
+    graph: KernelGraph,
+    inputs: Arrays,
+    params: Params | None,
+    opts: ExecutionOptions,
+    engine: str,
+) -> Arrays:
+    """Direct execution under a resilience policy's degradation ladder.
+
+    All rungs compute bit-identical results, so a failed compile on a
+    fast engine degrades to a slower answer rather than an error —
+    the same availability contract the serving runtime enforces, for
+    callers that execute directly.
+    """
+    from repro.serve.resilience import ladder_from
+
+    last_error: Optional[BaseException] = None
+    for rung in ladder_from(engine):
+        try:
+            return _run_direct(graph, inputs, params, opts, rung)
+        except Exception as err:
+            last_error = err
+    assert last_error is not None
+    raise last_error

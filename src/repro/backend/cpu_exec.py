@@ -38,7 +38,13 @@ import numpy as np
 from repro.envknobs import dir_env, size_env
 
 from repro.backend.codegen_c import generate_c_pipeline
-from repro.backend.numpy_exec import Arrays, ExecutionError, Params, block_schedule
+from repro.backend.numpy_exec import (
+    Arrays,
+    ExecutionError,
+    Params,
+    block_schedule,
+    fault_check,
+)
 from repro.dsl.kernel import Kernel
 from repro.fusion.fuser import fuse_block
 from repro.graph.dag import KernelGraph
@@ -180,23 +186,31 @@ def compile_shared_library(
             except OSError:
                 pass  # concurrently evicted; the caller's load retries
             return library_path, True
+        fault_check("cc.compile")
         source_path = cache / f"pipeline-{digest}.c"
-        source_path.write_text(source)
-        scratch = cache / (
-            f"pipeline-{digest}.{os.getpid()}-{threading.get_ident()}"
-            f"-{next(_scratch_counter)}.partial.so"
+        scratch_tag = (
+            f"{os.getpid()}-{threading.get_ident()}"
+            f"-{next(_scratch_counter)}.partial"
         )
+        # Compile from a scratch-named source: an evictor working from a
+        # stale directory snapshot may unlink pipeline-<digest>.c while
+        # the compiler is still reading it, but it never knows this name.
+        scratch_source = cache / f"pipeline-{digest}.{scratch_tag}.c"
+        scratch_source.write_text(source)
+        scratch = cache / f"pipeline-{digest}.{scratch_tag}.so"
         command = [
             cc, "-O2", "-fPIC", "-shared", *flags, "-o", str(scratch),
-            str(source_path), "-lm",
+            str(scratch_source), "-lm",
         ]
         result = subprocess.run(command, capture_output=True, text=True)
         if result.returncode != 0:
             scratch.unlink(missing_ok=True)
+            scratch_source.unlink(missing_ok=True)
             raise ExecutionError(
                 f"C compilation failed:\n{result.stderr}\n--- source ---\n"
                 + source
             )
+        os.replace(scratch_source, source_path)
         os.replace(scratch, library_path)
         evict_stale_artifacts(keep=library_path)
         return library_path, False

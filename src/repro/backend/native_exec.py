@@ -67,6 +67,8 @@ from repro.backend.numpy_exec import (
     ExecutionError,
     Params,
     _array_for,
+    _deprecated_entry,
+    fault_check,
 )
 from repro.backend.plan import (
     BlockPlan,
@@ -943,6 +945,7 @@ def _compile_specs(
 def _build_native_partition(
     graph: KernelGraph, partition: Partition, naive_borders: bool
 ) -> NativePartitionPlan:
+    fault_check("native.compile")
     plan = plan_for_partition(graph, partition, naive_borders)
     started = time.perf_counter()
     tile = resolve_native_tile()
@@ -1030,6 +1033,7 @@ def native_plan_for_block(
             _native_block_plans[graph] = cache
         plan = cache.get(key)
         if plan is None:
+            fault_check("native.compile")
             block_plan = plan_for_block(graph, block, naive_borders)
             fn_name = "repro_block_0_" + re.sub(
                 r"[^0-9A-Za-z_]", "_", block_plan.output_name
@@ -1068,13 +1072,26 @@ def execute_pipeline_native(
     workers: int | None = None,
 ) -> Arrays:
     """Staged execution through the native engine (singleton partition);
-    falls back to the tape engine when no C compiler is available."""
-    if not native_available():
-        from repro.backend.plan import execute_pipeline_tape
+    falls back to the tape engine when no C compiler is available.
 
-        return execute_pipeline_tape(graph, inputs, params, workers)
-    plan = native_plan_for_partition(graph, Partition.singletons(graph))
-    return plan.execute(inputs, params, workers)
+    .. deprecated::
+        Thin shim over :func:`repro.api.run` with
+        ``ExecutionOptions(engine="native", fuse=False)``.
+    """
+    _deprecated_entry(
+        "execute_pipeline_native",
+        "repro.api.run with ExecutionOptions(engine='native', fuse=False)",
+    )
+    from repro.api import ExecutionOptions, run
+
+    return run(
+        graph,
+        inputs,
+        params,
+        options=ExecutionOptions(
+            engine="native", workers=workers, fuse=False
+        ),
+    )
 
 
 def execute_partitioned_native(
@@ -1086,15 +1103,29 @@ def execute_partitioned_native(
     workers: int | None = None,
 ) -> Arrays:
     """Partitioned execution through the native engine; falls back to
-    the tape engine when no C compiler is available."""
-    if not native_available():
-        from repro.backend.plan import execute_partitioned_tape
+    the tape engine when no C compiler is available.
 
-        return execute_partitioned_tape(
-            graph, partition, inputs, params, naive_borders, workers
-        )
-    plan = native_plan_for_partition(graph, partition, naive_borders)
-    return plan.execute(inputs, params, workers)
+    .. deprecated::
+        Thin shim over :func:`repro.api.run` with
+        ``ExecutionOptions(engine="native", partition=...)``.
+    """
+    _deprecated_entry(
+        "execute_partitioned_native",
+        "repro.api.run with ExecutionOptions(engine='native', partition=...)",
+    )
+    from repro.api import ExecutionOptions, run
+
+    return run(
+        graph,
+        inputs,
+        params,
+        options=ExecutionOptions(
+            engine="native",
+            workers=workers,
+            partition=partition,
+            naive_borders=naive_borders,
+        ),
+    )
 
 
 def execute_block_native(
@@ -1105,12 +1136,24 @@ def execute_block_native(
     naive_borders: bool = False,
 ) -> np.ndarray:
     """Fused-block execution through the native engine; falls back to
-    the tape engine when no C compiler is available."""
-    if not native_available():
-        from repro.backend.plan import execute_block_tape
+    the tape engine when no C compiler is available.
 
-        return execute_block_tape(
-            graph, block, arrays, params, naive_borders=naive_borders
-        )
-    plan = native_plan_for_block(graph, block, naive_borders)
-    return plan.execute(arrays, params)
+    .. deprecated::
+        Thin shim over :func:`repro.api.run_block` with
+        ``ExecutionOptions(engine="native")``.
+    """
+    _deprecated_entry(
+        "execute_block_native",
+        "repro.api.run_block with ExecutionOptions(engine='native')",
+    )
+    from repro.api import ExecutionOptions, run_block
+
+    return run_block(
+        graph,
+        block,
+        arrays,
+        params,
+        options=ExecutionOptions(
+            engine="native", naive_borders=naive_borders
+        ),
+    )

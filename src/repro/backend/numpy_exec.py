@@ -48,6 +48,7 @@ the tape calls libm functions beyond ``sqrt``/``rsqrt`` (see
 from __future__ import annotations
 
 import sys
+import warnings
 from contextlib import contextmanager
 from typing import Callable, Dict, Iterator, List
 
@@ -111,6 +112,21 @@ _CALL_FN = {
 
 class ExecutionError(RuntimeError):
     """Raised for execution-time problems (missing arrays, bad shapes)."""
+
+
+def fault_check(site: str) -> None:
+    """Fire serving-layer fault injection at ``site``, when armed.
+
+    The backends are instrumented for the deterministic fault harness
+    of :mod:`repro.serve.faultinject`, but must not import the serving
+    stack (the dependency points the other way, and most processes
+    never serve).  Probing ``sys.modules`` keeps the cost at one dict
+    lookup unless something already imported the harness — at which
+    point its lock-free ``armed()`` flag short-circuits the idle case.
+    """
+    faults = sys.modules.get("repro.serve.faultinject")
+    if faults is not None and faults.armed():
+        faults.check(site)
 
 
 #: Default engine; override per call (``engine=``) or globally with the
@@ -324,6 +340,19 @@ def execute_kernel(
     raise ExecutionError(f"unknown reduction {kernel.reduction!r}")
 
 
+def _deprecated_entry(old: str, new: str) -> None:
+    """Emit the :class:`DeprecationWarning` of one legacy entry point.
+
+    ``stacklevel=3`` points the warning at the *caller* of the shim
+    (shim → this helper → warn), where the migration has to happen.
+    """
+    warnings.warn(
+        f"{old} is deprecated; call {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 def execute_pipeline(
     graph: KernelGraph,
     inputs: Arrays,
@@ -335,30 +364,39 @@ def execute_pipeline(
 ) -> Arrays:
     """Staged (unfused) execution: one kernel at a time, in topo order.
 
+    .. deprecated::
+        This is a thin shim over :func:`repro.api.run` with
+        ``ExecutionOptions(fuse=False)`` — the canonical entry point.
+
     Returns the environment mapping every image name — inputs and all
     produced images — to its array.  ``engine`` selects the tape
     (default), recursive, or native (compiled C) implementation;
     ``workers`` enables parallel execution of independent kernels under
-    the tape engine.
-
-    ``runtime`` (a :class:`repro.serve.runtime.ServingRuntime`) routes
-    the call through the serving layer instead: same staged semantics
-    (a singleton partition), but the compiled plan is cached and the
-    execution micro-batched with concurrent callers.
+    the tape engine.  ``runtime`` (a
+    :class:`repro.serve.runtime.ServingRuntime`) routes the call
+    through the serving layer instead.
     """
-    if runtime is not None:
-        return runtime.execute_graph(
-            graph, inputs, params, Partition.singletons(graph)
-        )
-    resolved = _resolve_engine(engine)
-    if resolved == "native":
-        from repro.backend.native_exec import execute_pipeline_native
+    _deprecated_entry(
+        "execute_pipeline", "repro.api.run with ExecutionOptions(fuse=False)"
+    )
+    from repro.api import ExecutionOptions, run
 
-        return execute_pipeline_native(graph, inputs, params, workers)
-    if resolved == "tape":
-        from repro.backend.plan import execute_pipeline_tape
+    return run(
+        graph,
+        inputs,
+        params,
+        options=ExecutionOptions(
+            engine=engine, workers=workers, runtime=runtime, fuse=False
+        ),
+    )
 
-        return execute_pipeline_tape(graph, inputs, params, workers)
+
+def _execute_pipeline_recursive(
+    graph: KernelGraph,
+    inputs: Arrays,
+    params: Params | None = None,
+) -> Arrays:
+    """Staged execution through the recursive engine (reference walk)."""
     env: Arrays = dict(inputs)
     for name in graph.kernel_names:
         kernel = graph.kernel(name)
@@ -378,6 +416,37 @@ def execute_block(
 ) -> np.ndarray:
     """Execute a partition block with fused-kernel semantics.
 
+    .. deprecated::
+        This is a thin shim over :func:`repro.api.run_block` — the
+        canonical entry point.
+
+    ``call_counter`` (when given) is filled with the number of times
+    each member kernel was (re)evaluated and forces the recursive
+    engine (see :func:`repro.api.run_block`).
+    """
+    _deprecated_entry("execute_block", "repro.api.run_block")
+    from repro.api import ExecutionOptions, run_block
+
+    return run_block(
+        graph,
+        block,
+        arrays,
+        params,
+        options=ExecutionOptions(engine=engine, naive_borders=naive_borders),
+        call_counter=call_counter,
+    )
+
+
+def _execute_block_recursive(
+    graph: KernelGraph,
+    block: PartitionBlock,
+    arrays: Arrays,
+    params: Params | None = None,
+    naive_borders: bool = False,
+    call_counter: Dict[str, int] | None = None,
+) -> np.ndarray:
+    """Fused-block execution through the recursive engine.
+
     Intermediate images are never materialized: a consumer read of an
     intermediate pixel recursively evaluates the producer at the
     requested coordinates.  The coordinates are first *exchanged*
@@ -392,23 +461,10 @@ def execute_block(
     each member kernel was (re)evaluated — the empirical recomputation
     factors behind the benefit model's φ term: a point consumer
     evaluates its producer once (the Eq. 5 register reuse), a local
-    consumer once per distinct window offset.  Passing a counter forces
-    the recursive engine — the counts instrument *its* evaluation order
-    (the tape engine deduplicates producer evaluations by grid).
+    consumer once per distinct window offset.  The counts instrument
+    *this* engine's evaluation order (the tape engine deduplicates
+    producer evaluations by grid).
     """
-    resolved = "recursive" if call_counter is not None else _resolve_engine(engine)
-    if resolved == "native":
-        from repro.backend.native_exec import execute_block_native
-
-        return execute_block_native(
-            graph, block, arrays, params, naive_borders=naive_borders
-        )
-    if resolved == "tape":
-        from repro.backend.plan import execute_block_tape
-
-        return execute_block_tape(
-            graph, block, arrays, params, naive_borders=naive_borders
-        )
     params = params or {}
     producer_of = {
         graph.kernel(name).output.name: name for name in block.vertices
@@ -484,46 +540,44 @@ def execute_partitioned(
 ) -> Arrays:
     """Execute a pipeline under a fusion partition.
 
-    Singleton blocks run as plain kernels; fused blocks run through
-    :func:`execute_block`.  Only images that survive fusion — block
+    .. deprecated::
+        This is a thin shim over :func:`repro.api.run` with
+        ``ExecutionOptions(partition=...)`` — the canonical entry
+        point.
+
+    Singleton blocks run as plain kernels; fused blocks run with
+    fused-kernel semantics.  Only images that survive fusion — block
     external inputs and destination outputs — appear in the returned
     environment, mirroring what the generated program would allocate.
-
-    ``engine`` selects the tape (default), recursive, or native
-    (compiled C) implementation;
-    ``workers`` lets the tape engine run independent blocks in parallel
-    (``REPRO_EXEC_WORKERS`` sets the default).  ``runtime`` routes the
-    call through a :class:`repro.serve.runtime.ServingRuntime`, which
-    caches the compiled plan across calls (the partition's block
-    structure is part of the cache key).
     """
-    if runtime is not None:
-        return runtime.execute_graph(
-            graph, inputs, params, partition, naive_borders=naive_borders
-        )
-    resolved = _resolve_engine(engine)
-    if resolved == "native":
-        from repro.backend.native_exec import execute_partitioned_native
+    _deprecated_entry(
+        "execute_partitioned",
+        "repro.api.run with ExecutionOptions(partition=...)",
+    )
+    from repro.api import ExecutionOptions, run
 
-        return execute_partitioned_native(
-            graph,
-            partition,
-            inputs,
-            params,
-            naive_borders=naive_borders,
+    return run(
+        graph,
+        inputs,
+        params,
+        options=ExecutionOptions(
+            engine=engine,
             workers=workers,
-        )
-    if resolved == "tape":
-        from repro.backend.plan import execute_partitioned_tape
+            runtime=runtime,
+            partition=partition,
+            naive_borders=naive_borders,
+        ),
+    )
 
-        return execute_partitioned_tape(
-            graph,
-            partition,
-            inputs,
-            params,
-            naive_borders=naive_borders,
-            workers=workers,
-        )
+
+def _execute_partitioned_recursive(
+    graph: KernelGraph,
+    partition: Partition,
+    inputs: Arrays,
+    params: Params | None = None,
+    naive_borders: bool = False,
+) -> Arrays:
+    """Partitioned execution through the recursive engine."""
     env: Arrays = dict(inputs)
     for block in block_schedule(graph, partition):
         if len(block) == 1:
@@ -532,12 +586,11 @@ def execute_partitioned(
             env[kernel.output.name] = execute_kernel(kernel, env, params)
         else:
             destination = graph.kernel(block.destination_kernels()[0])
-            env[destination.output.name] = execute_block(
+            env[destination.output.name] = _execute_block_recursive(
                 graph,
                 block,
                 env,
                 params,
                 naive_borders=naive_borders,
-                engine="recursive",
             )
     return env

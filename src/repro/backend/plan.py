@@ -59,7 +59,9 @@ from repro.backend.numpy_exec import (
     _apply_mask,
     _array_for,
     _broadcast_output,
+    _deprecated_entry,
     block_schedule,
+    fault_check,
     recursion_headroom,
 )
 from repro.dsl.boundary import BoundaryMode, BoundarySpec, resolve_array
@@ -845,6 +847,7 @@ def plan_for_partition(
             _partition_plans[graph] = cache
         plan = cache.get(key)
         if plan is None:
+            fault_check("plan.compile")
             plan = PartitionPlan(
                 graph, partition, naive_borders, store=_store_for(graph)
             )
@@ -868,6 +871,7 @@ def plan_for_block(
             _block_plans[graph] = cache
         plan = cache.get(key)
         if plan is None:
+            fault_check("plan.compile")
             plan = compile_block(
                 graph,
                 block,
@@ -899,9 +903,24 @@ def execute_pipeline_tape(
     params: Params | None = None,
     workers: int | None = None,
 ) -> Arrays:
-    """Staged execution through the tape engine (singleton partition)."""
-    plan = plan_for_partition(graph, Partition.singletons(graph))
-    return plan.execute(inputs, params, workers)
+    """Staged execution through the tape engine (singleton partition).
+
+    .. deprecated::
+        Thin shim over :func:`repro.api.run` with
+        ``ExecutionOptions(engine="tape", fuse=False)``.
+    """
+    _deprecated_entry(
+        "execute_pipeline_tape",
+        "repro.api.run with ExecutionOptions(engine='tape', fuse=False)",
+    )
+    from repro.api import ExecutionOptions, run
+
+    return run(
+        graph,
+        inputs,
+        params,
+        options=ExecutionOptions(engine="tape", workers=workers, fuse=False),
+    )
 
 
 def execute_partitioned_tape(
@@ -912,9 +931,29 @@ def execute_partitioned_tape(
     naive_borders: bool = False,
     workers: int | None = None,
 ) -> Arrays:
-    """Partitioned execution through the tape engine."""
-    plan = plan_for_partition(graph, partition, naive_borders)
-    return plan.execute(inputs, params, workers)
+    """Partitioned execution through the tape engine.
+
+    .. deprecated::
+        Thin shim over :func:`repro.api.run` with
+        ``ExecutionOptions(engine="tape", partition=...)``.
+    """
+    _deprecated_entry(
+        "execute_partitioned_tape",
+        "repro.api.run with ExecutionOptions(engine='tape', partition=...)",
+    )
+    from repro.api import ExecutionOptions, run
+
+    return run(
+        graph,
+        inputs,
+        params,
+        options=ExecutionOptions(
+            engine="tape",
+            workers=workers,
+            partition=partition,
+            naive_borders=naive_borders,
+        ),
+    )
 
 
 def execute_block_tape(
@@ -924,6 +963,22 @@ def execute_block_tape(
     params: Params | None = None,
     naive_borders: bool = False,
 ) -> np.ndarray:
-    """Fused-block execution through the tape engine."""
-    plan = plan_for_block(graph, block, naive_borders)
-    return plan.execute(arrays, params)
+    """Fused-block execution through the tape engine.
+
+    .. deprecated::
+        Thin shim over :func:`repro.api.run_block` with
+        ``ExecutionOptions(engine="tape")``.
+    """
+    _deprecated_entry(
+        "execute_block_tape",
+        "repro.api.run_block with ExecutionOptions(engine='tape')",
+    )
+    from repro.api import ExecutionOptions, run_block
+
+    return run_block(
+        graph,
+        block,
+        arrays,
+        params,
+        options=ExecutionOptions(engine="tape", naive_borders=naive_borders),
+    )

@@ -8,6 +8,7 @@ enable/disable fusion, inspect the generated code, run the evaluation.
     python -m repro list
     python -m repro fuse Harris --engine mincut --trace
     python -m repro codegen Unsharp --engine mincut
+    python -m repro run Harris --exec-engine native
     python -m repro simulate Sobel
     python -m repro lint --explain
     python -m repro evaluate --runs 500
@@ -232,25 +233,115 @@ def cmd_figure3(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_run(args: argparse.Namespace) -> int:
+    """Execute one application through :func:`repro.api.run`.
+
+    The CLI face of the canonical execution API: build the pipeline at
+    the requested geometry, fuse (or not), execute on the chosen
+    engine, and print a digest of every surviving image — enough to
+    diff two engines or two fusion versions for bit-identity from the
+    shell.
+    """
+    import json
+    import zlib as _zlib
+
+    import numpy as np
+
+    from repro.api import ExecutionOptions, run
+    from repro.serve.bench import request_inputs
+    from repro.serve.registry import DEFAULT_APP_PARAMS
+
+    spec = _resolve_app(args.app)
+    graph = spec.build(args.width, args.height).build()
+    inputs = request_inputs(spec, args.width, args.height, seed=args.seed)
+    options = ExecutionOptions(
+        engine=args.exec_engine,
+        workers=args.exec_workers,
+        validate=args.validate,
+        fuse=not args.no_fuse,
+        naive_borders=args.naive_borders,
+        fusion_version=args.version,
+        gpu=args.gpu,
+        benefit=_config(args),
+    )
+    env = run(graph, inputs, DEFAULT_APP_PARAMS.get(spec.name),
+              options=options)
+    digests = {
+        name: {
+            "shape": list(np.shape(array)),
+            "dtype": str(np.asarray(array).dtype),
+            "min": float(np.min(array)),
+            "mean": float(np.mean(array)),
+            "max": float(np.max(array)),
+            "crc32": _zlib.crc32(np.ascontiguousarray(array).tobytes()),
+        }
+        for name, array in sorted(env.items())
+    }
+    if args.json:
+        print(json.dumps(digests, indent=2, sort_keys=True))
+        return 0
+    print(f"{spec.name} {args.width}x{args.height} "
+          f"(engine={options.engine or 'env-default'}, "
+          f"fuse={'off' if args.no_fuse else args.version})")
+    for name, digest in digests.items():
+        shape = "x".join(str(d) for d in digest["shape"])
+        print(f"  {name:<14}{shape:>12}  "
+              f"min={digest['min']:<10.4g} mean={digest['mean']:<10.4g} "
+              f"max={digest['max']:<10.4g} crc32={digest['crc32']:08x}")
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Run the serving runtime over a synthetic request stream.
 
     Registers the paper apps, fires ``--requests`` concurrent requests
     spread across them, and prints the metrics snapshot — a smoke of
-    the plan cache, scheduler, and metrics layers in one command.
+    the plan cache, scheduler, metrics, and resilience layers in one
+    command.  ``--faults`` arms deterministic fault injection
+    (``REPRO_FAULTS`` grammar) so the retry / breaker / degradation
+    machinery is observable from the shell.
     """
     import json
     from concurrent.futures import ThreadPoolExecutor
 
-    from repro.serve import ServingRuntime, default_registry, fusion_settings
+    from repro.api import ExecutionOptions
+    from repro.serve import (
+        BreakerConfig,
+        ResiliencePolicy,
+        RetryPolicy,
+        ServingRuntime,
+        default_registry,
+        faultinject,
+    )
     from repro.serve.bench import request_inputs
 
     names = args.apps or sorted(APPLICATIONS)
     for name in names:
         _resolve_app(name)
     registry = default_registry(include_extensions=True, apps=set(names))
-    fusion = fusion_settings(
-        version=args.version, gpu=_resolve_gpu(args.gpu), config=_config(args)
+    resilience = None
+    if args.retries is not None or args.breaker_threshold is not None:
+        resilience = ResiliencePolicy(
+            retry=RetryPolicy(max_attempts=args.retries or 3),
+            breaker=BreakerConfig(
+                failure_threshold=args.breaker_threshold or 3
+            ),
+        )
+    if args.faults:
+        for rule in faultinject.parse_spec(args.faults):
+            faultinject.inject(
+                rule.site,
+                rule.action,
+                delay_s=rule.delay_s,
+                times=rule.times,
+                every=rule.every,
+            )
+    options = ExecutionOptions(
+        engine=args.exec_engine,
+        fusion_version=args.version,
+        gpu=_resolve_gpu(args.gpu),
+        benefit=_config(args),
+        resilience=resilience,
     )
     workload = [
         (name, request_inputs(ALL_APPS[name], args.width, args.height, seed=i))
@@ -258,12 +349,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
             names[i % len(names)] for i in range(args.requests)
         )
     ]
-    with ServingRuntime(
-        registry,
-        fusion=fusion,
+    with ServingRuntime.from_options(
+        options,
+        registry=registry,
         workers=args.workers,
         max_batch=args.max_batch,
-        engine=args.exec_engine,
     ) as runtime:
         with ThreadPoolExecutor(max_workers=args.clients) as clients:
             futures = [
@@ -299,6 +389,25 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if batches:
         print(f"batches: {batches} "
               f"(mean size {args.requests / batches:.2f})")
+    resilience_snapshot = snapshot["resilience"]
+    counters = snapshot["counters"]
+    retries = counters.get("request_retries", 0)
+    degraded = {
+        key.removeprefix("degraded_to_"): value
+        for key, value in counters.items()
+        if key.startswith("degraded_to_")
+    }
+    open_breakers = {
+        key: state["state"]
+        for key, state in resilience_snapshot["breakers"].items()
+        if state["state"] != "closed"
+    }
+    fired = resilience_snapshot["faults"]
+    if retries or degraded or open_breakers or fired:
+        print(f"resilience: {retries} retries, "
+              f"degraded={degraded or 'none'}, "
+              f"breakers={open_breakers or 'all closed'}, "
+              f"faults fired={fired or 'none'}")
     return 0
 
 
@@ -503,8 +612,48 @@ def build_parser() -> argparse.ArgumentParser:
                             "optimized, ...)")
     serve.add_argument("--json", action="store_true",
                        help="print the raw metrics snapshot as JSON")
+    serve.add_argument("--faults", default=None, metavar="SPEC",
+                       help="arm deterministic fault injection "
+                            "(REPRO_FAULTS grammar, e.g. "
+                            "'native.compile:error@10')")
+    serve.add_argument("--retries", type=int, default=None,
+                       help="max execution attempts per request "
+                            "(enables a custom resilience policy)")
+    serve.add_argument("--breaker-threshold", type=int, default=None,
+                       help="consecutive failures tripping the "
+                            "per-pipeline circuit breaker")
     add_serve_flags(serve)
     add_model_flags(serve)
+
+    run_cmd = sub.add_parser(
+        "run", help="execute an application via repro.api.run and "
+                    "print per-image digests"
+    )
+    run_cmd.add_argument("app")
+    run_cmd.add_argument("--width", type=int, default=96)
+    run_cmd.add_argument("--height", type=int, default=64)
+    run_cmd.add_argument("--seed", type=int, default=0,
+                         help="deterministic input seed")
+    run_cmd.add_argument("--exec-engine", default=None,
+                         choices=("tape", "recursive", "native"),
+                         help="execution engine (default: "
+                              "REPRO_EXEC_ENGINE or tape)")
+    run_cmd.add_argument("--exec-workers", type=int, default=None,
+                         help="parallel block workers within the call")
+    run_cmd.add_argument("--validate", default=None,
+                         choices=("off", "standard", "strict"),
+                         help="per-call validation level")
+    run_cmd.add_argument("--version", default="optimized",
+                         help="fusion version (baseline, basic, "
+                              "optimized, ...)")
+    run_cmd.add_argument("--no-fuse", action="store_true",
+                         help="run staged (unfused) semantics")
+    run_cmd.add_argument("--naive-borders", action="store_true",
+                         help="reproduce the border-incorrect naive "
+                              "composition (Fig. 4b)")
+    run_cmd.add_argument("--json", action="store_true",
+                         help="print the digests as JSON")
+    add_model_flags(run_cmd)
 
     serve_bench = sub.add_parser(
         "serve-bench", help="benchmark cached serving vs per-request "
@@ -530,6 +679,7 @@ COMMANDS = {
     "lint": cmd_lint,
     "verify": cmd_verify,
     "artifact": cmd_artifact,
+    "run": cmd_run,
     "serve": cmd_serve,
     "serve-bench": cmd_serve_bench,
 }

@@ -16,9 +16,11 @@ reject them at startup.
 
 from __future__ import annotations
 
+import contextvars
 import os
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Sequence
+from typing import Iterator, Sequence
 
 
 class EnvKnobError(ValueError):
@@ -103,6 +105,34 @@ VALIDATE_ENV = "REPRO_VALIDATE"
 VALIDATE_MODES = ("off", "standard", "strict")
 
 
+#: Per-context override of the validation level, installed by
+#: :func:`validate_override` (a contextvar so serving worker threads and
+#: nested calls see their own scope, not a process-global toggle).
+_VALIDATE_OVERRIDE: "contextvars.ContextVar[str | None]" = (
+    contextvars.ContextVar("repro_validate_override", default=None)
+)
+
+
+@contextmanager
+def validate_override(mode: str | None) -> Iterator[None]:
+    """Scope a validation level stronger (or weaker) than the env knob.
+
+    ``ExecutionOptions.validate`` routes through this so one call can
+    ask for strict plan verification without mutating ``os.environ``;
+    ``None`` leaves the environment's level in force.
+    """
+    if mode is not None and mode not in VALIDATE_MODES:
+        raise EnvKnobError(
+            f"invalid validate override {mode!r}: expected one of "
+            f"{VALIDATE_MODES}"
+        )
+    token = _VALIDATE_OVERRIDE.set(mode)
+    try:
+        yield
+    finally:
+        _VALIDATE_OVERRIDE.reset(token)
+
+
 def validate_mode() -> str:
     """The ``REPRO_VALIDATE`` level: ``off``, ``standard`` or ``strict``.
 
@@ -113,7 +143,12 @@ def validate_mode() -> str:
     layers for benchmarking.  Anything else raises
     :class:`EnvKnobError` naming the variable and the accepted values.
     Case-insensitive: ``STRICT`` in a deployment manifest means strict.
+    A :func:`validate_override` scope takes precedence over the
+    environment.
     """
+    override = _VALIDATE_OVERRIDE.get()
+    if override is not None:
+        return override
     raw = raw_env(VALIDATE_ENV)
     if raw is None:
         return "standard"
@@ -124,6 +159,24 @@ def validate_mode() -> str:
             f"{VALIDATE_MODES}"
         )
     return mode
+
+
+#: Environment knob injecting deterministic faults at named sites
+#: (see :mod:`repro.serve.faultinject`, which owns the grammar).
+FAULTS_ENV = "REPRO_FAULTS"
+
+
+def faults_env() -> str | None:
+    """The raw ``REPRO_FAULTS`` fault-injection spec, or ``None``.
+
+    The spec grammar — comma-separated ``site:action[:seconds]``
+    rules with optional ``*count`` / ``@every`` triggers — is parsed
+    by :func:`repro.serve.faultinject.parse_spec`, which raises
+    :class:`EnvKnobError` naming this variable on a malformed value.
+    The raw accessor lives here so the knob is catalogued with every
+    other ``REPRO_*`` tunable.
+    """
+    return raw_env(FAULTS_ENV)
 
 
 def dir_env(name: str, default: Path) -> Path:

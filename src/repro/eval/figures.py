@@ -27,7 +27,7 @@ from repro.dsl.kernel import Kernel
 from repro.dsl.pipeline import Pipeline
 from repro.eval.runner import AppResult, ResultKey
 from repro.eval.stats import BoxStats, box_stats
-from repro.backend.numpy_exec import execute_block, execute_pipeline
+from repro.api import ExecutionOptions, run, run_block
 from repro.fusion.mincut_fusion import FusionResult, mincut_fusion
 from repro.graph.partition import PartitionBlock
 from repro.model.benefit import BenefitConfig, estimate_graph
@@ -106,10 +106,12 @@ def figure4_example() -> Figure4Result:
     graph = _figure4_pipeline(clamp).build()
     inputs = {"src": FIGURE4_INPUT}
 
-    staged = execute_pipeline(graph, inputs)
+    staged = run(graph, inputs, options=ExecutionOptions(fuse=False))
     block = PartitionBlock(graph, {"conv1", "conv2"})
-    fused = execute_block(graph, block, inputs)
-    naive = execute_block(graph, block, inputs, naive_borders=True)
+    fused = run_block(graph, block, inputs)
+    naive = run_block(
+        graph, block, inputs, options=ExecutionOptions(naive_borders=True)
+    )
 
     intermediate = staged["intermediate"][1:4, 1:4]
     return Figure4Result(

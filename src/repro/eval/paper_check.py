@@ -21,7 +21,7 @@ from typing import Callable, Dict, List, Tuple
 import numpy as np
 
 from repro.apps import APPLICATIONS
-from repro.backend.numpy_exec import execute_partitioned, execute_pipeline
+from repro.api import ExecutionOptions, run
 from repro.eval.figures import figure3_trace, figure4_example
 from repro.eval.runner import ResultKey, AppResult, partition_for, run_matrix
 from repro.eval.tables import PAPER_TABLE2, table2
@@ -199,9 +199,19 @@ def check_semantics() -> List[CheckResult]:
         graph = spec.build(width, height).build()
         shape = (height, width) if channels == 1 else (height, width, channels)
         data = rng.uniform(1.0, 255.0, size=shape)
-        staged = execute_pipeline(graph, {"input": data}, params)
+        staged = run(
+            graph,
+            {"input": data},
+            params,
+            options=ExecutionOptions(fuse=False),
+        )
         partition = partition_for(graph, GTX680, "optimized")
-        fused = execute_partitioned(graph, partition, {"input": data}, params)
+        fused = run(
+            graph,
+            {"input": data},
+            params,
+            options=ExecutionOptions(partition=partition),
+        )
         agree = all(
             np.allclose(fused[name], staged[name], rtol=1e-8, atol=1e-8)
             for name in graph.external_outputs

@@ -18,9 +18,10 @@ from typing import Dict, Iterable, Tuple
 
 import numpy as np
 
+from repro.api import ExecutionOptions, run
 from repro.apps import APPLICATIONS, AppSpec
 from repro.backend.launch import PipelineTiming, simulate_partition, simulate_runs
-from repro.backend.numpy_exec import Arrays, execute_partitioned
+from repro.backend.numpy_exec import Arrays
 from repro.fusion.basic_fusion import basic_fusion
 from repro.fusion.greedy_fusion import greedy_fusion
 from repro.fusion.mincut_fusion import mincut_fusion
@@ -123,9 +124,9 @@ def execute_configuration(
     Complements :func:`run_configuration` (which *simulates* timing):
     the application is built at the given geometry, partitioned for the
     version, and run on deterministic random inputs through
-    :func:`repro.backend.numpy_exec.execute_partitioned` — the tape
-    engine by default, with ``workers`` forwarded for parallel block
-    execution.  ``engine="native"`` (or ``REPRO_EXEC_ENGINE=native``)
+    :func:`repro.api.run` — the tape engine by default, with
+    ``workers`` forwarded for parallel block execution.
+    ``engine="native"`` (or ``REPRO_EXEC_ENGINE=native``)
     runs the compiled-C backend of :mod:`repro.backend.native_exec`
     when a C toolchain is available.  Returns the surviving-image
     environment.
@@ -145,14 +146,16 @@ def execute_configuration(
         name: rng.uniform(0.0, 255.0, size=shape)
         for name in graph.pipeline_inputs()
     }
-    return execute_partitioned(
+    return run(
         graph,
-        partition,
         inputs,
         params,
-        engine=engine,
-        workers=workers,
-        runtime=runtime,
+        options=ExecutionOptions(
+            engine=engine,
+            workers=workers,
+            runtime=runtime,
+            partition=partition,
+        ),
     )
 
 

@@ -148,18 +148,19 @@ class FusedKernel(Kernel):
     ):
         """Execute the fused kernel over bound arrays.
 
-        Routes through :func:`repro.backend.numpy_exec.execute_block`,
-        so the ``engine`` switch (tape by default) applies.
+        Routes through :func:`repro.api.run_block`, so the ``engine``
+        switch (tape by default) applies.
         """
-        from repro.backend.numpy_exec import execute_block
+        from repro.api import ExecutionOptions, run_block
 
-        return execute_block(
+        return run_block(
             self.source_graph,
             self.block,
             arrays,
             params,
-            naive_borders=naive_borders,
-            engine=engine,
+            options=ExecutionOptions(
+                engine=engine, naive_borders=naive_borders
+            ),
         )
 
     def __repr__(self) -> str:

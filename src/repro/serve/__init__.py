@@ -9,18 +9,38 @@ paper's analysis implies:
   (the six paper apps pre-registered);
 * :mod:`~repro.serve.plancache` — LRU cache of fused partitions +
   compiled tapes keyed on structural signature, geometry, engine, and
-  fusion configuration, with in-flight build coalescing;
+  fusion configuration, with in-flight build coalescing and entry
+  quarantine;
 * :mod:`~repro.serve.scheduler` — bounded-queue micro-batching with
   backpressure, deadlines, and graceful drain;
-* :mod:`~repro.serve.metrics` — counters/gauges/latency histograms
-  behind one snapshot call;
+* :mod:`~repro.serve.metrics` — counters/gauges/state gauges/latency
+  histograms behind one snapshot call;
+* :mod:`~repro.serve.errors` — the typed :class:`ServeError`
+  exception hierarchy;
+* :mod:`~repro.serve.resilience` — retry/backoff policies, per-stage
+  timeouts, and the circuit breakers routing down the degradation
+  ladder ``native → tape → recursive``;
+* :mod:`~repro.serve.faultinject` — deterministic fault injection at
+  named sites (``REPRO_FAULTS`` + programmatic API) so every
+  degradation path is testable in CI;
 * :mod:`~repro.serve.runtime` — :class:`ServingRuntime`, composing the
   above; results are bit-identical to direct execution;
 * :mod:`~repro.serve.bench` — the throughput benchmark backing
   ``python -m repro serve-bench``.
 """
 
-from repro.serve.metrics import Counter, Gauge, Histogram, Metrics
+from repro.serve.errors import (
+    BackpressureError,
+    DeadlineExceeded,
+    PlanBuildError,
+    QueueFull,
+    RuntimeClosed,
+    SchedulerClosed,
+    ServeError,
+    StageTimeout,
+)
+from repro.serve.faultinject import FaultInjected, FaultRule, fault_injection
+from repro.serve.metrics import Counter, Gauge, Histogram, Metrics, StateGauge
 from repro.serve.plancache import (
     CachedPlan,
     FusionSettings,
@@ -34,21 +54,33 @@ from repro.serve.registry import (
     RegistryError,
     default_registry,
 )
+from repro.serve.resilience import (
+    DEGRADATION_LADDER,
+    BreakerBoard,
+    BreakerConfig,
+    CircuitBreaker,
+    ResiliencePolicy,
+    RetryPolicy,
+    StageTimeouts,
+)
 from repro.serve.runtime import ServingRuntime, fusion_settings
 from repro.serve.scheduler import (
-    BackpressureError,
-    DeadlineExceeded,
     MicroBatchScheduler,
     ResponseHandle,
-    SchedulerClosed,
     ServeRequest,
 )
 
 __all__ = [
     "BackpressureError",
+    "BreakerBoard",
+    "BreakerConfig",
     "CachedPlan",
+    "CircuitBreaker",
     "Counter",
+    "DEGRADATION_LADDER",
     "DeadlineExceeded",
+    "FaultInjected",
+    "FaultRule",
     "FusionSettings",
     "Gauge",
     "Histogram",
@@ -56,13 +88,23 @@ __all__ = [
     "MicroBatchScheduler",
     "PipelineEntry",
     "PipelineRegistry",
+    "PlanBuildError",
     "PlanCache",
+    "QueueFull",
     "RegistryError",
+    "ResiliencePolicy",
     "ResponseHandle",
+    "RetryPolicy",
+    "RuntimeClosed",
     "SchedulerClosed",
+    "ServeError",
     "ServeRequest",
     "ServingRuntime",
+    "StageTimeout",
+    "StageTimeouts",
+    "StateGauge",
     "default_registry",
+    "fault_injection",
     "fusion_settings",
     "inputs_signature",
     "plan_key",

@@ -18,7 +18,7 @@ from __future__ import annotations
 import threading
 from typing import Dict, List, Optional
 
-__all__ = ["Counter", "Gauge", "Histogram", "Metrics"]
+__all__ = ["Counter", "Gauge", "Histogram", "Metrics", "StateGauge"]
 
 
 class Counter:
@@ -67,6 +67,33 @@ class Gauge:
 
     def snapshot(self) -> float:
         return self.value
+
+
+class StateGauge:
+    """A gauge whose value is a symbolic state string, with transition
+    counts — the circuit-breaker ``closed``/``half_open``/``open``
+    export, where an averaged number would be meaningless."""
+
+    def __init__(self, name: str, initial: str = ""):
+        self.name = name
+        self._state = initial
+        self._transitions = 0
+        self._lock = threading.Lock()
+
+    def set(self, state: str) -> None:
+        with self._lock:
+            if state != self._state:
+                self._state = state
+                self._transitions += 1
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            return {"state": self._state, "transitions": self._transitions}
 
 
 class Histogram:
@@ -153,6 +180,7 @@ class Metrics:
     def __init__(self) -> None:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
+        self._states: Dict[str, StateGauge] = {}
         self._histograms: Dict[str, Histogram] = {}
         self._lock = threading.Lock()
 
@@ -172,6 +200,14 @@ class Metrics:
                 self._gauges[name] = instrument
             return instrument
 
+    def state_gauge(self, name: str, initial: str = "") -> StateGauge:
+        with self._lock:
+            instrument = self._states.get(name)
+            if instrument is None:
+                instrument = StateGauge(name, initial)
+                self._states[name] = instrument
+            return instrument
+
     def histogram(self, name: str, capacity: int = 4096) -> Histogram:
         with self._lock:
             instrument = self._histograms.get(name)
@@ -185,6 +221,7 @@ class Metrics:
         with self._lock:
             counters = dict(self._counters)
             gauges = dict(self._gauges)
+            states = dict(self._states)
             histograms = dict(self._histograms)
         return {
             "counters": {
@@ -192,6 +229,9 @@ class Metrics:
             },
             "gauges": {
                 name: gauges[name].snapshot() for name in sorted(gauges)
+            },
+            "states": {
+                name: states[name].snapshot() for name in sorted(states)
             },
             "histograms": {
                 name: histograms[name].snapshot()

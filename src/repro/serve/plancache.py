@@ -97,12 +97,19 @@ def plan_key(
 
 @dataclass
 class CachedPlan:
-    """One cache entry: the fused partition plus its compiled plan."""
+    """One cache entry: the fused partition plus its compiled plan.
+
+    ``plan`` is ``None`` only for ``engine="recursive"`` entries — the
+    bottom rung of the degradation ladder deliberately skips tape
+    compilation (its failure domain must not include the tape
+    compiler) and executes the recursive walk from ``graph`` +
+    ``partition`` instead.
+    """
 
     key: tuple
     graph: KernelGraph
     partition: Partition
-    plan: PartitionPlan
+    plan: Optional[PartitionPlan]
     #: Per-stage compile-time breakdown in milliseconds:
     #: ``fuse`` (benefit estimate + partitioning) and ``plan`` (tape
     #: compilation), the costs the cache amortizes across requests.
@@ -119,6 +126,9 @@ class CachedPlan:
     #: plan holds the loaded ``.so`` artifact, a cache hit on this
     #: entry skips fusion, tape planning *and* the C compile.
     native_plan: Optional[object] = None
+    #: The execution engine this entry was built for (``tape`` /
+    #: ``native`` / ``recursive``) — also the third key component.
+    engine: str = "tape"
 
 
 class _InFlight:
@@ -144,6 +154,7 @@ class PlanCache:
         self.misses = 0
         self.coalesced = 0
         self.evictions = 0
+        self.quarantined = 0
 
     def get(self, key: tuple) -> Optional[CachedPlan]:
         """The cached entry for ``key``, or ``None`` (counts a hit/miss)."""
@@ -214,6 +225,20 @@ class PlanCache:
             pending.event.set()
             return entry, False
 
+    def quarantine(self, key: tuple) -> bool:
+        """Evict a plan that failed at verify or execute time.
+
+        A poisoned or miscompiled entry must never be served again: the
+        resilience layer calls this before rebuilding, so the next
+        lookup misses and recompiles from scratch.  Returns whether an
+        entry was actually present (idempotent under racing callers).
+        """
+        with self._lock:
+            removed = self._entries.pop(key, None)
+            if removed is not None:
+                self.quarantined += 1
+            return removed is not None
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
@@ -237,6 +262,7 @@ class PlanCache:
                 "misses": self.misses,
                 "coalesced": self.coalesced,
                 "evictions": self.evictions,
+                "quarantined": self.quarantined,
                 "hit_rate": (
                     self.hits / (self.hits + self.misses)
                     if (self.hits + self.misses)

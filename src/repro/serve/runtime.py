@@ -19,9 +19,23 @@ input arrays; the runtime
    end-to-end latency, compile/fuse timings on misses, cache hit rate,
    queue depth, batch sizes.
 
-Results are **bit-identical** to direct
-:func:`repro.backend.numpy_exec.execute_partitioned` execution — the
-serving layer reorders *when* work happens, never *what* is computed.
+Results are **bit-identical** to direct :func:`repro.api.run`
+execution of the same configuration — the serving layer reorders
+*when* work happens, never *what* is computed.
+
+Every request additionally runs under the runtime's
+:class:`~repro.serve.resilience.ResiliencePolicy`: a failed fuse /
+plan / compile / verify stage steps the request down the degradation
+ladder ``native → tape → recursive`` immediately (the three engines
+compute bit-identical results, so the caller sees a slower answer, not
+an error), repeated build failures trip a per-pipeline circuit breaker
+that routes *future* requests straight to the degraded rung until a
+half-open probe recovers, plans that fail at execute time are
+quarantined out of the cache and rebuilt, and each stage can carry a
+latency budget enforced with
+:class:`~repro.serve.errors.StageTimeout`.  Every retry, downgrade,
+breaker transition, timeout, and quarantine is visible in
+:meth:`ServingRuntime.metrics_snapshot`.
 
 The runtime is a context manager; exiting drains the queue and joins
 the workers.
@@ -30,8 +44,11 @@ the workers.
 from __future__ import annotations
 
 import time
+import zlib
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as _FutureTimeout
 from dataclasses import replace
-from typing import Any, Dict, List
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -42,6 +59,14 @@ from repro.graph.dag import KernelGraph
 from repro.graph.partition import Partition
 from repro.model.benefit import BenefitConfig
 from repro.model.hardware import KNOWN_GPUS, GpuSpec
+from repro.serve import faultinject
+from repro.serve.errors import (
+    BackpressureError,
+    DeadlineExceeded,
+    PlanBuildError,
+    RuntimeClosed,
+    StageTimeout,
+)
 from repro.serve.metrics import Metrics
 from repro.serve.plancache import (
     CachedPlan,
@@ -50,9 +75,13 @@ from repro.serve.plancache import (
     plan_key,
 )
 from repro.serve.registry import PipelineRegistry, default_registry
+from repro.serve.resilience import (
+    BreakerBoard,
+    CircuitBreaker,
+    ResiliencePolicy,
+    ladder_from,
+)
 from repro.serve.scheduler import (
-    BackpressureError,
-    DeadlineExceeded,
     MicroBatchScheduler,
     ResponseHandle,
     ServeRequest,
@@ -85,7 +114,7 @@ def fusion_settings(
 
 
 class ServingRuntime:
-    """A long-lived, thread-safe pipeline service.
+    """A long-lived, thread-safe, fault-tolerant pipeline service.
 
     Parameters
     ----------
@@ -112,6 +141,13 @@ class ServingRuntime:
         hit skips fusion, tape planning *and* the C compile; hosts
         without a C toolchain downgrade to ``"tape"`` at construction
         (recorded under ``metrics_snapshot()["engine"]``).
+    resilience:
+        The :class:`~repro.serve.resilience.ResiliencePolicy` applied
+        to every request: retry/backoff, per-stage timeouts, circuit
+        breakers routing down the degradation ladder, plan quarantine.
+        Defaults to an enabled policy;
+        ``ResiliencePolicy.disabled()`` restores the fail-fast
+        behaviour of earlier revisions.
     """
 
     def __init__(
@@ -125,6 +161,7 @@ class ServingRuntime:
         max_batch: int = 8,
         cache_capacity: int = 64,
         engine: str = "tape",
+        resilience: ResiliencePolicy | None = None,
         metrics: Metrics | None = None,
     ):
         self.registry = registry if registry is not None else default_registry()
@@ -154,6 +191,26 @@ class ServingRuntime:
         self.intra_workers = intra_workers
         self.cache = PlanCache(capacity=cache_capacity)
         self.metrics = metrics or Metrics()
+        self.resilience = resilience or ResiliencePolicy()
+        self._ladder = ladder_from(engine)
+        self._board = BreakerBoard(
+            self.resilience.breaker, self.resilience.clock
+        )
+        for rung in self._ladder[:-1]:
+            self.metrics.state_gauge(f"breaker_{rung}", CircuitBreaker.CLOSED)
+        # Stage-timeout enforcement runs the stage on a side thread; the
+        # pool exists only when some budget is configured, so the
+        # default no-timeout hot path pays nothing.
+        self._timeout_pool: Optional[ThreadPoolExecutor] = (
+            ThreadPoolExecutor(
+                max_workers=max(2, workers), thread_name_prefix="repro-stage"
+            )
+            if self.resilience.timeouts.any_set
+            else None
+        )
+        # Pick up any REPRO_FAULTS rules armed since module import (the
+        # registry makes this free when the spec is unchanged).
+        faultinject.refresh_from_env()
         self._closed = False
         self.scheduler = MicroBatchScheduler(
             self._handle_batch,
@@ -161,6 +218,32 @@ class ServingRuntime:
             max_queue=max_queue,
             max_batch=max_batch,
         )
+
+    @classmethod
+    def from_options(
+        cls,
+        options: Any,
+        registry: PipelineRegistry | None = None,
+        **overrides: Any,
+    ) -> "ServingRuntime":
+        """Build a runtime from :class:`repro.api.ExecutionOptions`.
+
+        The options contribute engine, fusion configuration,
+        intra-request workers, and the resilience policy; serving-only
+        knobs (scheduler workers, queue/batch bounds, cache capacity)
+        pass through ``overrides``.
+        """
+        from repro.backend.numpy_exec import _resolve_engine
+
+        kwargs: Dict[str, Any] = {
+            "fusion": options.fusion_settings(),
+            "engine": _resolve_engine(options.engine),
+            "intra_workers": options.workers,
+        }
+        if options.resilience is not None:
+            kwargs["resilience"] = options.resilience
+        kwargs.update(overrides)
+        return cls(registry, **kwargs)
 
     # -- request admission -------------------------------------------------
 
@@ -178,10 +261,10 @@ class ServingRuntime:
 
         ``deadline_s`` is the request's total latency budget (queue wait
         included); expired requests fail with
-        :class:`~repro.serve.scheduler.DeadlineExceeded`.  ``block`` /
+        :class:`~repro.serve.errors.DeadlineExceeded`.  ``block`` /
         ``queue_timeout`` control backpressure behaviour when the queue
         is full.  Returns a handle; ``handle.result()`` yields the same
-        surviving-image environment ``execute_partitioned`` returns.
+        surviving-image environment :func:`repro.api.run` returns.
         """
         entry = self.registry.get(pipeline)
         height, width = _infer_geometry(inputs)
@@ -224,14 +307,15 @@ class ServingRuntime:
         """Serve an unregistered graph through the runtime.
 
         This is the integration hook behind
-        ``execute_pipeline(..., runtime=...)``: ``partition=None``
-        fuses under the runtime's settings, while an explicit partition
-        serves exactly those blocks (``Partition.singletons`` for
-        staged semantics).  Plan caching still applies — the key is the
-        graph's structural signature plus the partition's block
-        signature, so repeated calls with structurally identical graphs
-        reuse one compiled plan.  ``naive_borders`` overrides the
-        runtime's border handling for this call (part of the key).
+        ``repro.api.run(..., options=ExecutionOptions(runtime=...))``:
+        ``partition=None`` fuses under the runtime's settings, while an
+        explicit partition serves exactly those blocks
+        (``Partition.singletons`` for staged semantics).  Plan caching
+        still applies — the key is the graph's structural signature
+        plus the partition's block signature, so repeated calls with
+        structurally identical graphs reuse one compiled plan.
+        ``naive_borders`` overrides the runtime's border handling for
+        this call (part of the key).
         """
         handle = self._submit_graph(
             graph,
@@ -254,6 +338,10 @@ class ServingRuntime:
         block: bool = True,
         queue_timeout: float | None = None,
     ) -> ResponseHandle:
+        if self._closed:
+            # Refuse immediately instead of racing the scheduler's own
+            # shutdown flag — close() stops admissions synchronously.
+            raise RuntimeClosed("runtime is closed")
         if naive_borders is None:
             naive_borders = self.fusion.naive_borders
         fusion = self.fusion
@@ -315,78 +403,264 @@ class ServingRuntime:
                 )
                 continue
             try:
-                entry, hit = self.cache.get_or_build(
-                    key, lambda: self._build_plan(key, request)
-                )
-                plan = (
-                    entry.native_plan
-                    if entry.native_plan is not None
-                    else entry.plan
-                )
-                started = time.monotonic()
-                env = plan.execute(
-                    request.payload["inputs"],
-                    request.payload["params"],
-                    workers=self.intra_workers,
-                )
+                env, engine = self._serve_request(key, request)
                 finished = time.monotonic()
             except BaseException as err:
                 self.metrics.counter("requests_failed").inc()
                 request.handle.set_error(err)
                 continue
-            executed = "native" if entry.native_plan is not None else "tape"
-            self.metrics.counter(f"engine_{executed}_executions").inc()
-            self.metrics.histogram("execute_ms").observe(
-                (finished - started) * 1e3
-            )
+            self.metrics.counter(f"engine_{engine}_executions").inc()
             self.metrics.histogram("total_ms").observe(
                 (finished - request.enqueued_at) * 1e3
             )
             self.metrics.counter("requests_completed").inc()
             request.handle.set_result(env)
 
-    def _build_plan(self, key: Any, request: ServeRequest) -> CachedPlan:
-        """Fuse and tape-compile one plan (cache miss path)."""
+    def _serve_request(
+        self, key: Any, request: ServeRequest
+    ) -> Tuple[Arrays, str]:
+        """Serve one request under the resilience policy.
+
+        The attempt loop owns the whole failure story: build failures
+        step the request down the degradation ladder *immediately* (the
+        caller gets a slower bit-identical answer instead of an error,
+        even before the breaker trips), execute failures quarantine the
+        plan and rebuild, and each retry beyond the first pays the
+        policy's backoff against the per-request budget.  Returns the
+        environment plus the ladder rung that produced it.
+        """
+        policy = self.resilience
+        retry = policy.retry
+        pipeline = key[0]  # structural signature = per-pipeline identity
+        backoff_spent = 0.0
+        floor = 0  # lowest ladder index this request may still try
+        stepped_down = False
+        last_error: Optional[BaseException] = None
+        for attempt in range(retry.max_attempts):
+            if attempt:
+                # A ladder step-down retries on a *different* engine —
+                # the failure was not transient, so backing off first
+                # would only add latency.  Same-rung retries pay the
+                # policy's backoff against the per-request budget.  The
+                # jitter token is derived here, not per request: only
+                # retries ever need it.
+                delay = (
+                    0.0
+                    if stepped_down
+                    else retry.delay_s(
+                        attempt - 1, zlib.crc32(repr(key).encode())
+                    )
+                )
+                stepped_down = False
+                if delay:
+                    if backoff_spent + delay > retry.budget_s:
+                        self.metrics.counter("retry_budget_exhausted").inc()
+                        break
+                    backoff_spent += delay
+                    policy.sleep(delay)
+                self.metrics.counter("request_retries").inc()
+            if policy.degradation:
+                routed = self._board.engine_for(pipeline, self._ladder)
+                index = max(self._ladder.index(routed), floor)
+            else:
+                index = min(floor, len(self._ladder) - 1)
+            engine = self._ladder[index]
+            attempt_key = key[:2] + (engine,) + key[3:]
+            if engine != self.engine:
+                self.metrics.counter(f"degraded_to_{engine}").inc()
+            try:
+                entry = self._lookup_plan(attempt_key, request, engine)
+            except BaseException as err:
+                last_error = err
+                if policy.degradation:
+                    self._board.record_failure(pipeline, engine)
+                    self._update_breaker_gauges()
+                    if index < len(self._ladder) - 1:
+                        # Step down *this* request right away; the
+                        # breaker handles future traffic.
+                        floor = index + 1
+                        stepped_down = True
+                    continue
+                raise
+            started = time.monotonic()
+            try:
+                env = self._execute_entry(entry, request, engine)
+            except BaseException as err:
+                last_error = err
+                if policy.quarantine:
+                    if self.cache.quarantine(attempt_key):
+                        self.metrics.counter("plans_quarantined").inc()
+                if retry.max_attempts == 1:
+                    raise
+                continue
+            self.metrics.histogram("execute_ms").observe(
+                (time.monotonic() - started) * 1e3
+            )
+            if policy.degradation and engine in self._ladder[:-1]:
+                # record_success is a no-op (False) while the breaker
+                # is quiet, so healthy traffic skips the gauge sweep.
+                if self._board.record_success(pipeline, engine):
+                    self._update_breaker_gauges()
+            return env, engine
+        assert last_error is not None
+        raise last_error
+
+    def _lookup_plan(
+        self, attempt_key: tuple, request: ServeRequest, engine: str
+    ) -> CachedPlan:
+        """Fetch or build the plan for one (request, ladder rung)."""
+        entry, hit = self.cache.get_or_build(
+            attempt_key,
+            lambda: self._build_plan(attempt_key, request, engine),
+        )
+        if (
+            hit
+            and faultinject.armed()
+            and faultinject.take_corruption("cache.hit")
+        ):
+            # An injected corruption marks the served entry poisoned:
+            # quarantine it and rebuild, exactly as the resilience
+            # layer does for a genuinely bad plan.
+            if self.cache.quarantine(attempt_key):
+                self.metrics.counter("plans_quarantined").inc()
+            entry, hit = self.cache.get_or_build(
+                attempt_key,
+                lambda: self._build_plan(attempt_key, request, engine),
+            )
+        return entry
+
+    def _timed_stage(self, stage: str, fn: Callable[[], Any]) -> Any:
+        """Run one pipeline stage under its configured latency budget.
+
+        Without a budget (the default) the stage runs inline; with one,
+        it runs on the side pool and a blown budget raises
+        :class:`StageTimeout` (the stage thread is abandoned — numpy
+        work cannot be interrupted — but the request moves on).
+        """
+        budget = self.resilience.timeouts.budget_for(stage)
+        if budget is None or self._timeout_pool is None:
+            return fn()
+        future = self._timeout_pool.submit(fn)
+        try:
+            return future.result(timeout=budget)
+        except _FutureTimeout:
+            future.cancel()
+            self.metrics.counter(f"stage_timeout_{stage}").inc()
+            raise StageTimeout(stage, budget) from None
+
+    def _execute_entry(
+        self, entry: CachedPlan, request: ServeRequest, engine: str
+    ) -> Arrays:
+        inputs = request.payload["inputs"]
+        params = request.payload["params"]
+
+        def run() -> Arrays:
+            faultinject.check("execute")
+            if engine == "native" and entry.native_plan is not None:
+                return entry.native_plan.execute(
+                    inputs, params, workers=self.intra_workers
+                )
+            if entry.plan is None:
+                # Recursive rung: no tape, walk the graph directly.
+                from repro.backend.numpy_exec import (
+                    _execute_partitioned_recursive,
+                )
+
+                return _execute_partitioned_recursive(
+                    entry.graph,
+                    entry.partition,
+                    inputs,
+                    params,
+                    naive_borders=request.payload.get(
+                        "naive_borders", self.fusion.naive_borders
+                    ),
+                )
+            return entry.plan.execute(
+                inputs, params, workers=self.intra_workers
+            )
+
+        return self._timed_stage("execute", run)
+
+    def _build_plan(
+        self, key: Any, request: ServeRequest, engine: str
+    ) -> CachedPlan:
+        """Fuse and compile one plan for one ladder rung (cache miss).
+
+        Each stage runs under its latency budget and failures surface
+        as :class:`PlanBuildError` carrying the stage and engine, so
+        the retry loop can route the request down the ladder.  The
+        ``recursive`` rung deliberately skips tape compilation — its
+        failure domain must not include the tape compiler.
+        """
         graph: KernelGraph = request.payload["graph"]
         partition: Partition | None = request.payload["partition"]
+        naive_borders = request.payload.get(
+            "naive_borders", self.fusion.naive_borders
+        )
         timings: Dict[str, float] = {}
         if partition is None:
-            from repro.eval.runner import partition_for
+
+            def fuse() -> Partition:
+                faultinject.check("fuse")
+                from repro.eval.runner import partition_for
+
+                return partition_for(
+                    graph,
+                    self.gpu,
+                    self.fusion.version,
+                    BenefitConfig(
+                        c_mshared=self.fusion.c_mshared,
+                        epsilon=self.fusion.epsilon,
+                        gamma=self.fusion.gamma,
+                        is_units=self.fusion.is_units,
+                    ),
+                )
 
             started = time.perf_counter()
-            partition = partition_for(
-                graph,
-                self.gpu,
-                self.fusion.version,
-                BenefitConfig(
-                    c_mshared=self.fusion.c_mshared,
-                    epsilon=self.fusion.epsilon,
-                    gamma=self.fusion.gamma,
-                    is_units=self.fusion.is_units,
-                ),
-            )
+            try:
+                partition = self._timed_stage("fuse", fuse)
+            except StageTimeout:
+                raise
+            except Exception as err:
+                raise PlanBuildError(
+                    "fuse", engine, f"fusing the graph failed: {err}"
+                ) from err
             timings["fuse_ms"] = (time.perf_counter() - started) * 1e3
-        started = time.perf_counter()
-        plan = plan_for_partition(
-            graph,
-            partition,
-            naive_borders=request.payload.get(
-                "naive_borders", self.fusion.naive_borders
-            ),
-        )
-        timings["plan_ms"] = (time.perf_counter() - started) * 1e3
+        plan = None
+        if engine != "recursive":
+            started = time.perf_counter()
+            try:
+                plan = self._timed_stage(
+                    "plan",
+                    lambda: plan_for_partition(
+                        graph, partition, naive_borders=naive_borders
+                    ),
+                )
+            except StageTimeout:
+                raise
+            except Exception as err:
+                raise PlanBuildError(
+                    "plan", engine, f"tape compilation failed: {err}"
+                ) from err
+            timings["plan_ms"] = (time.perf_counter() - started) * 1e3
         native_plan = None
-        if self.engine == "native":
+        if engine == "native":
             from repro.backend.native_exec import native_plan_for_partition
 
             started = time.perf_counter()
-            native_plan = native_plan_for_partition(
-                graph,
-                partition,
-                naive_borders=request.payload.get(
-                    "naive_borders", self.fusion.naive_borders
-                ),
-            )
+            try:
+                native_plan = self._timed_stage(
+                    "compile",
+                    lambda: native_plan_for_partition(
+                        graph, partition, naive_borders=naive_borders
+                    ),
+                )
+            except StageTimeout:
+                raise
+            except Exception as err:
+                raise PlanBuildError(
+                    "compile", engine, f"native compilation failed: {err}"
+                ) from err
             timings["native_compile_ms"] = (
                 time.perf_counter() - started
             ) * 1e3
@@ -400,17 +674,28 @@ class ServingRuntime:
             if native_plan.from_cache:
                 self.metrics.counter("native_artifact_cache_hits").inc()
         verified = False
-        if validate_mode() == "strict":
+        if plan is not None and validate_mode() == "strict":
             # Strict mode verifies every plan cache insert — including
             # plans that were compiled earlier (module-level plan cache
             # hit) under a weaker validation mode.
             from repro.analysis.verifier import enforce, verify_partition_plan
 
+            def verify() -> None:
+                faultinject.check("verify")
+                enforce(
+                    verify_partition_plan(plan, graph=graph),
+                    context="plan cache insert",
+                )
+
             started = time.perf_counter()
-            enforce(
-                verify_partition_plan(plan, graph=graph),
-                context="plan cache insert",
-            )
+            try:
+                self._timed_stage("verify", verify)
+            except StageTimeout:
+                raise
+            except Exception as err:
+                raise PlanBuildError(
+                    "verify", engine, f"plan verification failed: {err}"
+                ) from err
             timings["verify_ms"] = (time.perf_counter() - started) * 1e3
             verified = True
         for stage, value in timings.items():
@@ -423,7 +708,14 @@ class ServingRuntime:
             timings_ms=timings,
             verified=verified,
             native_plan=native_plan,
+            engine=engine,
         )
+
+    def _update_breaker_gauges(self) -> None:
+        for rung in self._ladder[:-1]:
+            self.metrics.state_gauge(
+                f"breaker_{rung}", CircuitBreaker.CLOSED
+            ).set(self._board.worst_state(rung))
 
     # -- observability -------------------------------------------------------
 
@@ -454,6 +746,20 @@ class ServingRuntime:
             ),
             self.fusion.key(),
         ))
+        retry = self.resilience.retry
+        snapshot["resilience"] = {
+            "ladder": list(self._ladder),
+            "degradation": self.resilience.degradation,
+            "quarantine": self.resilience.quarantine,
+            "retry": {
+                "max_attempts": retry.max_attempts,
+                "backoff_base_s": retry.backoff_base_s,
+                "backoff_max_s": retry.backoff_max_s,
+                "budget_s": retry.budget_s,
+            },
+            "breakers": self._board.states(),
+            "faults": faultinject.stats(),
+        }
         return snapshot
 
     # -- lifecycle -----------------------------------------------------------
@@ -462,11 +768,18 @@ class ServingRuntime:
         return self.scheduler.drain(timeout)
 
     def close(self, drain: bool = True, timeout: float | None = None) -> None:
-        """Stop admissions, optionally finish queued work, join workers."""
+        """Stop admissions, optionally finish queued work, join workers.
+
+        New submits fail with :class:`RuntimeClosed` from the moment
+        this is entered, *before* the scheduler starts draining — a
+        drain cannot race fresh work into the queue.
+        """
         if self._closed:
             return
         self._closed = True
         self.scheduler.close(drain=drain, timeout=timeout)
+        if self._timeout_pool is not None:
+            self._timeout_pool.shutdown(wait=False)
 
     def __enter__(self) -> "ServingRuntime":
         return self

@@ -37,6 +37,15 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Dict, List, Optional
 
+# The exception types historically lived here; they are defined in
+# :mod:`repro.serve.errors` now (as part of the typed ServeError
+# hierarchy) and re-exported for compatibility.
+from repro.serve.errors import (
+    BackpressureError,
+    DeadlineExceeded,
+    SchedulerClosed,
+)
+
 __all__ = [
     "BackpressureError",
     "DeadlineExceeded",
@@ -45,18 +54,6 @@ __all__ = [
     "SchedulerClosed",
     "ServeRequest",
 ]
-
-
-class SchedulerClosed(RuntimeError):
-    """Submission after shutdown, or request dropped by a hard close."""
-
-
-class BackpressureError(RuntimeError):
-    """The bounded queue is full and the caller declined to wait."""
-
-
-class DeadlineExceeded(TimeoutError):
-    """The request's latency budget expired before execution."""
 
 
 class ResponseHandle:

@@ -12,7 +12,7 @@ from helpers import random_image
 
 from repro.apps import APPLICATIONS
 from repro.backend.codegen_cuda import generate_cuda_pipeline
-from repro.backend.numpy_exec import execute_partitioned, execute_pipeline
+from repro.api import ExecutionOptions, run
 from repro.eval.runner import partition_for
 from repro.model.hardware import GTX680, GTX745, K20C
 
@@ -42,9 +42,10 @@ def build_small(app_name):
 @pytest.mark.parametrize("app_name", sorted(GEOMETRY))
 def test_partitioned_execution_matches_staged(app_name, engine):
     graph, inputs = build_small(app_name)
-    staged = execute_pipeline(graph, inputs, PARAMS)
+    staged = run(graph, inputs, PARAMS, options=ExecutionOptions(fuse=False))
     partition = partition_for(graph, GTX680, engine)
-    env = execute_partitioned(graph, partition, inputs, PARAMS)
+    env = run(graph, inputs, PARAMS,
+              options=ExecutionOptions(partition=partition))
     for output_name in graph.external_outputs:
         np.testing.assert_allclose(
             env[output_name],
@@ -87,5 +88,6 @@ def test_cuda_generation_for_every_app(app_name):
 def test_night_rgb_channels_survive_fusion():
     graph, inputs = build_small("Night")
     partition = partition_for(graph, GTX680, "optimized")
-    env = execute_partitioned(graph, partition, inputs, PARAMS)
+    env = run(graph, inputs, PARAMS,
+              options=ExecutionOptions(partition=partition))
     assert env["toned"].shape == inputs["input"].shape

@@ -11,7 +11,7 @@ from hypothesis import strategies as st
 
 from helpers import chain_pipeline
 
-from repro.backend.numpy_exec import execute_partitioned, execute_pipeline
+from repro.api import ExecutionOptions, run
 from repro.dsl.boundary import BoundaryMode, BoundarySpec
 from repro.dsl.mask import Mask
 from repro.eval.runner import partition_for
@@ -64,9 +64,11 @@ def test_mincut_fusion_preserves_pipeline_semantics(chain, seed):
     rng = np.random.default_rng(seed)
     data = rng.uniform(-10.0, 10.0, size=(height, width))
 
-    staged = execute_pipeline(graph, {"img0": data})
+    staged = run(graph, {"img0": data},
+                 options=ExecutionOptions(fuse=False))
     partition = partition_for(graph, GTX680, "optimized")
-    fused = execute_partitioned(graph, partition, {"img0": data})
+    fused = run(graph, {"img0": data},
+                options=ExecutionOptions(partition=partition))
 
     final = f"img{len(patterns)}"
     np.testing.assert_allclose(
@@ -84,9 +86,11 @@ def test_other_engines_preserve_semantics_too(chain, seed, engine):
     rng = np.random.default_rng(seed)
     data = rng.uniform(-10.0, 10.0, size=(height, width))
 
-    staged = execute_pipeline(graph, {"img0": data})
+    staged = run(graph, {"img0": data},
+                 options=ExecutionOptions(fuse=False))
     partition = partition_for(graph, GTX680, engine)
-    fused = execute_partitioned(graph, partition, {"img0": data})
+    fused = run(graph, {"img0": data},
+                options=ExecutionOptions(partition=partition))
 
     final = f"img{len(patterns)}"
     np.testing.assert_allclose(

@@ -20,7 +20,7 @@ from repro.backend.native_exec import (
     LIBM_RTOL,
     native_available,
 )
-from repro.backend.numpy_exec import execute_partitioned
+from repro.api import ExecutionOptions, run
 from repro.eval.runner import partition_for
 from repro.model.hardware import KNOWN_GPUS
 from repro.serve import ServingRuntime
@@ -39,9 +39,11 @@ def _direct_tape(name, inputs):
     spec = APPLICATIONS[name]
     graph = spec.build(WIDTH, HEIGHT).build()
     partition = partition_for(graph, GPU, "optimized")
-    return execute_partitioned(
-        graph, partition, inputs, DEFAULT_APP_PARAMS.get(name),
-        engine="tape",
+    return run(
+        graph,
+        inputs,
+        DEFAULT_APP_PARAMS.get(name),
+        options=ExecutionOptions(partition=partition, engine="tape"),
     )
 
 

@@ -12,14 +12,14 @@ from concurrent.futures import ThreadPoolExecutor
 import numpy as np
 import pytest
 
+from repro.api import ExecutionOptions, run
 from repro.apps import APPLICATIONS
-from repro.backend.numpy_exec import execute_partitioned, execute_pipeline
 from repro.eval.runner import execute_configuration, partition_for
 from repro.model.hardware import KNOWN_GPUS
 from repro.serve import (
     DeadlineExceeded,
     RegistryError,
-    SchedulerClosed,
+    RuntimeClosed,
     ServingRuntime,
     default_registry,
 )
@@ -37,8 +37,11 @@ def _direct(name, inputs):
     spec = APPLICATIONS[name]
     graph = spec.build(WIDTH, HEIGHT).build()
     partition = partition_for(graph, GPU, "optimized")
-    return execute_partitioned(
-        graph, partition, inputs, DEFAULT_APP_PARAMS.get(name)
+    return run(
+        graph,
+        inputs,
+        DEFAULT_APP_PARAMS.get(name),
+        options=ExecutionOptions(partition=partition),
     )
 
 
@@ -103,7 +106,7 @@ class TestServingSmoke:
     def test_submit_after_close_raises(self):
         runtime = ServingRuntime()
         runtime.close()
-        with pytest.raises(SchedulerClosed):
+        with pytest.raises(RuntimeClosed):
             runtime.submit(
                 "Sobel",
                 request_inputs(APPLICATIONS["Sobel"], WIDTH, HEIGHT, seed=0),
@@ -137,16 +140,17 @@ class TestServingSmoke:
 
 
 class TestExecutionRouting:
-    def test_execute_pipeline_through_runtime(self):
+    def test_staged_run_through_runtime(self):
         graph = chain_pipeline(("l", "p", "l")).build()
         inputs = {"img0": random_image()}
-        direct = execute_pipeline(graph, inputs)
+        direct = run(graph, inputs, options=ExecutionOptions(fuse=False))
         with ServingRuntime() as runtime:
-            served = execute_pipeline(graph, inputs, runtime=runtime)
+            staged = ExecutionOptions(fuse=False, runtime=runtime)
+            served = run(graph, inputs, options=staged)
             # A structurally identical graph built separately reuses
             # the cached plan.
             rebuilt = chain_pipeline(("l", "p", "l")).build()
-            again = execute_pipeline(rebuilt, inputs, runtime=runtime)
+            again = run(rebuilt, inputs, options=staged)
             stats = runtime.cache.stats()
         assert set(served) == set(direct)
         for name in direct:
@@ -156,14 +160,20 @@ class TestExecutionRouting:
         assert stats["misses"] == 1
         assert stats["hits"] == 1
 
-    def test_execute_partitioned_through_runtime(self):
+    def test_partitioned_run_through_runtime(self):
         graph = chain_pipeline(("l", "p", "l")).build()
         partition = partition_for(graph, GPU, "optimized")
         inputs = {"img0": random_image()}
-        direct = execute_partitioned(graph, partition, inputs)
+        direct = run(
+            graph, inputs, options=ExecutionOptions(partition=partition)
+        )
         with ServingRuntime() as runtime:
-            served = execute_partitioned(
-                graph, partition, inputs, runtime=runtime
+            served = run(
+                graph,
+                inputs,
+                options=ExecutionOptions(
+                    partition=partition, runtime=runtime
+                ),
             )
         assert set(served) == set(direct)
         for name in direct:

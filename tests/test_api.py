@@ -1,0 +1,291 @@
+"""The canonical execution API: ``repro.api.run`` and its options.
+
+Pins the api_redesign contract: one entry point drives every engine and
+configuration bit-identically to the legacy ``execute_*`` entry points,
+which survive only as deprecation-warning shims over it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import ExecutionOptions, run, run_block
+from repro.apps import APPLICATIONS
+from repro.backend.numpy_exec import ExecutionError
+from repro.eval.runner import partition_for
+from repro.graph.partition import Partition, PartitionBlock
+from repro.model.hardware import GTX680
+from repro.serve.bench import request_inputs
+from repro.serve.registry import DEFAULT_APP_PARAMS
+
+from helpers import chain_pipeline, random_image
+
+WIDTH, HEIGHT = 32, 24
+
+
+def _app_inputs(name, seed=0):
+    return request_inputs(APPLICATIONS[name], WIDTH, HEIGHT, seed=seed)
+
+
+class TestRun:
+    @pytest.mark.parametrize("name", sorted(APPLICATIONS))
+    def test_fused_matches_staged_every_app(self, name):
+        graph = APPLICATIONS[name].build(WIDTH, HEIGHT).build()
+        inputs = _app_inputs(name)
+        params = DEFAULT_APP_PARAMS.get(name)
+        fused = run(graph, inputs, params)
+        staged = run(graph, inputs, params,
+                     options=ExecutionOptions(fuse=False))
+        for image in graph.external_outputs:
+            np.testing.assert_allclose(
+                fused[image], staged[image], rtol=1e-8, atol=1e-8
+            )
+
+    @pytest.mark.parametrize("name", sorted(APPLICATIONS))
+    def test_run_by_registered_name(self, name):
+        inputs = _app_inputs(name)
+        by_name = run(name, inputs)
+        graph = APPLICATIONS[name].build(WIDTH, HEIGHT).build()
+        by_graph = run(graph, inputs, DEFAULT_APP_PARAMS.get(name))
+        assert sorted(by_name) == sorted(by_graph)
+        for image, expected in by_graph.items():
+            np.testing.assert_array_equal(by_name[image], expected)
+
+    def test_recursive_engine_is_bit_identical(self):
+        graph = chain_pipeline(("l", "p", "l"), width=16, height=12).build()
+        inputs = {"img0": random_image(16, 12, seed=5)}
+        tape = run(graph, inputs, options=ExecutionOptions(engine="tape"))
+        recursive = run(
+            graph, inputs, options=ExecutionOptions(engine="recursive")
+        )
+        for image, expected in tape.items():
+            np.testing.assert_array_equal(recursive[image], expected)
+
+    def test_explicit_partition_is_respected(self):
+        graph = chain_pipeline(("l", "p", "l"), width=16, height=12).build()
+        inputs = {"img0": random_image(16, 12, seed=5)}
+        partition = partition_for(graph, GTX680, "optimized")
+        explicit = run(
+            graph, inputs, options=ExecutionOptions(partition=partition)
+        )
+        fused = run(graph, inputs)
+        for image, expected in fused.items():
+            np.testing.assert_array_equal(explicit[image], expected)
+
+    def test_singleton_partition_equals_staged(self):
+        graph = chain_pipeline(("l", "p", "l"), width=16, height=12).build()
+        inputs = {"img0": random_image(16, 12, seed=5)}
+        staged = run(graph, inputs, options=ExecutionOptions(fuse=False))
+        singleton = run(
+            graph,
+            inputs,
+            options=ExecutionOptions(partition=Partition.singletons(graph)),
+        )
+        for image, expected in staged.items():
+            np.testing.assert_array_equal(singleton[image], expected)
+
+    def test_resilience_ladder_protects_direct_execution(self):
+        from repro.serve import ResiliencePolicy
+        from repro.serve import faultinject
+
+        graph = chain_pipeline(("l", "p", "l"), width=16, height=12).build()
+        inputs = {"img0": random_image(16, 12, seed=5)}
+        reference = run(graph, inputs)
+        faultinject.clear()
+        try:
+            with faultinject.fault_injection(
+                "plan.compile", "error", times=None
+            ):
+                env = run(
+                    graph,
+                    inputs,
+                    options=ExecutionOptions(
+                        engine="tape", resilience=ResiliencePolicy()
+                    ),
+                )
+        finally:
+            faultinject.clear()
+        for image, expected in reference.items():
+            np.testing.assert_array_equal(env[image], expected)
+
+
+class TestRunBlock:
+    def test_block_matches_legacy_semantics(self):
+        graph = chain_pipeline(("l", "p"), width=16, height=12).build()
+        block = PartitionBlock(graph, set(graph))
+        inputs = {"img0": random_image(16, 12, seed=3)}
+        fused = run_block(graph, block, inputs)
+        assert fused.shape == (12, 16)
+
+    def test_call_counter_forces_recursive_instrumentation(self):
+        graph = chain_pipeline(("l", "p"), width=16, height=12).build()
+        block = PartitionBlock(graph, set(graph))
+        inputs = {"img0": random_image(16, 12, seed=3)}
+        counter = {}
+        run_block(graph, block, inputs, call_counter=counter)
+        assert counter  # the recursive walk filled it
+
+
+class TestOptionsValidation:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ExecutionError, match="unknown execution engine"):
+            ExecutionOptions(engine="cuda")
+
+    def test_unknown_validate_level_rejected(self):
+        with pytest.raises(ExecutionError, match="unknown validation level"):
+            ExecutionOptions(validate="paranoid")
+
+    def test_unknown_gpu_rejected(self):
+        with pytest.raises(ExecutionError, match="unknown GPU"):
+            ExecutionOptions(gpu="H100")
+
+    def test_options_are_immutable(self):
+        options = ExecutionOptions()
+        with pytest.raises(Exception):
+            options.engine = "native"
+
+    def test_unknown_pipeline_type_rejected(self):
+        with pytest.raises(ExecutionError, match="expected a KernelGraph"):
+            run(42, {})
+
+    def test_strict_validate_scopes_over_the_call(self, monkeypatch):
+        from repro.envknobs import validate_mode
+
+        graph = chain_pipeline(("l", "p"), width=16, height=12).build()
+        inputs = {"img0": random_image(16, 12, seed=3)}
+        monkeypatch.setenv("REPRO_VALIDATE", "off")
+        assert validate_mode() == "off"
+        run(graph, inputs, options=ExecutionOptions(validate="strict"))
+        assert validate_mode() == "off"  # the scope did not leak
+
+
+class TestDeprecatedShims:
+    """The nine legacy entry points: still correct, now warning."""
+
+    def _graph_and_inputs(self):
+        graph = chain_pipeline(("l", "p", "l"), width=16, height=12).build()
+        return graph, {"img0": random_image(16, 12, seed=5)}
+
+    def test_execute_pipeline_warns_and_matches(self):
+        from repro.backend.numpy_exec import execute_pipeline
+
+        graph, inputs = self._graph_and_inputs()
+        expected = run(graph, inputs, options=ExecutionOptions(fuse=False))
+        with pytest.warns(DeprecationWarning, match="execute_pipeline"):
+            legacy = execute_pipeline(graph, inputs)
+        for image, value in expected.items():
+            np.testing.assert_array_equal(legacy[image], value)
+
+    def test_execute_partitioned_warns_and_matches(self):
+        from repro.backend.numpy_exec import execute_partitioned
+
+        graph, inputs = self._graph_and_inputs()
+        partition = partition_for(graph, GTX680, "optimized")
+        expected = run(
+            graph, inputs, options=ExecutionOptions(partition=partition)
+        )
+        with pytest.warns(DeprecationWarning, match="execute_partitioned"):
+            legacy = execute_partitioned(graph, partition, inputs)
+        for image, value in expected.items():
+            np.testing.assert_array_equal(legacy[image], value)
+
+    def test_execute_block_warns_and_matches(self):
+        from repro.backend.numpy_exec import execute_block
+
+        graph, inputs = self._graph_and_inputs()
+        block = PartitionBlock(graph, set(graph))
+        expected = run_block(graph, block, inputs)
+        with pytest.warns(DeprecationWarning, match="execute_block"):
+            legacy = execute_block(graph, block, inputs)
+        np.testing.assert_array_equal(legacy, expected)
+
+    def test_tape_variants_warn(self):
+        from repro.backend.plan import (
+            execute_block_tape,
+            execute_partitioned_tape,
+            execute_pipeline_tape,
+        )
+
+        graph, inputs = self._graph_and_inputs()
+        partition = partition_for(graph, GTX680, "optimized")
+        block = PartitionBlock(graph, set(graph))
+        with pytest.warns(DeprecationWarning):
+            execute_pipeline_tape(graph, inputs)
+        with pytest.warns(DeprecationWarning):
+            execute_partitioned_tape(graph, partition, inputs)
+        with pytest.warns(DeprecationWarning):
+            execute_block_tape(graph, block, inputs)
+
+    def test_native_variants_warn(self):
+        from repro.backend.native_exec import (
+            execute_partitioned_native,
+            execute_pipeline_native,
+        )
+
+        graph, inputs = self._graph_and_inputs()
+        partition = partition_for(graph, GTX680, "optimized")
+        reference = run(
+            graph, inputs, options=ExecutionOptions(partition=partition)
+        )
+        with pytest.warns(DeprecationWarning):
+            by_pipeline = execute_pipeline_native(graph, inputs)
+        with pytest.warns(DeprecationWarning):
+            by_partition = execute_partitioned_native(
+                graph, partition, inputs
+            )
+        # Native (or its tape fallback) under the pinned tolerance.
+        for image, value in reference.items():
+            np.testing.assert_allclose(
+                by_partition[image], value, rtol=1e-12, atol=1e-12
+            )
+        assert set(by_pipeline) >= set(reference)
+
+    def test_top_level_exports(self):
+        import repro
+
+        assert repro.run is run
+        assert repro.ExecutionOptions is ExecutionOptions
+        assert repro.run_block is run_block
+
+
+class TestFirstPartyMigration:
+    """CI gate: no first-party module calls a deprecated entry point.
+
+    The shims themselves (``numpy_exec`` / ``plan`` / ``native_exec``)
+    and the compat re-exports in ``backend/__init__`` are the only
+    places the legacy names may appear in ``src/``.
+    """
+
+    SHIM_FILES = {
+        "backend/numpy_exec.py",
+        "backend/plan.py",
+        "backend/native_exec.py",
+        "backend/__init__.py",
+    }
+    LEGACY = (
+        "execute_pipeline(", "execute_partitioned(", "execute_block(",
+        "execute_pipeline_tape(", "execute_partitioned_tape(",
+        "execute_block_tape(", "execute_pipeline_native(",
+        "execute_partitioned_native(", "execute_block_native(",
+    )
+
+    def test_no_legacy_calls_outside_the_shims(self):
+        from pathlib import Path
+
+        import repro
+
+        src = Path(repro.__file__).parent
+        offenders = []
+        for path in sorted(src.rglob("*.py")):
+            relative = path.relative_to(src).as_posix()
+            if relative in self.SHIM_FILES:
+                continue
+            for line_number, line in enumerate(
+                path.read_text().splitlines(), start=1
+            ):
+                stripped = line.split("#", 1)[0]
+                if any(call in stripped for call in self.LEGACY):
+                    offenders.append(f"{relative}:{line_number}: {line.strip()}")
+        assert not offenders, (
+            "legacy execute_* calls outside the deprecation shims:\n"
+            + "\n".join(offenders)
+        )

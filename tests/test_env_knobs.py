@@ -9,7 +9,8 @@ import pytest
 from helpers import chain_pipeline, random_image
 
 from repro.backend.cpu_exec import CACHE_ENV, _cache_dir
-from repro.backend.numpy_exec import ENGINE_ENV, execute_pipeline
+from repro.api import run
+from repro.backend.numpy_exec import ENGINE_ENV
 from repro.backend.plan import WORKERS_ENV, resolve_workers
 from repro.envknobs import (
     VALIDATE_ENV,
@@ -117,15 +118,15 @@ class TestEngineKnob:
         monkeypatch.setenv(ENGINE_ENV, "warp-drive")
         graph = chain_pipeline(("p",), 6, 6).build()
         with pytest.raises(ValueError, match=ENGINE_ENV):
-            execute_pipeline(graph, {"img0": random_image(6, 6)})
+            run(graph, {"img0": random_image(6, 6)})
 
     def test_valid_engine_from_environment(self, monkeypatch):
         graph = chain_pipeline(("p",), 6, 6).build()
         data = random_image(6, 6)
         monkeypatch.setenv(ENGINE_ENV, "recursive")
-        via_env = execute_pipeline(graph, {"img0": data})
+        via_env = run(graph, {"img0": data})
         monkeypatch.delenv(ENGINE_ENV)
-        default = execute_pipeline(graph, {"img0": data})
+        default = run(graph, {"img0": data})
         np.testing.assert_array_equal(via_env["img1"], default["img1"])
 
 
@@ -219,3 +220,80 @@ class TestCacheDirKnob:
     def test_cache_dir_from_environment(self, monkeypatch, tmp_path):
         monkeypatch.setenv(CACHE_ENV, str(tmp_path / "cc"))
         assert _cache_dir() == tmp_path / "cc"
+
+
+class TestFaultsKnob:
+    """``REPRO_FAULTS``: the deterministic fault-injection spec."""
+
+    def test_unset_yields_none(self, monkeypatch):
+        from repro.envknobs import FAULTS_ENV, faults_env
+
+        monkeypatch.delenv(FAULTS_ENV, raising=False)
+        assert faults_env() is None
+        monkeypatch.setenv(FAULTS_ENV, "   ")
+        assert faults_env() is None
+
+    def test_spec_flows_into_the_registry(self, monkeypatch):
+        from repro.envknobs import FAULTS_ENV
+        from repro.serve import faultinject
+
+        monkeypatch.setenv(FAULTS_ENV, "plan.compile:error*2")
+        faultinject.refresh_from_env()
+        try:
+            assert faultinject.armed()
+        finally:
+            faultinject.clear()
+        assert not faultinject.armed()
+
+    def test_malformed_spec_names_the_variable(self, monkeypatch):
+        from repro.envknobs import FAULTS_ENV
+        from repro.serve import faultinject
+
+        monkeypatch.setenv(FAULTS_ENV, "plan.compile:frobnicate")
+        try:
+            with pytest.raises(EnvKnobError, match=FAULTS_ENV):
+                faultinject.refresh_from_env()
+        finally:
+            monkeypatch.delenv(FAULTS_ENV)
+            faultinject.clear()
+
+    def test_runtime_arms_env_faults_at_construction(self, monkeypatch):
+        from repro.envknobs import FAULTS_ENV
+        from repro.serve import ServingRuntime, faultinject
+
+        monkeypatch.setenv(FAULTS_ENV, "execute:error*1")
+        try:
+            with ServingRuntime() as runtime:
+                env = runtime.execute(
+                    "Sobel", {"input": random_image(24, 16, seed=0)}
+                )
+                snapshot = runtime.metrics_snapshot()
+            assert "magnitude" in env
+            assert snapshot["resilience"]["faults"] == {"execute": 1}
+            assert snapshot["counters"]["request_retries"] == 1
+        finally:
+            faultinject.clear()
+
+
+class TestValidateOverride:
+    def test_override_scopes_and_restores(self, monkeypatch):
+        from repro.envknobs import validate_override
+
+        monkeypatch.setenv(VALIDATE_ENV, "off")
+        with validate_override("strict"):
+            assert validate_mode() == "strict"
+        assert validate_mode() == "off"
+
+    def test_none_leaves_environment_in_force(self, monkeypatch):
+        from repro.envknobs import validate_override
+
+        monkeypatch.setenv(VALIDATE_ENV, "strict")
+        with validate_override(None):
+            assert validate_mode() == "strict"
+
+    def test_invalid_override_rejected(self):
+        from repro.envknobs import validate_override
+
+        with pytest.raises(EnvKnobError, match="paranoid"):
+            with validate_override("paranoid"):
+                pass
