@@ -1,0 +1,192 @@
+"""Sharded serving scaling: 1/2/4 worker processes, bit-identical.
+
+Runs the six paper applications through :class:`repro.serve.sharding.
+ShardedRuntime` fleets of 1, 2, and 4 worker processes and records the
+scaling curve, plus two resilience/parallelism spot checks:
+
+* an injected ``worker.kill`` mid-stream must lose **zero** requests
+  (the dispatcher retries on a sibling shard and respawns the worker);
+* the native engine's ``workers=4`` block parallelism on an
+  independent-branch partition, timed against ``workers=1``.
+
+Emits ``BENCH_sharded.json`` into ``benchmarks/output/``.
+
+Bit-identity and zero-failed-requests are asserted unconditionally.
+The throughput floors — >= 3x at 4 processes over the single-process
+runtime, > 1.5x for native ``workers=4`` — only hold when the host
+actually has cores to scale onto, so they are gated on
+``len(os.sched_getaffinity(0)) >= 4``; the JSON records the CPU count
+either way so the curve is interpretable downstream.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.serve import ShardedRuntime, fault_injection
+from repro.serve.bench import run_serving_benchmark, request_inputs
+
+REQUESTS_PER_APP = 12
+WIDTH, HEIGHT = 64, 48
+PROCESS_COUNTS = (1, 2, 4)
+
+CPUS = len(os.sched_getaffinity(0))
+
+
+def _scaling_curve():
+    curve = {}
+    for processes in PROCESS_COUNTS:
+        report = run_serving_benchmark(
+            requests_per_app=REQUESTS_PER_APP,
+            width=WIDTH,
+            height=HEIGHT,
+            client_threads=8,
+            scheduler_workers=2,
+            processes=processes,
+        )
+        assert report["bit_identical"], (
+            f"{report['mismatches']} sharded results diverged at "
+            f"{processes} processes"
+        )
+        curve[str(processes)] = {
+            "throughput_rps": report["serving"]["throughput_rps"],
+            "seconds": report["serving"]["seconds"],
+            "hit_rate": report["serving"]["hit_rate"],
+            "latency_ms": report["serving"]["latency_ms"],
+            "speedup_vs_baseline": report["speedup"],
+            "bit_identical": report["bit_identical"],
+        }
+    return curve
+
+
+def _kill_recovery():
+    from repro.apps import APPLICATIONS
+
+    with ShardedRuntime(["Sobel", "Harris"], processes=2) as runtime:
+        workload = [
+            (name, request_inputs(APPLICATIONS[name], WIDTH, HEIGHT, seed=s))
+            for s in range(12)
+            for name in ("Sobel", "Harris")
+        ]
+        runtime.execute(*workload[0])  # warm so the kill hits hot paths
+        failures = 0
+        with fault_injection("worker.kill", "error", times=1):
+            for name, inputs in workload:
+                try:
+                    runtime.execute(name, inputs)
+                except Exception:
+                    failures += 1
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            snapshot = runtime.metrics_snapshot()
+            if snapshot["counters"].get("workers_respawned"):
+                break
+            time.sleep(0.25)
+        counters = snapshot["counters"]
+    return {
+        "requests": len(workload),
+        "failed": failures,
+        "worker_deaths": counters.get("worker_deaths", 0),
+        "workers_respawned": counters.get("workers_respawned", 0),
+        "sibling_retries": counters.get("requests_retried_on_sibling", 0),
+    }
+
+
+def _native_workers_timing():
+    from repro.backend.native_exec import (
+        native_available,
+        native_plan_for_partition,
+    )
+
+    if not native_available():
+        return {"available": False}
+
+    from helpers import image, local_kernel, random_image
+    from repro.dsl.pipeline import Pipeline
+    from repro.graph.partition import Partition
+
+    pipe = Pipeline("fan")
+    src = image("src", 512, 384)
+    for branch in range(4):
+        previous = src
+        for stage in range(2):
+            out = image(f"b{branch}s{stage}", 512, 384)
+            pipe.add(local_kernel(f"k{branch}_{stage}", previous, out))
+            previous = out
+    graph = pipe.build()
+    data = {"src": random_image(512, 384, seed=41)}
+    plan = native_plan_for_partition(graph, Partition.singletons(graph))
+
+    def _timed(workers):
+        plan.execute(dict(data), {}, workers=workers)  # warm
+        best = float("inf")
+        for _ in range(3):
+            started = time.perf_counter()
+            result = plan.execute(dict(data), {}, workers=workers)
+            best = min(best, time.perf_counter() - started)
+        return best, result
+
+    serial_s, serial = _timed(1)
+    threaded_s, threaded = _timed(4)
+    identical = all(
+        np.array_equal(serial[name], threaded[name]) for name in serial
+    )
+    return {
+        "available": True,
+        "serial_s": serial_s,
+        "workers4_s": threaded_s,
+        "speedup": (serial_s / threaded_s) if threaded_s else 0.0,
+        "bit_identical": identical,
+    }
+
+
+def test_bench_sharded(output_dir):
+    curve = _scaling_curve()
+    recovery = _kill_recovery()
+    native = _native_workers_timing()
+
+    report = {
+        "benchmark": "sharded-serving",
+        "cpus": CPUS,
+        "config": {
+            "apps": 6,
+            "requests_per_app": REQUESTS_PER_APP,
+            "width": WIDTH,
+            "height": HEIGHT,
+            "process_counts": list(PROCESS_COUNTS),
+        },
+        "scaling": curve,
+        "kill_recovery": recovery,
+        "native_workers": native,
+    }
+    (output_dir / "BENCH_sharded.json").write_text(
+        json.dumps(report, indent=2) + "\n"
+    )
+
+    # --- unconditional: fidelity and resilience -------------------------
+    assert all(point["bit_identical"] for point in curve.values())
+    assert recovery["failed"] == 0, (
+        f"{recovery['failed']} requests failed across an injected "
+        "worker kill"
+    )
+    assert recovery["worker_deaths"] >= 1
+    assert recovery["workers_respawned"] >= 1
+    if native["available"]:
+        assert native["bit_identical"]
+
+    # --- gated on real cores: the scaling floors ------------------------
+    if CPUS >= 4:
+        scaling = (
+            curve["4"]["throughput_rps"] / curve["1"]["throughput_rps"]
+        )
+        assert scaling >= 3.0, (
+            f"4-process fleet only {scaling:.2f}x over one process on "
+            f"{CPUS} CPUs (floor 3x)"
+        )
+        if native["available"]:
+            assert native["speedup"] > 1.5, (
+                f"native workers=4 only {native['speedup']:.2f}x on "
+                f"{CPUS} CPUs (floor 1.5x)"
+            )

@@ -70,7 +70,12 @@ class ExecutionOptions:
         A :class:`~repro.serve.runtime.ServingRuntime` to route the
         call through — plan caching, micro-batching, and the serving
         resilience layer apply; the options' own engine/fusion fields
-        are ignored in favour of the runtime's configuration.
+        are ignored in favour of the runtime's configuration.  A
+        :class:`~repro.serve.sharding.ShardedRuntime` also works for
+        *named* pipelines (requests fan out over its worker
+        processes); ad-hoc graph execution needs the single-process
+        runtime, since unregistered graphs do not cross process
+        boundaries.
     validate:
         Per-call validation level (``"off"`` / ``"standard"`` /
         ``"strict"``) scoped over the call via

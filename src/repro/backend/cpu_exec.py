@@ -17,7 +17,20 @@ source (and the compiler used), so building the same partitioned
 pipeline twice — within a process or across runs — reuses the cached
 ``.so`` instead of re-invoking the compiler.  The cache directory
 defaults to ``<tmp>/repro-cc-cache`` and can be redirected with the
-``REPRO_CC_CACHE`` environment variable.
+``REPRO_CC_CACHE`` environment variable.  The cache is keyed purely by
+content and written atomically (scratch file + ``os.replace``), so it
+is shared **across processes**: the sharded serving tier
+(:mod:`repro.serve.sharding`) points every worker at one directory and
+only the first worker to need a plan pays the compiler.
+
+**GIL release.**  Every compiled entry point is loaded through
+:class:`ctypes.CDLL`, which — unlike ``ctypes.PyDLL`` — releases the
+GIL for the duration of each foreign call.  This is a load-bearing
+guarantee: block-level ``workers`` threads in the native engine
+(:mod:`repro.backend.native_exec`) and the scheduler threads of the
+serving tier overlap native kernel execution on separate cores only
+because the interpreter lock is dropped at the call boundary.  Keep any
+future loader on ``CDLL`` (or an equivalent GIL-releasing FFI).
 """
 
 from __future__ import annotations
@@ -86,6 +99,32 @@ def _cache_dir() -> Path:
 def clear_compile_cache() -> None:
     """Delete every cached shared library (tests, stale toolchains)."""
     shutil.rmtree(_cache_dir(), ignore_errors=True)
+
+
+def compile_cache_stats() -> Dict[str, object]:
+    """The on-disk compile cache at a glance (observability surface).
+
+    Returns the cache directory, the number of cached libraries, and
+    their total byte size.  Files vanishing mid-scan (a concurrent
+    evictor or ``clear_compile_cache``) are skipped, never an error —
+    this is a monitoring read, not a consistency check.
+    """
+    cache = _cache_dir()
+    libraries = 0
+    total = 0
+    try:
+        entries = list(cache.glob("pipeline-*.so"))
+    except OSError:
+        entries = []
+    for library in entries:
+        if library.name.endswith(".partial.so"):
+            continue
+        try:
+            total += library.stat().st_size
+        except OSError:
+            continue
+        libraries += 1
+    return {"dir": str(cache), "libraries": libraries, "bytes": total}
 
 
 def evict_stale_artifacts(keep: Path | None = None) -> int:
@@ -230,6 +269,13 @@ def load_shared_library(
     a concurrent evictor removes the cached ``.so`` between the cache
     probe and the ``dlopen``: the load is retried once with a fresh
     compilation.
+
+    The handle is a :class:`ctypes.CDLL` **by contract**: ``CDLL``
+    releases the GIL around every foreign call, which is what lets the
+    native engine's block-level worker threads and the serving tier's
+    schedulers overlap kernel execution on real cores.  Do not swap in
+    ``ctypes.PyDLL`` (it holds the GIL) without revisiting every
+    ``workers=`` code path.
     """
     library_path, from_cache = compile_shared_library(source, cc, extra_flags)
     try:

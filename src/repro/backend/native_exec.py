@@ -50,6 +50,7 @@ import re
 import threading
 import time
 import weakref
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -76,6 +77,7 @@ from repro.backend.plan import (
     plan_for_block,
     plan_for_partition,
     resolve_key,
+    resolve_workers,
 )
 from repro.dsl.boundary import BoundaryMode
 from repro.graph.dag import KernelGraph
@@ -835,31 +837,93 @@ class NativePartitionPlan:
     ) -> Arrays:
         """Run every block; returns the surviving-image environment.
 
-        ``workers`` (block-level thread parallelism of the tape engine)
-        is accepted for interface compatibility but ignored: native
-        parallelism lives *inside* each loop nest
-        (``REPRO_NATIVE_THREADS``), where it parallelizes the actual
-        pixel work instead of the block DAG's usually-short critical
-        path.
+        ``workers`` dispatches *independent* blocks of the partition DAG
+        on a thread pool, exactly as the tape engine does (``None``
+        defers to ``REPRO_EXEC_WORKERS``).  Thread parallelism is real
+        here: the compiled kernels run under ``ctypes.CDLL``, which
+        releases the GIL for the duration of every call, so sibling
+        blocks genuinely overlap on separate cores.  This composes with
+        (and is orthogonal to) the intra-kernel OpenMP parallelism of
+        ``REPRO_NATIVE_THREADS``, which splits one loop nest's row
+        tiles; ``workers`` overlaps *different* loop nests.  Blocks
+        connected by producer/consumer edges still run in dependence
+        order, so results are bit-identical to the serial schedule.
         """
-        del workers
+        workers = resolve_workers(workers)
         params = params or {}
         if self._verify.pending and validate_mode() == "strict":
             with self._verify.lock:
                 if self._verify.pending:
-                    result = self._execute_blocks(inputs, params)
+                    # Verification wants a deterministic first pass.
+                    result = self._execute_blocks(inputs, params, 1)
                     self._differential_verify(inputs, params, result)
                     self._verify.pending = False
                     return result
-        return self._execute_blocks(inputs, params)
+        return self._execute_blocks(inputs, params, workers)
 
-    def _execute_blocks(self, inputs: Arrays, params: Params) -> Arrays:
+    def _execute_blocks(
+        self, inputs: Arrays, params: Params, workers: int = 1
+    ) -> Arrays:
         env: Arrays = dict(inputs)
+        if workers > 1 and len(self.blocks) > 1:
+            return self._execute_blocks_parallel(env, params, workers)
         for block_plan, native in self.blocks:
-            if native is not None:
-                env[block_plan.output_name] = native.execute(env, params)
-            else:
-                env[block_plan.output_name] = block_plan.execute(env, params)
+            env[block_plan.output_name] = self._run_block(
+                block_plan, native, env, params
+            )
+        return env
+
+    @staticmethod
+    def _run_block(
+        block_plan: BlockPlan,
+        native: Optional[NativeBlock],
+        env: Arrays,
+        params: Params,
+    ) -> np.ndarray:
+        if native is not None:
+            return native.execute(env, params)
+        return block_plan.execute(env, params)
+
+    def _execute_blocks_parallel(
+        self, env: Arrays, params: Params, workers: int
+    ) -> Arrays:
+        """Dependence-ordered thread-pool dispatch of the block DAG.
+
+        Mirrors :meth:`repro.backend.plan.PartitionPlan.
+        _execute_parallel` — ``self.blocks`` is aligned with
+        ``self.plan.plans``, so the tape plan's ``deps`` indices apply
+        verbatim.  Each submission snapshots ``env`` so a worker never
+        observes a concurrent insert mid-execution.
+        """
+        deps = self.plan.deps
+        pending = {index: len(block_deps) for index, block_deps in enumerate(deps)}
+        dependents: Dict[int, List[int]] = {index: [] for index in pending}
+        for index, block_deps in enumerate(deps):
+            for dep in block_deps:
+                dependents[dep].append(index)
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures: Dict = {}
+
+            def submit(index: int) -> None:
+                block_plan, native = self.blocks[index]
+                futures[
+                    pool.submit(
+                        self._run_block, block_plan, native, dict(env), params
+                    )
+                ] = index
+
+            for index, count in pending.items():
+                if count == 0:
+                    submit(index)
+            while futures:
+                done, _ = wait(list(futures), return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = futures.pop(future)
+                    env[self.blocks[index][0].output_name] = future.result()
+                    for dependent in dependents[index]:
+                        pending[dependent] -= 1
+                        if pending[dependent] == 0:
+                            submit(dependent)
         return env
 
     def _differential_verify(

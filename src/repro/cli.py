@@ -299,7 +299,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
     the plan cache, scheduler, metrics, and resilience layers in one
     command.  ``--faults`` arms deterministic fault injection
     (``REPRO_FAULTS`` grammar) so the retry / breaker / degradation
-    machinery is observable from the shell.
+    machinery is observable from the shell.  ``--processes N`` (or
+    ``REPRO_SERVE_PROCS``) with ``N > 1`` serves the stream through a
+    sharded multi-process runtime instead — same results, every core.
     """
     import json
     from concurrent.futures import ThreadPoolExecutor
@@ -349,12 +351,29 @@ def cmd_serve(args: argparse.Namespace) -> int:
             names[i % len(names)] for i in range(args.requests)
         )
     ]
-    with ServingRuntime.from_options(
-        options,
-        registry=registry,
-        workers=args.workers,
-        max_batch=args.max_batch,
-    ) as runtime:
+    from repro.envknobs import serve_procs_env
+
+    processes = (
+        serve_procs_env() if args.processes is None else args.processes
+    )
+    if processes > 1:
+        from repro.serve import ShardedRuntime
+
+        runtime_cm = ShardedRuntime.from_options(
+            options,
+            names,
+            processes=processes,
+            worker_threads=args.workers,
+            max_batch=args.max_batch,
+        )
+    else:
+        runtime_cm = ServingRuntime.from_options(
+            options,
+            registry=registry,
+            workers=args.workers,
+            max_batch=args.max_batch,
+        )
+    with runtime_cm as runtime:
         with ThreadPoolExecutor(max_workers=args.clients) as clients:
             futures = [
                 clients.submit(runtime.execute, name, inputs)
@@ -372,6 +391,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
     print(f"served {args.requests} requests over {len(names)} pipelines "
           f"({args.width}x{args.height}, version={args.version}, "
           f"engine={engine['active']})")
+    if processes > 1:
+        shards = snapshot.get("shards", {})
+        alive = sum(1 for view in shards.values() if view.get("alive"))
+        counters = snapshot["counters"]
+        print(f"shards: {alive}/{processes} alive, "
+              f"{counters.get('worker_deaths', 0)} deaths, "
+              f"{counters.get('workers_respawned', 0)} respawns, "
+              f"{counters.get('requests_retried_on_sibling', 0)} "
+              f"sibling retries")
     if engine["active"] != engine["requested"]:
         print(f"note: engine {engine['requested']!r} unavailable "
               f"(no C compiler); served with {engine['active']!r}")
@@ -417,6 +445,8 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
 
     from repro.serve.bench import run_serving_benchmark
 
+    from repro.envknobs import serve_procs_env
+
     report = run_serving_benchmark(
         apps=args.apps or list(APPLICATIONS),
         requests_per_app=args.requests_per_app,
@@ -425,6 +455,11 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         client_threads=args.clients,
         scheduler_workers=args.workers,
         engine=args.exec_engine,
+        processes=(
+            serve_procs_env()
+            if args.processes is None
+            else args.processes
+        ),
     )
     text = json.dumps(report, indent=2, sort_keys=True)
     print(text)
@@ -576,6 +611,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="concurrent client threads")
         p.add_argument("--max-batch", type=int, default=8,
                        help="micro-batch size cap")
+        p.add_argument("--processes", type=int, default=None,
+                       help="worker processes for sharded serving "
+                            "(default: REPRO_SERVE_PROCS or 1; >1 "
+                            "serves through a ShardedRuntime)")
         p.add_argument("--exec-engine", default="tape",
                        choices=("tape", "recursive", "native"),
                        help="execution engine serving requests; "

@@ -3,7 +3,8 @@
 Every runtime tunable that can arrive through the environment —
 ``REPRO_EXEC_WORKERS``, ``REPRO_EXEC_ENGINE``, ``REPRO_CC_CACHE``,
 ``REPRO_CC_CACHE_MAX``, ``REPRO_NATIVE_THREADS``, ``REPRO_GRID_CACHE``,
-``REPRO_VALIDATE`` — funnels through the helpers here, so a typo in a
+``REPRO_VALIDATE``, ``REPRO_SERVE_PROCS`` — funnels through the
+helpers here, so a typo in a
 deployment manifest fails with one clear message naming the variable
 and the accepted values instead of a bare ``int()`` traceback deep
 inside an executor.
@@ -159,6 +160,21 @@ def validate_mode() -> str:
             f"{VALIDATE_MODES}"
         )
     return mode
+
+
+#: Environment knob: worker processes of the sharded serving tier
+#: (``repro serve --processes`` / :class:`repro.serve.sharding.
+#: ShardedRuntime`); 1 means the single-process runtime.
+SERVE_PROCS_ENV = "REPRO_SERVE_PROCS"
+
+
+def serve_procs_env(default: int = 1) -> int:
+    """The ``REPRO_SERVE_PROCS`` worker-process count (>= 1).
+
+    Blank/unset yields ``default``; anything that is not an integer of
+    at least 1 raises :class:`EnvKnobError` naming the variable.
+    """
+    return int_env(SERVE_PROCS_ENV, default=default, minimum=1)
 
 
 #: Environment knob injecting deterministic faults at named sites

@@ -25,8 +25,14 @@ paper's analysis implies:
   degradation path is testable in CI;
 * :mod:`~repro.serve.runtime` — :class:`ServingRuntime`, composing the
   above; results are bit-identical to direct execution;
+* :mod:`~repro.serve.transport` — pooled ``multiprocessing.shared_memory``
+  segments carrying image planes zero-copy between processes;
+* :mod:`~repro.serve.sharding` — :class:`ShardedRuntime`, N worker
+  processes each hosting a full ServingRuntime, routed by plan
+  signature over a consistent-hash ring, with dead-worker detection,
+  sibling retry, and respawn;
 * :mod:`~repro.serve.bench` — the throughput benchmark backing
-  ``python -m repro serve-bench``.
+  ``python -m repro serve-bench`` (single-process and sharded).
 """
 
 from repro.serve.errors import (
@@ -34,13 +40,22 @@ from repro.serve.errors import (
     DeadlineExceeded,
     PlanBuildError,
     QueueFull,
+    RemoteServeError,
     RuntimeClosed,
     SchedulerClosed,
     ServeError,
     StageTimeout,
+    WorkerDied,
 )
 from repro.serve.faultinject import FaultInjected, FaultRule, fault_injection
-from repro.serve.metrics import Counter, Gauge, Histogram, Metrics, StateGauge
+from repro.serve.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    Metrics,
+    StateGauge,
+    merge_snapshots,
+)
 from repro.serve.plancache import (
     CachedPlan,
     FusionSettings,
@@ -61,6 +76,7 @@ from repro.serve.resilience import (
     CircuitBreaker,
     ResiliencePolicy,
     RetryPolicy,
+    ShardPolicy,
     StageTimeouts,
 )
 from repro.serve.runtime import ServingRuntime, fusion_settings
@@ -68,6 +84,13 @@ from repro.serve.scheduler import (
     MicroBatchScheduler,
     ResponseHandle,
     ServeRequest,
+)
+from repro.serve.sharding import HashRing, ShardedRuntime
+from repro.serve.transport import (
+    SegmentPool,
+    attach_segment,
+    pack_arrays,
+    unpack_arrays,
 )
 
 __all__ = [
@@ -83,6 +106,7 @@ __all__ = [
     "FaultRule",
     "FusionSettings",
     "Gauge",
+    "HashRing",
     "Histogram",
     "Metrics",
     "MicroBatchScheduler",
@@ -92,20 +116,29 @@ __all__ = [
     "PlanCache",
     "QueueFull",
     "RegistryError",
+    "RemoteServeError",
     "ResiliencePolicy",
     "ResponseHandle",
     "RetryPolicy",
     "RuntimeClosed",
     "SchedulerClosed",
+    "SegmentPool",
     "ServeError",
     "ServeRequest",
     "ServingRuntime",
+    "ShardPolicy",
+    "ShardedRuntime",
     "StageTimeout",
     "StageTimeouts",
     "StateGauge",
+    "WorkerDied",
+    "attach_segment",
     "default_registry",
     "fault_injection",
     "fusion_settings",
     "inputs_signature",
+    "merge_snapshots",
+    "pack_arrays",
     "plan_key",
+    "unpack_arrays",
 ]

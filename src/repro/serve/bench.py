@@ -113,6 +113,7 @@ def run_serving_benchmark(
     fusion: Optional[FusionSettings] = None,
     check_identity: bool = True,
     engine: str = "tape",
+    processes: int = 1,
 ) -> Dict[str, Any]:
     """Measure serving throughput against per-request recompilation.
 
@@ -126,6 +127,12 @@ def run_serving_benchmark(
     (:data:`repro.backend.native_exec.LIBM_RTOL`) instead of bitwise
     equality, since transcendental libm calls lowered to C may differ
     from NumPy in the last ulp.
+
+    ``processes > 1`` serves the stream through a
+    :class:`~repro.serve.sharding.ShardedRuntime` of that many worker
+    processes instead of the in-process runtime — the same request
+    surface, the same bit-identity contract, with requests routed by
+    plan signature so each worker's cache stays hot.
     """
     fusion = fusion or FusionSettings()
     specs = [ALL_APPS[name] for name in apps]
@@ -142,15 +149,28 @@ def run_serving_benchmark(
     ]
     baseline_seconds = time.perf_counter() - started
 
-    registry = default_registry(include_extensions=True, apps=set(apps))
+    if processes > 1:
+        from repro.serve.sharding import ShardedRuntime
+
+        runtime_cm: Any = ShardedRuntime(
+            apps,
+            processes=processes,
+            fusion=fusion,
+            worker_threads=scheduler_workers,
+            max_batch=max_batch,
+            engine=engine,
+        )
+    else:
+        registry = default_registry(include_extensions=True, apps=set(apps))
+        runtime_cm = ServingRuntime(
+            registry,
+            fusion=fusion,
+            workers=scheduler_workers,
+            max_batch=max_batch,
+            engine=engine,
+        )
     mismatches = 0
-    with ServingRuntime(
-        registry,
-        fusion=fusion,
-        workers=scheduler_workers,
-        max_batch=max_batch,
-        engine=engine,
-    ) as runtime:
+    with runtime_cm as runtime:
         with ThreadPoolExecutor(max_workers=client_threads) as clients:
             started = time.perf_counter()
             futures = [
@@ -183,6 +203,14 @@ def run_serving_benchmark(
     baseline_rps = total / baseline_seconds if baseline_seconds else 0.0
     serving_rps = total / serving_seconds if serving_seconds else 0.0
     latency = snapshot["histograms"].get("total_ms", {})
+    batches = snapshot["counters"].get("batches_executed", 0)
+    if processes > 1:
+        # Workers micro-batch; the parent's counters only see routing.
+        batches = (
+            snapshot.get("fleet", {})
+            .get("counters", {})
+            .get("batches_executed", 0)
+        )
     return {
         "benchmark": "serving",
         "config": {
@@ -194,6 +222,7 @@ def run_serving_benchmark(
             "client_threads": client_threads,
             "scheduler_workers": scheduler_workers,
             "max_batch": max_batch,
+            "processes": processes,
             "fusion_version": fusion.version,
             "gpu": fusion.gpu_name,
             "engine": snapshot["engine"],
@@ -213,7 +242,7 @@ def run_serving_benchmark(
                 "p99": latency.get("p99", 0.0),
                 "mean": latency.get("mean", 0.0),
             },
-            "batches": snapshot["counters"].get("batches_executed", 0),
+            "batches": batches,
         },
         "speedup": (serving_rps / baseline_rps) if baseline_rps else 0.0,
         "bit_identical": (mismatches == 0) if check_identity else None,

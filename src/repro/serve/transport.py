@@ -1,0 +1,248 @@
+"""Zero-copy image-plane transport over POSIX shared memory.
+
+The sharded serving tier (:mod:`repro.serve.sharding`) moves each
+request's input planes to a worker process and the result planes back.
+Pickling ``float64`` arrays through a pipe would copy every plane
+twice (serialize + deserialize); this module ships them through
+:mod:`multiprocessing.shared_memory` instead, so the only bytes that
+cross the pipe are a small **descriptor** — segment name plus
+``(key, shape, dtype, offset)`` per array — and the planes themselves
+are written once into a mapped segment and read in place on the other
+side.
+
+Two pieces:
+
+* :class:`SegmentPool` — reusable shared-memory segments in
+  power-of-two size classes.  Serving traffic is repetitive (same
+  pipelines, same geometries), so after warm-up every request finds a
+  segment of the right class and **no per-request allocation or
+  kernel round-trip for segment creation happens at all**.  ``close``
+  unlinks everything the pool created.
+* :func:`pack_arrays` / :func:`unpack_arrays` — write a dict of arrays
+  into one pooled segment (64-byte aligned, C-contiguous ``float64``)
+  and map them back as zero-copy NumPy views.
+
+**Resource-tracker discipline.**  Until Python 3.13,
+``SharedMemory(name=...)`` *attaches* register the segment with the
+``multiprocessing`` resource tracker exactly as creates do.  Parent
+and workers share one tracker process (the fd is inherited), whose
+ledger is a *set* of names — an attach-side registration is a silent
+duplicate, and the matching automatic unregister at close would erase
+the creator's entry and provoke ``KeyError`` noise (or a double
+unlink) at shutdown.  :func:`attach_segment` therefore suppresses the
+tracker registration for attaches; every segment is tracked exactly
+once, by its creator, and unlinked exactly once.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from contextlib import contextmanager
+from multiprocessing import resource_tracker, shared_memory
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "SegmentDescriptor",
+    "SegmentPool",
+    "attach_segment",
+    "pack_arrays",
+    "unpack_arrays",
+]
+
+#: Byte alignment of each array within a segment — one cache line, so
+#: planes never share a line across the process boundary.
+_ALIGN = 64
+
+#: Smallest segment the pool creates; tiny requests share one class.
+_MIN_SEGMENT_BYTES = 1 << 12
+
+
+def _aligned(nbytes: int) -> int:
+    return (nbytes + _ALIGN - 1) & ~(_ALIGN - 1)
+
+
+#: The wire format of one packed segment: the segment's name plus one
+#: ``(key, shape, dtype_str, offset)`` tuple per array.  Plain tuples —
+#: the descriptor crosses a pipe on every request and must pickle fast.
+SegmentDescriptor = Tuple[str, Tuple[Tuple[str, Tuple[int, ...], str, int], ...]]
+
+
+@contextmanager
+def _untracked_registration() -> Iterator[None]:
+    """Suppress resource-tracker registration inside the scope.
+
+    See the module docstring: attaches must not re-register a segment
+    the creator already tracks.  The patch is process-global, so a lock
+    serializes concurrent attaches (they are rare — the pool and the
+    per-segment attach caches make attaching a warm-up cost).
+    """
+    original = resource_tracker.register
+    resource_tracker.register = lambda name, rtype: None  # type: ignore
+    try:
+        yield
+    finally:
+        resource_tracker.register = original
+
+
+_ATTACH_LOCK = threading.Lock()
+
+
+def attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without double-registering it."""
+    if sys.version_info >= (3, 13):
+        return shared_memory.SharedMemory(name=name, track=False)
+    with _ATTACH_LOCK, _untracked_registration():
+        return shared_memory.SharedMemory(name=name)
+
+
+class _PooledSegment:
+    """One pool-owned segment: the mapping plus its size class."""
+
+    def __init__(self, shm: shared_memory.SharedMemory, capacity: int):
+        self.shm = shm
+        self.capacity = capacity
+
+    @property
+    def name(self) -> str:
+        return self.shm.name
+
+
+class SegmentPool:
+    """Reusable shared-memory segments in power-of-two size classes.
+
+    ``acquire(nbytes)`` returns a free segment of at least ``nbytes``
+    (creating one only when no free segment fits); ``release`` returns
+    it for reuse.  The pool never shrinks — serving traffic is
+    steady-state repetitive, so the high-water set of segments *is* the
+    working set.  ``close`` unlinks every segment the pool created;
+    the pool is thread-safe throughout.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._free: List[_PooledSegment] = []
+        self._all: List[_PooledSegment] = []
+        self._closed = False
+        self.created = 0
+        self.reused = 0
+
+    @staticmethod
+    def _size_class(nbytes: int) -> int:
+        size = _MIN_SEGMENT_BYTES
+        while size < nbytes:
+            size <<= 1
+        return size
+
+    def acquire(self, nbytes: int) -> _PooledSegment:
+        """A segment holding at least ``nbytes``, reused when possible."""
+        needed = self._size_class(max(1, nbytes))
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("segment pool is closed")
+            for index, segment in enumerate(self._free):
+                if segment.capacity >= needed:
+                    self.reused += 1
+                    return self._free.pop(index)
+            self.created += 1
+        # Create outside the lock: shm_open is a syscall.
+        segment = _PooledSegment(
+            shared_memory.SharedMemory(create=True, size=needed), needed
+        )
+        with self._lock:
+            if self._closed:
+                # Lost the race with close(): do not leak the mapping.
+                segment.shm.close()
+                segment.shm.unlink()
+                raise RuntimeError("segment pool is closed")
+            self._all.append(segment)
+        return segment
+
+    def release(self, segment: _PooledSegment) -> None:
+        with self._lock:
+            if not self._closed:
+                self._free.append(segment)
+
+    def close(self) -> None:
+        """Unlink every segment this pool ever created (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            segments = list(self._all)
+            self._all.clear()
+            self._free.clear()
+        for segment in segments:
+            try:
+                segment.shm.close()
+            except Exception:
+                pass  # a live view holds the buffer; unlink still works
+            try:
+                segment.shm.unlink()
+            except FileNotFoundError:
+                pass  # already unlinked by the other side's cleanup
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "segments": len(self._all),
+                "bytes": sum(s.capacity for s in self._all),
+                "created": self.created,
+                "reused": self.reused,
+            }
+
+    def __enter__(self) -> "SegmentPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def pack_arrays(
+    arrays: Dict[str, np.ndarray], pool: SegmentPool
+) -> Tuple[SegmentDescriptor, _PooledSegment]:
+    """Write ``arrays`` into one pooled segment; returns its descriptor.
+
+    Each array is stored C-contiguous at a 64-byte-aligned offset.  The
+    caller must :meth:`SegmentPool.release` the returned segment once
+    the peer has consumed it (the sharded dispatcher's per-worker
+    round-trip serialization makes that point well defined).
+    """
+    layout: List[Tuple[str, Tuple[int, ...], str, int]] = []
+    offset = 0
+    contiguous: Dict[str, np.ndarray] = {}
+    for key in sorted(arrays):
+        array = np.ascontiguousarray(arrays[key])
+        contiguous[key] = array
+        layout.append((key, array.shape, array.dtype.str, offset))
+        offset = _aligned(offset + array.nbytes)
+    segment = pool.acquire(offset or 1)
+    for key, shape, dtype, start in layout:
+        array = contiguous[key]
+        view = np.ndarray(
+            shape, dtype=dtype, buffer=segment.shm.buf, offset=start
+        )
+        view[...] = array
+    return (segment.name, tuple(layout)), segment
+
+
+def unpack_arrays(
+    descriptor: SegmentDescriptor,
+    shm: shared_memory.SharedMemory,
+) -> Dict[str, np.ndarray]:
+    """Map a descriptor's arrays as zero-copy views over ``shm``.
+
+    The views alias the segment: copy (``np.array(view)``) anything
+    that must outlive the segment's next reuse.
+    """
+    name, layout = descriptor
+    if shm.name.lstrip("/") != name.lstrip("/"):
+        raise ValueError(
+            f"descriptor names segment {name!r} but {shm.name!r} was mapped"
+        )
+    return {
+        key: np.ndarray(shape, dtype=dtype, buffer=shm.buf, offset=offset)
+        for key, shape, dtype, offset in layout
+    }
