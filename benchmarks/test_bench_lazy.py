@@ -1,0 +1,159 @@
+"""Lazy-frontend serving benchmark: shape- vs structure-keyed caching.
+
+Replays a mixed-resolution request stream of lazy-recorded pipelines
+(four resolutions per app) through :class:`repro.serve.ServingRuntime`
+under both plan-cache keying modes and reports, per mode, the achieved
+hit rate, the miss split, the number of native partition compiles, and
+the p50 request latency.
+
+Emits ``BENCH_lazy.json`` into ``benchmarks/output/``.  Acceptance:
+structure-keyed caching compiles each app's native artifact **exactly
+once** across all resolutions with a plan-cache hit rate of at least
+**0.9** (shape keying compiles once per resolution), while every
+served result stays bit-identical to direct native execution of the
+same lazy graph.
+
+Skipped without a C compiler — structure keying rides on the
+shape-polymorphic native engine.
+"""
+
+import json
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.api import ExecutionOptions, run
+from repro.backend import native_exec
+from repro.lazy.apps import lazy_trace
+from repro.serve.registry import default_registry
+from repro.serve.runtime import ServingRuntime
+
+pytestmark = pytest.mark.skipif(
+    not native_exec.native_available(),
+    reason="requires a C compiler on PATH",
+)
+
+#: ALU-only apps: their native plans are bit-exact against the tape.
+APPS = ("Harris", "Sobel", "Unsharp")
+RESOLUTIONS = ((64, 48), (48, 32), (80, 60), (96, 64))
+REPEATS = 5
+
+
+def _workload():
+    """(app, graph, inputs) per request — lazy-recorded graphs at every
+    resolution, deterministic random pixels.  Built fresh per replay:
+    the native engine memoizes plans per graph *object*, so reused
+    graphs would hide compiles from the counter."""
+    stream = []
+    for app in APPS:
+        for salt in range(REPEATS):
+            for width, height in RESOLUTIONS:
+                graph = lazy_trace(app, width, height).graph()
+                rng = np.random.default_rng(
+                    zlib.crc32(app.encode()) + 100 * salt + width
+                )
+                inputs = {
+                    name: rng.uniform(0.0, 255.0, size=(height, width))
+                    for name in graph.pipeline_inputs()
+                }
+                stream.append((app, graph, inputs))
+    return stream
+
+
+def _serve(cache_keying):
+    """One replay under ``cache_keying``; returns (report, mismatches).
+
+    Serving runs with the native-partition builder wrapped in a call
+    counter; the bit-identity references run *outside* the counting
+    scope so only serving-path compiles are booked.
+    """
+    workload = _workload()
+    compiles = []
+    real_build = native_exec._build_native_partition
+
+    def counting_build(graph, partition, naive_borders, polymorphic=False):
+        compiles.append((graph.structure_signature(), polymorphic))
+        return real_build(graph, partition, naive_borders, polymorphic)
+
+    served_results = []
+    with pytest.MonkeyPatch.context() as patcher:
+        patcher.setattr(
+            native_exec, "_build_native_partition", counting_build
+        )
+        registry = default_registry(apps=set(APPS))
+        with ServingRuntime(
+            registry, engine="native", cache_keying=cache_keying
+        ) as runtime:
+            for app, graph, inputs in workload:
+                served_results.append(runtime.execute_graph(graph, inputs))
+            snapshot = runtime.metrics_snapshot()
+
+    mismatches = 0
+    options = ExecutionOptions(engine="native")
+    for (app, graph, inputs), served in zip(workload, served_results):
+        reference = run(graph, inputs, options=options)
+        if any(
+            not np.array_equal(reference[name], served[name])
+            for name in reference
+        ):
+            mismatches += 1
+
+    cache = snapshot["plan_cache"]
+    latency = snapshot["histograms"].get("total_ms", {})
+    return {
+        "cache_keying": cache_keying,
+        "requests": len(workload),
+        "hit_rate": cache["hit_rate"],
+        "hits": cache["hits"],
+        "misses": cache["misses"],
+        "miss_structure": cache["miss_structure"],
+        "miss_shape": cache["miss_shape"],
+        "native_compiles": len(compiles),
+        "polymorphic_compiles": sum(1 for _, poly in compiles if poly),
+        "distinct_structures_compiled": len({sig for sig, _ in compiles}),
+        "latency_ms": {
+            "p50": latency.get("p50", 0.0),
+            "p95": latency.get("p95", 0.0),
+            "mean": latency.get("mean", 0.0),
+        },
+    }, mismatches
+
+
+def test_bench_lazy(output_dir):
+    shape_report, shape_mismatches = _serve("shape")
+    structure_report, structure_mismatches = _serve("structure")
+
+    report = {
+        "benchmark": "lazy-frontend serving",
+        "config": {
+            "apps": list(APPS),
+            "resolutions": [list(r) for r in RESOLUTIONS],
+            "repeats": REPEATS,
+            "requests_total": len(APPS) * len(RESOLUTIONS) * REPEATS,
+            "engine": "native",
+        },
+        "shape_keyed": shape_report,
+        "structure_keyed": structure_report,
+        "bit_identical": (shape_mismatches + structure_mismatches) == 0,
+    }
+    (output_dir / "BENCH_lazy.json").write_text(
+        json.dumps(report, indent=2) + "\n"
+    )
+
+    assert report["bit_identical"], (
+        f"{shape_mismatches + structure_mismatches} served results "
+        "diverged from direct native execution"
+    )
+    # Structure keying: one polymorphic compile per app, then hits.
+    assert structure_report["native_compiles"] == len(APPS)
+    assert structure_report["polymorphic_compiles"] == len(APPS)
+    assert structure_report["misses"] == len(APPS)
+    assert structure_report["miss_shape"] == 0
+    assert structure_report["hit_rate"] >= 0.9, structure_report
+    # Shape keying pays one compile per (app, resolution); the miss
+    # split attributes the overhead to shape misses.
+    assert shape_report["native_compiles"] == len(APPS) * len(RESOLUTIONS)
+    assert shape_report["misses"] == len(APPS) * len(RESOLUTIONS)
+    assert shape_report["miss_structure"] == len(APPS)
+    assert shape_report["miss_shape"] == len(APPS) * (len(RESOLUTIONS) - 1)

@@ -112,6 +112,10 @@ CODES: Dict[str, Tuple[Severity, str]] = {
     "TAPE007": (Severity.WARNING, "instruction unreachable from the tape root"),
     "TAPE008": (Severity.ERROR, "tape differs from a reference recompilation"),
     "TAPE009": (Severity.ERROR, "gather of an image produced inside the block"),
+    # -- lazy-trace lint (repro.lazy) -------------------------------------
+    "LAZY001": (Severity.ERROR, "trace lowers to an empty graph (unmodified input)"),
+    "LAZY002": (Severity.WARNING, "recorded kernel reaches no evaluated output"),
+    "LAZY003": (Severity.WARNING, "recorded kernel reads no image (constant output)"),
     # -- partition-plan verifier ------------------------------------------
     "PLAN001": (Severity.ERROR, "block scheduled before its producers"),
     "PLAN002": (Severity.ERROR, "plan outputs do not cover the graph's external outputs"),

@@ -89,6 +89,13 @@ class LintReport:
         }
 
 
+@dataclass(frozen=True)
+class _TraceSpec:
+    """Name carrier standing in for an AppSpec when linting a lazy trace."""
+
+    name: str
+
+
 def lint_app(
     app,
     width: int = LINT_WIDTH,
@@ -100,12 +107,18 @@ def lint_app(
 ) -> LintReport:
     """Run the whole analysis stack over one application.
 
-    ``app`` is an :class:`~repro.apps.AppSpec` or a registered app name.
+    ``app`` is an :class:`~repro.apps.AppSpec`, a registered app name,
+    or a lazy-recorded :class:`~repro.lazy.trace.Trace` — traces first
+    run the ``LAZY0xx`` checks (:func:`repro.lazy.lint.lint_trace`) and
+    then lower through the ordinary pipeline passes (their geometry is
+    fixed at recording time, so ``width``/``height`` are ignored).
     ``version`` selects the fusion engine whose final partition is
     checked and whose trace the report keeps.  ``verify_plans=False``
     skips tape compilation/verification (pipeline + fusion passes only).
     """
     from repro.apps import ALL_APPS
+    from repro.lazy.lint import lint_trace
+    from repro.lazy.trace import Trace
 
     if isinstance(app, str):
         try:
@@ -117,8 +130,21 @@ def lint_app(
         gpu = KNOWN_GPUS[gpu]
     config = config or BenefitConfig()
 
-    pipeline = app.build(width, height)
-    diagnostics: List[Diagnostic] = list(lint_pipeline(pipeline))
+    diagnostics: List[Diagnostic] = []
+    if isinstance(app, Trace):
+        diagnostics.extend(lint_trace(app))
+        if any(d.code == "LAZY001" for d in diagnostics):
+            # Nothing lowered: there is no pipeline to lint or fuse.
+            return LintReport(
+                app=app.name,
+                version=version,
+                diagnostics=tuple(diagnostics),
+            )
+        pipeline = app.lower()
+        app = _TraceSpec(app.name)
+    else:
+        pipeline = app.build(width, height)
+    diagnostics.extend(lint_pipeline(pipeline))
 
     trace: Tuple[Any, ...] = ()
     blocks: Tuple[Tuple[str, ...], ...] = ()

@@ -40,6 +40,20 @@ lowered (global reduction operators, casts to unsupported dtypes), or —
 at call time — when the bound arrays are not plain ``float64`` planes
 of the declared geometry (the tape resolves such cases dynamically;
 baking their shapes would change semantics).
+
+**Shape polymorphism.**  With ``polymorphic=True`` the lowering emits
+``width`` / ``height`` as runtime ``const int`` parameters instead of
+baked literals: every extent in the tape's grid keys is checked against
+the block's iteration space and replaced by the matching symbol, the
+interior bounds become static margins off the runtime extents, and the
+tile count is computed at run time.  The generated C source is then
+**byte-identical across resolutions** of the same block structure, so
+the content-hash ``.so`` cache compiles each structure exactly once and
+one loaded artifact serves every geometry (the actual ``(height,
+width)`` is inferred from the bound arrays per call).  Blocks whose
+tapes mix image geometries have no polymorphic lowering and fall back;
+a polymorphic plan refuses to run tape fallbacks at a geometry other
+than the one it was planned at (the tape is shape-specialized).
 """
 
 from __future__ import annotations
@@ -392,15 +406,41 @@ class _Body:
         width: int,
         height: int,
         img_ids: Dict[str, str],
+        polymorphic: bool = False,
     ):
         self.interior = interior
         self.width = width
         self.height = height
         self.img_ids = img_ids
+        self.polymorphic = polymorphic
+        #: The extent tokens used in emitted C: literals when the
+        #: geometry is baked, the runtime parameter names otherwise.
+        self.width_sym = "width" if polymorphic else str(width)
+        self.height_sym = "height" if polymorphic else str(height)
         self.lines: List[str] = []
         self._coords: Dict[tuple, str] = {}
         self._oobs: Dict[tuple, str] = {}
         self._counter = 0
+
+    def extent(self, axis: str, n: int) -> str:
+        """The C token for an extent baked into a grid/mask key.
+
+        In polymorphic mode the key's extent must equal the block's
+        iteration-space extent on that axis — that is what makes the
+        substitution by the runtime ``width`` / ``height`` parameter
+        sound for every uniform geometry.  Mixed-geometry tapes have no
+        polymorphic lowering.
+        """
+        if not self.polymorphic:
+            return str(n)
+        expected = self.width if axis == "x" else self.height
+        if n != expected:
+            raise NativeLoweringError(
+                f"{axis}-axis extent {n} differs from the iteration "
+                f"space ({expected}); shape-polymorphic lowering needs "
+                "a uniform geometry"
+            )
+        return "width" if axis == "x" else "height"
 
     def _temp(self, expr: str) -> str:
         name = f"c{self._counter}"
@@ -423,10 +463,11 @@ class _Body:
                 out = parent
             else:
                 _, _, n, mode = key
+                n_sym = self.extent(_axis_of(key), n)
                 if mode == "constant":
                     raw = self._temp(parent)
                     out = self._temp(
-                        f"({raw} < 0 || {raw} >= {n}) ? 0 : {raw}"
+                        f"({raw} < 0 || {raw} >= {n_sym}) ? 0 : {raw}"
                     )
                 else:
                     resolver = _RESOLVER_C.get(mode)
@@ -434,7 +475,7 @@ class _Body:
                         raise NativeLoweringError(
                             f"boundary mode {mode!r} has no native lowering"
                         )
-                    out = self._temp(f"{resolver}({parent}, {n})")
+                    out = self._temp(f"{resolver}({parent}, {n_sym})")
         else:
             raise NativeLoweringError(
                 f"grid key {key!r} has no native lowering"
@@ -449,8 +490,9 @@ class _Body:
         if cached is not None:
             return cached
         _, parent, n = key
+        n_sym = self.extent(_axis_of(parent), n)
         raw = self._temp(self.coord(parent))
-        out = self._temp(f"({raw} < 0 || {raw} >= {n})")
+        out = self._temp(f"({raw} < 0 || {raw} >= {n_sym})")
         self._oobs[key] = out
         return out
 
@@ -465,13 +507,17 @@ class _Body:
         buffer = self.img_ids[image]
         if self.interior:
             return (
-                f"{buffer}[({self.coord(yi)}) * {width} "
+                f"{buffer}[({self.coord(yi)}) * {self.width_sym} "
                 f"+ ({self.coord(xi)})]"
             )
         mode = boundary.mode
+        # ``resolve_key``'s identity collapse (an un-shifted base grid
+        # inside ``[0, n)``) is shape-relative at uniform geometry, so
+        # deciding it against the plan geometry is valid for every
+        # geometry a polymorphic block can run at.
         xr = self.coord(resolve_key(xi, width, mode))
         yr = self.coord(resolve_key(yi, height, mode))
-        value = f"{buffer}[({yr}) * {width} + ({xr})]"
+        value = f"{buffer}[({yr}) * {self.width_sym} + ({xr})]"
         if mode is BoundaryMode.CONSTANT:
             oob = self.mask(
                 ("ormask", ("oob", xi, width), ("oob", yi, height))
@@ -486,9 +532,10 @@ def _emit_body(
     interior: bool,
     img_ids: Dict[str, str],
     param_ids: Dict[str, str],
+    polymorphic: bool = False,
 ) -> List[str]:
     space = plan.destination.space
-    body = _Body(interior, space.width, space.height, img_ids)
+    body = _Body(interior, space.width, space.height, img_ids, polymorphic)
     for index, instr in enumerate(plan.tape):
         op, args, aux = instr.op, instr.args, instr.aux
         if op == "const":
@@ -560,6 +607,7 @@ class _BlockSpec:
         width: int,
         height: int,
         channels: int,
+        polymorphic: bool = False,
     ):
         self.fn_name = fn_name
         self.source = source
@@ -568,11 +616,20 @@ class _BlockSpec:
         self.width = width
         self.height = height
         self.channels = channels
+        self.polymorphic = polymorphic
 
 
-def _lower_block(plan: BlockPlan, fn_name: str, tile: int) -> _BlockSpec:
+def _lower_block(
+    plan: BlockPlan, fn_name: str, tile: int, polymorphic: bool = False
+) -> _BlockSpec:
     """Lower one block tape to a C function (raises
-    :class:`NativeLoweringError` when the tape has no lowering)."""
+    :class:`NativeLoweringError` when the tape has no lowering).
+
+    With ``polymorphic=True`` the geometry becomes two runtime ``const
+    int`` parameters and the emitted source carries no baked extents —
+    byte-identical across resolutions of the same structure, so the
+    content-hash ``.so`` cache dedupes the compile.
+    """
     kernel = plan.destination
     if plan.apply_reduction and kernel.reduction is not None:
         raise NativeLoweringError(
@@ -591,24 +648,43 @@ def _lower_block(plan: BlockPlan, fn_name: str, tile: int) -> _BlockSpec:
     img_ids = {name: _identifier("in", name, used) for name in images}
     param_ids = {name: _identifier("p", name, used) for name in params}
 
-    halo_lines = _emit_body(plan, False, img_ids, param_ids)
+    halo_lines = _emit_body(plan, False, img_ids, param_ids, polymorphic)
     xlo, xhi, ylo, yhi = _interior_bounds(plan.tape, width, height)
     has_interior = xlo < xhi and ylo < yhi
 
+    if polymorphic:
+        # The interior margins are static (offset intervals of the grid
+        # keys), so the upper bounds are expressible off the runtime
+        # extents.  When the runtime image is smaller than the margins
+        # the interior loop is simply empty and the flanking halo loops
+        # overlap — both compute the (always-correct) halo body, so the
+        # overlap is benign.
+        W, H = "width", "height"
+        xhi_sym = W if xhi >= width else f"(width - {width - xhi})"
+        yhi_sym = H if yhi >= height else f"(height - {height - yhi})"
+    else:
+        W, H = str(width), str(height)
+        xhi_sym, yhi_sym = str(xhi), str(yhi)
+
+    geometry_formals = ["const int width", "const int height"]
+    geometry_actuals = ["width", "height"]
     pixel_args = ", ".join(
         [f"const double *restrict {img_ids[n]}" for n in images]
         + [f"const double {param_ids[n]}" for n in params]
+        + (geometry_formals if polymorphic else [])
         + ["const int x", "const int y"]
     )
     call_args = ", ".join(
         [img_ids[n] for n in images]
         + [param_ids[n] for n in params]
+        + (geometry_actuals if polymorphic else [])
         + ["x", "y"]
     )
     driver_args = ", ".join(
         ["double *restrict out"]
         + [f"const double *restrict {img_ids[n]}" for n in images]
         + [f"const double {param_ids[n]}" for n in params]
+        + (geometry_formals if polymorphic else [])
         + ["const int threads"]
     )
 
@@ -619,7 +695,9 @@ def _lower_block(plan: BlockPlan, fn_name: str, tile: int) -> _BlockSpec:
         "}",
     ]
     if has_interior:
-        interior_lines = _emit_body(plan, True, img_ids, param_ids)
+        interior_lines = _emit_body(
+            plan, True, img_ids, param_ids, polymorphic
+        )
         parts += [
             f"static double {fn_name}_interior({pixel_args})",
             "{",
@@ -627,21 +705,25 @@ def _lower_block(plan: BlockPlan, fn_name: str, tile: int) -> _BlockSpec:
             "}",
         ]
 
-    tiles = (height + tile - 1) // tile
+    tiles_sym = (
+        f"(({H} + {tile - 1}) / {tile})"
+        if polymorphic
+        else str((height + tile - 1) // tile)
+    )
     halo_row = (
-        f"                for (int x = 0; x < {width}; ++x)\n"
-        f"                    out[y * {width} + x] = "
+        f"                for (int x = 0; x < {W}; ++x)\n"
+        f"                    out[y * {W} + x] = "
         f"{fn_name}_halo({call_args});"
     )
     if has_interior:
         row_body = f"""\
-                if (y >= {ylo} && y < {yhi}) {{
+                if (y >= {ylo} && y < {yhi_sym}) {{
                     for (int x = 0; x < {xlo}; ++x)
-                        out[y * {width} + x] = {fn_name}_halo({call_args});
-                    for (int x = {xlo}; x < {xhi}; ++x)
-                        out[y * {width} + x] = {fn_name}_interior({call_args});
-                    for (int x = {xhi}; x < {width}; ++x)
-                        out[y * {width} + x] = {fn_name}_halo({call_args});
+                        out[y * {W} + x] = {fn_name}_halo({call_args});
+                    for (int x = {xlo}; x < {xhi_sym}; ++x)
+                        out[y * {W} + x] = {fn_name}_interior({call_args});
+                    for (int x = {xhi_sym}; x < {W}; ++x)
+                        out[y * {W} + x] = {fn_name}_halo({call_args});
                 }} else {{
 {halo_row}
                 }}"""
@@ -651,13 +733,14 @@ def _lower_block(plan: BlockPlan, fn_name: str, tile: int) -> _BlockSpec:
         f"void {fn_name}({driver_args})",
         "{",
         "    (void)threads;",
+        f"    const int n_tiles = {tiles_sym};",
         "#ifdef _OPENMP",
         "#pragma omp parallel for schedule(static) "
         "num_threads(threads > 0 ? threads : 1)",
         "#endif",
-        f"    for (int t = 0; t < {tiles}; ++t) {{",
+        "    for (int t = 0; t < n_tiles; ++t) {",
         f"        const int y_end = "
-        f"(t + 1) * {tile} < {height} ? (t + 1) * {tile} : {height};",
+        f"(t + 1) * {tile} < {H} ? (t + 1) * {tile} : {H};",
         f"        for (int y = t * {tile}; y < y_end; ++y) {{",
         row_body,
         "        }",
@@ -666,15 +749,27 @@ def _lower_block(plan: BlockPlan, fn_name: str, tile: int) -> _BlockSpec:
         "",
     ]
     return _BlockSpec(
-        fn_name, "\n".join(parts), images, params, width, height, channels
+        fn_name,
+        "\n".join(parts),
+        images,
+        params,
+        width,
+        height,
+        channels,
+        polymorphic,
     )
 
 
 def lower_block_source(
-    plan: BlockPlan, fn_name: str = "repro_block", tile: int | None = None
+    plan: BlockPlan,
+    fn_name: str = "repro_block",
+    tile: int | None = None,
+    polymorphic: bool = False,
 ) -> str:
     """The standalone C source of one lowered block (inspection/tests)."""
-    spec = _lower_block(plan, fn_name, tile or resolve_native_tile())
+    spec = _lower_block(
+        plan, fn_name, tile or resolve_native_tile(), polymorphic
+    )
     return _PREAMBLE + "\n" + spec.source
 
 
@@ -703,7 +798,7 @@ class NativeBlock:
         fn.argtypes = (
             [_DOUBLE_P] * (1 + len(spec.images))
             + [ctypes.c_double] * len(spec.params)
-            + [ctypes.c_int]
+            + [ctypes.c_int] * (3 if spec.polymorphic else 1)
         )
 
     def execute(
@@ -713,11 +808,62 @@ class NativeBlock:
         threads: int | None = None,
     ) -> np.ndarray:
         """Run the block; falls back to the tape plan when the bound
-        arrays do not fit the compiled geometry/dtype."""
+        arrays do not fit the compiled geometry/dtype.
+
+        A shape-polymorphic block can only fall back at its *plan*
+        geometry — the tape's grid keys are shape-specialized, so a
+        fallback at a foreign geometry would compute the wrong image
+        and raises instead.
+        """
         try:
             return self._execute_native(arrays, params, threads)
-        except _RuntimeFallback:
+        except _RuntimeFallback as fallback:
+            if self.spec.polymorphic and not self._fits_plan_geometry(
+                arrays
+            ):
+                raise ExecutionError(
+                    f"shape-polymorphic block {self.output_name!r} "
+                    f"cannot fall back to the tape away from its plan "
+                    f"geometry ({self.spec.height}x{self.spec.width}): "
+                    f"{fallback.args[0]}"
+                ) from None
             return self.plan.execute(arrays, params)
+
+    def _fits_plan_geometry(self, arrays: Arrays) -> bool:
+        spec = self.spec
+        expected = (
+            (spec.height, spec.width, spec.channels)
+            if spec.channels > 1
+            else (spec.height, spec.width)
+        )
+        return all(
+            np.shape(_array_for(name, arrays)) == expected
+            for name in spec.images
+        )
+
+    def _geometry(self, arrays: Arrays) -> Tuple[int, int]:
+        """The runtime ``(height, width)`` of a polymorphic call.
+
+        Inferred from the bound arrays, which must agree on one
+        geometry (and carry the compiled channel count); an imageless
+        block (pure generator) keeps its plan geometry.
+        """
+        spec = self.spec
+        geometry: Optional[Tuple[int, int]] = None
+        for name in spec.images:
+            shape = np.shape(_array_for(name, arrays))
+            if len(shape) not in (2, 3) or (
+                len(shape) == 3 and shape[2] != spec.channels
+            ):
+                raise _RuntimeFallback(name)
+            if geometry is None:
+                geometry = shape[:2]
+            elif shape[:2] != geometry:
+                raise _RuntimeFallback(name)
+        return geometry if geometry is not None else (
+            spec.height,
+            spec.width,
+        )
 
     def _execute_native(
         self,
@@ -727,7 +873,11 @@ class NativeBlock:
     ) -> np.ndarray:
         params = params or {}
         spec = self.spec
-        height, width, channels = spec.height, spec.width, spec.channels
+        channels = spec.channels
+        if spec.polymorphic:
+            height, width = self._geometry(arrays)
+        else:
+            height, width = spec.height, spec.width
         expected = (
             (height, width, channels) if channels > 1 else (height, width)
         )
@@ -753,12 +903,12 @@ class NativeBlock:
                     np.ascontiguousarray(a[:, :, c]) for a in inputs
                 ]
                 plane = np.empty((height, width), dtype=np.float64)
-                self._call(plane, planes, values, thread_count)
+                self._call(plane, planes, values, thread_count, width, height)
                 out[:, :, c] = plane
             return out
         out = np.empty((height, width), dtype=np.float64)
         buffers = [np.ascontiguousarray(a) for a in inputs]
-        self._call(out, buffers, values, thread_count)
+        self._call(out, buffers, values, thread_count, width, height)
         return out
 
     def _call(
@@ -767,10 +917,14 @@ class NativeBlock:
         inputs: List[np.ndarray],
         params: List[float],
         threads: int,
+        width: int,
+        height: int,
     ) -> None:
         args = [out.ctypes.data_as(_DOUBLE_P)]
         args += [a.ctypes.data_as(_DOUBLE_P) for a in inputs]
         args += params
+        if self.spec.polymorphic:
+            args += [width, height]
         args.append(threads)
         self._fn(*args)
 
@@ -803,6 +957,7 @@ class NativePartitionPlan:
         from_cache: bool,
         fallback_reasons: Dict[str, str],
         source: str | None,
+        polymorphic: bool = False,
     ):
         self.plan = plan
         self.graph = plan.graph
@@ -816,6 +971,9 @@ class NativePartitionPlan:
         self.fallback_reasons = fallback_reasons
         #: The generated C source (``None`` when nothing was lowered).
         self.source = source
+        #: Whether the compiled kernels take runtime width/height — one
+        #: artifact then serves every resolution of this structure.
+        self.polymorphic = polymorphic
         self.tolerance = tolerance_for([plan for plan, _ in blocks])
         self._verify = _VerifyOnce()
 
@@ -851,7 +1009,23 @@ class NativePartitionPlan:
         """
         workers = resolve_workers(workers)
         params = params or {}
-        if self._verify.pending and validate_mode() == "strict":
+        at_plan_geometry = self._at_plan_geometry(inputs)
+        if self.polymorphic and not at_plan_geometry and self.blocks:
+            if self.fallback_block_count:
+                raise ExecutionError(
+                    "shape-polymorphic plan has tape-fallback blocks "
+                    f"({sorted(self.fallback_reasons)}) and cannot run "
+                    "away from its plan geometry"
+                )
+        if (
+            self._verify.pending
+            and validate_mode() == "strict"
+            and at_plan_geometry
+        ):
+            # Differential verification compares against the tape plan,
+            # which is shape-specialized — it only makes sense at the
+            # plan geometry; polymorphic executions at other geometries
+            # leave verification pending for a matching call.
             with self._verify.lock:
                 if self._verify.pending:
                     # Verification wants a deterministic first pass.
@@ -860,6 +1034,16 @@ class NativePartitionPlan:
                     self._verify.pending = False
                     return result
         return self._execute_blocks(inputs, params, workers)
+
+    def _at_plan_geometry(self, inputs: Arrays) -> bool:
+        """Whether the bound arrays match the geometry planned for."""
+        if not self.polymorphic or not self.blocks:
+            return True
+        space = self.blocks[0][0].destination.space
+        expected = (space.height, space.width)
+        return all(
+            np.shape(a)[:2] == expected for a in inputs.values()
+        )
 
     def _execute_blocks(
         self, inputs: Arrays, params: Params, workers: int = 1
@@ -1007,7 +1191,10 @@ def _compile_specs(
 
 
 def _build_native_partition(
-    graph: KernelGraph, partition: Partition, naive_borders: bool
+    graph: KernelGraph,
+    partition: Partition,
+    naive_borders: bool,
+    polymorphic: bool = False,
 ) -> NativePartitionPlan:
     fault_check("native.compile")
     plan = plan_for_partition(graph, partition, naive_borders)
@@ -1020,7 +1207,7 @@ def _build_native_partition(
             r"[^0-9A-Za-z_]", "_", block_plan.output_name
         )
         try:
-            specs.append(_lower_block(block_plan, fn_name, tile))
+            specs.append(_lower_block(block_plan, fn_name, tile, polymorphic))
         except NativeLoweringError as err:
             specs.append(None)
             reasons[block_plan.output_name] = str(err)
@@ -1038,7 +1225,7 @@ def _build_native_partition(
         blocks.append((block_plan, NativeBlock(block_plan, spec, fn)))
     compile_ms = (time.perf_counter() - started) * 1e3
     return NativePartitionPlan(
-        plan, blocks, compile_ms, from_cache, reasons, source
+        plan, blocks, compile_ms, from_cache, reasons, source, polymorphic
     )
 
 
@@ -1055,6 +1242,8 @@ def native_plan_for_partition(
     graph: KernelGraph,
     partition: Partition,
     naive_borders: bool = False,
+    *,
+    polymorphic: bool = False,
 ) -> NativePartitionPlan:
     """The (cached) native plan of a partition.
 
@@ -1062,12 +1251,15 @@ def native_plan_for_partition(
     the tile size so changing ``REPRO_NATIVE_TILE`` recompiles.  The
     underlying ``.so`` additionally lives in the cross-process
     content-hash cache, so a cache *miss* here usually still skips the
-    C compiler.
+    C compiler.  ``polymorphic=True`` compiles runtime-geometry kernels
+    whose source — and therefore whose ``.so`` artifact — is shared by
+    every resolution of the structure.
     """
     key = (
         partition.signature(),
         bool(naive_borders),
         resolve_native_tile(),
+        bool(polymorphic),
     )
     with _native_cache_lock:
         cache = _native_partition_plans.get(graph)
@@ -1076,7 +1268,9 @@ def native_plan_for_partition(
             _native_partition_plans[graph] = cache
         plan = cache.get(key)
         if plan is None:
-            plan = _build_native_partition(graph, partition, naive_borders)
+            plan = _build_native_partition(
+                graph, partition, naive_borders, polymorphic
+            )
             cache[key] = plan
         return plan
 

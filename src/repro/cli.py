@@ -320,6 +320,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
     names = args.apps or sorted(APPLICATIONS)
     for name in names:
         _resolve_app(name)
+    if args.cache_keying == "structure" and args.exec_engine != "native":
+        print("error: --cache-keying structure requires --exec-engine "
+              "native (only shape-polymorphic native plans serve "
+              "foreign geometries)", file=sys.stderr)
+        return 2
     registry = default_registry(include_extensions=True, apps=set(names))
     resilience = None
     if args.retries is not None or args.breaker_threshold is not None:
@@ -359,6 +364,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if processes > 1:
         from repro.serve import ShardedRuntime
 
+        if args.cache_keying != "shape":
+            print("error: --cache-keying structure is single-process "
+                  "(sharded routing is keyed by shape-specialized plan "
+                  "signature)", file=sys.stderr)
+            return 2
         runtime_cm = ShardedRuntime.from_options(
             options,
             names,
@@ -372,6 +382,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             registry=registry,
             workers=args.workers,
             max_batch=args.max_batch,
+            cache_keying=args.cache_keying,
         )
     with runtime_cm as runtime:
         with ThreadPoolExecutor(max_workers=args.clients) as clients:
@@ -409,7 +420,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
               f"over {native_ms['count']} plans")
     print(f"plan cache: {cache['hits']} hits / {cache['misses']} misses "
           f"(hit rate {cache['hit_rate']:.3f}, "
-          f"{cache['coalesced']} coalesced)")
+          f"{cache['coalesced']} coalesced; "
+          f"{cache['miss_structure']} structure + "
+          f"{cache['miss_shape']} shape misses, "
+          f"keying={cache.get('keying', 'shape')})")
     print(f"latency ms: p50={latency.get('p50', 0.0):.2f} "
           f"p95={latency.get('p95', 0.0):.2f} "
           f"p99={latency.get('p99', 0.0):.2f}")
@@ -460,6 +474,7 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
             if args.processes is None
             else args.processes
         ),
+        cache_keying=args.cache_keying,
     )
     text = json.dumps(report, indent=2, sort_keys=True)
     print(text)
@@ -487,15 +502,23 @@ def cmd_lint(args: argparse.Namespace) -> int:
     names = args.apps or sorted(APPLICATIONS)
     for name in names:
         _resolve_app(name)
+    if args.lazy:
+        from repro.analysis.lint import LINT_HEIGHT, LINT_WIDTH
+        from repro.lazy.apps import lazy_trace
+
+        targets = [lazy_trace(name, LINT_WIDTH, LINT_HEIGHT)
+                   for name in names]
+    else:
+        targets = list(names)
     reports = [
         lint_app(
-            name,
+            target,
             gpu=_resolve_gpu(args.gpu),
             config=_config(args),
             version=args.version,
             verify_plans=not args.no_plans,
         )
-        for name in names
+        for target in targets
     ]
     if args.json:
         print(json.dumps([r.to_dict() for r in reports], indent=2,
@@ -620,6 +643,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="execution engine serving requests; "
                             "'native' compiles block tapes to C and "
                             "falls back to 'tape' without a compiler")
+        p.add_argument("--cache-keying", default="shape",
+                       choices=("shape", "structure"),
+                       help="plan-cache identity: 'shape' keys on exact "
+                            "input shapes (one entry per resolution); "
+                            "'structure' keys on pipeline structure + "
+                            "dtypes and serves every resolution from "
+                            "one shape-polymorphic native plan "
+                            "(requires --exec-engine native, "
+                            "single-process)")
 
     lint = sub.add_parser(
         "lint", help="run the static-analysis passes over applications "
@@ -639,6 +671,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="print the diagnostic-code catalog and exit")
     lint.add_argument("--no-plans", action="store_true",
                       help="skip tape compilation/verification")
+    lint.add_argument("--lazy", action="store_true",
+                      help="lint the lazy-recorded (repro.lazy) variant "
+                           "of each app: runs the LAZY0xx trace checks, "
+                           "then lowers and runs the standard passes")
     add_model_flags(lint)
 
     serve = sub.add_parser(

@@ -34,6 +34,18 @@ def _image_signature(image: Image) -> tuple:
     )
 
 
+def _image_structure(image: Image) -> tuple:
+    """Shape-agnostic identity of an image: name, channels, element size.
+
+    The width/height are deliberately elided — this is the image half of
+    :meth:`Kernel.structure_signature`, under which every resolution of
+    the same pipeline structure signs identically (the key of the
+    serving runtime's structure-keyed plan cache, served by
+    shape-polymorphic native plans)."""
+    space = image.space
+    return (image.name, space.channels, image.bytes_per_pixel)
+
+
 class ComputePattern(enum.Enum):
     """The paper's compute-pattern taxonomy (Section II-C1)."""
 
@@ -284,6 +296,40 @@ class Kernel:
                 expr_signature(self.body),
             )
             self._signature_cache = cached
+        return cached
+
+    def structure_signature(self) -> tuple:
+        """:meth:`structural_signature` with the image geometry elided.
+
+        Two kernels that differ only in iteration-space width/height —
+        the same construction code run at different resolutions — have
+        equal structure signatures; channels, element sizes, bodies,
+        boundaries, and headers still distinguish.  This is the kernel
+        half of :meth:`repro.graph.dag.KernelGraph.structure_signature`,
+        the structure-keyed plan-cache identity served by
+        shape-polymorphic native plans.
+        """
+        cached = getattr(self, "_structure_cache", None)
+        if cached is None:
+            cached = (
+                "kernel-structure",
+                self.name,
+                _image_structure(self.output),
+                tuple(
+                    (
+                        _image_structure(a.image),
+                        a.boundary.mode.value,
+                        float(a.boundary.constant),
+                    )
+                    for a in self.accessors
+                ),
+                self.reduction.value if self.reduction else None,
+                self.granularity,
+                tuple(self.block_shape),
+                self.force_no_shared_memory,
+                expr_signature(self.body),
+            )
+            self._structure_cache = cached
         return cached
 
     def reads(self) -> Dict[str, Set[Tuple[int, int]]]:

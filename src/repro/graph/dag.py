@@ -206,6 +206,30 @@ class KernelGraph:
             self._signature_cache = cached
         return cached
 
+    def structure_signature(self) -> str:
+        """:meth:`structural_signature` with image geometry elided.
+
+        Two graphs built by the same pipeline code at *different
+        resolutions* hash identically here (while any change to kernel
+        bodies, boundaries, channels, edges, or outputs still misses) —
+        the identity under which the serving runtime's structure-keyed
+        plan cache shares one shape-polymorphic native plan across every
+        geometry of a pipeline.
+        """
+        cached = getattr(self, "_structure_sig_cache", None)
+        if cached is None:
+            payload = (
+                tuple(
+                    self._kernels[name].structure_signature()
+                    for name in self._topo_order
+                ),
+                tuple(sorted((e.src, e.dst, e.image) for e in self._edges)),
+                tuple(sorted(self._external_outputs)),
+            )
+            cached = hashlib.sha256(repr(payload).encode()).hexdigest()
+            self._structure_sig_cache = cached
+        return cached
+
     @property
     def total_weight(self) -> float:
         """The paper's ``w_G``: sum of all edge weights (Eq. 13)."""

@@ -1,0 +1,81 @@
+"""repro.lazy: a record-and-fuse array frontend.
+
+Public surface of the lazy subsystem:
+
+* :class:`Trace` / :class:`LazyArray` — the recorder and the deferred
+  array handle (:mod:`repro.lazy.trace`),
+* pointwise and window operations (:mod:`repro.lazy.functional`) —
+  ``sqrt``/``exp``/``where``/``clamp``/... plus the
+  :mod:`repro.dsl.functional` window builders lifted onto lazy arrays,
+* :func:`lint_trace` — the ``LAZY0xx`` trace diagnostics
+  (:mod:`repro.lazy.lint`),
+* the six paper applications transliterated into lazy recording
+  (:mod:`repro.lazy.apps`) — the differential anchor proving the
+  frontend lowers to the same graphs as the explicit DSL.
+
+See ``docs/lazy.md`` for the full tour.
+"""
+
+from repro.lazy.functional import (
+    absolute,
+    atan2,
+    clamp,
+    convolve,
+    convolve_separable_x,
+    convolve_separable_y,
+    cos,
+    exp,
+    geometric_mean,
+    lift_window,
+    log,
+    maximum,
+    minimum,
+    pow_,
+    rsqrt,
+    sin,
+    sqrt,
+    tan,
+    tanh,
+    where,
+    window_max,
+    window_mean,
+    window_median3x3,
+    window_min,
+    window_reduce,
+    window_sum,
+)
+from repro.lazy.lint import lint_trace
+from repro.lazy.trace import LazyArray, LazyError, Trace
+
+__all__ = [
+    "LazyArray",
+    "LazyError",
+    "Trace",
+    "absolute",
+    "atan2",
+    "clamp",
+    "convolve",
+    "convolve_separable_x",
+    "convolve_separable_y",
+    "cos",
+    "exp",
+    "geometric_mean",
+    "lift_window",
+    "lint_trace",
+    "log",
+    "maximum",
+    "minimum",
+    "pow_",
+    "rsqrt",
+    "sin",
+    "sqrt",
+    "tan",
+    "tanh",
+    "where",
+    "window_max",
+    "window_mean",
+    "window_median3x3",
+    "window_min",
+    "window_reduce",
+    "window_sum",
+]

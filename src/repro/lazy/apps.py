@@ -1,0 +1,206 @@
+"""The six paper applications, recorded through the lazy frontend.
+
+Each builder transliterates its hand-built counterpart in
+:mod:`repro.apps` into array-style recording: same kernel names, same
+image names, same bodies — so each trace lowers to a graph whose
+:meth:`~repro.graph.dag.KernelGraph.structural_signature` **equals**
+the hand-built pipeline's, and every engine (recursive / tape / native)
+produces bit-identical pixels.  The differential suite in
+``tests/lazy/test_lazy_differential.py`` pins both properties.
+
+The transliterations deliberately exercise every recording surface:
+window helpers lifted from :mod:`repro.dsl.functional` (Harris, Sobel,
+Unsharp convolutions), inline arithmetic with scalar broadcasting
+(response kernels), ``shift`` as the stencil accessor (Night's à-trous
+taps), runtime :class:`~repro.ir.expr.Param` scalars (Enhance's gamma),
+multi-channel traces (Night), ``checkpoint(inputs=...)`` accessor-order
+overrides (Unsharp's ``amp``), and Expr-level ``window_reduce``
+callables (Enhance's geometric mean).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.apps.common import GAUSS3, SOBEL_X, SOBEL_Y, atrous_taps
+from repro.apps.harris import HARRIS_K, NORM
+from repro.apps.night import BILATERAL_K, BLUESHIFT_CURVE, SCOTO_CURVE
+from repro.apps.unsharp import LAMBDA
+from repro.dsl.mask import Domain
+from repro.ir import ops
+from repro.ir.expr import Const, Param
+from repro.lazy import functional as lz
+from repro.lazy.trace import LazyArray, Trace
+
+__all__ = [
+    "LAZY_BUILDERS",
+    "lazy_trace",
+    "build_enhance_trace",
+    "build_harris_trace",
+    "build_night_trace",
+    "build_shitomasi_trace",
+    "build_sobel_trace",
+    "build_unsharp_trace",
+]
+
+
+def build_sobel_trace(width: int = 2048, height: int = 2048) -> Trace:
+    """Sobel gradient magnitude (3 kernels)."""
+    t = Trace("sobel", width, height)
+    src = t.source("input")
+    ix = lz.convolve(src, SOBEL_X).checkpoint("dx", "Ix")
+    iy = lz.convolve(src, SOBEL_Y).checkpoint("dy", "Iy")
+    lz.sqrt(ix * ix + iy * iy).checkpoint("mag", "magnitude")
+    return t
+
+
+def _structure_tensor(t: Trace, src: LazyArray):
+    """The shared Harris/Shi-Tomasi front: derivatives, squared
+    products, Gaussian-smoothed Hermitian matrix entries."""
+    ix = lz.convolve(src, SOBEL_X).checkpoint("dx", "Ix")
+    iy = lz.convolve(src, SOBEL_Y).checkpoint("dy", "Iy")
+    sxx = (ix * ix * Const(NORM)).checkpoint("sx", "Sxx")
+    syy = (iy * iy * Const(NORM)).checkpoint("sy", "Syy")
+    sxy = (ix * iy * Const(NORM)).checkpoint("sxy", "Sxy")
+    gxx = lz.convolve(sxx, GAUSS3).checkpoint("gx", "Gxx")
+    gyy = lz.convolve(syy, GAUSS3).checkpoint("gy", "Gyy")
+    gxy = lz.convolve(sxy, GAUSS3).checkpoint("gxy", "Gxy")
+    return gxx, gyy, gxy
+
+
+def build_harris_trace(width: int = 2048, height: int = 2048) -> Trace:
+    """Harris corners (9 kernels, the Fig. 3 running example)."""
+    t = Trace("harris", width, height)
+    src = t.source("input")
+    gxx, gyy, gxy = _structure_tensor(t, src)
+    det = gxx * gyy - gxy * gxy
+    trace = gxx + gyy
+    # Scalar-left products (``k * a``) record through ``__rmul__`` as
+    # ``Const(k) * a`` — identical IR to the hand-built body.
+    (det - HARRIS_K * trace * trace).checkpoint("hc", "corners")
+    return t
+
+
+def build_shitomasi_trace(width: int = 2048, height: int = 2048) -> Trace:
+    """Shi-Tomasi minimum-eigenvalue response (9 kernels)."""
+    t = Trace("shitomasi", width, height)
+    src = t.source("input")
+    gxx, gyy, gxy = _structure_tensor(t, src)
+    half_trace = (gxx + gyy) * Const(0.5)
+    half_diff = (gxx - gyy) * Const(0.5)
+    (half_trace - lz.sqrt(half_diff * half_diff + gxy * gxy)).checkpoint(
+        "st", "response"
+    )
+    return t
+
+
+def build_unsharp_trace(width: int = 2048, height: int = 2048) -> Trace:
+    """Cubic unsharp masking (4 kernels, the Fig. 2b diamond).
+
+    The ``amp`` kernel's hand-built accessor order (``input`` first)
+    differs from its body's read order (``high`` first) — the
+    ``inputs=`` override keeps the lowered signature identical.
+    """
+    from repro.apps.unsharp import NORM as UNSHARP_NORM
+
+    t = Trace("unsharp", width, height)
+    src = t.source("input")
+    blurred = lz.convolve(src, GAUSS3).checkpoint("blur", "blurred")
+    high = (src - blurred).checkpoint("high", "high")
+    amplified = (high * src * src * Const(UNSHARP_NORM)).checkpoint(
+        "amp", "amplified", inputs=[src, high]
+    )
+    (src + LAMBDA * amplified).checkpoint("sharpen", "sharpened")
+    return t
+
+
+def build_enhance_trace(width: int = 2048, height: int = 2048) -> Trace:
+    """Endoscopy enhancement: geometric-mean denoise, gamma, stretch."""
+    t = Trace("enhancement", width, height)
+    src = t.source("input")
+    domain = Domain(3, 3)
+    log_sum = lz.window_reduce(
+        src,
+        domain,
+        lambda a, b: a + b,
+        # Shift by one to keep log() well-defined for zero pixels.
+        lambda v: ops.log(v + Const(1.0)),
+    )
+    denoised = (
+        lz.exp(log_sum * Const(1.0 / domain.size)) - Const(1.0)
+    ).checkpoint("gmean", "denoised")
+    corrected = (
+        lz.pow_(denoised * Const(1.0 / 255.0), Param("gamma")) * Const(255.0)
+    ).checkpoint("gamma", "corrected")
+    lz.clamp(
+        (corrected - Const(16.0)) * Const(255.0 / (235.0 - 16.0)),
+        Const(0.0),
+        Const(255.0),
+    ).checkpoint("stretch", "enhanced")
+    return t
+
+
+def _atrous_bilateral(array: LazyArray, level: int) -> LazyArray:
+    """One à-trous bilateral pass, recorded through ``shift``.
+
+    Structurally identical IR to :func:`repro.apps.night.atrous_bilateral`:
+    the accessor's ``acc(dx, dy)`` reads become ``array.shift(dx, dy)``.
+    """
+    center = array
+    value_sum = center
+    weight_sum = array.trace.const(1.0)
+    for dx, dy in atrous_taps(level):
+        if dx == 0 and dy == 0:
+            continue
+        value = array.shift(dx, dy)
+        difference = value - center
+        weight = 1.0 / (1.0 + BILATERAL_K * difference * difference)
+        value_sum = value_sum + weight * value
+        weight_sum = weight_sum + weight
+    return value_sum / weight_sum
+
+
+def _polynomial(x: LazyArray, coefficients) -> LazyArray:
+    """Horner evaluation over a lazy array (mirrors
+    :func:`repro.apps.common.polynomial` node for node)."""
+    result = x._wrap(Const(float(coefficients[-1])))
+    for coefficient in reversed(coefficients[:-1]):
+        result = float(coefficient) + x * result
+    return result
+
+
+def build_night_trace(width: int = 1920, height: int = 1200) -> Trace:
+    """The Night filter (3 kernels over RGB)."""
+    t = Trace("night", width, height, channels=3)
+    src = t.source("input")
+    smooth0 = _atrous_bilateral(src, 0).checkpoint("atrous0", "smooth0")
+    smooth1 = _atrous_bilateral(smooth0, 1).checkpoint("atrous1", "smooth1")
+    x = smooth1 * Const(1.0 / 255.0)
+    response = _polynomial(x, SCOTO_CURVE)
+    blueshift = _polynomial(x, BLUESHIFT_CURVE)
+    x_sq = x * x
+    mesopic = x_sq / (x_sq + Const(0.01))
+    mixed = mesopic * response + (1.0 - mesopic) * blueshift
+    (mixed * Const(255.0)).checkpoint("scoto", "toned")
+    return t
+
+
+#: Lazy builders keyed like :data:`repro.apps.APPLICATIONS`.
+LAZY_BUILDERS: Dict[str, Callable[[int, int], Trace]] = {
+    "Harris": build_harris_trace,
+    "Sobel": build_sobel_trace,
+    "Unsharp": build_unsharp_trace,
+    "ShiTomasi": build_shitomasi_trace,
+    "Enhance": build_enhance_trace,
+    "Night": build_night_trace,
+}
+
+
+def lazy_trace(name: str, width: int, height: int) -> Trace:
+    """Build the lazy-recorded variant of a registered paper app."""
+    try:
+        builder = LAZY_BUILDERS[name]
+    except KeyError:
+        known = ", ".join(sorted(LAZY_BUILDERS))
+        raise KeyError(f"no lazy builder for {name!r}; known: {known}")
+    return builder(width, height)

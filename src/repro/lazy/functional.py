@@ -1,0 +1,197 @@
+"""Lazy math and window operations.
+
+Two families:
+
+* **Pointwise helpers** (``sqrt``, ``exp``, ``where``, ``minimum``,
+  ``clamp``, ...) — mirrors of :mod:`repro.ir.ops` that compose IR
+  inline over :class:`~repro.lazy.trace.LazyArray` operands; nothing
+  materializes.
+* **Window helpers** (``convolve``, ``window_reduce``, ``window_sum``,
+  ``geometric_mean``, ``window_median3x3``, ...) — the *existing*
+  builders of :mod:`repro.dsl.functional` lifted onto lazy arrays
+  through the accessor shim: a pure image read records directly; a
+  computed value materializes into a kernel first, so reading a
+  neighbourhood of a derived value keeps the two-stage border
+  semantics of fused local operators.
+
+``lift_window`` is the generic adapter: any function of
+``(accessor, *args) -> Expr`` — including app-specific builders like
+the Night filter's ``atrous_bilateral`` — applies to a lazy array
+unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.dsl import functional as _functional
+from repro.dsl.mask import Domain, Mask
+from repro.ir.expr import Call, Expr, Select
+from repro.lazy.trace import LazyArray, Operand
+
+__all__ = [
+    "absolute",
+    "atan2",
+    "clamp",
+    "convolve",
+    "convolve_separable_x",
+    "convolve_separable_y",
+    "cos",
+    "exp",
+    "geometric_mean",
+    "lift_window",
+    "log",
+    "maximum",
+    "minimum",
+    "pow_",
+    "rsqrt",
+    "sin",
+    "sqrt",
+    "tan",
+    "tanh",
+    "where",
+    "window_max",
+    "window_mean",
+    "window_median3x3",
+    "window_min",
+    "window_reduce",
+    "window_sum",
+]
+
+
+# -- pointwise -------------------------------------------------------------
+
+
+def _unary_sfu(fn: str):
+    def build(array: LazyArray) -> LazyArray:
+        return array._wrap(Call(fn, (array.expr,)))
+
+    build.__name__ = fn
+    build.__doc__ = f"Lazy ``{fn}(x)`` (SFU class)."
+    return build
+
+
+exp = _unary_sfu("exp")
+log = _unary_sfu("log")
+sqrt = _unary_sfu("sqrt")
+rsqrt = _unary_sfu("rsqrt")
+sin = _unary_sfu("sin")
+cos = _unary_sfu("cos")
+tan = _unary_sfu("tan")
+tanh = _unary_sfu("tanh")
+
+
+def pow_(base: LazyArray, exponent: Operand) -> LazyArray:
+    """Lazy ``base ** exponent``; the exponent may be a scalar, another
+    lazy array, or a raw IR node (e.g. a :class:`~repro.ir.expr.Param`)."""
+    return base._wrap(Call("pow", (base.expr, base._operand(exponent))))
+
+
+def atan2(y: LazyArray, x: Operand) -> LazyArray:
+    """Lazy two-argument arctangent."""
+    return y._wrap(Call("atan2", (y.expr, y._operand(x))))
+
+
+def absolute(array: LazyArray) -> LazyArray:
+    """Lazy absolute value (also available as ``abs(array)``)."""
+    return abs(array)
+
+
+def minimum(a: LazyArray, b: Operand) -> LazyArray:
+    """Lazy elementwise minimum."""
+    return a._wrap_binop("min", b)
+
+
+def maximum(a: LazyArray, b: Operand) -> LazyArray:
+    """Lazy elementwise maximum."""
+    return a._wrap_binop("max", b)
+
+
+def clamp(x: LazyArray, lo: Operand, hi: Operand) -> LazyArray:
+    """Lazy ``min(max(x, lo), hi)`` — same lowering as :func:`repro.ir.ops.clamp`."""
+    return minimum(maximum(x, lo), hi)
+
+
+def where(cond: LazyArray, if_true: Operand, if_false: Operand) -> LazyArray:
+    """Lazy ternary select: ``cond ? if_true : if_false``.
+
+    ``cond`` is typically a lazy comparison (``a < b``); the branches
+    may be lazy arrays or scalars.  Both branches are recorded — like
+    ``np.where`` and unlike Python ``if``, there is no short-circuit.
+    """
+    return cond._wrap(
+        Select(cond.expr, cond._operand(if_true), cond._operand(if_false))
+    )
+
+
+# -- windows ---------------------------------------------------------------
+
+
+def lift_window(
+    fn: Callable[..., Expr], array: LazyArray, *args, **kwargs
+) -> LazyArray:
+    """Apply an accessor-level window builder to a lazy array.
+
+    ``fn`` is any function taking an accessor first (the whole of
+    :mod:`repro.dsl.functional`, or app code like
+    :func:`repro.apps.night.atrous_bilateral`); its result records into
+    ``array``'s trace.
+    """
+    return array._wrap(fn(array._as_accessor(), *args, **kwargs))
+
+
+def convolve(array: LazyArray, mask: Mask) -> LazyArray:
+    """Lazy convolution with ``mask`` (zero taps skipped, unit taps
+    unscaled — identical IR to the explicit DSL's ``convolve``)."""
+    return lift_window(_functional.convolve, array, mask)
+
+
+def window_reduce(
+    array: LazyArray,
+    domain: Domain,
+    fn: Callable[[Expr, Expr], Expr],
+    transform: Optional[Callable[[Expr], Expr]] = None,
+) -> LazyArray:
+    """Lazy window reduction.  ``fn``/``transform`` operate on IR
+    expressions (reads), exactly as in :func:`repro.dsl.functional.window_reduce`."""
+    return lift_window(_functional.window_reduce, array, domain, fn, transform)
+
+
+def window_sum(array: LazyArray, domain: Domain) -> LazyArray:
+    """Lazy window sum."""
+    return lift_window(_functional.window_sum, array, domain)
+
+
+def window_mean(array: LazyArray, domain: Domain) -> LazyArray:
+    """Lazy window arithmetic mean."""
+    return lift_window(_functional.window_mean, array, domain)
+
+
+def window_min(array: LazyArray, domain: Domain) -> LazyArray:
+    """Lazy window minimum."""
+    return lift_window(_functional.window_min, array, domain)
+
+
+def window_max(array: LazyArray, domain: Domain) -> LazyArray:
+    """Lazy window maximum."""
+    return lift_window(_functional.window_max, array, domain)
+
+
+def geometric_mean(array: LazyArray, domain: Domain) -> LazyArray:
+    """Lazy geometric mean (log/exp lowering)."""
+    return lift_window(_functional.geometric_mean, array, domain)
+
+
+def window_median3x3(array: LazyArray) -> LazyArray:
+    """Lazy 3x3 median via the branch-free sorting network."""
+    return lift_window(_functional.window_median3x3, array)
+
+
+def convolve_separable_x(array: LazyArray, taps) -> LazyArray:
+    """Lazy horizontal 1D convolution."""
+    return lift_window(_functional.convolve_separable_x, array, taps)
+
+
+def convolve_separable_y(array: LazyArray, taps) -> LazyArray:
+    """Lazy vertical 1D convolution."""
+    return lift_window(_functional.convolve_separable_y, array, taps)

@@ -1,0 +1,93 @@
+"""Trace-level diagnostics: the ``LAZY0xx`` codes.
+
+The pipeline lint (:mod:`repro.analysis.passes`) sees only the lowered
+graph, where some recording mistakes are invisible by construction —
+every sink image is an external output, so a dead recorded branch
+terminates in its *own* sink and never trips ``PIPE005``.  These
+checks run on the :class:`~repro.lazy.trace.Trace` itself, before (or
+instead of) lowering:
+
+* **LAZY001** (error) — the trace lowers to an empty graph: nothing was
+  recorded, i.e. ``evaluate()`` on an unmodified input.
+* **LAZY002** (warning) — a recorded kernel reaches none of the images
+  the user actually evaluated (dead recording; it still executes on
+  every flush, because lowering preserves the whole trace).
+* **LAZY003** (warning) — a recorded kernel reads no image: its output
+  is a constant plane (usually a scalar that should not have been
+  checkpointed).
+
+:func:`repro.analysis.lint.lint_app` accepts a ``Trace`` and prepends
+these findings to the standard pipeline/fusion/plan passes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.analysis.diagnostics import Diagnostic, diag
+
+__all__ = ["lint_trace"]
+
+
+def lint_trace(
+    trace, outputs: Optional[Iterable[str]] = None
+) -> List[Diagnostic]:
+    """Run the ``LAZY0xx`` checks over a recorded trace.
+
+    ``outputs`` names the images the caller intends to observe; it
+    defaults to what :meth:`~repro.lazy.trace.LazyArray.evaluate` was
+    asked for so far, and falls back to every sink image when the trace
+    was never flushed.
+    """
+    if not trace._nodes:
+        return [
+            diag(
+                "LAZY001",
+                "trace lowers to an empty graph: no kernel was recorded "
+                "(evaluate() on an unmodified input?)",
+            )
+        ]
+
+    diagnostics: List[Diagnostic] = []
+    for node in trace._nodes:
+        if not node.kernel.accessors:
+            diagnostics.append(
+                diag(
+                    "LAZY003",
+                    f"kernel {node.kernel.name!r} reads no image; its "
+                    f"output {node.image.name!r} is a constant plane",
+                    kernel=node.kernel.name,
+                )
+            )
+
+    graph = trace.graph()
+    requested = set(outputs) if outputs is not None else set(trace._requested)
+    if not requested:
+        requested = set(graph.external_outputs)
+
+    # Backward reachability from the kernels producing requested images.
+    live = {
+        producer
+        for name in requested
+        if (producer := graph.producer_of(name)) is not None
+    }
+    frontier = list(live)
+    while frontier:
+        name = frontier.pop()
+        for pred in graph.predecessors(name):
+            if pred not in live:
+                live.add(pred)
+                frontier.append(pred)
+    for node in trace._nodes:
+        if node.kernel.name not in live:
+            diagnostics.append(
+                diag(
+                    "LAZY002",
+                    f"kernel {node.kernel.name!r} reaches none of the "
+                    f"evaluated outputs {sorted(requested)}; it was "
+                    "recorded but its result is never observed (every "
+                    "flush still executes it)",
+                    kernel=node.kernel.name,
+                )
+            )
+    return diagnostics

@@ -114,6 +114,7 @@ def run_serving_benchmark(
     check_identity: bool = True,
     engine: str = "tape",
     processes: int = 1,
+    cache_keying: str = "shape",
 ) -> Dict[str, Any]:
     """Measure serving throughput against per-request recompilation.
 
@@ -152,6 +153,12 @@ def run_serving_benchmark(
     if processes > 1:
         from repro.serve.sharding import ShardedRuntime
 
+        if cache_keying != "shape":
+            raise ValueError(
+                "sharded serving routes requests by shape-specialized "
+                "plan signature; cache_keying='structure' needs the "
+                "single-process runtime"
+            )
         runtime_cm: Any = ShardedRuntime(
             apps,
             processes=processes,
@@ -168,6 +175,7 @@ def run_serving_benchmark(
             workers=scheduler_workers,
             max_batch=max_batch,
             engine=engine,
+            cache_keying=cache_keying,
         )
     mismatches = 0
     with runtime_cm as runtime:

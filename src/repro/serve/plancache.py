@@ -38,12 +38,21 @@ from repro.graph.dag import KernelGraph
 from repro.graph.partition import Partition
 
 __all__ = [
+    "CACHE_KEYINGS",
     "CachedPlan",
     "FusionSettings",
     "PlanCache",
     "inputs_signature",
+    "inputs_structure",
     "plan_key",
 ]
+
+#: The two plan-cache keying modes: ``"shape"`` keys on exact input
+#: shapes + dtypes (every entry is shape-specialized), ``"structure"``
+#: keys on dtypes only — shapes are passed at call time to a
+#: shape-polymorphic native plan, so mixed-resolution traffic over one
+#: pipeline structure shares a single entry.
+CACHE_KEYINGS = ("shape", "structure")
 
 
 @dataclass(frozen=True)
@@ -85,14 +94,65 @@ def inputs_signature(inputs: Dict[str, np.ndarray]) -> tuple:
     )
 
 
+def inputs_structure(inputs: Dict[str, np.ndarray]) -> tuple:
+    """Shape-agnostic (name, dtype) pairs — the structure-keyed flavour
+    of :func:`inputs_signature` (shapes are carried by the request and
+    bound at call time by the shape-polymorphic plan)."""
+    return tuple(
+        (name, np.asarray(inputs[name]).dtype.str)
+        for name in sorted(inputs)
+    )
+
+
 def plan_key(
     graph_signature: str,
     inputs: Dict[str, np.ndarray],
     engine: str,
     fusion: FusionSettings,
+    keying: str = "shape",
 ) -> tuple:
-    """The full cache key of one (pipeline, request shape, config)."""
-    return (graph_signature, inputs_signature(inputs), engine, fusion.key())
+    """The full cache key of one (pipeline, request, config).
+
+    ``keying="shape"`` (the default) keys on exact input shapes;
+    ``keying="structure"`` elides them, so every resolution of one
+    pipeline structure maps to the same entry.
+    """
+    if keying not in CACHE_KEYINGS:
+        raise ValueError(
+            f"unknown cache keying {keying!r}; expected one of "
+            f"{CACHE_KEYINGS}"
+        )
+    signature = (
+        inputs_structure(inputs)
+        if keying == "structure"
+        else inputs_signature(inputs)
+    )
+    return (graph_signature, signature, engine, fusion.key())
+
+
+def _structure_of(key: tuple, structure_key: Optional[str]) -> tuple:
+    """The shape-agnostic projection of a cache key.
+
+    Used to split miss accounting: a missing key whose projection was
+    seen before is a *shape* miss (same pipeline structure, new
+    geometry) — exactly the misses structure keying eliminates.  The
+    input triples drop their shape element; ``structure_key`` (the
+    graph's :meth:`~repro.graph.dag.KernelGraph.structure_signature`)
+    replaces the graph half when the caller provides it — a shape-keyed
+    key's own graph signature bakes in the geometry, so it cannot
+    identify the structure by itself.  Keys that are not the
+    :func:`plan_key` 4-tuple (the cache accepts arbitrary hashable
+    keys) project to themselves: each distinct key is its own
+    structure, so every miss on them is a structure miss.
+    """
+    if not (isinstance(key, tuple) and len(key) == 4):
+        return (structure_key,) if structure_key is not None else (key,)
+    graph_signature, signature, engine, fusion = key
+    shapeless = tuple(
+        (entry[0], entry[-1]) if len(entry) == 3 else entry
+        for entry in signature
+    )
+    return (structure_key or graph_signature, shapeless, engine, fusion)
 
 
 @dataclass
@@ -152,16 +212,38 @@ class PlanCache:
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        #: Misses split by cause: ``miss_structure`` counts first
+        #: sightings of a (pipeline structure, dtypes, engine, fusion)
+        #: combination — unavoidable compiles — while ``miss_shape``
+        #: counts misses whose structure was already seen (a new
+        #: geometry of a known pipeline, or an evicted/quarantined
+        #: entry).  Structure-keyed caching turns shape misses into
+        #: hits; the split makes that gain directly observable.
+        self.miss_structure = 0
+        self.miss_shape = 0
+        self._seen_structures: set = set()
         self.coalesced = 0
         self.evictions = 0
         self.quarantined = 0
 
-    def get(self, key: tuple) -> Optional[CachedPlan]:
+    def _note_miss(self, key: tuple, structure_key: Optional[str]) -> None:
+        """Classify one miss (lock held)."""
+        self.misses += 1
+        structure = _structure_of(key, structure_key)
+        if structure in self._seen_structures:
+            self.miss_shape += 1
+        else:
+            self.miss_structure += 1
+            self._seen_structures.add(structure)
+
+    def get(
+        self, key: tuple, structure_key: Optional[str] = None
+    ) -> Optional[CachedPlan]:
         """The cached entry for ``key``, or ``None`` (counts a hit/miss)."""
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
-                self.misses += 1
+                self._note_miss(key, structure_key)
                 return None
             self._entries.move_to_end(key)
             self.hits += 1
@@ -169,14 +251,18 @@ class PlanCache:
             return entry
 
     def get_or_build(
-        self, key: tuple, builder: Callable[[], CachedPlan]
+        self,
+        key: tuple,
+        builder: Callable[[], CachedPlan],
+        structure_key: Optional[str] = None,
     ) -> Tuple[CachedPlan, bool]:
         """The entry for ``key``, building it at most once per process.
 
         Returns ``(entry, hit)`` where ``hit`` is False only for the
         thread that actually ran ``builder``.  Threads that arrive while
         a build is in flight wait for it and count as ``coalesced``
-        hits — they paid latency, but no compile.
+        hits — they paid latency, but no compile.  ``structure_key``
+        (when given) feeds the miss_structure/miss_shape split.
         """
         while True:
             with self._lock:
@@ -190,7 +276,7 @@ class PlanCache:
                 if pending is None:
                     pending = _InFlight()
                     self._building[key] = pending
-                    self.misses += 1
+                    self._note_miss(key, structure_key)
                     building = True
                 else:
                     building = False
@@ -260,6 +346,8 @@ class PlanCache:
                 "capacity": self.capacity,
                 "hits": self.hits,
                 "misses": self.misses,
+                "miss_structure": self.miss_structure,
+                "miss_shape": self.miss_shape,
                 "coalesced": self.coalesced,
                 "evictions": self.evictions,
                 "quarantined": self.quarantined,

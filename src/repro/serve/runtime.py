@@ -69,9 +69,11 @@ from repro.serve.errors import (
 )
 from repro.serve.metrics import Metrics
 from repro.serve.plancache import (
+    CACHE_KEYINGS,
     CachedPlan,
     FusionSettings,
     PlanCache,
+    inputs_signature,
     plan_key,
 )
 from repro.serve.registry import PipelineRegistry, default_registry
@@ -148,6 +150,17 @@ class ServingRuntime:
         Defaults to an enabled policy;
         ``ResiliencePolicy.disabled()`` restores the fail-fast
         behaviour of earlier revisions.
+    cache_keying:
+        ``"shape"`` (default) keys the plan cache on exact input
+        shapes — one entry per resolution.  ``"structure"`` keys on the
+        graph's shape-agnostic structure signature + input dtypes only
+        and serves every resolution of a pipeline from **one**
+        shape-polymorphic native plan (compiled once; shapes bound at
+        call time), so mixed-resolution traffic stops missing per
+        shape.  Structure keying needs the native engine; it downgrades
+        to ``"shape"`` alongside an engine downgrade on hosts without a
+        C compiler, and degraded (tape/recursive) ladder rungs always
+        use shape-specialized keys — their plans are not polymorphic.
     """
 
     def __init__(
@@ -163,6 +176,7 @@ class ServingRuntime:
         engine: str = "tape",
         resilience: ResiliencePolicy | None = None,
         metrics: Metrics | None = None,
+        cache_keying: str = "shape",
     ):
         self.registry = registry if registry is not None else default_registry()
         self.fusion = fusion or FusionSettings()
@@ -177,6 +191,19 @@ class ServingRuntime:
                 f"unknown engine {engine!r}; expected 'tape', 'recursive' "
                 "or 'native'"
             )
+        if cache_keying not in CACHE_KEYINGS:
+            raise ValueError(
+                f"unknown cache keying {cache_keying!r}; expected one of "
+                f"{CACHE_KEYINGS}"
+            )
+        if cache_keying == "structure" and engine != "native":
+            raise ValueError(
+                "structure-keyed plan caching requires engine='native' "
+                "(only shape-polymorphic native plans execute at "
+                "geometries other than the one they were built at)"
+            )
+        #: The keying mode the caller asked for, before availability.
+        self.requested_cache_keying = cache_keying
         #: The engine the caller asked for, before availability checks.
         self.requested_engine = engine
         if engine == "native":
@@ -187,7 +214,11 @@ class ServingRuntime:
                 # engine instead of failing every request.  The
                 # downgrade is visible in ``metrics_snapshot()``.
                 engine = "tape"
+                # Structure keying rides on polymorphic native plans;
+                # without them every entry is shape-specialized.
+                cache_keying = "shape"
         self.engine = engine
+        self.cache_keying = cache_keying
         self.intra_workers = intra_workers
         self.cache = PlanCache(capacity=cache_capacity)
         self.metrics = metrics or Metrics()
@@ -348,8 +379,15 @@ class ServingRuntime:
         if naive_borders != fusion.naive_borders:
             fusion = replace(fusion, naive_borders=naive_borders)
         if partition is None:
+            structure_keyed = self.cache_keying == "structure"
             key = plan_key(
-                graph.structural_signature(), inputs, self.engine, fusion
+                graph.structure_signature()
+                if structure_keyed
+                else graph.structural_signature(),
+                inputs,
+                self.engine,
+                fusion,
+                keying=self.cache_keying,
             )
         else:
             # Explicit partition: fusion settings do not matter, the
@@ -465,7 +503,7 @@ class ServingRuntime:
             else:
                 index = min(floor, len(self._ladder) - 1)
             engine = self._ladder[index]
-            attempt_key = key[:2] + (engine,) + key[3:]
+            attempt_key = self._attempt_key(key, engine, request)
             if engine != self.engine:
                 self.metrics.counter(f"degraded_to_{engine}").inc()
             try:
@@ -505,13 +543,33 @@ class ServingRuntime:
         assert last_error is not None
         raise last_error
 
+    def _attempt_key(self, key: tuple, engine: str, request: ServeRequest) -> tuple:
+        """The cache key of one (request, ladder rung) attempt.
+
+        Normally the submitted key with the rung's engine swapped in.
+        Under structure keying, degraded (non-native) rungs get the
+        request's exact shapes appended back — tape and recursive plans
+        are shape-specialized, so sharing them across geometries would
+        compute the wrong image.
+        """
+        if self.cache_keying == "structure" and engine != "native":
+            return (
+                key[0],
+                inputs_signature(request.payload["inputs"]),
+                engine,
+                key[3],
+            )
+        return key[:2] + (engine,) + key[3:]
+
     def _lookup_plan(
         self, attempt_key: tuple, request: ServeRequest, engine: str
     ) -> CachedPlan:
         """Fetch or build the plan for one (request, ladder rung)."""
+        structure = request.payload["graph"].structure_signature()
         entry, hit = self.cache.get_or_build(
             attempt_key,
             lambda: self._build_plan(attempt_key, request, engine),
+            structure_key=structure,
         )
         if (
             hit
@@ -526,6 +584,7 @@ class ServingRuntime:
             entry, hit = self.cache.get_or_build(
                 attempt_key,
                 lambda: self._build_plan(attempt_key, request, engine),
+                structure_key=structure,
             )
         return entry
 
@@ -647,12 +706,16 @@ class ServingRuntime:
         if engine == "native":
             from repro.backend.native_exec import native_plan_for_partition
 
+            polymorphic = self.cache_keying == "structure"
             started = time.perf_counter()
             try:
                 native_plan = self._timed_stage(
                     "compile",
                     lambda: native_plan_for_partition(
-                        graph, partition, naive_borders=naive_borders
+                        graph,
+                        partition,
+                        naive_borders=naive_borders,
+                        polymorphic=polymorphic,
                     ),
                 )
             except StageTimeout:
@@ -673,6 +736,19 @@ class ServingRuntime:
                 )
             if native_plan.from_cache:
                 self.metrics.counter("native_artifact_cache_hits").inc()
+            if polymorphic and native_plan.fallback_block_count:
+                # A structure-keyed entry serves every geometry through
+                # its polymorphic native blocks; a tape-fallback block
+                # is shape-specialized and would poison foreign-
+                # geometry requests.  Refuse the build — the resilience
+                # ladder serves this request through a shape-keyed tape
+                # plan instead.
+                raise PlanBuildError(
+                    "compile",
+                    engine,
+                    "structure-keyed caching needs a fully native plan; "
+                    f"fallback blocks: {native_plan.fallback_reasons}",
+                )
         verified = False
         if plan is not None and validate_mode() == "strict":
             # Strict mode verifies every plan cache insert — including
@@ -723,6 +799,7 @@ class ServingRuntime:
         """Instruments + plan-cache stats + scheduler state, one dict."""
         snapshot = self.metrics.snapshot()
         snapshot["plan_cache"] = self.cache.stats()
+        snapshot["plan_cache"]["keying"] = self.cache_keying
         snapshot["engine"] = {
             "requested": self.requested_engine,
             "active": self.engine,

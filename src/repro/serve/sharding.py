@@ -803,6 +803,8 @@ class ShardedRuntime:
             "capacity": 0,
             "hits": 0,
             "misses": 0,
+            "miss_structure": 0,
+            "miss_shape": 0,
             "coalesced": 0,
             "evictions": 0,
             "quarantined": 0,

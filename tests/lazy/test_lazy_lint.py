@@ -1,0 +1,113 @@
+"""The ``LAZY0xx`` trace diagnostics and their ``repro lint`` wiring.
+
+LAZY001 (empty trace), LAZY002 (dead recording), LAZY003 (constant
+kernel) exist because the pipeline lint cannot see them: lowering makes
+every sink an external output, so a dead recorded branch never trips
+``PIPE005``.  These tests pin the codes themselves, their integration
+into :func:`repro.analysis.lint.lint_app`, and that the six lazy paper
+apps lint clean end to end.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.diagnostics import CODES, Severity
+from repro.analysis.lint import lint_app
+from repro.lazy import Trace, lint_trace
+from repro.lazy.apps import LAZY_BUILDERS, lazy_trace
+
+
+def _codes(diagnostics):
+    return sorted((d.code, d.kernel) for d in diagnostics)
+
+
+def test_lazy_codes_registered():
+    assert CODES["LAZY001"][0] is Severity.ERROR
+    assert CODES["LAZY002"][0] is Severity.WARNING
+    assert CODES["LAZY003"][0] is Severity.WARNING
+
+
+def test_empty_trace_is_lazy001():
+    t = Trace("empty", 8, 6)
+    t.source("input")
+    findings = lint_trace(t)
+    assert _codes(findings) == [("LAZY001", None)]
+    assert findings[0].severity is Severity.ERROR
+
+
+def test_dead_recording_is_lazy002():
+    t = Trace("dead", 8, 6)
+    src = t.source("input", np.zeros((6, 8)))
+    live = (src + 1.0).checkpoint("live")
+    (src * 2.0).checkpoint("dead")
+    live.evaluate()
+    findings = lint_trace(t)
+    assert _codes(findings) == [("LAZY002", "dead")]
+
+
+def test_requested_outputs_override_evaluation_history():
+    t = Trace("dead", 8, 6)
+    src = t.source("input")
+    (src + 1.0).checkpoint("live", "bright")
+    (src * 2.0).checkpoint("dead", "scaled")
+    # Never flushed: with no outputs named, every sink counts as
+    # observed and nothing is dead ...
+    assert lint_trace(t) == []
+    # ... but naming the observed image revives the check.
+    assert _codes(lint_trace(t, outputs=["bright"])) == [("LAZY002", "dead")]
+
+
+def test_constant_kernel_is_lazy003():
+    t = Trace("konst", 8, 6)
+    src = t.source("input")
+    (src + 1.0).checkpoint("live")
+    (t.const(3.0) * 2.0).checkpoint("plane")
+    findings = lint_trace(t, outputs=["live_out"])
+    assert _codes(findings) == [
+        ("LAZY002", "plane"),
+        ("LAZY003", "plane"),
+    ]
+    # A constant plane that *is* observed keeps only LAZY003.
+    assert _codes(lint_trace(t, outputs=["live_out", "plane_out"])) == [
+        ("LAZY003", "plane")
+    ]
+
+
+def test_lint_app_accepts_traces():
+    report = lint_app(lazy_trace("Harris", 64, 48))
+    assert report.app == "harris"
+    assert report.ok
+    assert report.count(Severity.WARNING) == 0
+    assert len(report.blocks) == 6
+    rendered = report.render()
+    assert "harris [optimized]" in rendered
+    assert "6 block(s)" in rendered
+
+
+def test_lint_app_short_circuits_on_empty_trace():
+    t = Trace("nothing", 8, 6)
+    t.source("input")
+    report = lint_app(t)
+    assert not report.ok
+    assert [d.code for d in report.diagnostics] == ["LAZY001"]
+    assert report.blocks == ()
+
+
+def test_lint_app_carries_lazy_warnings_through_the_stack():
+    t = Trace("dead", 16, 12)
+    src = t.source("input")
+    (src + 1.0).checkpoint("live", "bright")
+    (src * 2.0).checkpoint("dead", "scaled")
+    t._requested.append("bright")
+    report = lint_app(t)
+    assert report.ok  # warnings do not gate
+    assert "LAZY002" in [d.code for d in report.diagnostics]
+
+
+@pytest.mark.parametrize("app_name", sorted(LAZY_BUILDERS))
+def test_paper_apps_record_clean_traces(app_name):
+    trace = lazy_trace(app_name, 64, 48)
+    assert lint_trace(trace) == []
+    report = lint_app(trace, verify_plans=False)
+    assert report.ok
+    assert report.count(Severity.WARNING) == 0
