@@ -10,7 +10,14 @@ Three pass families over three artifact levels:
   scenarios, the Eq. 2 shared-memory budget, header mismatches);
 * :mod:`repro.analysis.verifier` — the **tape/plan verifier**: static
   invariants over compiled instruction tapes and partition plans,
-  enforced under ``REPRO_VALIDATE=strict``.
+  enforced under ``REPRO_VALIDATE=strict``;
+* :mod:`repro.analysis.dataflow` — **value-range dataflow** (``VAL0xx``):
+  abstract interpretation over kernel expressions and compiled tapes
+  propagating interval/NaN/zero facts, plus the provable tape
+  simplifications the native lowering folds;
+* :mod:`repro.analysis.native_check` — the **native-codegen sanitizer**
+  (``NAT0xx``): static in-bounds and no-alias proofs over the emitted C
+  of every native plan, run before first execution under strict mode.
 
 All passes report :class:`~repro.analysis.diagnostics.Diagnostic`
 records (stable code, severity, location, message, details) instead of
@@ -51,6 +58,21 @@ _EXPORTS = {
     "verify_block_plan": "repro.analysis.verifier",
     "verify_partition_plan": "repro.analysis.verifier",
     "verify_tape": "repro.analysis.verifier",
+    # value-range dataflow
+    "TapeSimplifications": "repro.analysis.dataflow",
+    "VRange": "repro.analysis.dataflow",
+    "analyze_graph": "repro.analysis.dataflow",
+    "analyze_kernel": "repro.analysis.dataflow",
+    "analyze_tape": "repro.analysis.dataflow",
+    "domain": "repro.analysis.dataflow",
+    "lint_graph_values": "repro.analysis.dataflow",
+    "lint_kernel_values": "repro.analysis.dataflow",
+    "lint_tape_values": "repro.analysis.dataflow",
+    "tape_simplifications": "repro.analysis.dataflow",
+    # native-codegen sanitizer
+    "check_native_source": "repro.analysis.native_check",
+    "verify_native_blocks": "repro.analysis.native_check",
+    "verify_native_plan": "repro.analysis.native_check",
     # orchestration
     "LintReport": "repro.analysis.lint",
     "lint_app": "repro.analysis.lint",

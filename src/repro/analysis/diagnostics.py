@@ -116,11 +116,26 @@ CODES: Dict[str, Tuple[Severity, str]] = {
     "LAZY001": (Severity.ERROR, "trace lowers to an empty graph (unmodified input)"),
     "LAZY002": (Severity.WARNING, "recorded kernel reaches no evaluated output"),
     "LAZY003": (Severity.WARNING, "recorded kernel reads no image (constant output)"),
+    "LAZY004": (Severity.WARNING, "trace kernels mix foreign scalar types"),
     # -- partition-plan verifier ------------------------------------------
     "PLAN001": (Severity.ERROR, "block scheduled before its producers"),
     "PLAN002": (Severity.ERROR, "plan outputs do not cover the graph's external outputs"),
     "PLAN003": (Severity.ERROR, "partition does not match the graph"),
     "PLAN004": (Severity.ERROR, "two blocks produce the same output image"),
+    # -- value-range dataflow (repro.analysis.dataflow) -------------------
+    "VAL001": (Severity.WARNING, "sqrt/log/rsqrt of a possibly-negative value"),
+    "VAL002": (Severity.WARNING, "division/modulo by a possibly-zero denominator"),
+    "VAL003": (Severity.WARNING, "cast may overflow the target dtype's range"),
+    "VAL004": (Severity.INFO, "precision-losing cast (possibly-fractional value to integer)"),
+    "VAL005": (Severity.WARNING, "comparison is statically always-true/always-false"),
+    "VAL006": (Severity.WARNING, "select branch is proven dead"),
+    "VAL007": (Severity.WARNING, "SFU argument outside its real domain (possible NaN)"),
+    "VAL008": (Severity.ERROR, "param used uninitialized in the range environment"),
+    # -- native-codegen sanitizer (repro.analysis.native_check) -----------
+    "NAT001": (Severity.ERROR, "array index proven out of the plane's bounds"),
+    "NAT002": (Severity.ERROR, "array index cannot be proven within the plane's bounds"),
+    "NAT003": (Severity.ERROR, "restrict-qualified pointer arguments may alias"),
+    "NAT004": (Severity.ERROR, "emitted native source does not match the expected loop-nest shape"),
 }
 
 

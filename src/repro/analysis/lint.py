@@ -5,12 +5,17 @@ application's pipeline at a small geometry (the passes are structural —
 geometry only scales array sizes, not findings), then runs
 
 1. the **pipeline lint** (:mod:`repro.analysis.passes`),
-2. **fusion** under the requested engine version, checking that every
+2. the **value-range dataflow** (:mod:`repro.analysis.dataflow`),
+   seeded by the pipeline's declared domains,
+3. **fusion** under the requested engine version, checking that every
    block of the final partition is legal
    (:mod:`repro.analysis.explain`) — and keeping the engine trace so
    ``--explain`` can show *why* each cut or rejection happened,
-3. the **plan verifier** (:mod:`repro.analysis.verifier`) over the
-   compiled instruction tapes of that partition.
+4. the **plan verifier** (:mod:`repro.analysis.verifier`) over the
+   compiled instruction tapes of that partition,
+5. with ``native=True`` (``repro lint --native``), the **native-codegen
+   sanitizer** (:mod:`repro.analysis.native_check`) over the C emitted
+   for that partition, specialized *and* shape-polymorphic.
 
 The report's error gate covers the diagnostics only; trace events are
 explanatory context (a cut is a decision, not a defect).
@@ -18,7 +23,7 @@ explanatory context (a cut is a decision, not a defect).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.analysis.diagnostics import (
@@ -104,6 +109,7 @@ def lint_app(
     config: Optional[BenefitConfig] = None,
     version: str = "optimized",
     verify_plans: bool = True,
+    native: bool = False,
 ) -> LintReport:
     """Run the whole analysis stack over one application.
 
@@ -115,6 +121,10 @@ def lint_app(
     ``version`` selects the fusion engine whose final partition is
     checked and whose trace the report keeps.  ``verify_plans=False``
     skips tape compilation/verification (pipeline + fusion passes only).
+    ``native=True`` additionally lowers the partition through the native
+    C backend — both specialized and shape-polymorphic — and runs the
+    codegen sanitizer over the emitted source (``NAT0xx``); it needs a
+    working C toolchain.
     """
     from repro.apps import ALL_APPS
     from repro.lazy.lint import lint_trace
@@ -131,6 +141,7 @@ def lint_app(
     config = config or BenefitConfig()
 
     diagnostics: List[Diagnostic] = []
+    provenance: Dict[str, str] = {}
     if isinstance(app, Trace):
         diagnostics.extend(lint_trace(app))
         if any(d.code == "LAZY001" for d in diagnostics):
@@ -141,6 +152,7 @@ def lint_app(
                 diagnostics=tuple(diagnostics),
             )
         pipeline = app.lower()
+        provenance = app.checkpoint_provenance()
         app = _TraceSpec(app.name)
     else:
         pipeline = app.build(width, height)
@@ -152,6 +164,9 @@ def lint_app(
         # Fusion + plan verification need a buildable graph; with
         # structural errors present there is nothing sound to fuse.
         graph = pipeline.build()
+        from repro.analysis.dataflow import lint_graph_values
+
+        diagnostics.extend(lint_graph_values(graph))
         partition, result = _fuse(graph, gpu, version, config)
         if result is not None:
             trace = tuple(result.trace)
@@ -165,6 +180,10 @@ def lint_app(
 
             plan = plan_for_partition(graph, partition)
             diagnostics.extend(verify_partition_plan(plan, graph=graph))
+        if native:
+            diagnostics.extend(_lint_native(graph, partition))
+    if provenance:
+        diagnostics = [_with_provenance(d, provenance) for d in diagnostics]
     return LintReport(
         app=app.name,
         version=version,
@@ -172,6 +191,47 @@ def lint_app(
         trace=trace,
         blocks=blocks,
     )
+
+
+def _with_provenance(
+    diagnostic: Diagnostic, provenance: Dict[str, str]
+) -> Diagnostic:
+    """Point a diagnostic on a synthesized lazy kernel at its checkpoint.
+
+    Auto-materialized kernels carry names the user never wrote
+    (``lazy0``, ...); the location path gains the nearest downstream
+    ``checkpoint()`` name so ``repro lint --lazy`` output is actionable.
+    """
+    checkpoint = provenance.get(diagnostic.kernel or "")
+    if checkpoint is None:
+        return diagnostic
+    suffix = f"via checkpoint {checkpoint!r}"
+    path = f"{diagnostic.path} ({suffix})" if diagnostic.path else suffix
+    return replace(diagnostic, path=path)
+
+
+def _lint_native(graph, partition) -> List[Diagnostic]:
+    """Sanitize the native C emitted for ``partition`` (NAT diagnostics).
+
+    The plans are built under a ``standard`` validation override so that
+    strict mode's build-time enforcement cannot raise before the lint
+    report collects the findings; the sanitizer then runs explicitly
+    over both grammars (baked extents and runtime-geometry formals).
+    Blocks that fell back to the tape interpreter carry no native code
+    and verify vacuously.
+    """
+    from repro.analysis.native_check import verify_native_plan
+    from repro.backend.native_exec import native_plan_for_partition
+    from repro.envknobs import validate_override
+
+    diagnostics: List[Diagnostic] = []
+    with validate_override("standard"):
+        for polymorphic in (False, True):
+            plan = native_plan_for_partition(
+                graph, partition, polymorphic=polymorphic
+            )
+            diagnostics.extend(verify_native_plan(plan))
+    return diagnostics
 
 
 def _fuse(graph, gpu, version, config):

@@ -1,0 +1,949 @@
+"""Native-codegen sanitizer: static memory-safety proofs over emitted C.
+
+The native engine (:mod:`repro.backend.native_exec`) lowers each fused
+block tape to one C loop nest and — under ``REPRO_VALIDATE=strict`` —
+differentially verifies its *output* against the tape interpreter on
+first execution.  That check sees values, not memory: an out-of-bounds
+read that happens to land on plausible bytes, or an aliasing ``restrict``
+violation that miscompiles only at higher optimization levels, can slip
+through.  This module closes the gap **before first execution** by
+parsing the emitted source and statically proving, for every array
+subscript in every body variant and in the driver loops:
+
+* the index is in the canonical row-major form ``Y * width + X``, and
+* ``0 <= X <= width - 1`` and ``0 <= Y <= height - 1`` hold for all
+  iterations, under the symbolic assumption ``width >= 1, height >= 1``
+  for shape-polymorphic plans (runtime geometry formals) or the baked
+  numeric extents for specialized plans.
+
+Every buffer the driver is called with is one contiguous
+``width x height`` ``float64`` plane (``NativeBlock._execute_native``
+re-planes multi-channel images with ``ascontiguousarray``), so the
+componentwise proof is exactly the allocation bound.  The proofs run
+over a miniature C expression parser and an affine-interval domain
+(``a*width + b*height + c`` bounds with min/max forms for the runtime
+clamp ternaries), so no compiler or execution is needed — ``repro lint
+--native`` works on hosts without a toolchain.
+
+Diagnostics:
+
+* **NAT001** — an index proven *outside* its plane for some iteration.
+* **NAT002** — an index that cannot be proven inside (unknown form,
+  unprovable bound).  Soundness over completeness: honest emissions are
+  all provable, so NAT002 on real output is a codegen regression.
+* **NAT003** — ``restrict`` pointer arguments that may alias (the block
+  output appearing among its inputs), or a pointer parameter missing
+  its ``restrict`` qualifier.
+* **NAT004** — the source does not match the expected loop-nest shape
+  (missing bodies/driver, a perturbed tile/row loop, a store outside
+  the recognized pattern).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.diagnostics import Diagnostic, diag
+
+__all__ = [
+    "check_native_source",
+    "verify_native_blocks",
+    "verify_native_plan",
+]
+
+
+# ---------------------------------------------------------------------------
+# Affine bounds: a*width + b*height + c under width >= 1, height >= 1
+# ---------------------------------------------------------------------------
+
+Aff = Tuple[int, int, int]  # (width coeff, height coeff, constant)
+
+_ZERO: Aff = (0, 0, 0)
+_WIDTH: Aff = (1, 0, 0)
+_HEIGHT: Aff = (0, 1, 0)
+
+
+def _aff_const(c: int) -> Aff:
+    return (0, 0, c)
+
+
+def _aff_add(a: Aff, b: Aff) -> Aff:
+    return (a[0] + b[0], a[1] + b[1], a[2] + b[2])
+
+
+def _aff_neg(a: Aff) -> Aff:
+    return (-a[0], -a[1], -a[2])
+
+
+def _aff_scale(a: Aff, k: int) -> Aff:
+    return (a[0] * k, a[1] * k, a[2] * k)
+
+
+def _prove_le(a: Aff, b: Aff) -> bool:
+    """``a <= b`` for every ``width >= 1, height >= 1``."""
+    dw, dh, dc = b[0] - a[0], b[1] - a[1], b[2] - a[2]
+    return dw >= 0 and dh >= 0 and (dw + dh + dc) >= 0
+
+
+@dataclass(frozen=True)
+class _Iv:
+    """An abstract integer: ``max(los) <= value <= min(his)``.
+
+    Each side is a *set* of affine bounds (so the runtime clamp
+    ternaries ``(a < b ? a : b)`` keep both candidates); an empty side
+    is unbounded.  A bound is proven by any one member.
+    """
+
+    los: Tuple[Aff, ...] = ()
+    his: Tuple[Aff, ...] = ()
+
+    def ge_proven(self, bound: Aff) -> bool:
+        return any(_prove_le(bound, m) for m in self.los)
+
+    def le_proven(self, bound: Aff) -> bool:
+        return any(_prove_le(m, bound) for m in self.his)
+
+
+def _iv_point(a: Aff) -> _Iv:
+    return _Iv((a,), (a,))
+
+
+def _iv_add(a: _Iv, b: _Iv) -> _Iv:
+    return _Iv(
+        tuple(_aff_add(x, y) for x in a.los for y in b.los),
+        tuple(_aff_add(x, y) for x in a.his for y in b.his),
+    )
+
+
+def _iv_neg(a: _Iv) -> _Iv:
+    return _Iv(
+        tuple(_aff_neg(m) for m in a.his),
+        tuple(_aff_neg(m) for m in a.los),
+    )
+
+
+def _iv_scale(a: _Iv, k: int) -> _Iv:
+    if k < 0:
+        return _iv_scale(_iv_neg(a), -k)
+    return _Iv(
+        tuple(_aff_scale(m, k) for m in a.los),
+        tuple(_aff_scale(m, k) for m in a.his),
+    )
+
+
+def _iv_join(a: _Iv, b: _Iv) -> _Iv:
+    """Either branch of a ternary: keep bounds that cover both sides."""
+    los = tuple(
+        m
+        for m in a.los + b.los
+        if any(_prove_le(m, n) for n in a.los)
+        and any(_prove_le(m, n) for n in b.los)
+    )
+    his = tuple(
+        m
+        for m in a.his + b.his
+        if any(_prove_le(n, m) for n in a.his)
+        and any(_prove_le(n, m) for n in b.his)
+    )
+    return _Iv(los, his)
+
+
+_BOOL_IV = _Iv((_ZERO,), (_aff_const(1),))
+
+
+def _iv_empty(iv: _Iv) -> bool:
+    """Provably no integer satisfies the interval (``hi <= lo - 1``).
+
+    Degenerate flank loops of margin-free blocks (``for (int x = 0;
+    x < 0; ++x)``) never execute their store, so a store under a
+    provably-empty range is vacuously safe.
+    """
+    return any(
+        _prove_le(hi, _aff_add(lo, _aff_const(-1)))
+        for lo in iv.los
+        for hi in iv.his
+    )
+
+
+# ---------------------------------------------------------------------------
+# A miniature C expression parser (integer index expressions only)
+# ---------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(\d+)|([A-Za-z_][A-Za-z0-9_]*)"
+    r"|(\|\||&&|<=|>=|==|!=|[-+*/%<>?:(),]))"
+)
+
+
+class _ParseError(Exception):
+    pass
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None or match.end() == pos:
+            remainder = text[pos:].strip()
+            if not remainder:
+                break
+            raise _ParseError(f"unexpected {remainder[:10]!r}")
+        tokens.append(match.group(1) or match.group(2) or match.group(3))
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser producing tuple ASTs.
+
+    Nodes: ``("num", v)``, ``("id", name)``, ``("call", name, args)``,
+    ``("neg", e)``, ``("bin", op, a, b)``, ``("cmp", op, a, b)``,
+    ``("log", op, a, b)``, ``("tern", c, t, f)``.  Parentheses are
+    transparent, so structural equality ignores grouping the emitter
+    inserts.
+    """
+
+    def __init__(self, tokens: List[str]):
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> Optional[str]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def take(self, expected: Optional[str] = None) -> str:
+        token = self.peek()
+        if token is None or (expected is not None and token != expected):
+            raise _ParseError(f"expected {expected!r}, got {token!r}")
+        self.pos += 1
+        return token
+
+    def parse(self) -> tuple:
+        node = self.ternary()
+        if self.peek() is not None:
+            raise _ParseError(f"trailing {self.peek()!r}")
+        return node
+
+    def ternary(self) -> tuple:
+        cond = self.logical_or()
+        if self.peek() == "?":
+            self.take("?")
+            if_true = self.ternary()
+            self.take(":")
+            if_false = self.ternary()
+            return ("tern", cond, if_true, if_false)
+        return cond
+
+    def logical_or(self) -> tuple:
+        node = self.logical_and()
+        while self.peek() == "||":
+            self.take("||")
+            node = ("log", "||", node, self.logical_and())
+        return node
+
+    def logical_and(self) -> tuple:
+        node = self.comparison()
+        while self.peek() == "&&":
+            self.take("&&")
+            node = ("log", "&&", node, self.comparison())
+        return node
+
+    def comparison(self) -> tuple:
+        node = self.additive()
+        if self.peek() in ("<", "<=", ">", ">=", "==", "!="):
+            op = self.take()
+            node = ("cmp", op, node, self.additive())
+        return node
+
+    def additive(self) -> tuple:
+        node = self.multiplicative()
+        while self.peek() in ("+", "-"):
+            op = self.take()
+            node = ("bin", op, node, self.multiplicative())
+        return node
+
+    def multiplicative(self) -> tuple:
+        node = self.unary()
+        while self.peek() in ("*", "/", "%"):
+            op = self.take()
+            node = ("bin", op, node, self.unary())
+        return node
+
+    def unary(self) -> tuple:
+        if self.peek() == "-":
+            self.take("-")
+            return ("neg", self.unary())
+        return self.primary()
+
+    def primary(self) -> tuple:
+        token = self.peek()
+        if token is None:
+            raise _ParseError("unexpected end of expression")
+        if token == "(":
+            self.take("(")
+            node = self.ternary()
+            self.take(")")
+            return node
+        if token.isdigit():
+            self.take()
+            return ("num", int(token))
+        if re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", token):
+            self.take()
+            if self.peek() == "(":
+                self.take("(")
+                args: List[tuple] = []
+                if self.peek() != ")":
+                    args.append(self.ternary())
+                    while self.peek() == ",":
+                        self.take(",")
+                        args.append(self.ternary())
+                self.take(")")
+                return ("call", token, tuple(args))
+            return ("id", token)
+        raise _ParseError(f"unexpected token {token!r}")
+
+
+def _parse_expr(text: str) -> tuple:
+    return _Parser(_tokenize(text)).parse()
+
+
+# ---------------------------------------------------------------------------
+# Abstract evaluation of index expressions
+# ---------------------------------------------------------------------------
+
+#: The boundary resolvers of the emitted preamble: each maps any input
+#: index into ``[0, n - 1]``.
+_RESOLVER_FNS = ("idx_clamp", "idx_mirror", "idx_repeat")
+
+
+class _Eval:
+    """Evaluates index ASTs to affine intervals.
+
+    ``polymorphic`` decides whether the ``width``/``height`` identifiers
+    are the symbolic plane extents; specialized sources carry numeric
+    extents instead, and the symbols are unknown.
+    """
+
+    def __init__(self, polymorphic: bool):
+        self.polymorphic = polymorphic
+
+    def point(self, node: tuple) -> Optional[Aff]:
+        """The exact affine value of a node, or ``None``."""
+        kind = node[0]
+        if kind == "num":
+            return _aff_const(node[1])
+        if kind == "id":
+            if self.polymorphic and node[1] == "width":
+                return _WIDTH
+            if self.polymorphic and node[1] == "height":
+                return _HEIGHT
+            return None
+        if kind == "neg":
+            inner = self.point(node[1])
+            return None if inner is None else _aff_neg(inner)
+        if kind == "bin" and node[1] in ("+", "-"):
+            a, b = self.point(node[2]), self.point(node[3])
+            if a is None or b is None:
+                return None
+            return _aff_add(a, b if node[1] == "+" else _aff_neg(b))
+        if kind == "bin" and node[1] == "*":
+            a, b = self.point(node[2]), self.point(node[3])
+            if a is None or b is None:
+                return None
+            if a[0] == a[1] == 0:
+                return _aff_scale(b, a[2])
+            if b[0] == b[1] == 0:
+                return _aff_scale(a, b[2])
+            return None
+        return None
+
+    def interval(self, node: tuple, env: Dict[str, _Iv]) -> Optional[_Iv]:
+        kind = node[0]
+        if kind == "num":
+            return _iv_point(_aff_const(node[1]))
+        if kind == "id":
+            bound = env.get(node[1])
+            if bound is not None:
+                return bound
+            point = self.point(node)
+            return None if point is None else _iv_point(point)
+        if kind == "neg":
+            inner = self.interval(node[1], env)
+            return None if inner is None else _iv_neg(inner)
+        if kind == "bin":
+            op = node[1]
+            a = self.interval(node[2], env)
+            b = self.interval(node[3], env)
+            if a is None or b is None:
+                return None
+            if op == "+":
+                return _iv_add(a, b)
+            if op == "-":
+                return _iv_add(a, _iv_neg(b))
+            if op == "*":
+                ka = self.point(node[2])
+                kb = self.point(node[3])
+                if ka is not None and ka[0] == ka[1] == 0:
+                    return _iv_scale(b, ka[2])
+                if kb is not None and kb[0] == kb[1] == 0:
+                    return _iv_scale(a, kb[2])
+                return None
+            return None  # / and % never index in honest emissions
+        if kind in ("cmp", "log"):
+            return _BOOL_IV
+        if kind == "tern":
+            return self._ternary(node, env)
+        if kind == "call":
+            name, args = node[1], node[2]
+            if name in _RESOLVER_FNS and len(args) == 2:
+                extent = self.point(args[1])
+                if extent is None:
+                    return None
+                return _Iv(
+                    (_ZERO,), (_aff_add(extent, _aff_const(-1)),)
+                )
+            return None
+        return None
+
+    def _ternary(self, node: tuple, env: Dict[str, _Iv]) -> Optional[_Iv]:
+        _, cond, if_true, if_false = node
+        # The CONSTANT-mode guard: (A < 0 || A >= N) ? 0 : A  ->  [0, N-1]
+        if (
+            cond[0] == "log"
+            and cond[1] == "||"
+            and cond[2][0] == "cmp"
+            and cond[2][1] == "<"
+            and cond[2][3] == ("num", 0)
+            and cond[3][0] == "cmp"
+            and cond[3][1] == ">="
+            and cond[2][2] == cond[3][2]
+            and if_false == cond[2][2]
+            and if_true == ("num", 0)
+        ):
+            extent = self.point(cond[3][3])
+            if extent is not None:
+                return _Iv((_ZERO,), (_aff_add(extent, _aff_const(-1)),))
+        # Runtime clamps: (a < b ? a : b) == min, (a > b ? a : b) == max.
+        if cond[0] == "cmp" and cond[1] in ("<", "<=", ">", ">="):
+            lhs, rhs = cond[2], cond[3]
+            a = self.interval(lhs, env)
+            b = self.interval(rhs, env)
+            if a is not None and b is not None:
+                picks_min = cond[1] in ("<", "<=")
+                if if_true == lhs and if_false == rhs:
+                    return self._minmax(a, b, minimum=picks_min)
+                if if_true == rhs and if_false == lhs:
+                    return self._minmax(a, b, minimum=not picks_min)
+        t = self.interval(if_true, env)
+        f = self.interval(if_false, env)
+        if t is None or f is None:
+            return None
+        return _iv_join(t, f)
+
+    @staticmethod
+    def _minmax(a: _Iv, b: _Iv, minimum: bool) -> _Iv:
+        if minimum:
+            # min(a, b) <= every upper bound of either side; its lower
+            # bounds are those of one side that also bound the other.
+            his = a.his + b.his
+            los = tuple(
+                m
+                for m in a.los + b.los
+                if any(_prove_le(m, n) for n in a.los)
+                and any(_prove_le(m, n) for n in b.los)
+            )
+            return _Iv(los, his)
+        los = a.los + b.los
+        his = tuple(
+            m
+            for m in a.his + b.his
+            if any(_prove_le(n, m) for n in a.his)
+            and any(_prove_le(n, m) for n in b.his)
+        )
+        return _Iv(los, his)
+
+
+# ---------------------------------------------------------------------------
+# Source structure
+# ---------------------------------------------------------------------------
+
+_FN_HEADER_RE = re.compile(r"^(static double|void) (\w+)\((.*)\)$")
+_INT_TEMP_RE = re.compile(r"^\s*const int (c\d+) = (.+);$")
+_SUBSCRIPT_RE = re.compile(r"([A-Za-z_][A-Za-z0-9_]*)\[")
+_STORE_RE = re.compile(r"^\s*out\[(.+)\] = (\w+)\((.*)\);$")
+_FOR_X_RE = re.compile(r"^\s*for \(int x = (.+); x < (.+); \+\+x\)\s*\{?$")
+_GUARD_RE = re.compile(r"^\s*if \(y >= (\d+) && y < (.+)\) \{$")
+_Y_END_RE = re.compile(
+    r"^\s*const int y_end = \(t \+ 1\) \* (\d+) < (.+) "
+    r"\? \(t \+ 1\) \* (\d+) : (.+);$"
+)
+_FOR_Y_RE = re.compile(r"^\s*for \(int y = t \* (\d+); y < y_end; \+\+y\) \{$")
+_FOR_T_RE = re.compile(r"^\s*for \(int t = 0; t < n_tiles; \+\+t\) \{$")
+
+
+def _extract_functions(source: str) -> Dict[str, Tuple[str, List[str]]]:
+    """``name -> (arg text, body lines)`` for every function in the source."""
+    lines = source.split("\n")
+    functions: Dict[str, Tuple[str, List[str]]] = {}
+    index = 0
+    while index < len(lines):
+        match = _FN_HEADER_RE.match(lines[index])
+        if match is None or index + 1 >= len(lines) or lines[index + 1] != "{":
+            index += 1
+            continue
+        name, args = match.group(2), match.group(3)
+        body: List[str] = []
+        depth = 1
+        index += 2
+        while index < len(lines) and depth > 0:
+            line = lines[index]
+            depth += line.count("{") - line.count("}")
+            if depth > 0:
+                body.append(line)
+            index += 1
+        functions[name] = (args, body)
+    return functions
+
+
+def _subscripts(line: str) -> List[Tuple[str, str]]:
+    """``(buffer, index text)`` pairs for each subscript on a line."""
+    found: List[Tuple[str, str]] = []
+    for match in _SUBSCRIPT_RE.finditer(line):
+        depth = 1
+        start = match.end()
+        pos = start
+        while pos < len(line) and depth > 0:
+            if line[pos] == "[":
+                depth += 1
+            elif line[pos] == "]":
+                depth -= 1
+            pos += 1
+        if depth == 0:
+            found.append((match.group(1), line[start : pos - 1]))
+    return found
+
+
+# ---------------------------------------------------------------------------
+# The checker
+# ---------------------------------------------------------------------------
+
+
+class _Checker:
+    def __init__(
+        self,
+        source: str,
+        fn_name: str,
+        width: int,
+        height: int,
+        polymorphic: bool,
+        images: Sequence[str],
+        output_name: Optional[str],
+        kernel: Optional[str],
+    ):
+        self.source = source
+        self.fn_name = fn_name
+        self.polymorphic = polymorphic
+        self.images = tuple(images)
+        self.output_name = output_name
+        self.kernel = kernel
+        self.evaluator = _Eval(polymorphic)
+        self.width_aff = _WIDTH if polymorphic else _aff_const(width)
+        self.height_aff = _HEIGHT if polymorphic else _aff_const(height)
+        self.width_token = ("id", "width") if polymorphic else ("num", width)
+        self.diagnostics: List[Diagnostic] = []
+
+    def emit(self, code: str, message: str, path: str, **details) -> None:
+        self.diagnostics.append(
+            diag(code, message, kernel=self.kernel, path=path, **details)
+        )
+
+    # -- pointer discipline ----------------------------------------------
+
+    def check_pointers(self, functions) -> None:
+        if self.output_name is not None and self.output_name in self.images:
+            self.emit(
+                "NAT003",
+                f"block output {self.output_name!r} is also an input "
+                "plane: the restrict-qualified 'out' argument would "
+                "alias an input pointer",
+                self.fn_name,
+                output=self.output_name,
+            )
+        for name, (args, _body) in functions.items():
+            for arg in args.split(","):
+                arg = arg.strip()
+                if "*" in arg and not re.search(r"\brestrict\b", arg):
+                    self.emit(
+                        "NAT003",
+                        f"pointer argument {arg!r} of {name!r} is not "
+                        "restrict-qualified; the no-alias contract the "
+                        "optimizer relies on is undeclared",
+                        name,
+                        argument=arg,
+                    )
+
+    # -- index proofs ------------------------------------------------------
+
+    def check_index(self, text: str, env: Dict[str, _Iv], path: str) -> None:
+        try:
+            ast = _parse_expr(text)
+        except _ParseError as err:
+            self.emit(
+                "NAT002",
+                f"unparseable index expression {text!r} ({err})",
+                path,
+                index=text,
+            )
+            return
+        if not (
+            ast[0] == "bin"
+            and ast[1] == "+"
+            and ast[2][0] == "bin"
+            and ast[2][1] == "*"
+            and ast[2][3] == self.width_token
+        ):
+            self.emit(
+                "NAT002",
+                f"index {text!r} is not in row-major "
+                "'Y * width + X' form; its plane bound cannot be "
+                "checked componentwise",
+                path,
+                index=text,
+            )
+            return
+        checks = (
+            ("x", ast[3], self.width_aff),
+            ("y", ast[2][2], self.height_aff),
+        )
+        for axis, node, extent in checks:
+            interval = self.evaluator.interval(node, env)
+            limit = _aff_add(extent, _aff_const(-1))
+            if interval is None:
+                self.emit(
+                    "NAT002",
+                    f"{axis}-component of index {text!r} has no "
+                    "provable bounds",
+                    path,
+                    index=text,
+                    axis=axis,
+                )
+                continue
+            below = any(_prove_le(m, _aff_const(-1)) for m in interval.his)
+            above = any(_prove_le(extent, m) for m in interval.los)
+            if below or above:
+                self.emit(
+                    "NAT001",
+                    f"{axis}-component of index {text!r} is proven "
+                    f"{'negative' if below else 'past the plane extent'}",
+                    path,
+                    index=text,
+                    axis=axis,
+                )
+                continue
+            if not interval.ge_proven(_ZERO):
+                self.emit(
+                    "NAT002",
+                    f"{axis}-component of index {text!r} cannot be "
+                    "proven >= 0",
+                    path,
+                    index=text,
+                    axis=axis,
+                )
+            if not interval.le_proven(limit):
+                self.emit(
+                    "NAT002",
+                    f"{axis}-component of index {text!r} cannot be "
+                    f"proven <= {axis}-extent - 1",
+                    path,
+                    index=text,
+                    axis=axis,
+                )
+
+    def check_body(
+        self, name: str, lines: List[str], x_iv: _Iv, y_iv: _Iv
+    ) -> None:
+        env: Dict[str, _Iv] = {"x": x_iv, "y": y_iv}
+        for number, line in enumerate(lines):
+            temp = _INT_TEMP_RE.match(line)
+            if temp is not None:
+                try:
+                    value = self.evaluator.interval(
+                        _parse_expr(temp.group(2)), env
+                    )
+                except _ParseError:
+                    value = None
+                env[temp.group(1)] = value if value is not None else _Iv()
+            for buffer, index_text in _subscripts(line):
+                self.check_index(index_text, env, f"{name}:{number + 1}")
+
+    # -- driver structure --------------------------------------------------
+
+    def check_driver(self, body: List[str], has_interior: bool) -> None:
+        path = self.fn_name
+        tile: Optional[int] = None
+        height_token = "height" if self.polymorphic else None
+
+        def is_height_token(text: str) -> bool:
+            text = text.strip()
+            point = None
+            try:
+                point = self.evaluator.point(_parse_expr(text))
+            except _ParseError:
+                return False
+            return point == self.height_aff
+
+        saw_t = saw_y = False
+        for line in body:
+            if _FOR_T_RE.match(line):
+                saw_t = True
+            match = _Y_END_RE.match(line)
+            if match is not None:
+                if (
+                    match.group(1) == match.group(3)
+                    and is_height_token(match.group(2))
+                    and match.group(2) == match.group(4)
+                ):
+                    tile = int(match.group(1))
+                else:
+                    self.emit(
+                        "NAT004",
+                        "tile bound does not clamp y_end to the plane "
+                        f"height: {line.strip()!r}",
+                        path,
+                        line=line.strip(),
+                    )
+            match = _FOR_Y_RE.match(line)
+            if match is not None:
+                saw_y = True
+                if tile is None or int(match.group(1)) != tile:
+                    self.emit(
+                        "NAT004",
+                        "row loop tile stride disagrees with the "
+                        f"clamped y_end tile: {line.strip()!r}",
+                        path,
+                        line=line.strip(),
+                    )
+        if not (saw_t and saw_y and tile is not None):
+            self.emit(
+                "NAT004",
+                "driver is missing the expected tile/row loop nest",
+                path,
+            )
+            return
+
+        # The clamped tile loop proves y in [0, height - 1]; the guard
+        # (when present) narrows it for the branch it encloses.
+        full_x = _Iv((_ZERO,), (_aff_add(self.width_aff, _aff_const(-1)),))
+        full_y = _Iv((_ZERO,), (_aff_add(self.height_aff, _aff_const(-1)),))
+        y_iv = full_y
+        interior_env: Optional[Tuple[_Iv, _Iv]] = None
+        stores = 0
+        pending_x: Optional[_Iv] = None
+        for number, line in enumerate(body):
+            guard = _GUARD_RE.match(line)
+            if guard is not None:
+                try:
+                    upper = self.evaluator.point(_parse_expr(guard.group(2)))
+                except _ParseError:
+                    upper = None
+                if upper is None:
+                    self.emit(
+                        "NAT004",
+                        f"unrecognized interior guard bound "
+                        f"{guard.group(2)!r}",
+                        path,
+                        line=line.strip(),
+                    )
+                    upper = _aff_add(self.height_aff, _aff_const(0))
+                y_iv = _Iv(
+                    (_aff_const(int(guard.group(1))),),
+                    full_y.his + (_aff_add(upper, _aff_const(-1)),),
+                )
+                continue
+            if "} else {" in line:
+                y_iv = full_y
+                continue
+            for_x = _FOR_X_RE.match(line)
+            if for_x is not None:
+                try:
+                    init = self.evaluator.interval(
+                        _parse_expr(for_x.group(1)), {}
+                    )
+                    bound = self.evaluator.interval(
+                        _parse_expr(for_x.group(2)), {}
+                    )
+                except _ParseError:
+                    init = bound = None
+                if init is None or bound is None:
+                    self.emit(
+                        "NAT004",
+                        f"unrecognized x-loop bounds: {line.strip()!r}",
+                        path,
+                        line=line.strip(),
+                    )
+                    pending_x = full_x
+                else:
+                    pending_x = _Iv(
+                        init.los,
+                        tuple(
+                            _aff_add(m, _aff_const(-1)) for m in bound.his
+                        ),
+                    )
+                continue
+            store = _STORE_RE.match(line)
+            if store is not None:
+                stores += 1
+                if pending_x is None:
+                    self.emit(
+                        "NAT004",
+                        "store outside any x loop: " f"{line.strip()!r}",
+                        path,
+                        line=line.strip(),
+                    )
+                    x_iv = full_x
+                else:
+                    x_iv = pending_x
+                if _iv_empty(x_iv) or _iv_empty(y_iv):
+                    continue  # loop provably never executes this store
+                env = {"x": x_iv, "y": y_iv}
+                self.check_index(
+                    store.group(1), env, f"{path}:{number + 1}"
+                )
+                called = store.group(2)
+                if called == f"{self.fn_name}_interior":
+                    interior_env = (x_iv, y_iv)
+                elif called != f"{self.fn_name}_halo":
+                    self.emit(
+                        "NAT004",
+                        f"store calls unknown body {called!r}",
+                        path,
+                        line=line.strip(),
+                    )
+                continue
+            if line.strip().startswith("}"):
+                pending_x = None
+        if stores == 0:
+            self.emit("NAT004", "driver stores no output pixels", path)
+        if has_interior and interior_env is None:
+            self.emit(
+                "NAT004",
+                "an interior body is emitted but the driver never "
+                "calls it",
+                path,
+            )
+        self._interior_env = interior_env
+        self._full = (full_x, full_y)
+
+    # -- entry -------------------------------------------------------------
+
+    def run(self) -> List[Diagnostic]:
+        functions = _extract_functions(self.source)
+        halo = functions.get(f"{self.fn_name}_halo")
+        interior = functions.get(f"{self.fn_name}_interior")
+        driver = functions.get(self.fn_name)
+        if halo is None or driver is None:
+            self.emit(
+                "NAT004",
+                f"source lacks the expected {self.fn_name!r} "
+                "halo/driver functions",
+                self.fn_name,
+            )
+            return self.diagnostics
+        self.check_pointers(functions)
+        self._interior_env = None
+        # Defaults in case the driver is too malformed to parse (it then
+        # reports NAT004 and returns early): check both bodies over the
+        # full plane, the widest sound assumption.
+        self._full = (
+            _Iv((_ZERO,), (_aff_add(self.width_aff, _aff_const(-1)),)),
+            _Iv((_ZERO,), (_aff_add(self.height_aff, _aff_const(-1)),)),
+        )
+        self.check_driver(driver[1], has_interior=interior is not None)
+        full_x, full_y = self._full
+        # The halo body must be safe for every pixel of the plane: it
+        # runs in the flanks, the non-interior rows, and — polymorphic —
+        # wherever the runtime geometry shrinks the interior away.
+        self.check_body(f"{self.fn_name}_halo", halo[1], full_x, full_y)
+        if interior is not None:
+            if self._interior_env is not None:
+                x_iv, y_iv = self._interior_env
+            else:
+                x_iv, y_iv = full_x, full_y
+            self.check_body(
+                f"{self.fn_name}_interior", interior[1], x_iv, y_iv
+            )
+        return self.diagnostics
+
+
+def check_native_source(
+    source: str,
+    fn_name: str,
+    *,
+    width: int,
+    height: int,
+    polymorphic: bool = False,
+    images: Sequence[str] = (),
+    output_name: Optional[str] = None,
+    kernel: Optional[str] = None,
+) -> List[Diagnostic]:
+    """Statically check one lowered block's C source (NAT001–NAT004).
+
+    ``source`` may be the block's standalone source or a concatenation
+    containing it; only the ``fn_name`` family of functions is checked.
+    ``width``/``height`` are the plan geometry (ignored for the bound
+    proofs when ``polymorphic``, where the symbolic extents rule).
+    """
+    checker = _Checker(
+        source,
+        fn_name,
+        width,
+        height,
+        polymorphic,
+        images,
+        output_name,
+        kernel or fn_name,
+    )
+    return checker.run()
+
+
+def verify_native_blocks(blocks) -> List[Diagnostic]:
+    """Check every compiled ``NativeBlock`` in ``blocks``.
+
+    ``blocks`` is an iterable of objects with ``spec`` / ``plan`` /
+    ``output_name`` attributes (tape-fallback entries, which have no
+    emitted C, should be filtered out by the caller).
+    """
+    diagnostics: List[Diagnostic] = []
+    for block in blocks:
+        spec = block.spec
+        diagnostics.extend(
+            check_native_source(
+                spec.source,
+                spec.fn_name,
+                width=spec.width,
+                height=spec.height,
+                polymorphic=spec.polymorphic,
+                images=spec.images,
+                output_name=block.output_name,
+                kernel=block.output_name,
+            )
+        )
+    return diagnostics
+
+
+def verify_native_plan(plan) -> List[Diagnostic]:
+    """Check a ``NativePartitionPlan`` or ``NativeBlockPlan``.
+
+    Tape-fallback blocks carry no native code and are skipped; a fully
+    fallen-back plan therefore verifies vacuously (the tape interpreter
+    indexes through NumPy, whose bounds are checked dynamically).
+    """
+    blocks = getattr(plan, "blocks", None)
+    if blocks is not None:  # partition plan
+        return verify_native_blocks(
+            native for _plan, native in blocks if native is not None
+        )
+    native = getattr(plan, "native", None)
+    return verify_native_blocks([native] if native is not None else [])

@@ -32,6 +32,7 @@ def build_pipeline(width: int = 2048, height: int = 2048) -> Pipeline:
     pipe = Pipeline("dog")
 
     image = Image.create("input", width, height)
+    pipe.declare_domain("input", 0.0, 255.0)
     narrow = Image.create("narrow", width, height)
     wide = Image.create("wide", width, height)
     response = Image.create("response", width, height)

@@ -32,6 +32,7 @@ def build_pipeline(width: int = 2048, height: int = 2048) -> Pipeline:
     pipe = Pipeline("enhancement")
 
     image = Image.create("input", width, height)
+    pipe.declare_domain("input", 0.0, 255.0)
     denoised = Image.create("denoised", width, height)
     corrected = Image.create("corrected", width, height)
     enhanced = Image.create("enhanced", width, height)

@@ -97,6 +97,7 @@ def build_pipeline(width: int = 1920, height: int = 1200) -> Pipeline:
     pipe = Pipeline("night")
 
     image = Image.create("input", width, height, channels=3)
+    pipe.declare_domain("input", 0.0, 255.0)
     smooth0 = Image.create("smooth0", width, height, channels=3)
     smooth1 = Image.create("smooth1", width, height, channels=3)
     toned = Image.create("toned", width, height, channels=3)

@@ -29,6 +29,7 @@ def build_pipeline(width: int = 2048, height: int = 2048) -> Pipeline:
     pipe = Pipeline("shitomasi")
 
     image = Image.create("input", width, height)
+    pipe.declare_domain("input", 0.0, 255.0)
     ix = Image.create("Ix", width, height)
     iy = Image.create("Iy", width, height)
     sxx = Image.create("Sxx", width, height)

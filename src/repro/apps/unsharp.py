@@ -38,6 +38,7 @@ def build_pipeline(width: int = 2048, height: int = 2048) -> Pipeline:
     pipe = Pipeline("unsharp")
 
     image = Image.create("input", width, height)
+    pipe.declare_domain("input", 0.0, 255.0)
     blurred = Image.create("blurred", width, height)
     high = Image.create("high", width, height)
     amplified = Image.create("amplified", width, height)

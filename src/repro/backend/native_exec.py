@@ -69,7 +69,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.envknobs import int_env, validate_mode
+from repro.envknobs import (
+    int_env,
+    native_cflags_env,
+    native_simplify_enabled,
+    validate_mode,
+)
 
 from repro.backend.cpu_exec import (
     _find_compiler,
@@ -407,12 +412,17 @@ class _Body:
         height: int,
         img_ids: Dict[str, str],
         polymorphic: bool = False,
+        simp=None,
     ):
         self.interior = interior
         self.width = width
         self.height = height
         self.img_ids = img_ids
         self.polymorphic = polymorphic
+        #: Value-analysis facts (:class:`repro.analysis.dataflow.
+        #: TapeSimplifications`) proving some resolvers/masks are the
+        #: identity; ``None`` emits the literal tape.
+        self.simp = simp
         #: The extent tokens used in emitted C: literals when the
         #: geometry is baked, the runtime parameter names otherwise.
         self.width_sym = "width" if polymorphic else str(width)
@@ -459,7 +469,10 @@ class _Body:
             out = f"({self.coord(key[1])} + ({key[2]}))"
         elif tag == "resolve":
             parent = self.coord(key[1])
-            if self.interior:
+            if self.interior or (
+                self.simp is not None
+                and key in self.simp.identity_resolves
+            ):
                 out = parent
             else:
                 _, _, n, mode = key
@@ -486,6 +499,8 @@ class _Body:
     def oob(self, key: tuple) -> str:
         if self.interior:
             return "0"
+        if self.simp is not None and key in self.simp.identity_masks:
+            return "0"
         cached = self._oobs.get(key)
         if cached is not None:
             return cached
@@ -500,7 +515,14 @@ class _Body:
         if self.interior:
             return "0"
         _, xmask, ymask = key
-        return f"({self.oob(xmask)} || {self.oob(ymask)})"
+        x_oob, y_oob = self.oob(xmask), self.oob(ymask)
+        if x_oob == "0" and y_oob == "0":
+            return "0"
+        if x_oob == "0":
+            return y_oob
+        if y_oob == "0":
+            return x_oob
+        return f"({x_oob} || {y_oob})"
 
     def read(self, image: str, xi: tuple, yi: tuple, boundary) -> str:
         width, height = self.width, self.height
@@ -522,8 +544,9 @@ class _Body:
             oob = self.mask(
                 ("ormask", ("oob", xi, width), ("oob", yi, height))
             )
-            fill = _double_literal(boundary.constant)
-            value = f"({oob} ? {fill} : {value})"
+            if oob != "0":
+                fill = _double_literal(boundary.constant)
+                value = f"({oob} ? {fill} : {value})"
         return value
 
 
@@ -533,9 +556,12 @@ def _emit_body(
     img_ids: Dict[str, str],
     param_ids: Dict[str, str],
     polymorphic: bool = False,
+    simp=None,
 ) -> List[str]:
     space = plan.destination.space
-    body = _Body(interior, space.width, space.height, img_ids, polymorphic)
+    body = _Body(
+        interior, space.width, space.height, img_ids, polymorphic, simp
+    )
     for index, instr in enumerate(plan.tape):
         op, args, aux = instr.op, instr.args, instr.aux
         if op == "const":
@@ -545,12 +571,19 @@ def _emit_body(
         elif op == "gather":
             expr = body.read(*aux)
         elif op == "bin":
-            template = _BIN_C.get(aux[0])
-            if template is None:
-                raise NativeLoweringError(
-                    f"binary op {aux[0]!r} has no native lowering"
-                )
-            expr = template.format(f"s{args[0]}", f"s{args[1]}")
+            if simp is not None and index in simp.identity_ops:
+                # Value analysis proved this min/max always passes one
+                # operand through (strict interval separation, NaN-free
+                # loser) — the copy is bit-identical and the compiler
+                # propagates it away.
+                expr = f"s{simp.identity_ops[index]}"
+            else:
+                template = _BIN_C.get(aux[0])
+                if template is None:
+                    raise NativeLoweringError(
+                        f"binary op {aux[0]!r} has no native lowering"
+                    )
+                expr = template.format(f"s{args[0]}", f"s{args[1]}")
         elif op == "un":
             expr = (
                 f"(-s{args[0]})" if aux[0] == "neg" else f"fabs(s{args[0]})"
@@ -563,7 +596,10 @@ def _emit_body(
                 )
             expr = f"((s{args[0]} {operator} s{args[1]}) ? 1.0 : 0.0)"
         elif op == "select":
-            expr = f"((s{args[0]} != 0.0) ? s{args[1]} : s{args[2]})"
+            if simp is not None and index in simp.dead_selects:
+                expr = f"s{simp.dead_selects[index]}"
+            else:
+                expr = f"((s{args[0]} != 0.0) ? s{args[1]} : s{args[2]})"
         elif op == "call":
             template = _CALL_C.get(aux[0])
             if template is None:
@@ -608,6 +644,7 @@ class _BlockSpec:
         height: int,
         channels: int,
         polymorphic: bool = False,
+        simplified: int = 0,
     ):
         self.fn_name = fn_name
         self.source = source
@@ -617,6 +654,10 @@ class _BlockSpec:
         self.height = height
         self.channels = channels
         self.polymorphic = polymorphic
+        #: How many analysis-proven simplifications the emitted body
+        #: folded (identity resolvers/masks, dead selects, identity
+        #: min/max); 0 when the knob is off or nothing was provable.
+        self.simplified = simplified
 
 
 def _lower_block(
@@ -648,7 +689,22 @@ def _lower_block(
     img_ids = {name: _identifier("in", name, used) for name in images}
     param_ids = {name: _identifier("p", name, used) for name in params}
 
-    halo_lines = _emit_body(plan, False, img_ids, param_ids, polymorphic)
+    simp = None
+    if native_simplify_enabled():
+        from repro.analysis.dataflow import tape_simplifications
+
+        try:
+            simp = tape_simplifications(plan, polymorphic=polymorphic)
+        except Exception:
+            # Simplification is an optimization; an analysis surprise
+            # must never block the literal lowering.
+            simp = None
+        if simp is not None and simp.count == 0:
+            simp = None
+
+    halo_lines = _emit_body(
+        plan, False, img_ids, param_ids, polymorphic, simp
+    )
     xlo, xhi, ylo, yhi = _interior_bounds(plan.tape, width, height)
     has_interior = xlo < xhi and ylo < yhi
 
@@ -662,9 +718,20 @@ def _lower_block(
         W, H = "width", "height"
         xhi_sym = W if xhi >= width else f"(width - {width - xhi})"
         yhi_sym = H if yhi >= height else f"(height - {height - yhi})"
+        # A runtime geometry smaller than the baked halo margins must
+        # not let the flanking loops index past the plane: clamp the
+        # left flank's bound to the runtime width, and the right
+        # flank's start to zero.  At any geometry at least as wide as
+        # the margins the clamps are identities, so behaviour (and the
+        # differential check) is unchanged.
+        xlo_sym = f"({xlo} < width ? {xlo} : width)" if xlo > 0 else "0"
+        xhi_lo_sym = (
+            f"({xhi_sym} > 0 ? {xhi_sym} : 0)" if xhi < width else xhi_sym
+        )
     else:
         W, H = str(width), str(height)
         xhi_sym, yhi_sym = str(xhi), str(yhi)
+        xlo_sym, xhi_lo_sym = str(xlo), str(xhi)
 
     geometry_formals = ["const int width", "const int height"]
     geometry_actuals = ["width", "height"]
@@ -696,7 +763,7 @@ def _lower_block(
     ]
     if has_interior:
         interior_lines = _emit_body(
-            plan, True, img_ids, param_ids, polymorphic
+            plan, True, img_ids, param_ids, polymorphic, simp
         )
         parts += [
             f"static double {fn_name}_interior({pixel_args})",
@@ -718,11 +785,11 @@ def _lower_block(
     if has_interior:
         row_body = f"""\
                 if (y >= {ylo} && y < {yhi_sym}) {{
-                    for (int x = 0; x < {xlo}; ++x)
+                    for (int x = 0; x < {xlo_sym}; ++x)
                         out[y * {W} + x] = {fn_name}_halo({call_args});
                     for (int x = {xlo}; x < {xhi_sym}; ++x)
                         out[y * {W} + x] = {fn_name}_interior({call_args});
-                    for (int x = {xhi_sym}; x < {W}; ++x)
+                    for (int x = {xhi_lo_sym}; x < {W}; ++x)
                         out[y * {W} + x] = {fn_name}_halo({call_args});
                 }} else {{
 {halo_row}
@@ -757,6 +824,7 @@ def _lower_block(
         height,
         channels,
         polymorphic,
+        simplified=simp.count if simp is not None else 0,
     )
 
 
@@ -958,6 +1026,8 @@ class NativePartitionPlan:
         fallback_reasons: Dict[str, str],
         source: str | None,
         polymorphic: bool = False,
+        verify_ms: float = 0.0,
+        sanitized: bool = False,
     ):
         self.plan = plan
         self.graph = plan.graph
@@ -965,6 +1035,12 @@ class NativePartitionPlan:
         self.blocks = blocks
         #: Wall-clock spent lowering + compiling (0 when fully cached).
         self.compile_ms = compile_ms
+        #: Wall-clock the static native-codegen sanitizer spent proving
+        #: index bounds and the alias contract (0 outside strict mode).
+        self.verify_ms = verify_ms
+        #: Whether the sanitizer checked every compiled block's source
+        #: before the plan became executable (``REPRO_VALIDATE=strict``).
+        self.sanitized = sanitized
         #: Whether the shared library came from the content-hash cache.
         self.from_cache = from_cache
         #: Per-output reasons for blocks that fell back to the tape.
@@ -1133,11 +1209,21 @@ class NativeBlockPlan:
     :class:`NativePartitionPlan`.
     """
 
-    def __init__(self, plan: BlockPlan, native: Optional[NativeBlock]):
+    def __init__(
+        self,
+        plan: BlockPlan,
+        native: Optional[NativeBlock],
+        verify_ms: float = 0.0,
+        sanitized: bool = False,
+    ):
         self.plan = plan
         self.native = native
         self.output_name = plan.output_name
         self.tolerance = tolerance_for([plan])
+        #: Static-sanitizer wall-clock / coverage (see
+        #: :class:`NativePartitionPlan`).
+        self.verify_ms = verify_ms
+        self.sanitized = sanitized
         self._verify = _VerifyOnce()
 
     def execute(
@@ -1171,7 +1257,30 @@ def _native_flags(cc: str) -> Tuple[str, ...]:
     flags = ["-ffp-contract=off"]
     if openmp_available(cc):
         flags.append("-fopenmp")
+    # Extra deployment/CI flags (e.g. -fsanitize=address,undefined);
+    # they join the content-hash key, so toggling them recompiles.
+    flags.extend(native_cflags_env())
     return tuple(flags)
+
+
+def _sanitize_natives(natives: Sequence[NativeBlock]) -> float:
+    """Strict-mode static sanitation of freshly lowered native blocks.
+
+    Runs the native-codegen sanitizer (:mod:`repro.analysis.
+    native_check`) over every compiled block **before first execution**
+    and raises :class:`repro.analysis.verifier.PlanVerificationError`
+    on any NAT diagnostic.  Returns the verify wall-clock in ms.
+    """
+    if not natives:
+        return 0.0
+    from repro.analysis.native_check import verify_native_blocks
+    from repro.analysis.verifier import enforce
+
+    started = time.perf_counter()
+    enforce(
+        verify_native_blocks(natives), context="native codegen sanitizer"
+    )
+    return (time.perf_counter() - started) * 1e3
 
 
 def _compile_specs(
@@ -1224,8 +1333,23 @@ def _build_native_partition(
         fn = getattr(library, spec.fn_name)
         blocks.append((block_plan, NativeBlock(block_plan, spec, fn)))
     compile_ms = (time.perf_counter() - started) * 1e3
+    verify_ms = 0.0
+    sanitized = False
+    if validate_mode() == "strict":
+        verify_ms = _sanitize_natives(
+            [native for _plan, native in blocks if native is not None]
+        )
+        sanitized = any(native is not None for _plan, native in blocks)
     return NativePartitionPlan(
-        plan, blocks, compile_ms, from_cache, reasons, source, polymorphic
+        plan,
+        blocks,
+        compile_ms,
+        from_cache,
+        reasons,
+        source,
+        polymorphic,
+        verify_ms=verify_ms,
+        sanitized=sanitized,
     )
 
 
@@ -1306,7 +1430,14 @@ def native_plan_for_block(
                 native = NativeBlock(
                     block_plan, spec, getattr(library, spec.fn_name)
                 )
-            plan = NativeBlockPlan(block_plan, native)
+            verify_ms = 0.0
+            sanitized = False
+            if validate_mode() == "strict" and native is not None:
+                verify_ms = _sanitize_natives([native])
+                sanitized = True
+            plan = NativeBlockPlan(
+                block_plan, native, verify_ms=verify_ms, sanitized=sanitized
+            )
             cache[key] = plan
         return plan
 

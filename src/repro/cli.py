@@ -517,6 +517,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
             config=_config(args),
             version=args.version,
             verify_plans=not args.no_plans,
+            native=args.native,
         )
         for target in targets
     ]
@@ -669,6 +670,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="print the reports as JSON")
     lint.add_argument("--codes", action="store_true",
                       help="print the diagnostic-code catalog and exit")
+    lint.add_argument("--native", action="store_true",
+                      help="lower the partition through the native C "
+                      "backend (specialized and shape-polymorphic) and "
+                      "run the codegen sanitizer (NAT0xx) over the "
+                      "emitted source; needs a C toolchain")
     lint.add_argument("--no-plans", action="store_true",
                       help="skip tape compilation/verification")
     lint.add_argument("--lazy", action="store_true",

@@ -34,6 +34,7 @@ class Pipeline:
         self._kernels: List[Kernel] = []
         self._images: Dict[str, Image] = {}
         self._extra_outputs: List[str] = []
+        self._domains: Dict[str, object] = {}
 
     def add(self, kernel: Kernel) -> Kernel:
         """Register a kernel; returns it for fluent construction."""
@@ -50,6 +51,42 @@ class Pipeline:
                 )
         self._kernels.append(kernel)
         return kernel
+
+    def declare_domain(
+        self,
+        image: Image | str,
+        lo: float,
+        hi: float,
+        *,
+        nan: bool = False,
+    ) -> None:
+        """Declare the value domain of an image: ``lo <= pixel <= hi``.
+
+        Domains seed the value-range dataflow analysis
+        (:mod:`repro.analysis.dataflow`): declaring ``[0, 255]`` for a
+        pipeline's input lets the analysis prove ``sqrt``/``log``/
+        ``pow`` arguments non-negative and guards statically true,
+        silencing ``VAL0xx`` warnings the math genuinely cannot
+        trigger.  ``nan=True`` admits NaN pixels.  Domains are advisory
+        only — they never change compilation, caching, or execution.
+        """
+        import math
+
+        name = image if isinstance(image, str) else image.name
+        lo, hi = float(lo), float(hi)
+        if math.isnan(lo) or math.isnan(hi) or lo > hi:
+            raise PipelineError(
+                f"invalid domain [{lo}, {hi}] for image {name!r}: "
+                "expected lo <= hi and non-NaN endpoints"
+            )
+        from repro.analysis.dataflow import domain
+
+        self._domains[name] = domain(lo, hi, nan=nan)
+
+    @property
+    def declared_domains(self) -> Dict[str, object]:
+        """Declared image domains, name -> domain (see :meth:`declare_domain`)."""
+        return dict(self._domains)
 
     def mark_output(self, image: Image | str) -> None:
         """Declare an image externally observed (prevents its elimination)."""
@@ -89,7 +126,11 @@ class Pipeline:
         if not self._kernels:
             raise PipelineError("pipeline has no kernels")
         try:
-            return KernelGraph(self._kernels, external_outputs=self._extra_outputs)
+            return KernelGraph(
+                self._kernels,
+                external_outputs=self._extra_outputs,
+                declared_domains=self._domains,
+            )
         except GraphError as err:
             raise PipelineError(str(err)) from err
 

@@ -162,6 +162,31 @@ def validate_mode() -> str:
     return mode
 
 
+#: Environment knob: whether the native lowering folds the provable
+#: simplifications of :func:`repro.analysis.dataflow.tape_simplifications`
+#: (identity boundary resolvers, all-false masks, dead selects, identity
+#: min/max) into the emitted C.  ``off`` emits the literal tape.
+NATIVE_SIMPLIFY_ENV = "REPRO_NATIVE_SIMPLIFY"
+
+
+def native_simplify_enabled() -> bool:
+    """Whether analysis-driven native simplification is on (default)."""
+    return choice_env(NATIVE_SIMPLIFY_ENV, ("on", "off"), "on") == "on"
+
+
+#: Environment knob: extra space-separated compiler/linker flags for the
+#: native ``.so`` builds (e.g. ``-fsanitize=address,undefined`` in the
+#: CI sanitizer job).  Flags participate in the content-hash artifact
+#: key through the compile command, so changing them recompiles.
+NATIVE_CFLAGS_ENV = "REPRO_NATIVE_CFLAGS"
+
+
+def native_cflags_env() -> tuple:
+    """The extra native compile flags, split on whitespace (may be empty)."""
+    raw = raw_env(NATIVE_CFLAGS_ENV)
+    return tuple(raw.split()) if raw else ()
+
+
 #: Environment knob: worker processes of the sharded serving tier
 #: (``repro serve --processes`` / :class:`repro.serve.sharding.
 #: ShardedRuntime`); 1 means the single-process runtime.

@@ -14,7 +14,16 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Set,
+    Tuple,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.dsl.kernel import Kernel
@@ -60,7 +69,15 @@ class KernelGraph:
         self,
         kernels: Iterable["Kernel"],
         external_outputs: Iterable[str] = (),
+        declared_domains: "Mapping[str, object] | None" = None,
     ):
+        #: Declared value domains, image name -> domain (anything the
+        #: value-range analysis accepts: a ``VRange``, an ``(lo, hi)``
+        #: tuple, or a scalar).  Purely advisory — they seed
+        #: :func:`repro.analysis.dataflow.analyze_graph` and never enter
+        #: :meth:`structural_signature`, so the serving plan cache and
+        #: the native artifact cache are oblivious to them.
+        self.declared_domains: Dict[str, object] = dict(declared_domains or {})
         self._kernels: Dict[str, "Kernel"] = {}
         producers: Dict[str, str] = {}
         for kernel in kernels:

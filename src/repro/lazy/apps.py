@@ -47,7 +47,7 @@ __all__ = [
 def build_sobel_trace(width: int = 2048, height: int = 2048) -> Trace:
     """Sobel gradient magnitude (3 kernels)."""
     t = Trace("sobel", width, height)
-    src = t.source("input")
+    src = t.source("input", domain=(0.0, 255.0))
     ix = lz.convolve(src, SOBEL_X).checkpoint("dx", "Ix")
     iy = lz.convolve(src, SOBEL_Y).checkpoint("dy", "Iy")
     lz.sqrt(ix * ix + iy * iy).checkpoint("mag", "magnitude")
@@ -71,7 +71,7 @@ def _structure_tensor(t: Trace, src: LazyArray):
 def build_harris_trace(width: int = 2048, height: int = 2048) -> Trace:
     """Harris corners (9 kernels, the Fig. 3 running example)."""
     t = Trace("harris", width, height)
-    src = t.source("input")
+    src = t.source("input", domain=(0.0, 255.0))
     gxx, gyy, gxy = _structure_tensor(t, src)
     det = gxx * gyy - gxy * gxy
     trace = gxx + gyy
@@ -84,7 +84,7 @@ def build_harris_trace(width: int = 2048, height: int = 2048) -> Trace:
 def build_shitomasi_trace(width: int = 2048, height: int = 2048) -> Trace:
     """Shi-Tomasi minimum-eigenvalue response (9 kernels)."""
     t = Trace("shitomasi", width, height)
-    src = t.source("input")
+    src = t.source("input", domain=(0.0, 255.0))
     gxx, gyy, gxy = _structure_tensor(t, src)
     half_trace = (gxx + gyy) * Const(0.5)
     half_diff = (gxx - gyy) * Const(0.5)
@@ -104,7 +104,7 @@ def build_unsharp_trace(width: int = 2048, height: int = 2048) -> Trace:
     from repro.apps.unsharp import NORM as UNSHARP_NORM
 
     t = Trace("unsharp", width, height)
-    src = t.source("input")
+    src = t.source("input", domain=(0.0, 255.0))
     blurred = lz.convolve(src, GAUSS3).checkpoint("blur", "blurred")
     high = (src - blurred).checkpoint("high", "high")
     amplified = (high * src * src * Const(UNSHARP_NORM)).checkpoint(
@@ -117,7 +117,7 @@ def build_unsharp_trace(width: int = 2048, height: int = 2048) -> Trace:
 def build_enhance_trace(width: int = 2048, height: int = 2048) -> Trace:
     """Endoscopy enhancement: geometric-mean denoise, gamma, stretch."""
     t = Trace("enhancement", width, height)
-    src = t.source("input")
+    src = t.source("input", domain=(0.0, 255.0))
     domain = Domain(3, 3)
     log_sum = lz.window_reduce(
         src,
@@ -172,7 +172,7 @@ def _polynomial(x: LazyArray, coefficients) -> LazyArray:
 def build_night_trace(width: int = 1920, height: int = 1200) -> Trace:
     """The Night filter (3 kernels over RGB)."""
     t = Trace("night", width, height, channels=3)
-    src = t.source("input")
+    src = t.source("input", domain=(0.0, 255.0))
     smooth0 = _atrous_bilateral(src, 0).checkpoint("atrous0", "smooth0")
     smooth1 = _atrous_bilateral(smooth0, 1).checkpoint("atrous1", "smooth1")
     x = smooth1 * Const(1.0 / 255.0)

@@ -15,6 +15,10 @@ instead of) lowering:
 * **LAZY003** (warning) — a recorded kernel reads no image: its output
   is a constant plane (usually a scalar that should not have been
   checkpointed).
+* **LAZY004** (warning) — the trace's kernels mix foreign scalar
+  operand types (e.g. ``np.float32`` next to ``np.float64``): every
+  scalar coerces to a ``float64`` constant, so whatever precision the
+  distinct types were meant to express is silently erased.
 
 :func:`repro.analysis.lint.lint_app` accepts a ``Trace`` and prepends
 these findings to the standard pipeline/fusion/plan passes.
@@ -49,6 +53,18 @@ def lint_trace(
         ]
 
     diagnostics: List[Diagnostic] = []
+    foreign = sorted(getattr(trace, "_foreign_scalars", ()))
+    if len(foreign) > 1:
+        diagnostics.append(
+            diag(
+                "LAZY004",
+                f"trace kernels mix foreign scalar operand types "
+                f"{foreign}: all of them coerce to float64 constants, "
+                "erasing whatever precision the distinct types were "
+                "meant to express",
+                types=foreign,
+            )
+        )
     for node in trace._nodes:
         if not node.kernel.accessors:
             diagnostics.append(

@@ -55,7 +55,6 @@ from repro.ir.expr import (
     Param,
     Select,
     UnOp,
-    _wrap,
 )
 from repro.ir.signature import expr_signature
 
@@ -162,6 +161,8 @@ class Trace:
         self.bytes_per_pixel = bytes_per_pixel
         self._images: Dict[str, Image] = {}
         self._boundaries: Dict[str, BoundarySpec] = {}
+        self._domains: Dict[str, Tuple[float, float]] = {}
+        self._foreign_scalars: set = set()
         self._sources: Dict[str, Optional[np.ndarray]] = {}
         self._nodes: List[_Node] = []
         self._node_by_image: Dict[str, _Node] = {}
@@ -177,13 +178,17 @@ class Trace:
         name: str,
         array: Optional[np.ndarray] = None,
         boundary: BoundarySpec | BoundaryMode | None = None,
+        domain: Optional[Tuple[float, float]] = None,
     ) -> "LazyArray":
         """Declare a pipeline input and return its lazy handle.
 
         ``array`` (optional) pre-binds the pixel data so
         :meth:`LazyArray.evaluate` needs no ``inputs`` argument;
         ``boundary`` fixes the border mode of every read of this image
-        (default clamp, like the explicit DSL).
+        (default clamp, like the explicit DSL).  ``domain`` declares the
+        input's value range as an ``(lo, hi)`` pair — it flows to
+        :meth:`~repro.dsl.pipeline.Pipeline.declare_domain` on lowering
+        and seeds the value-range analysis (``VAL0xx``).
         """
         if name in self._images:
             raise LazyError(f"image name {name!r} already used in this trace")
@@ -195,6 +200,9 @@ class Trace:
             if isinstance(boundary, BoundaryMode):
                 boundary = BoundarySpec(boundary)
             self._boundaries[name] = boundary
+        if domain is not None:
+            lo, hi = domain
+            self._domains[name] = (float(lo), float(hi))
         self._sources[name] = None if array is None else np.asarray(array)
         return LazyArray(self, InputAt(name, 0, 0))
 
@@ -326,6 +334,8 @@ class Trace:
         pipe = Pipeline(self.name)
         for node in self._nodes:
             pipe.add(node.kernel)
+        for name, (lo, hi) in self._domains.items():
+            pipe.declare_domain(name, lo, hi)
         for name in outputs:
             if self._node_by_image.get(name) is None:
                 raise LazyError(
@@ -337,6 +347,36 @@ class Trace:
     def graph(self, outputs: Sequence[str] = ()) -> KernelGraph:
         """The lowered dependence DAG (see :meth:`lower`)."""
         return self.lower(outputs).build()
+
+    def checkpoint_provenance(self) -> Dict[str, str]:
+        """Synthesized kernel name -> nearest downstream ``checkpoint``.
+
+        Auto-materialized kernels carry names no user ever wrote
+        (``lazy0``, ``lazy1``, ...); a diagnostic located there is
+        unactionable.  This maps each such kernel to the closest
+        explicitly named checkpoint that consumes it (transitively), so
+        lint output can say *which user-visible value* the synthesized
+        kernel feeds.  Kernels reaching no checkpoint stay unmapped.
+        """
+        producer = {node.image.name: node for node in self._nodes}
+        provenance: Dict[str, str] = {}
+        for node in self._nodes:
+            if not node.explicit:
+                continue
+            stack: List[_Node] = [node]
+            while stack:
+                current = stack.pop()
+                for accessor in current.kernel.accessors:
+                    upstream = producer.get(accessor.image.name)
+                    if (
+                        upstream is None
+                        or upstream.explicit
+                        or upstream.kernel.name in provenance
+                    ):
+                        continue
+                    provenance[upstream.kernel.name] = node.kernel.name
+                    stack.append(upstream)
+        return provenance
 
     def run(
         self,
@@ -391,6 +431,13 @@ class LazyArray:
 
     __slots__ = ("trace", "expr")
 
+    #: Opt out of NumPy's binary-operator protocol: ``ndarray * lazy``
+    #: must return ``NotImplemented`` from the ndarray side so Python
+    #: falls through to :meth:`__rmul__` here (which then reports the
+    #: foreign operand precisely) instead of broadcasting the lazy
+    #: array into an object-dtype ndarray element by element.
+    __array_ufunc__ = None
+
     def __init__(self, trace: Trace, expr: Expr):
         self.trace = trace
         self.expr = expr
@@ -406,7 +453,29 @@ class LazyArray:
             return value.expr
         if isinstance(value, Expr):
             return value
-        return _wrap(value)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            # Subclasses of the Python scalar types (np.float64 chief
+            # among them) coerce fine but record their type, so the
+            # LAZY004 lint can flag a trace mixing scalar types whose
+            # precision intent the float64 Const silently erases.
+            if type(value) is not int and type(value) is not float:
+                self.trace._foreign_scalars.add(type(value).__name__)
+            return Const(float(value))
+        if isinstance(value, np.generic) and np.ndim(value) == 0:
+            if np.issubdtype(value.dtype, np.number):
+                self.trace._foreign_scalars.add(type(value).__name__)
+                return Const(float(value))
+        raise TypeError(
+            f"cannot use {type(value).__name__} ({value!r}) as a lazy "
+            "operand: lazy arrays combine with Python scalars, NumPy "
+            "scalars, IR expressions, and arrays of the same trace. "
+            "Note that for scalar-on-the-left forms like `k * a`, "
+            "Python tries `k.__mul__(a)` first and only falls back to "
+            "`a.__rmul__(k)` when the left side returns NotImplemented "
+            "— a sequence or array on the left may consume the lazy "
+            "array instead; bind pixel data through "
+            "Trace.source(name, array) and read it via shift()/[]."
+        )
 
     def _wrap(self, expr: Expr) -> "LazyArray":
         return LazyArray(self.trace, expr)

@@ -177,6 +177,7 @@ class ServingRuntime:
         resilience: ResiliencePolicy | None = None,
         metrics: Metrics | None = None,
         cache_keying: str = "shape",
+        register_lint: bool = False,
     ):
         self.registry = registry if registry is not None else default_registry()
         self.fusion = fusion or FusionSettings()
@@ -242,6 +243,28 @@ class ServingRuntime:
         # Pick up any REPRO_FAULTS rules armed since module import (the
         # registry makes this free when the spec is unchanged).
         faultinject.refresh_from_env()
+        #: Whether construction linted the registered pipelines.
+        self.register_lint = register_lint
+        if register_lint:
+            reports = self.lint_registered()
+            failing = {
+                name: report
+                for name, report in reports.items()
+                if not report.ok
+            }
+            if failing:
+                from repro.analysis.verifier import PlanVerificationError
+
+                diagnostics = [
+                    d
+                    for report in failing.values()
+                    for d in report.diagnostics
+                ]
+                raise PlanVerificationError(
+                    diagnostics,
+                    context="register-time lint of "
+                    + ", ".join(sorted(failing)),
+                )
         self._closed = False
         self.scheduler = MicroBatchScheduler(
             self._handle_batch,
@@ -275,6 +298,34 @@ class ServingRuntime:
             kwargs["resilience"] = options.resilience
         kwargs.update(overrides)
         return cls(registry, **kwargs)
+
+    def lint_registered(
+        self, *, native: bool = False
+    ) -> "Dict[str, Any]":
+        """Run the static-analysis stack over every registered pipeline.
+
+        Returns ``name -> LintReport`` (see
+        :func:`repro.analysis.lint.lint_app`); pipelines are linted at
+        the standard lint geometry with this runtime's GPU model and
+        fusion version.  ``native=True`` additionally sanitizes the
+        emitted native C (needs a toolchain).  Constructing the runtime
+        with ``register_lint=True`` runs this once and refuses to start
+        on any error-severity diagnostic.
+        """
+        from repro.analysis.lint import lint_app
+
+        version = self.fusion.version
+        if version not in ("baseline", "basic", "optimized", "greedy"):
+            version = "optimized"
+        return {
+            name: lint_app(
+                self.registry.get(name),
+                gpu=self.gpu,
+                version=version,
+                native=native,
+            )
+            for name in self.registry.names()
+        }
 
     # -- request admission -------------------------------------------------
 
@@ -749,6 +800,43 @@ class ServingRuntime:
                     "structure-keyed caching needs a fully native plan; "
                     f"fallback blocks: {native_plan.fallback_reasons}",
                 )
+        if (
+            native_plan is not None
+            and validate_mode() == "strict"
+            and not native_plan.sanitized
+        ):
+            # A module-level native-cache hit built under a weaker
+            # validation mode must still pass the codegen sanitizer
+            # before this strict-mode cache insert.
+            from repro.analysis.native_check import verify_native_blocks
+            from repro.analysis.verifier import enforce
+
+            def sanitize() -> None:
+                faultinject.check("sanitize")
+                enforce(
+                    verify_native_blocks(
+                        native
+                        for _plan, native in native_plan.blocks
+                        if native is not None
+                    ),
+                    context="plan cache insert (native codegen sanitizer)",
+                )
+
+            started = time.perf_counter()
+            try:
+                self._timed_stage("sanitize", sanitize)
+            except StageTimeout:
+                raise
+            except Exception as err:
+                raise PlanBuildError(
+                    "sanitize",
+                    engine,
+                    f"native codegen sanitizing failed: {err}",
+                ) from err
+            native_plan.verify_ms = (time.perf_counter() - started) * 1e3
+            native_plan.sanitized = True
+        if native_plan is not None and native_plan.sanitized:
+            timings["native_verify_ms"] = native_plan.verify_ms
         verified = False
         if plan is not None and validate_mode() == "strict":
             # Strict mode verifies every plan cache insert — including

@@ -30,7 +30,9 @@ class TestSeverity:
 class TestRegistry:
     def test_all_code_families_present(self):
         families = {code[:-3] for code in CODES}
-        assert families == {"IR", "PIPE", "FUS", "TAPE", "PLAN", "LAZY"}
+        assert families == {
+            "IR", "PIPE", "FUS", "TAPE", "PLAN", "LAZY", "VAL", "NAT"
+        }
 
     def test_codes_are_stable_identifiers(self):
         # Renumbering a released code breaks consumers filtering on it;

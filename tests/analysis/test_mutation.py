@@ -107,3 +107,178 @@ def test_verifier_catches_injected_mutations(app):
     assert rate >= 0.95, (
         f"{app}: verifier caught {caught}/{total} mutations ({rate:.0%})"
     )
+
+
+# ---------------------------------------------------------------------------
+# Value-level defects: semantically meaningful corruption that the range
+# dataflow (VAL) and native sanitizer (NAT) families must catch, not just
+# the structural verifier.
+
+
+def _single_kernel_plan(name, body):
+    from repro.dsl.boundary import BoundaryMode
+    from repro.dsl.image import Image
+    from repro.dsl.kernel import Kernel
+    from repro.graph.dag import KernelGraph
+    from repro.graph.partition import Partition
+
+    src = Image.create("src", 16, 16)
+    dst = Image.create("dst", 16, 16)
+    kernel = Kernel.from_function(
+        name, [src], dst, body, boundary=BoundaryMode.CLAMP
+    )
+    graph = KernelGraph([kernel], ["dst"])
+    plan = plan_for_partition(graph, Partition.singletons(graph))
+    return graph, plan.plans[0]
+
+
+def _retape(plan, tape):
+    return _mutant_plan(plan, tape=list(tape))
+
+
+def _value_defects():
+    """(label, pristine plan, mutant plan) triples for the value family."""
+    from repro.ir import ops
+
+    defects = []
+
+    # Flipped domain guard: select(v > 0, sqrt(v), 0) with the guard
+    # comparison inverted no longer protects the sqrt.
+    _, guarded = _single_kernel_plan(
+        "guard",
+        lambda a: ops.select(
+            a() > ops.const(0.0), ops.sqrt(a()), ops.const(0.0)
+        ),
+    )
+    tape = list(guarded.tape)
+    for i, instr in enumerate(tape):
+        if instr.op == "cmp":
+            tape[i] = Instr("cmp", instr.args, ("le",))
+    defects.append(("flipped-domain-guard", guarded, _retape(guarded, tape)))
+
+    # Swapped where-branches: the risky expression moves to the branch
+    # the guard does NOT protect.
+    tape = list(guarded.tape)
+    for i, instr in enumerate(tape):
+        if instr.op == "select":
+            cond, true_slot, false_slot = instr.args
+            tape[i] = Instr("select", (cond, false_slot, true_slot), ())
+    defects.append(("swapped-where-branches", guarded, _retape(guarded, tape)))
+
+    # Dropped clamp: sqrt(max(v, 0)) with the lower bound removed.
+    _, clamped = _single_kernel_plan(
+        "clamped", lambda a: ops.sqrt(ops.maximum(a(), ops.const(0.0)))
+    )
+    tape = list(clamped.tape)
+    for i, instr in enumerate(tape):
+        if instr.op == "bin" and instr.aux[0] == "max":
+            tape[i] = Instr("bin", (instr.args[0], instr.args[0]), ("max",))
+    defects.append(("dropped-clamp", clamped, _retape(clamped, tape)))
+
+    # Flipped zero guard: select(v != 0, 1/v, 0) with eq for ne divides
+    # exactly where the divisor is zero.
+    _, divided = _single_kernel_plan(
+        "divguard",
+        lambda a: ops.select(
+            ops.ne(a(), ops.const(0.0)),
+            ops.const(1.0) / a(),
+            ops.const(0.0),
+        ),
+    )
+    tape = list(divided.tape)
+    for i, instr in enumerate(tape):
+        if instr.op == "cmp":
+            tape[i] = Instr("cmp", instr.args, ("eq",))
+    defects.append(("flipped-zero-guard", divided, _retape(divided, tape)))
+
+    return defects
+
+
+def test_value_dataflow_catches_value_defects():
+    """The VAL family: pristine plans are clean, each seeded value-level
+    defect produces at least one new dataflow diagnostic."""
+    from repro.analysis.dataflow import lint_tape_values
+
+    defects = _value_defects()
+    caught = 0
+    for label, pristine, mutant in defects:
+        before = {d.code for d in lint_tape_values(pristine)}
+        assert not before, f"{label}: pristine plan already warns: {before}"
+        after = {d.code for d in lint_tape_values(mutant)}
+        if after - before:
+            caught += 1
+    rate = caught / len(defects)
+    assert rate >= 0.95, (
+        f"dataflow caught {caught}/{len(defects)} value defects ({rate:.0%})"
+    )
+
+
+#: Textual corruption of emitted C, keyed by what each seeds.  Every
+#: substitution that actually matches a block's source must trip the
+#: sanitizer (the pristine source verifies clean).
+_NATIVE_DEFECTS = [
+    # Off-by-one halo index: the interior body reaches one pixel past
+    # the margin the flank loops guarantee.
+    ("off-by-one-halo-index", "(x + (1))", "(x + (2))"),
+    ("off-by-one-halo-row", "(y + (-1))", "(y + (-2))"),
+    # Dropped restrict: the no-alias contract the tile loop relies on.
+    ("dropped-restrict", "*restrict out", "*out"),
+    # Transposed store: column-major indexing through a row-major plane.
+    ("transposed-store", "out[y * ", "out[x * "),
+]
+
+
+def test_native_sanitizer_catches_seeded_defects():
+    """The NAT family: every applicable textual defect seeded into the
+    emitted C of every native block of every app is caught."""
+    from repro.analysis.native_check import check_native_source
+    from repro.backend.native_exec import native_plan_for_partition
+    from repro.envknobs import validate_override
+    from repro.eval.runner import partition_for
+    from repro.model.hardware import KNOWN_GPUS
+
+    gpu = KNOWN_GPUS["GTX680"]
+    total = 0
+    caught = 0
+    for app in sorted(APPLICATIONS):
+        width, height = APP_GEOMETRY[app]
+        graph = APPLICATIONS[app].build(width, height).build()
+        partition = partition_for(graph, gpu, "optimized")
+        with validate_override("standard"):
+            nplan = native_plan_for_partition(graph, partition)
+        for _plan, native in nplan.blocks:
+            if native is None:
+                continue
+            spec = native.spec
+
+            def nat_codes(source):
+                return {
+                    d.code
+                    for d in check_native_source(
+                        source,
+                        spec.fn_name,
+                        width=spec.width,
+                        height=spec.height,
+                        polymorphic=spec.polymorphic,
+                        images=spec.images,
+                        output_name=native.output_name,
+                    )
+                }
+
+            assert not nat_codes(spec.source), (
+                f"{app}/{native.output_name}: pristine source flagged"
+            )
+            for label, needle, replacement in _NATIVE_DEFECTS:
+                mutated = spec.source.replace(needle, replacement)
+                if mutated == spec.source:
+                    continue
+                total += 1
+                if nat_codes(mutated):
+                    caught += 1
+                else:  # pragma: no cover - failure detail
+                    print(f"missed: {app}/{native.output_name} {label}")
+    assert total >= 10, f"native defect seeding produced only {total} mutants"
+    rate = caught / total
+    assert rate >= 0.95, (
+        f"sanitizer caught {caught}/{total} native defects ({rate:.0%})"
+    )

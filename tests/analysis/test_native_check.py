@@ -1,0 +1,215 @@
+"""Native-codegen sanitizer: the NAT diagnostics over emitted C.
+
+Proves the honest emitter clean (specialized and shape-polymorphic,
+including the degenerate zero-margin flank loops), pins each NAT family
+on seeded textual defects, and checks the strict-mode wiring: every
+fresh native plan is sanitizer-verified, and the analysis-driven
+simplifications stay bit-identical to the tape engine.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.diagnostics import has_errors
+from repro.analysis.native_check import (
+    check_native_source,
+    verify_native_blocks,
+    verify_native_plan,
+)
+from repro.apps import APPLICATIONS
+from repro.backend import native_exec
+from repro.backend.native_exec import (
+    native_available,
+    native_plan_for_partition,
+)
+from repro.api import ExecutionOptions, run
+from repro.dsl.boundary import BoundaryMode
+from repro.dsl.image import Image
+from repro.dsl.kernel import Kernel
+from repro.envknobs import validate_override
+from repro.eval.runner import partition_for
+from repro.graph.dag import KernelGraph
+from repro.graph.partition import Partition
+from repro.ir import ops
+from repro.ir.expr import Const
+from repro.model.hardware import KNOWN_GPUS
+
+needs_cc = pytest.mark.skipif(
+    not native_available(), reason="requires a C compiler on PATH"
+)
+
+GPU = KNOWN_GPUS["GTX680"]
+
+
+def _native_plan(app, width=64, height=48, polymorphic=False):
+    graph = APPLICATIONS[app].build(width, height).build()
+    partition = partition_for(graph, GPU, "optimized")
+    with validate_override("standard"):
+        return graph, native_plan_for_partition(
+            graph, partition, polymorphic=polymorphic
+        )
+
+
+def _first_native(nplan):
+    return next(n for _p, n in nplan.blocks if n is not None)
+
+
+def _check(native, source=None):
+    spec = native.spec
+    return check_native_source(
+        source if source is not None else spec.source,
+        spec.fn_name,
+        width=spec.width,
+        height=spec.height,
+        polymorphic=spec.polymorphic,
+        images=spec.images,
+        output_name=native.output_name,
+    )
+
+
+@needs_cc
+class TestHonestEmitterIsClean:
+    @pytest.mark.parametrize("app", sorted(APPLICATIONS))
+    @pytest.mark.parametrize("polymorphic", [False, True])
+    def test_every_app_verifies(self, app, polymorphic):
+        _, nplan = _native_plan(app, polymorphic=polymorphic)
+        assert verify_native_plan(nplan) == []
+
+    def test_zero_margin_blocks_verify(self):
+        # Harris fuses its response into a block whose margins are zero:
+        # the emitted flank loops are degenerate (`for (x = 0; x < 0;)`)
+        # and must be recognized as provably store-free, not flagged.
+        _, nplan = _native_plan("Harris")
+        assert verify_native_plan(nplan) == []
+
+
+class TestSeededDefects:
+    @pytest.fixture(scope="class")
+    def sobel(self):
+        if not native_available():
+            pytest.skip("requires a C compiler on PATH")
+        _, nplan = _native_plan("Sobel")
+        return _first_native(nplan)
+
+    def codes(self, native, source):
+        return {d.code for d in _check(native, source)}
+
+    def test_out_of_plane_halo_read_is_caught(self, sobel):
+        mutated = sobel.spec.source.replace("(x + (1))", "(x + (2))")
+        assert mutated != sobel.spec.source
+        found = self.codes(sobel, mutated)
+        assert found & {"NAT001", "NAT002"}
+
+    def test_dropped_restrict_is_nat003(self, sobel):
+        mutated = sobel.spec.source.replace("*restrict out", "*out")
+        assert self.codes(sobel, mutated) == {"NAT003"}
+
+    def test_unclamped_y_end_is_caught_without_crashing(self, sobel):
+        source = sobel.spec.source
+        mutated = source.replace(
+            "(t + 1) * 64 < 48 ? (t + 1) * 64 : 48", "(t + 1) * 64"
+        )
+        assert mutated != source
+        found = self.codes(sobel, mutated)
+        assert "NAT004" in found  # the driver clamp proof fails loudly
+
+    def test_transposed_store_index_is_caught(self, sobel):
+        mutated = sobel.spec.source.replace("out[y * ", "out[x * ")
+        assert self.codes(sobel, mutated) & {"NAT001", "NAT002"}
+
+    def test_widened_clamp_bound_is_caught(self, sobel):
+        mutated = sobel.spec.source.replace(
+            "idx_clamp((x + (-1)), 64)", "idx_clamp((x + (-1)), 65)"
+        )
+        assert mutated != sobel.spec.source
+        assert self.codes(sobel, mutated)
+
+    def test_missing_functions_are_nat004(self, sobel):
+        found = _check(sobel, "int main(void) { return 0; }")
+        assert [d.code for d in found] == ["NAT004"]
+        assert has_errors(found)
+
+
+class TestEntryPoints:
+    def test_empty_iterables_verify_vacuously(self):
+        assert verify_native_blocks([]) == []
+
+    @needs_cc
+    def test_partition_plan_skips_tape_fallbacks(self):
+        _, nplan = _native_plan("Sobel")
+        # Simulate a mixed plan: the verifier must iterate pairs and
+        # skip None natives rather than crash on them.
+        class _Mixed:
+            blocks = [(None, None)] + list(nplan.blocks)
+
+        assert verify_native_plan(_Mixed()) == []
+
+    @needs_cc
+    def test_strict_mode_sanitizes_fresh_plans(self):
+        graph = APPLICATIONS["Sobel"].build(64, 48).build()
+        partition = partition_for(graph, GPU, "optimized")
+        native_exec.clear_native_caches()
+        with validate_override("strict"):
+            nplan = native_plan_for_partition(graph, partition)
+        assert nplan.sanitized
+        assert nplan.verify_ms >= 0.0
+
+    @needs_cc
+    def test_standard_mode_defers_sanitizing(self):
+        graph = APPLICATIONS["Sobel"].build(64, 48).build()
+        partition = partition_for(graph, GPU, "optimized")
+        with validate_override("standard"):
+            nplan = native_plan_for_partition(graph, partition)
+        assert not nplan.sanitized
+
+
+#: Every clamp/guard in this body is provably inert (sin/cos land in
+#: [-1, 1]), so the native lowering folds them away.
+def _simplifiable(a):
+    clamped = ops.minimum(ops.sin(a(-1, 0) + a(1, 0)), Const(2.0))
+    guard = ops.maximum(ops.cos(a()), Const(3.0))
+    return clamped + ops.select(guard, a(0, -1), ops.const(0.0))
+
+
+@needs_cc
+class TestSimplifiedLoweringIsBitIdentical:
+    def test_folded_plan_matches_tape_engine(self):
+        src = Image.create("src", 32, 24)
+        dst = Image.create("dst", 32, 24)
+        kernel = Kernel.from_function(
+            "fold", [src], dst, _simplifiable, boundary=BoundaryMode.CLAMP
+        )
+        graph = KernelGraph([kernel], ["dst"])
+        partition = Partition.singletons(graph)
+        with validate_override("standard"):
+            nplan = native_plan_for_partition(graph, partition)
+        native = _first_native(nplan)
+        assert native.spec.simplified > 0, "folds were expected here"
+        assert verify_native_plan(nplan) == []
+
+        rng = np.random.default_rng(7)
+        inputs = {"src": rng.uniform(-9.0, 9.0, (24, 32))}
+        reference = run(
+            graph, inputs, options=ExecutionOptions(engine="tape", fuse=False)
+        )
+        with validate_override("strict"):
+            produced = run(
+                graph,
+                inputs,
+                options=ExecutionOptions(engine="native", fuse=False),
+            )
+        np.testing.assert_array_equal(produced["dst"], reference["dst"])
+
+    def test_simplify_knob_disables_folding(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NATIVE_SIMPLIFY", "off")
+        src = Image.create("src", 32, 24)
+        dst = Image.create("dst", 32, 24)
+        kernel = Kernel.from_function(
+            "fold", [src], dst, _simplifiable, boundary=BoundaryMode.CLAMP
+        )
+        graph = KernelGraph([kernel], ["dst"])
+        with validate_override("standard"):
+            nplan = native_plan_for_partition(
+                graph, Partition.singletons(graph)
+            )
+        assert _first_native(nplan).spec.simplified == 0

@@ -299,3 +299,45 @@ def test_trace_run_returns_environment():
     assert np.array_equal(env["doubled"], frame * 2.0)
     with pytest.raises(LazyError, match="not a materialized image"):
         t.run(outputs=("nope",))
+
+
+# -- foreign operands and declared domains ----------------------------------
+
+
+def test_foreign_operand_error_names_the_operand():
+    t = _trace()
+    src = t.source("input")
+    with pytest.raises(TypeError) as excinfo:
+        src * "oops"
+    message = str(excinfo.value)
+    assert "str" in message and "'oops'" in message
+    assert "__rmul__" in message  # explains the k * a protocol
+    assert "Trace.source" in message  # and the fix for array operands
+
+
+def test_ndarray_operand_rejected_with_guidance():
+    # __array_ufunc__ = None makes NumPy yield to our __rmul__ instead
+    # of broadcasting elementwise over the LazyArray object.
+    t = _trace()
+    src = t.source("input")
+    with pytest.raises(TypeError) as excinfo:
+        np.ones((7, 9)) * src
+    assert "ndarray" in str(excinfo.value)
+
+
+def test_numpy_scalars_record_as_constants():
+    t = _trace()
+    src = t.source("input")
+    value = (np.float32(2.0) * src).expr
+    assert isinstance(value, BinOp)
+    assert isinstance(value.lhs, Const)
+    assert value.lhs.value == 2.0
+
+
+def test_source_domain_reaches_the_lowered_graph():
+    t = _trace()
+    src = t.source("input", domain=(0.0, 255.0))
+    (src + 1.0).checkpoint("k", "out")
+    graph = t.lower().build()
+    declared = graph.declared_domains["input"]
+    assert (declared.lo, declared.hi) == (0.0, 255.0)

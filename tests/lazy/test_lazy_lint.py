@@ -111,3 +111,45 @@ def test_paper_apps_record_clean_traces(app_name):
     report = lint_app(trace, verify_plans=False)
     assert report.ok
     assert report.count(Severity.WARNING) == 0
+
+
+def test_mixed_foreign_scalars_are_lazy004():
+    assert CODES["LAZY004"][0] is Severity.WARNING
+    t = Trace("mixed", 8, 6)
+    src = t.source("input")
+    value = np.float32(2.0) * src + np.int64(3) * src
+    value.checkpoint("k", "out")
+    findings = lint_trace(t)
+    assert [d.code for d in findings] == ["LAZY004"]
+    assert findings[0].details["types"] == ["float32", "int64"]
+
+
+def test_uniform_foreign_scalars_are_clean():
+    t = Trace("uniform", 8, 6)
+    src = t.source("input")
+    (np.float32(2.0) * src + np.float32(3.0) * src).checkpoint("k", "out")
+    assert lint_trace(t) == []
+
+
+def test_checkpoint_provenance_maps_synthesized_kernels():
+    t = Trace("prov", 8, 6)
+    src = t.source("input")
+    # The shift of a computed value auto-materializes a `lazy0` kernel
+    # upstream of the user's only checkpoint.
+    ((src * 2.0).shift(1, 0) + 1.0).checkpoint("final", "out")
+    assert t.checkpoint_provenance() == {"lazy0": "final"}
+
+
+def test_lint_paths_carry_checkpoint_provenance():
+    t = Trace("prov", 8, 6)
+    src = t.source("input")
+    # sqrt of an unbounded intermediate fires VAL001 inside the kernel
+    # the shift auto-materializes (`lazy0`); the report must point at
+    # the user's checkpoint name, not the synthesized one.
+    import repro.lazy.functional as lz
+
+    (lz.sqrt(src - 300.0).shift(1, 0) + 1.0).checkpoint("final", "out")
+    report = lint_app(t, verify_plans=False)
+    val = [d for d in report.diagnostics if d.code == "VAL001"]
+    assert val, "expected the VAL001 on the synthesized kernel"
+    assert any("via checkpoint 'final'" in (d.path or "") for d in val)
