@@ -35,3 +35,29 @@ def matrix_results():
 
 def write_report(output_dir: Path, name: str, text: str) -> None:
     (output_dir / name).write_text(text + "\n")
+
+
+def machine_info() -> dict:
+    """The host cache hierarchy, for stamping into BENCH artifacts so a
+    recorded speedup can be read against the machine that produced it."""
+    from repro.model.hardware import detect_cpu_caches
+
+    caches = detect_cpu_caches()
+    return {
+        "cpu_caches": {
+            "l1d_bytes": caches.l1d_bytes,
+            "l2_bytes": caches.l2_bytes,
+            "l3_bytes": caches.l3_bytes,
+            "line_bytes": caches.line_bytes,
+            "source": caches.source,
+        },
+        "cpu_caches_pretty": caches.describe(),
+    }
+
+
+def write_bench_json(output_dir: Path, name: str, report: dict) -> None:
+    """Write a ``BENCH_*.json`` artifact with the machine key stamped in."""
+    import json
+
+    report = {"machine": machine_info(), **report}
+    (output_dir / name).write_text(json.dumps(report, indent=2) + "\n")

@@ -17,13 +17,13 @@ recursive, native at least 3x over tape, both on the 2048x2048
 local-to-local chain.
 """
 
-import json
 import time
 import zlib
 
 import numpy as np
 import pytest
 
+from conftest import write_bench_json
 from helpers import BLUR3, EDGE3, chain_pipeline, image, local_kernel, random_image
 
 from repro.apps import APPLICATIONS
@@ -128,9 +128,7 @@ def test_bench_exec_engines(output_dir):
         "speedup": serial / parallel,
     }
 
-    (output_dir / "BENCH_exec_engines.json").write_text(
-        json.dumps(report, indent=2) + "\n"
-    )
+    write_bench_json(output_dir, "BENCH_exec_engines.json", report)
 
     headline = report["chains"]["l2_2048"]["speedup"]
     assert headline >= 2.0, (
@@ -227,9 +225,7 @@ def test_bench_native_tape(output_dir):
             "equivalent": True,
         }
 
-    (output_dir / "BENCH_native_tape.json").write_text(
-        json.dumps(report, indent=2) + "\n"
-    )
+    write_bench_json(output_dir, "BENCH_native_tape.json", report)
 
     headline = report["chains"]["l2_2048"]["native_over_tape"]
     assert headline >= 3.0, (

@@ -17,11 +17,12 @@ Skipped without a C compiler — structure keying rides on the
 shape-polymorphic native engine.
 """
 
-import json
 import zlib
 
 import numpy as np
 import pytest
+
+from conftest import write_bench_json
 
 from repro.api import ExecutionOptions, run
 from repro.backend import native_exec
@@ -137,9 +138,7 @@ def test_bench_lazy(output_dir):
         "structure_keyed": structure_report,
         "bit_identical": (shape_mismatches + structure_mismatches) == 0,
     }
-    (output_dir / "BENCH_lazy.json").write_text(
-        json.dumps(report, indent=2) + "\n"
-    )
+    write_bench_json(output_dir, "BENCH_lazy.json", report)
 
     assert report["bit_identical"], (
         f"{shape_mismatches + structure_mismatches} served results "

@@ -19,11 +19,12 @@ Two claims, one report (``BENCH_resilience.json``):
   faulted stream's latency distribution is reported.
 """
 
-import json
 import time
 
 import numpy as np
 import pytest
+
+from conftest import write_bench_json
 
 from repro.apps import APPLICATIONS
 from repro.serve import ResiliencePolicy, ServingRuntime, faultinject
@@ -166,9 +167,7 @@ def test_bench_resilience(output_dir):
         },
         "recovery": recovery,
     }
-    (output_dir / "BENCH_resilience.json").write_text(
-        json.dumps(report, indent=2) + "\n"
-    )
+    write_bench_json(output_dir, "BENCH_resilience.json", report)
 
     assert overhead < OVERHEAD_BUDGET, (
         f"resilience layer costs {overhead:.1%} on the no-fault hot path "

@@ -11,7 +11,8 @@ cache hit rate of at least **0.9**, with every served result
 bit-identical to its baseline counterpart.
 """
 
-import json
+
+from conftest import write_bench_json
 
 from repro.serve.bench import run_serving_benchmark
 
@@ -28,9 +29,7 @@ def test_bench_serving(output_dir):
         scheduler_workers=2,
     )
 
-    (output_dir / "BENCH_serving.json").write_text(
-        json.dumps(report, indent=2) + "\n"
-    )
+    write_bench_json(output_dir, "BENCH_serving.json", report)
 
     assert report["bit_identical"], (
         f"{report['mismatches']} serving results diverged from direct "

@@ -19,11 +19,12 @@ actually has cores to scale onto, so they are gated on
 either way so the curve is interpretable downstream.
 """
 
-import json
 import os
 import time
 
 import numpy as np
+
+from conftest import write_bench_json
 
 from repro.serve import ShardedRuntime, fault_injection
 from repro.serve.bench import run_serving_benchmark, request_inputs
@@ -161,9 +162,7 @@ def test_bench_sharded(output_dir):
         "kill_recovery": recovery,
         "native_workers": native,
     }
-    (output_dir / "BENCH_sharded.json").write_text(
-        json.dumps(report, indent=2) + "\n"
-    )
+    write_bench_json(output_dir, "BENCH_sharded.json", report)
 
     # --- unconditional: fidelity and resilience -------------------------
     assert all(point["bit_identical"] for point in curve.values())

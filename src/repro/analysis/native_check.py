@@ -37,6 +37,23 @@ Diagnostics:
 * **NAT004** — the source does not match the expected loop-nest shape
   (missing bodies/driver, a perturbed tile/row loop, a store outside
   the recognized pattern).
+
+Two lowering families are recognized.  The **classic** row-tiled form
+(one halo/interior body pair, a tile/row driver) is proven purely in
+the affine domain.  The **2D overlapped-tiling** form
+(``REPRO_NATIVE_TILE2D``) adds per-tile scratch buffers filled by
+per-stage bodies; its driver is verified by *template matching* the
+canonical grid/region/fill grammar (the safety argument is a
+meta-theorem over the template: clipped regions can never exceed the
+compile-time scratch extents), and every scratch subscript inside a
+body is checked against the driver's recovered **margin ledger** —
+a consumer with halo margins ``(Lc, Rc, Tc, Bc)`` may read a producer
+at x-offset ``d`` only when ``Lp >= Lc - d`` and ``Rp >= Rc + d``
+(and the y analogue), which is exactly the containment invariant the
+emitter's reverse-topological ledger establishes.  Shape-polymorphic
+sources carry per-image runtime pitch formals (``st_*``); an input
+subscript may use its own pitch token in place of ``width`` because
+the runtime binder only passes pitches ``>= width``.
 """
 
 from __future__ import annotations
@@ -309,6 +326,44 @@ def _parse_expr(text: str) -> tuple:
     return _Parser(_tokenize(text)).parse()
 
 
+def _linear(node: tuple) -> Optional[Tuple[Dict[str, int], int]]:
+    """``({var: coeff}, constant)`` for a +/- linear AST, else ``None``."""
+    kind = node[0]
+    if kind == "num":
+        return {}, node[1]
+    if kind == "id":
+        return {node[1]: 1}, 0
+    if kind == "neg":
+        inner = _linear(node[1])
+        if inner is None:
+            return None
+        return {k: -v for k, v in inner[0].items()}, -inner[1]
+    if kind == "bin" and node[1] in ("+", "-"):
+        left = _linear(node[2])
+        right = _linear(node[3])
+        if left is None or right is None:
+            return None
+        sign = 1 if node[1] == "+" else -1
+        coeffs = dict(left[0])
+        for var, coeff in right[0].items():
+            coeffs[var] = coeffs.get(var, 0) + sign * coeff
+        coeffs = {k: v for k, v in coeffs.items() if v != 0}
+        return coeffs, left[1] + sign * right[1]
+    return None
+
+
+def _unit_offset(node: tuple) -> Optional[Tuple[str, int]]:
+    """``(var, d)`` when the AST is exactly ``var + d``, else ``None``."""
+    lin = _linear(node)
+    if lin is None:
+        return None
+    coeffs, constant = lin
+    if len(coeffs) != 1:
+        return None
+    (var, coeff), = coeffs.items()
+    return (var, constant) if coeff == 1 else None
+
+
 # ---------------------------------------------------------------------------
 # Abstract evaluation of index expressions
 # ---------------------------------------------------------------------------
@@ -469,7 +524,10 @@ class _Eval:
 # Source structure
 # ---------------------------------------------------------------------------
 
-_FN_HEADER_RE = re.compile(r"^(static double|void) (\w+)\((.*)\)$")
+_FN_HEADER_RE = re.compile(
+    r"^(static inline double|static inline float|static double|void) "
+    r"(\w+)\((.*)\)$"
+)
 _INT_TEMP_RE = re.compile(r"^\s*const int (c\d+) = (.+);$")
 _SUBSCRIPT_RE = re.compile(r"([A-Za-z_][A-Za-z0-9_]*)\[")
 _STORE_RE = re.compile(r"^\s*out\[(.+)\] = (\w+)\((.*)\);$")
@@ -481,6 +539,64 @@ _Y_END_RE = re.compile(
 )
 _FOR_Y_RE = re.compile(r"^\s*for \(int y = t \* (\d+); y < y_end; \+\+y\) \{$")
 _FOR_T_RE = re.compile(r"^\s*for \(int t = 0; t < n_tiles; \+\+t\) \{$")
+
+# -- the 2D overlapped-tiling driver grammar --------------------------------
+
+_N_TX_RE = re.compile(r"^\s*const int n_tx = \((.+) \+ (\d+)\) / (\d+);$")
+_N_TY_RE = re.compile(r"^\s*const int n_ty = \((.+) \+ (\d+)\) / (\d+);$")
+_N_TILES_RE = re.compile(r"^\s*const int n_tiles = n_tx \* n_ty;$")
+_TILE_X0_RE = re.compile(r"^\s*const int x0 = \(t % n_tx\) \* (\d+);$")
+_TILE_Y0_RE = re.compile(r"^\s*const int y0 = \(t / n_tx\) \* (\d+);$")
+_TILE_X1_RE = re.compile(
+    r"^\s*const int x1 = x0 \+ (\d+) < (.+) \? x0 \+ (\d+) : (.+);$"
+)
+_TILE_Y1_RE = re.compile(
+    r"^\s*const int y1 = y0 \+ (\d+) < (.+) \? y0 \+ (\d+) : (.+);$"
+)
+_SCR_DECL_RE = re.compile(r"^\s*(?:double|float) scr_(\d+)\[(\d+)\];$")
+_SX0_RE = re.compile(
+    r"^\s*const int sx0_(\d+) = x0 - (\d+) > 0 \? x0 - (\d+) : 0;$"
+)
+_SX1_RE = re.compile(
+    r"^\s*const int sx1_(\d+) = x1 \+ (\d+) < (.+) \? x1 \+ (\d+) : (.+);$"
+)
+_SY0_RE = re.compile(
+    r"^\s*const int sy0_(\d+) = y0 - (\d+) > 0 \? y0 - (\d+) : 0;$"
+)
+_SY1_RE = re.compile(
+    r"^\s*const int sy1_(\d+) = y1 \+ (\d+) < (.+) \? y1 \+ (\d+) : (.+);$"
+)
+_FILL_Y_RE = re.compile(
+    r"^\s*for \(int y = sy0_(\d+); y < sy1_(\d+); \+\+y\) \{$"
+)
+_FILL_X_RE = re.compile(
+    r"^\s*for \(int x = sx0_(\d+); x < sx1_(\d+); \+\+x\)$"
+)
+_FILL_STORE_RE = re.compile(
+    r"^\s*scr_(\d+)\[\(y - sy0_(\d+)\) \* (\d+) \+ \(x - sx0_(\d+)\)\] = "
+    r"(\w+)\((.*)\);$"
+)
+_FLA_RE = re.compile(
+    r"^\s*const int fla_(\d+) = (.+) > sx0_(\d+) \? (.+) : sx0_(\d+);$"
+)
+_FL_RE = re.compile(
+    r"^\s*const int fl_(\d+) = fla_(\d+) < sx1_(\d+) \? fla_(\d+) : sx1_(\d+);$"
+)
+_FHA_RE = re.compile(
+    r"^\s*const int fha_(\d+) = (.+) < sx1_(\d+) \? (.+) : sx1_(\d+);$"
+)
+_FH_RE = re.compile(
+    r"^\s*const int fh_(\d+) = fha_(\d+) > fl_(\d+) \? fha_(\d+) : fl_(\d+);$"
+)
+_FILL_SEG_RE = re.compile(r"^\s*for \(int x = (\w+); x < (\w+); \+\+x\)$")
+_FILL_ELSE_RE = re.compile(r"^\s*\} else \{$")
+_ILA_RE = re.compile(r"^\s*const int ila = (.+) > x0 \? (.+) : x0;$")
+_IL_RE = re.compile(r"^\s*const int il = ila < x1 \? ila : x1;$")
+_IHA_RE = re.compile(r"^\s*const int iha = (.+) < x1 \? (.+) : x1;$")
+_IH_RE = re.compile(r"^\s*const int ih = iha > il \? iha : il;$")
+_DEST_Y_RE = re.compile(r"^\s*for \(int y = y0; y < y1; \+\+y\) \{$")
+_CLOSE_RE = re.compile(r"^\s*\}$")
+_DRIVER_DECL_RE = re.compile(r"^\s*const int (\w+) = (.+);$")
 
 
 def _extract_functions(source: str) -> Dict[str, Tuple[str, List[str]]]:
@@ -528,6 +644,25 @@ def _subscripts(line: str) -> List[Tuple[str, str]]:
 # ---------------------------------------------------------------------------
 # The checker
 # ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _ScratchCtx:
+    """What a body is allowed to read from per-tile scratch.
+
+    ``consumer`` is the (L, R, T, B) halo margin of the body's own
+    evaluation region (zero for the destination bodies); ``producers``
+    maps stage index to its driver-declared ``(L, R, T, B, pitch)``;
+    ``raw`` permits unresolved coordinates (the interior body only).
+    """
+
+    consumer: Tuple[int, int, int, int]
+    producers: Dict[int, Tuple[int, int, int, int, int]]
+    raw: bool
+
+
+class _Tile2DShapeError(Exception):
+    """Internal bail-out: the tile2d driver deviated from the template."""
 
 
 class _Checker:
@@ -586,7 +721,28 @@ class _Checker:
 
     # -- index proofs ------------------------------------------------------
 
-    def check_index(self, text: str, env: Dict[str, _Iv], path: str) -> None:
+    def _pitch_tokens(self, buffer: Optional[str]) -> Tuple[tuple, ...]:
+        """Row-pitch tokens acceptable in ``Y * pitch + X`` for a buffer.
+
+        Every buffer accepts the plane width.  Shape-polymorphic inputs
+        additionally accept their own runtime stride formal
+        (``in_foo`` pairs with ``st_foo``): the binder only ever passes
+        a pitch ``>= width``, so proving ``X <= width - 1`` and
+        ``Y <= height - 1`` componentwise still bounds the subscript by
+        the bound buffer's allocation.
+        """
+        tokens = (self.width_token,)
+        if self.polymorphic and buffer is not None and buffer.startswith("in_"):
+            tokens += (("id", "st_" + buffer[3:]),)
+        return tokens
+
+    def check_index(
+        self,
+        text: str,
+        env: Dict[str, _Iv],
+        path: str,
+        buffer: Optional[str] = None,
+    ) -> None:
         try:
             ast = _parse_expr(text)
         except _ParseError as err:
@@ -602,7 +758,7 @@ class _Checker:
             and ast[1] == "+"
             and ast[2][0] == "bin"
             and ast[2][1] == "*"
-            and ast[2][3] == self.width_token
+            and ast[2][3] in self._pitch_tokens(buffer)
         ):
             self.emit(
                 "NAT002",
@@ -662,21 +818,178 @@ class _Checker:
                 )
 
     def check_body(
-        self, name: str, lines: List[str], x_iv: _Iv, y_iv: _Iv
+        self,
+        name: str,
+        lines: List[str],
+        x_iv: _Iv,
+        y_iv: _Iv,
+        scratch: Optional["_ScratchCtx"] = None,
     ) -> None:
         env: Dict[str, _Iv] = {"x": x_iv, "y": y_iv}
+        symbols: Dict[str, tuple] = {}
         for number, line in enumerate(lines):
             temp = _INT_TEMP_RE.match(line)
             if temp is not None:
                 try:
-                    value = self.evaluator.interval(
-                        _parse_expr(temp.group(2)), env
-                    )
+                    ast = _parse_expr(temp.group(2))
                 except _ParseError:
-                    value = None
+                    ast = None
+                if ast is not None:
+                    symbols[temp.group(1)] = ast
+                value = (
+                    self.evaluator.interval(ast, env)
+                    if ast is not None
+                    else None
+                )
                 env[temp.group(1)] = value if value is not None else _Iv()
             for buffer, index_text in _subscripts(line):
-                self.check_index(index_text, env, f"{name}:{number + 1}")
+                where = f"{name}:{number + 1}"
+                if buffer.startswith("scr_"):
+                    self.check_scratch_index(
+                        buffer, index_text, symbols, env, scratch, where
+                    )
+                else:
+                    self.check_index(index_text, env, where, buffer=buffer)
+
+    def check_scratch_index(
+        self,
+        buffer: str,
+        text: str,
+        symbols: Dict[str, tuple],
+        env: Dict[str, _Iv],
+        scratch: Optional["_ScratchCtx"],
+        path: str,
+    ) -> None:
+        """Prove one scratch-buffer read against the margin ledger.
+
+        A read of producer ``p`` from a consumer body with margins
+        ``(Lc, Rc, Tc, Bc)`` is in-region exactly when the producer's
+        margins absorb the consumer's evaluation region shifted by the
+        read offset — ``Lp >= Lc - d`` and ``Rp >= Rc + d`` on x (the
+        y analogue on top/bottom).  Coordinates must arrive clamped
+        (``idx_clamp``) except in the interior body, where the raw
+        offset is additionally proven in-plane.
+        """
+        def fail(code: str, why: str) -> None:
+            self.emit(
+                code,
+                f"scratch read {buffer}[{text}] {why}",
+                path,
+                index=text,
+                buffer=buffer,
+            )
+
+        if scratch is None:
+            fail("NAT002", "appears outside any tile2d scratch context")
+            return
+        try:
+            producer = int(buffer[4:])
+        except ValueError:
+            fail("NAT002", "has a non-numeric stage suffix")
+            return
+        region = scratch.producers.get(producer)
+        if region is None:
+            fail("NAT002", "names a stage the driver declares no scratch for")
+            return
+        lp, rp, tp, bp, pitch = region
+        lc, rc, tc, bc = scratch.consumer
+        try:
+            ast = _parse_expr(text)
+        except _ParseError as err:
+            fail("NAT002", f"is unparseable ({err})")
+            return
+        if not (
+            ast[0] == "bin"
+            and ast[1] == "+"
+            and ast[2][0] == "bin"
+            and ast[2][1] == "*"
+            and ast[2][3] == ("num", pitch)
+            and ast[2][2][0] == "bin"
+            and ast[2][2][1] == "-"
+            and ast[2][2][3] == ("id", f"sy0_{producer}")
+            and ast[3][0] == "bin"
+            and ast[3][1] == "-"
+            and ast[3][3] == ("id", f"sx0_{producer}")
+        ):
+            fail(
+                "NAT002",
+                "is not in the canonical "
+                f"'(Y - sy0_{producer}) * {pitch} + (X - sx0_{producer})' "
+                "form",
+            )
+            return
+        components = (
+            ("x", ast[3][2], "x", self.width_aff, lp - lc, rp - rc),
+            ("y", ast[2][2][2], "y", self.height_aff, tp - tc, bp - bc),
+        )
+        for axis, node, var, extent, lo_slack, hi_slack in components:
+            if node[0] == "id" and node[1] in symbols:
+                node = symbols[node[1]]
+            clamped = (
+                node[0] == "call"
+                and node[1] == "idx_clamp"
+                and len(node[2]) == 2
+            )
+            if clamped:
+                if self.evaluator.point(node[2][1]) != extent:
+                    fail(
+                        "NAT002",
+                        f"clamps its {axis}-coordinate against something "
+                        "other than the plane extent",
+                    )
+                    continue
+                inner = node[2][0]
+            elif node[0] == "call":
+                fail(
+                    "NAT002",
+                    f"resolves its {axis}-coordinate through "
+                    f"{node[1]!r}; only idx_clamp keeps the ledger "
+                    "containment argument",
+                )
+                continue
+            else:
+                inner = node
+            offset = _unit_offset(inner)
+            if offset is None or offset[0] != var:
+                fail(
+                    "NAT002",
+                    f"{axis}-coordinate is not a unit offset of {var!r}",
+                )
+                continue
+            d = offset[1]
+            # Ledger containment: Lp >= Lc - d and Rp >= Rc + d (x),
+            # Tp >= Tc - e and Bp >= Bc + e (y).
+            if lo_slack < -d or hi_slack < d:
+                fail(
+                    "NAT001",
+                    f"{axis}-offset {d:+d} exceeds the producer's halo "
+                    f"margin over the consumer's evaluation region",
+                )
+                continue
+            if not clamped and d != 0:
+                # An un-shifted base coordinate (d == 0) is the loop
+                # variable itself — inside the consumer's clipped
+                # region by construction, so only the ledger check
+                # above applies.  Shifted raw reads are an interior-
+                # body privilege and must also be proven in-plane.
+                if not scratch.raw:
+                    fail(
+                        "NAT002",
+                        f"reads an unresolved {axis}-coordinate outside "
+                        "the interior body",
+                    )
+                    continue
+                interval = self.evaluator.interval(inner, env)
+                limit = _aff_add(extent, _aff_const(-1))
+                if interval is None or not (
+                    interval.ge_proven(_ZERO)
+                    and interval.le_proven(limit)
+                ):
+                    fail(
+                        "NAT002",
+                        f"raw {axis}-coordinate cannot be proven "
+                        "in-plane for the interior iteration space",
+                    )
 
     # -- driver structure --------------------------------------------------
 
@@ -836,6 +1149,524 @@ class _Checker:
         self._interior_env = interior_env
         self._full = (full_x, full_y)
 
+    # -- 2D overlapped-tiling driver ---------------------------------------
+
+    def _point_of(self, text: str) -> Optional[Aff]:
+        try:
+            return self.evaluator.point(_parse_expr(text))
+        except _ParseError:
+            return None
+
+    def check_tile2d_driver(self, body: List[str], has_interior: bool):
+        """Template-verify the tile2d driver; recover the margin ledger.
+
+        Returns ``(producers, interior_env, stage_envs)`` on success —
+        ``producers`` maps stage index to ``(L, R, T, B, pitch)``,
+        ``interior_env`` is the proven ``(x_iv, y_iv)`` of the interior
+        body's call sites (``None`` when no interior body is called),
+        and ``stage_envs`` maps each split-fill stage to the proven
+        ``(x_iv, y_iv)`` of its clamp-free ``_s{k}i`` call sites.
+        Emits NAT004 and raises :class:`_Tile2DShapeError` on any
+        structural deviation: the scratch-safety argument is a
+        meta-theorem over this exact grammar, so an unrecognized driver
+        cannot be proven safe.
+        """
+        path = self.fn_name
+        pos = 0
+
+        def skip() -> Optional[str]:
+            nonlocal pos
+            while pos < len(body):
+                stripped = body[pos].strip()
+                if (
+                    stripped == ""
+                    or stripped.startswith("#")
+                    or stripped == "(void)threads;"
+                ):
+                    pos += 1
+                    continue
+                return body[pos]
+            return None
+
+        def take(regex: "re.Pattern[str]", what: str) -> "re.Match[str]":
+            nonlocal pos
+            line = skip()
+            match = regex.match(line) if line is not None else None
+            if match is None:
+                got = line.strip() if line is not None else "end of driver"
+                self.emit(
+                    "NAT004",
+                    f"tile2d driver: expected {what}, got {got!r}",
+                    path,
+                    line=got,
+                )
+                raise _Tile2DShapeError
+            pos += 1
+            return match
+
+        def malformed(why: str, line: str = "") -> None:
+            self.emit(
+                "NAT004",
+                f"tile2d driver: {why}",
+                path,
+                line=line.strip(),
+            )
+            raise _Tile2DShapeError
+
+        # Tile grid: n_tx = ceil(width / tw), origin/clip decls.  The
+        # grid template proves x0 in [0, width - 1] and x1 in [0, width]
+        # ((n_tx - 1) * tw <= width - 1 whenever width >= 1).
+        match = take(_N_TX_RE, "the n_tx grid decl")
+        tile_w = int(match.group(3))
+        if (
+            self._point_of(match.group(1)) != self.width_aff
+            or int(match.group(2)) != tile_w - 1
+        ):
+            malformed(
+                "n_tx does not divide the plane width into ceil(W/tw) "
+                "tiles", match.group(0),
+            )
+        match = take(_N_TY_RE, "the n_ty grid decl")
+        tile_h = int(match.group(3))
+        if (
+            self._point_of(match.group(1)) != self.height_aff
+            or int(match.group(2)) != tile_h - 1
+        ):
+            malformed(
+                "n_ty does not divide the plane height into ceil(H/th) "
+                "tiles", match.group(0),
+            )
+        take(_N_TILES_RE, "the n_tiles decl")
+        take(_FOR_T_RE, "the tile loop")
+        if int(take(_TILE_X0_RE, "the x0 decl").group(1)) != tile_w:
+            malformed("x0 stride disagrees with the n_tx tile width")
+        if int(take(_TILE_Y0_RE, "the y0 decl").group(1)) != tile_h:
+            malformed("y0 stride disagrees with the n_ty tile height")
+        match = take(_TILE_X1_RE, "the x1 clip decl")
+        if not (
+            int(match.group(1)) == int(match.group(3)) == tile_w
+            and match.group(2) == match.group(4)
+            and self._point_of(match.group(2)) == self.width_aff
+        ):
+            malformed("x1 is not clamped to the plane width", match.group(0))
+        match = take(_TILE_Y1_RE, "the y1 clip decl")
+        if not (
+            int(match.group(1)) == int(match.group(3)) == tile_h
+            and match.group(2) == match.group(4)
+            and self._point_of(match.group(2)) == self.height_aff
+        ):
+            malformed("y1 is not clamped to the plane height", match.group(0))
+
+        width_limit = _aff_add(self.width_aff, _aff_const(-1))
+        height_limit = _aff_add(self.height_aff, _aff_const(-1))
+        env: Dict[str, _Iv] = {
+            "x0": _Iv((_ZERO,), (width_limit,)),
+            "y0": _Iv((_ZERO,), (height_limit,)),
+            "x1": _Iv((_ZERO,), (self.width_aff,)),
+            "y1": _Iv((_ZERO,), (self.height_aff,)),
+        }
+
+        # Scratch regions: one decl block per stage, clipped to the
+        # plane.  The clip template bounds each region by
+        # (th + T + B) x (tw + L + R), which the declared array extent
+        # must cover (NAT001 otherwise: the fill loop would overrun a
+        # stack buffer).
+        producers: Dict[int, Tuple[int, int, int, int, int]] = {}
+        while True:
+            line = skip()
+            if line is None or _SCR_DECL_RE.match(line) is None:
+                break
+            match = take(_SCR_DECL_RE, "a scratch decl")
+            stage, declared = int(match.group(1)), int(match.group(2))
+            if stage in producers:
+                malformed(f"scr_{stage} is declared twice", match.group(0))
+            match = take(_SX0_RE, f"the sx0_{stage} decl")
+            if int(match.group(1)) != stage or match.group(2) != match.group(3):
+                malformed("mismatched sx0 decl", match.group(0))
+            left = int(match.group(2))
+            match = take(_SX1_RE, f"the sx1_{stage} decl")
+            if not (
+                int(match.group(1)) == stage
+                and match.group(2) == match.group(4)
+                and int(match.group(2)) == int(match.group(4))
+                and match.group(3) == match.group(5)
+                and self._point_of(match.group(3)) == self.width_aff
+            ):
+                malformed("mismatched sx1 decl", match.group(0))
+            right = int(match.group(2))
+            match = take(_SY0_RE, f"the sy0_{stage} decl")
+            if int(match.group(1)) != stage or match.group(2) != match.group(3):
+                malformed("mismatched sy0 decl", match.group(0))
+            top = int(match.group(2))
+            match = take(_SY1_RE, f"the sy1_{stage} decl")
+            if not (
+                int(match.group(1)) == stage
+                and match.group(2) == match.group(4)
+                and match.group(3) == match.group(5)
+                and self._point_of(match.group(3)) == self.height_aff
+            ):
+                malformed("mismatched sy1 decl", match.group(0))
+            bottom = int(match.group(2))
+            pitch = tile_w + left + right
+            rows = tile_h + top + bottom
+            if declared != rows * pitch:
+                self.emit(
+                    "NAT001",
+                    f"scratch buffer scr_{stage} declares {declared} "
+                    f"elements but its clipped fill region needs up to "
+                    f"{rows} x {pitch} = {rows * pitch}",
+                    path,
+                    buffer=f"scr_{stage}",
+                )
+            producers[stage] = (left, right, top, bottom, pitch)
+        if not producers:
+            malformed("no scratch stage declarations")
+        if sorted(producers) != list(range(len(producers))):
+            malformed("scratch stages are not contiguously numbered")
+
+        # Fill loops: the canonical region sweep per stage, in order.
+        # Safety is by template: x - sx0_k < sx1_k - sx0_k <= pitch and
+        # the row analogue, both consequences of the clip decls above.
+        # A stage with a clamp-free interior variant splits its sweep
+        # the way the destination loop does: the fl/fh clamps and the
+        # row guard confine the raw-read body (_s{k}i) to the proven
+        # in-plane band, recorded in ``stage_envs``.
+        stage_envs: Dict[int, Tuple[_Iv, _Iv]] = {}
+
+        def fill_store(stage: int, suffix: str) -> None:
+            match = take(_FILL_STORE_RE, f"the scr_{stage} fill store")
+            if not (
+                int(match.group(1)) == int(match.group(2))
+                == int(match.group(4)) == stage
+                and int(match.group(3)) == producers[stage][4]
+                and match.group(5) == f"{self.fn_name}_s{stage}{suffix}"
+            ):
+                malformed(
+                    "fill store does not write the canonical "
+                    "region-relative index from its own stage body",
+                    match.group(0),
+                )
+
+        for stage in range(len(producers)):
+            line = skip()
+            if line is not None and _FLA_RE.match(line) is not None:
+                match = take(_FLA_RE, f"the fla_{stage} decl")
+                fxlo = self._point_of(match.group(2))
+                if (
+                    int(match.group(1)) != stage
+                    or int(match.group(3)) != stage
+                    or int(match.group(5)) != stage
+                    or match.group(2) != match.group(4)
+                    or fxlo is None
+                ):
+                    malformed("mismatched fla decl", match.group(0))
+                match = take(_FL_RE, f"the fl_{stage} decl")
+                if any(int(g) != stage for g in match.groups()):
+                    malformed("mismatched fl decl", match.group(0))
+                match = take(_FHA_RE, f"the fha_{stage} decl")
+                fxhi = self._point_of(match.group(2))
+                if (
+                    int(match.group(1)) != stage
+                    or int(match.group(3)) != stage
+                    or int(match.group(5)) != stage
+                    or match.group(2) != match.group(4)
+                    or fxhi is None
+                ):
+                    malformed("mismatched fha decl", match.group(0))
+                match = take(_FH_RE, f"the fh_{stage} decl")
+                if any(int(g) != stage for g in match.groups()):
+                    malformed("mismatched fh decl", match.group(0))
+                match = take(_FILL_Y_RE, f"the scr_{stage} fill row loop")
+                if int(match.group(1)) != stage or int(match.group(2)) != stage:
+                    malformed("fill row loop sweeps the wrong region",
+                              match.group(0))
+                guard = take(_GUARD_RE, f"the scr_{stage} fill row guard")
+                fylo = _aff_const(int(guard.group(1)))
+                fyhi = self._point_of(guard.group(2))
+                if fyhi is None:
+                    malformed("unrecognized fill guard bound", guard.group(0))
+                segments = (
+                    (f"sx0_{stage}", f"fl_{stage}", ""),
+                    (f"fl_{stage}", f"fh_{stage}", "i"),
+                    (f"fh_{stage}", f"sx1_{stage}", ""),
+                )
+                for lo, hi, suffix in segments:
+                    match = take(
+                        _FILL_SEG_RE, f"a scr_{stage} fill column loop"
+                    )
+                    if match.group(1) != lo or match.group(2) != hi:
+                        malformed("fill segment sweeps the wrong span",
+                                  match.group(0))
+                    fill_store(stage, suffix)
+                take(_FILL_ELSE_RE, "the fill else branch")
+                match = take(_FILL_X_RE, f"the scr_{stage} fill column loop")
+                if int(match.group(1)) != stage or int(match.group(2)) != stage:
+                    malformed("fill column loop sweeps the wrong region",
+                              match.group(0))
+                fill_store(stage, "")
+                take(_CLOSE_RE, "the fill guard close")
+                take(_CLOSE_RE, "the fill loop close")
+                # A nonempty [fl, fh) forces fl = fla = max(fxlo, sx0)
+                # and fh = fha = min(fxhi, sx1), so the interior body
+                # runs only for x in [fxlo, fxhi) and, by the guard,
+                # y in [fylo, fyhi) — the band where raw reads must be
+                # proven in-plane.
+                stage_envs[stage] = (
+                    _Iv(
+                        (fxlo,),
+                        (_aff_add(fxhi, _aff_const(-1)), width_limit),
+                    ),
+                    _Iv(
+                        (fylo,),
+                        (_aff_add(fyhi, _aff_const(-1)), height_limit),
+                    ),
+                )
+            else:
+                match = take(_FILL_Y_RE, f"the scr_{stage} fill row loop")
+                if int(match.group(1)) != stage or int(match.group(2)) != stage:
+                    malformed("fill row loop sweeps the wrong region",
+                              match.group(0))
+                match = take(_FILL_X_RE, f"the scr_{stage} fill column loop")
+                if int(match.group(1)) != stage or int(match.group(2)) != stage:
+                    malformed("fill column loop sweeps the wrong region",
+                              match.group(0))
+                fill_store(stage, "")
+                take(_CLOSE_RE, "the fill loop close")
+
+        # Interior split decls (when an interior body exists).  The
+        # il/ih clamps guarantee the interior x loop runs only inside
+        # [xlo, min(xhi, x1)): a nonempty [il, ih) forces il = ila and
+        # ih = iha (otherwise il = ih = x1).
+        interior_x: Optional[_Iv] = None
+        line = skip()
+        if line is not None and _ILA_RE.match(line) is not None:
+            match = take(_ILA_RE, "the ila decl")
+            xlo = self._point_of(match.group(1))
+            if match.group(1) != match.group(2) or xlo is None:
+                malformed("mismatched ila decl", match.group(0))
+            take(_IL_RE, "the il decl")
+            match = take(_IHA_RE, "the iha decl")
+            xhi = self._point_of(match.group(1))
+            if match.group(1) != match.group(2) or xhi is None:
+                malformed("mismatched iha decl", match.group(0))
+            take(_IH_RE, "the ih decl")
+            interior_x = _Iv(
+                (xlo,), (_aff_add(xhi, _aff_const(-1)), width_limit)
+            )
+            for name in ("ila", "il", "iha", "ih"):
+                env[name] = _Iv((_ZERO,), (self.width_aff,))
+        take(_DEST_Y_RE, "the destination row loop")
+
+        # Destination loops: out[] stores through the halo/interior
+        # bodies, x ranges are tile-clipped identifiers from env.
+        full_y = _Iv((_ZERO,), (height_limit,))
+        y_iv = full_y
+        interior_env = None
+        stores = 0
+        pending_x: Optional[_Iv] = None
+        while pos < len(body):
+            line = body[pos]
+            pos += 1
+            stripped = line.strip()
+            if stripped == "" or stripped.startswith("#"):
+                continue
+            guard = _GUARD_RE.match(line)
+            if guard is not None:
+                upper = self._point_of(guard.group(2))
+                if upper is None:
+                    self.emit(
+                        "NAT004",
+                        "unrecognized interior guard bound "
+                        f"{guard.group(2)!r}",
+                        path,
+                        line=stripped,
+                    )
+                    upper = self.height_aff
+                y_iv = _Iv(
+                    (_aff_const(int(guard.group(1))),),
+                    full_y.his + (_aff_add(upper, _aff_const(-1)),),
+                )
+                continue
+            if "} else {" in line:
+                y_iv = full_y
+                continue
+            for_x = _FOR_X_RE.match(line)
+            if for_x is not None:
+                try:
+                    init = self.evaluator.interval(
+                        _parse_expr(for_x.group(1)), env
+                    )
+                    bound = self.evaluator.interval(
+                        _parse_expr(for_x.group(2)), env
+                    )
+                except _ParseError:
+                    init = bound = None
+                if init is None or bound is None:
+                    self.emit(
+                        "NAT004",
+                        f"unrecognized x-loop bounds: {stripped!r}",
+                        path,
+                        line=stripped,
+                    )
+                    pending_x = _Iv((_ZERO,), (width_limit,))
+                else:
+                    pending_x = _Iv(
+                        init.los,
+                        tuple(
+                            _aff_add(m, _aff_const(-1)) for m in bound.his
+                        ),
+                    )
+                continue
+            store = _STORE_RE.match(line)
+            if store is not None:
+                stores += 1
+                if pending_x is None:
+                    self.emit(
+                        "NAT004",
+                        f"store outside any x loop: {stripped!r}",
+                        path,
+                        line=stripped,
+                    )
+                    x_iv = _Iv((_ZERO,), (width_limit,))
+                else:
+                    x_iv = pending_x
+                if _iv_empty(x_iv) or _iv_empty(y_iv):
+                    continue
+                self.check_index(
+                    store.group(1),
+                    {"x": x_iv, "y": y_iv},
+                    f"{path}:{pos}",
+                    buffer="out",
+                )
+                called = store.group(2)
+                if called == f"{self.fn_name}_interior":
+                    interior_env = (
+                        interior_x if interior_x is not None else x_iv,
+                        y_iv,
+                    )
+                elif called != f"{self.fn_name}_halo":
+                    self.emit(
+                        "NAT004",
+                        f"store calls unknown body {called!r}",
+                        path,
+                        line=stripped,
+                    )
+                continue
+            if stripped.startswith("}"):
+                pending_x = None
+                continue
+            if "scr_" in line or "] = " in line:
+                self.emit(
+                    "NAT004",
+                    "unrecognized write in the destination loop: "
+                    f"{stripped!r}",
+                    path,
+                    line=stripped,
+                )
+        if stores == 0:
+            self.emit("NAT004", "driver stores no output pixels", path)
+        if has_interior and interior_env is None:
+            self.emit(
+                "NAT004",
+                "an interior body is emitted but the driver never "
+                "calls it",
+                path,
+            )
+        return producers, interior_env, stage_envs
+
+    def run_tile2d(self, functions, driver_body: List[str]):
+        halo = functions[f"{self.fn_name}_halo"]
+        interior = functions.get(f"{self.fn_name}_interior")
+        try:
+            producers, interior_env, stage_envs = self.check_tile2d_driver(
+                driver_body, has_interior=interior is not None
+            )
+        except _Tile2DShapeError:
+            return self.diagnostics
+        full_x = _Iv((_ZERO,), (_aff_add(self.width_aff, _aff_const(-1)),))
+        full_y = _Iv((_ZERO,), (_aff_add(self.height_aff, _aff_const(-1)),))
+        for stage in sorted(producers):
+            fn = functions.get(f"{self.fn_name}_s{stage}")
+            if fn is None:
+                self.emit(
+                    "NAT004",
+                    f"scratch buffer scr_{stage} has no stage body "
+                    f"{self.fn_name}_s{stage}",
+                    self.fn_name,
+                )
+                continue
+            self.check_body(
+                f"{self.fn_name}_s{stage}",
+                fn[1],
+                full_x,
+                full_y,
+                scratch=_ScratchCtx(
+                    consumer=producers[stage][:4],
+                    producers=producers,
+                    raw=False,
+                ),
+            )
+            ifn = functions.get(f"{self.fn_name}_s{stage}i")
+            envs = stage_envs.get(stage)
+            if envs is not None and ifn is None:
+                self.emit(
+                    "NAT004",
+                    f"the split fill calls {self.fn_name}_s{stage}i but "
+                    "no such stage body exists",
+                    self.fn_name,
+                )
+            elif ifn is not None and envs is None:
+                self.emit(
+                    "NAT004",
+                    f"stage interior body {self.fn_name}_s{stage}i is "
+                    "emitted but the driver never calls it",
+                    self.fn_name,
+                )
+            elif ifn is not None:
+                self.check_body(
+                    f"{self.fn_name}_s{stage}i",
+                    ifn[1],
+                    envs[0],
+                    envs[1],
+                    scratch=_ScratchCtx(
+                        consumer=producers[stage][:4],
+                        producers=producers,
+                        raw=True,
+                    ),
+                )
+        stage_re = re.compile(re.escape(self.fn_name) + r"_s(\d+)i?")
+        for name in functions:
+            match = stage_re.fullmatch(name)
+            if match is not None and int(match.group(1)) not in producers:
+                self.emit(
+                    "NAT004",
+                    f"stage body {name!r} has no scratch buffer in the "
+                    "driver",
+                    self.fn_name,
+                )
+        dest_ctx = _ScratchCtx(
+            consumer=(0, 0, 0, 0), producers=producers, raw=False
+        )
+        self.check_body(
+            f"{self.fn_name}_halo", halo[1], full_x, full_y,
+            scratch=dest_ctx,
+        )
+        if interior is not None:
+            if interior_env is not None:
+                x_iv, y_iv = interior_env
+            else:
+                x_iv, y_iv = full_x, full_y
+            self.check_body(
+                f"{self.fn_name}_interior",
+                interior[1],
+                x_iv,
+                y_iv,
+                scratch=_ScratchCtx(
+                    consumer=(0, 0, 0, 0), producers=producers, raw=True
+                ),
+            )
+        return self.diagnostics
+
     # -- entry -------------------------------------------------------------
 
     def run(self) -> List[Diagnostic]:
@@ -852,6 +1683,8 @@ class _Checker:
             )
             return self.diagnostics
         self.check_pointers(functions)
+        if any(_N_TX_RE.match(line) for line in driver[1]):
+            return self.run_tile2d(functions, driver[1])
         self._interior_env = None
         # Defaults in case the driver is too malformed to parse (it then
         # reports NAT004 and returns early): check both bodies over the

@@ -21,7 +21,40 @@ that replays the tape's index exchange exactly — ``idx_clamp`` /
 bit-compatible with :func:`repro.dsl.boundary.resolve_array`.  Rows are
 processed in tiles (``REPRO_NATIVE_TILE`` rows each) and tiles are the
 OpenMP work units (``REPRO_NATIVE_THREADS``; compiled in only when the
-toolchain supports ``-fopenmp``).
+toolchain supports ``-fopenmp``).  Every innermost x-loop carries
+``#pragma omp simd`` so the compiler vectorizes without reassociating
+(per-lane IEEE semantics keep the bit-identity contract).
+
+**2D overlapped tiling** (``REPRO_NATIVE_TILE2D``, default ``auto``).
+The fused tape recomputes every producer per consumer pixel — a
+depth-3 chain of 3×3 stencils evaluates the first stage ~49 times per
+output pixel.  For eligible fused local chains the lowering instead
+partitions the plane into (tile_h × tile_w) tiles and computes each
+non-destination stage **once** per pixel of its halo-extended tile
+region into a small stack scratch buffer (the CPU analogue of the
+paper's shared-memory overlapped tiling, Section IV): redundant work
+shrinks from a product of stencil areas to a ~1.1–1.3× halo fraction
+while every intermediate stays cache-resident.  The tile shape comes
+from the geometry-free cost model in :mod:`repro.model.tiling`
+(working set vs the detected cache hierarchy, plus the halo recompute
+term) or from an explicit ``HxW`` knob value; ineligible chains
+(single kernels, reductions, MIRROR/REPEAT internal edges, margins
+past the cap) silently keep the classic row-tiled form.  Stage values
+are computed by the same ``-ffp-contract=off`` expression sequences
+the fused tape inlines, so tile2d output is **bit-identical** to both
+the classic lowering and the tape interpreter.
+
+**Float32 fast path** (``REPRO_NATIVE_F32=on``, default off).  Plane
+I/O stays float64, but per-pixel slots, literals and libm calls run in
+single precision (roughly double SIMD lanes per vector).  The pinned
+tolerance policy becomes :data:`F32_RTOL`/:data:`F32_ATOL` and strict
+mode still differentially verifies against the float64 tape.
+
+**Strided views.**  Shape-polymorphic kernels take one leading-stride
+``const int`` per input plane, so row-strided ``float64`` views (crops,
+row subsampling) bind zero-copy instead of paying an
+``ascontiguousarray`` copy; :func:`noncontiguous_zero_copy_count`
+tallies the avoided copies.
 
 **Numerical contract.**  Sources compile with ``-ffp-contract=off`` so
 the compiler cannot fuse multiply-adds; every ALU op (`+ - * /`, the
@@ -70,9 +103,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.envknobs import (
+    NATIVE_F32_ENV,
+    NATIVE_TILE2D_ENV,
     int_env,
     native_cflags_env,
+    native_f32_enabled,
     native_simplify_enabled,
+    native_tile2d_env,
     validate_mode,
 )
 
@@ -88,11 +125,14 @@ from repro.backend.numpy_exec import (
     Params,
     _array_for,
     _deprecated_entry,
+    block_schedule,
     fault_check,
 )
 from repro.backend.plan import (
     BlockPlan,
     PartitionPlan,
+    _TapeCompiler,
+    _iteration_grids,
     plan_for_block,
     plan_for_partition,
     resolve_key,
@@ -103,7 +143,11 @@ from repro.graph.dag import KernelGraph
 from repro.graph.partition import Partition, PartitionBlock
 
 __all__ = [
+    "F32_ATOL",
+    "F32_RTOL",
+    "NATIVE_F32_ENV",
     "NATIVE_THREADS_ENV",
+    "NATIVE_TILE2D_ENV",
     "NATIVE_TILE_ENV",
     "NativeBlock",
     "NativeBlockPlan",
@@ -119,8 +163,11 @@ __all__ = [
     "native_available",
     "native_plan_for_block",
     "native_plan_for_partition",
+    "noncontiguous_zero_copy_count",
+    "reset_noncontiguous_zero_copy",
     "resolve_native_threads",
     "resolve_native_tile",
+    "resolve_native_tile2d",
     "tolerance_for",
 ]
 
@@ -151,6 +198,43 @@ def resolve_native_threads(threads: int | None = None) -> int:
 def resolve_native_tile() -> int:
     """Rows per parallel tile (``REPRO_NATIVE_TILE``, default 64)."""
     return int_env(NATIVE_TILE_ENV, default=DEFAULT_TILE_ROWS, minimum=1)
+
+
+def resolve_native_tile2d() -> "str | Tuple[int, int]":
+    """The 2D overlapped-tiling setting: ``"auto"``, ``"off"`` or an
+    explicit ``(tile_h, tile_w)`` from ``REPRO_NATIVE_TILE2D``."""
+    return native_tile2d_env()
+
+
+# -- zero-copy metric for row-strided polymorphic inputs -------------------
+
+_metrics_lock = threading.Lock()
+_noncontiguous_zero_copy = 0
+
+
+def _note_zero_copy() -> None:
+    global _noncontiguous_zero_copy
+    with _metrics_lock:
+        _noncontiguous_zero_copy += 1
+
+
+def noncontiguous_zero_copy_count() -> int:
+    """How many non-contiguous input planes ran without a copy.
+
+    Shape-polymorphic kernels take a per-plane leading stride, so any
+    row-strided ``float64`` view (a crop, every other row, a
+    sub-sampled plane) binds zero-copy; this process-wide counter
+    tallies each such avoided ``ascontiguousarray`` copy.
+    """
+    with _metrics_lock:
+        return _noncontiguous_zero_copy
+
+
+def reset_noncontiguous_zero_copy() -> None:
+    """Reset the zero-copy counter (tests, benchmark sections)."""
+    global _noncontiguous_zero_copy
+    with _metrics_lock:
+        _noncontiguous_zero_copy = 0
 
 
 class NativeLoweringError(ExecutionError):
@@ -187,15 +271,33 @@ EXACT_CALLS = frozenset({"sqrt", "rsqrt"})
 LIBM_RTOL = 1e-12
 LIBM_ATOL = 1e-12
 
+#: Pinned tolerance of the opt-in float32 fast path
+#: (``REPRO_NATIVE_F32``): plane I/O stays float64 but every per-pixel
+#: operation rounds to single precision, so the divergence budget is
+#: ~n_ops × 2^-24 relative.  1e-4 relative / 1e-5 absolute covers the
+#: deepest fused chains in the suite (hundreds of f32 roundings) with
+#: two orders of magnitude to spare while still catching any use of the
+#: wrong precision in the lowering.
+F32_RTOL = 1e-4
+F32_ATOL = 1e-5
 
-def tolerance_for(plans: Sequence[BlockPlan]) -> Optional[Tuple[float, float]]:
+
+def tolerance_for(
+    plans: Sequence[BlockPlan], f32: Optional[bool] = None
+) -> Optional[Tuple[float, float]]:
     """The pinned comparison policy for native output vs the tape.
 
     Returns ``None`` when the tapes only use bit-exact operations
     (ALU ops, comparisons, selects, ``sqrt``/``rsqrt``) — outputs must
     then be **bit-identical** — or ``(rtol, atol)`` when any other libm
-    call is present.
+    call is present.  Under the float32 fast path (``f32=None`` reads
+    ``REPRO_NATIVE_F32``) nothing is bit-exact and the pinned policy is
+    ``(F32_RTOL, F32_ATOL)``.
     """
+    if f32 is None:
+        f32 = native_f32_enabled()
+    if f32:
+        return (F32_RTOL, F32_ATOL)
     calls = set()
     for plan in plans:
         calls.update(
@@ -277,6 +379,26 @@ static inline double repro_max(double a, double b) {
     if (isnan(b)) return b;
     return a > b ? a : b;
 }
+/* Single-precision twins for the REPRO_NATIVE_F32 fast path. */
+static inline float repro_modf32(float a, float b) {
+    float r = fmodf(a, b);
+    if (r != 0.0f) {
+        if ((r < 0.0f) != (b < 0.0f)) r += b;
+    } else {
+        r = copysignf(0.0f, b);
+    }
+    return r;
+}
+static inline float repro_minf32(float a, float b) {
+    if (isnan(a)) return a;
+    if (isnan(b)) return b;
+    return a < b ? a : b;
+}
+static inline float repro_maxf32(float a, float b) {
+    if (isnan(a)) return a;
+    if (isnan(b)) return b;
+    return a > b ? a : b;
+}
 """
 
 _BIN_C = {
@@ -304,6 +426,29 @@ _CALL_C = {
     "atan2": "atan2({}, {})",
 }
 
+_BIN_C_F32 = {
+    "add": "({} + {})",
+    "sub": "({} - {})",
+    "mul": "({} * {})",
+    "div": "({} / {})",
+    "mod": "repro_modf32({}, {})",
+    "min": "repro_minf32({}, {})",
+    "max": "repro_maxf32({}, {})",
+}
+
+_CALL_C_F32 = {
+    "exp": "expf({})",
+    "log": "logf({})",
+    "sqrt": "sqrtf({})",
+    "rsqrt": "(1.0f / sqrtf({}))",
+    "sin": "sinf({})",
+    "cos": "cosf({})",
+    "tan": "tanf({})",
+    "tanh": "tanhf({})",
+    "pow": "powf({}, {})",
+    "atan2": "atan2f({}, {})",
+}
+
 _RESOLVER_C = {
     "clamp": "idx_clamp",
     "undefined": "idx_clamp",
@@ -312,14 +457,19 @@ _RESOLVER_C = {
 }
 
 
-def _double_literal(value: float) -> str:
-    """An exact C99 literal for a Python float (hex-float form)."""
+def _double_literal(value: float, f32: bool = False) -> str:
+    """An exact C99 literal for a Python float (hex-float form).
+
+    With ``f32`` the literal carries an ``f`` suffix, so the compiler
+    rounds it to single precision exactly as ``np.float32(value)``
+    would (NaN/infinity convert implicitly).
+    """
     value = float(value)
     if math.isnan(value):
         return "NAN"
     if math.isinf(value):
         return "INFINITY" if value > 0 else "-INFINITY"
-    return value.hex()
+    return value.hex() + ("f" if f32 else "")
 
 
 def _identifier(prefix: str, name: str, used: set) -> str:
@@ -413,6 +563,9 @@ class _Body:
         img_ids: Dict[str, str],
         polymorphic: bool = False,
         simp=None,
+        f32: bool = False,
+        pitches: Optional[Dict[str, str]] = None,
+        scratch: Optional[Dict[str, Tuple[str, str, str, str]]] = None,
     ):
         self.interior = interior
         self.width = width
@@ -423,6 +576,18 @@ class _Body:
         #: TapeSimplifications`) proving some resolvers/masks are the
         #: identity; ``None`` emits the literal tape.
         self.simp = simp
+        #: Float32 fast path: slots, literals and libm calls go single
+        #: precision (loads/stores convert implicitly on assignment).
+        self.f32 = f32
+        #: Per-image row-pitch tokens.  Defaults to the width symbol;
+        #: polymorphic lowerings map each plane to its runtime leading
+        #: stride formal so row-strided views bind zero-copy.
+        self.pitches = pitches or {}
+        #: Overlapped-tiling scratch redirection: image name ->
+        #: ``(buffer, sx0, sy0, pitch)`` for intermediates materialized
+        #: per-tile.  Reads subtract the region origin and use the
+        #: compile-time scratch pitch.
+        self.scratch = scratch or {}
         #: The extent tokens used in emitted C: literals when the
         #: geometry is baked, the runtime parameter names otherwise.
         self.width_sym = "width" if polymorphic else str(width)
@@ -525,11 +690,14 @@ class _Body:
         return f"({x_oob} || {y_oob})"
 
     def read(self, image: str, xi: tuple, yi: tuple, boundary) -> str:
+        if image in self.scratch:
+            return self._read_scratch(image, xi, yi, boundary)
         width, height = self.width, self.height
         buffer = self.img_ids[image]
+        pitch = self.pitches.get(image, self.width_sym)
         if self.interior:
             return (
-                f"{buffer}[({self.coord(yi)}) * {self.width_sym} "
+                f"{buffer}[({self.coord(yi)}) * {pitch} "
                 f"+ ({self.coord(xi)})]"
             )
         mode = boundary.mode
@@ -539,34 +707,84 @@ class _Body:
         # geometry a polymorphic block can run at.
         xr = self.coord(resolve_key(xi, width, mode))
         yr = self.coord(resolve_key(yi, height, mode))
-        value = f"{buffer}[({yr}) * {self.width_sym} + ({xr})]"
+        value = f"{buffer}[({yr}) * {pitch} + ({xr})]"
         if mode is BoundaryMode.CONSTANT:
             oob = self.mask(
                 ("ormask", ("oob", xi, width), ("oob", yi, height))
             )
             if oob != "0":
-                fill = _double_literal(boundary.constant)
+                fill = _double_literal(boundary.constant, self.f32)
+                value = f"({oob} ? {fill} : {value})"
+        return value
+
+    def _read_scratch(
+        self, image: str, xi: tuple, yi: tuple, boundary
+    ) -> str:
+        """A read of a per-tile materialized intermediate.
+
+        Every non-interior scratch read resolves through ``idx_clamp``:
+        for CLAMP/UNDEFINED that is the two-stage index exchange
+        verbatim, and for CONSTANT the clamped index is a safe
+        in-region dummy whose value the out-of-bounds guard discards —
+        the margin ledger proves the clamped coordinate stays inside
+        the producer's scratch region, where the tape's 0-index dummy
+        could step outside the tile.
+        """
+        buffer, sx0, sy0, pitch = self.scratch[image]
+        width, height = self.width, self.height
+        if self.interior:
+            xr = self.coord(xi)
+            yr = self.coord(yi)
+        else:
+            xr = self.coord(resolve_key(xi, width, BoundaryMode.CLAMP))
+            yr = self.coord(resolve_key(yi, height, BoundaryMode.CLAMP))
+        value = f"{buffer}[(({yr}) - {sy0}) * {pitch} + (({xr}) - {sx0})]"
+        if not self.interior and boundary.mode is BoundaryMode.CONSTANT:
+            oob = self.mask(
+                ("ormask", ("oob", xi, width), ("oob", yi, height))
+            )
+            if oob != "0":
+                fill = _double_literal(boundary.constant, self.f32)
                 value = f"({oob} ? {fill} : {value})"
         return value
 
 
-def _emit_body(
-    plan: BlockPlan,
+def _emit_tape_body(
+    tape: Sequence,
+    root: int,
+    width: int,
+    height: int,
     interior: bool,
     img_ids: Dict[str, str],
     param_ids: Dict[str, str],
     polymorphic: bool = False,
     simp=None,
+    f32: bool = False,
+    pitches: Optional[Dict[str, str]] = None,
+    scratch: Optional[Dict[str, Tuple[str, str, str, str]]] = None,
 ) -> List[str]:
-    space = plan.destination.space
     body = _Body(
-        interior, space.width, space.height, img_ids, polymorphic, simp
+        interior,
+        width,
+        height,
+        img_ids,
+        polymorphic,
+        simp,
+        f32=f32,
+        pitches=pitches,
+        scratch=scratch,
     )
-    for index, instr in enumerate(plan.tape):
+    ctype = "float" if f32 else "double"
+    one, zero = ("1.0f", "0.0f") if f32 else ("1.0", "0.0")
+    bin_c = _BIN_C_F32 if f32 else _BIN_C
+    call_c = _CALL_C_F32 if f32 else _CALL_C
+    for index, instr in enumerate(tape):
         op, args, aux = instr.op, instr.args, instr.aux
         if op == "const":
-            expr = _double_literal(aux[0])
+            expr = _double_literal(aux[0], f32)
         elif op == "param":
+            # Parameters arrive as double formals; in f32 mode the slot
+            # assignment rounds them to single precision exactly once.
             expr = param_ids[aux[0]]
         elif op == "gather":
             expr = body.read(*aux)
@@ -578,15 +796,18 @@ def _emit_body(
                 # propagates it away.
                 expr = f"s{simp.identity_ops[index]}"
             else:
-                template = _BIN_C.get(aux[0])
+                template = bin_c.get(aux[0])
                 if template is None:
                     raise NativeLoweringError(
                         f"binary op {aux[0]!r} has no native lowering"
                     )
                 expr = template.format(f"s{args[0]}", f"s{args[1]}")
         elif op == "un":
+            fabs = "fabsf" if f32 else "fabs"
             expr = (
-                f"(-s{args[0]})" if aux[0] == "neg" else f"fabs(s{args[0]})"
+                f"(-s{args[0]})"
+                if aux[0] == "neg"
+                else f"{fabs}(s{args[0]})"
             )
         elif op == "cmp":
             operator = _CMP_C.get(aux[0])
@@ -594,14 +815,14 @@ def _emit_body(
                 raise NativeLoweringError(
                     f"comparison {aux[0]!r} has no native lowering"
                 )
-            expr = f"((s{args[0]} {operator} s{args[1]}) ? 1.0 : 0.0)"
+            expr = f"((s{args[0]} {operator} s{args[1]}) ? {one} : {zero})"
         elif op == "select":
             if simp is not None and index in simp.dead_selects:
                 expr = f"s{simp.dead_selects[index]}"
             else:
-                expr = f"((s{args[0]} != 0.0) ? s{args[1]} : s{args[2]})"
+                expr = f"((s{args[0]} != {zero}) ? s{args[1]} : s{args[2]})"
         elif op == "call":
-            template = _CALL_C.get(aux[0])
+            template = call_c.get(aux[0])
             if template is None:
                 raise NativeLoweringError(
                     f"call {aux[0]!r} has no native lowering"
@@ -611,7 +832,10 @@ def _emit_body(
             if aux[0] == "float64":
                 expr = f"s{args[0]}"
             elif aux[0] == "float32":
-                expr = f"((double)(float)s{args[0]})"
+                # In f32 mode every slot already holds a float.
+                expr = (
+                    f"s{args[0]}" if f32 else f"((double)(float)s{args[0]})"
+                )
             else:
                 raise NativeLoweringError(
                     f"cast to {aux[0]!r} has no native lowering"
@@ -621,14 +845,41 @@ def _emit_body(
             if mask == "0":
                 expr = f"s{args[0]}"
             else:
-                expr = f"({mask} ? {_double_literal(aux[1])} : s{args[0]})"
+                fill = _double_literal(aux[1], f32)
+                expr = f"({mask} ? {fill} : s{args[0]})"
         else:
             raise NativeLoweringError(
                 f"tape op {op!r} has no native lowering"
             )
-        body.lines.append(f"    const double s{index} = {expr};")
-    body.lines.append(f"    return s{plan.root};")
+        body.lines.append(f"    const {ctype} s{index} = {expr};")
+    body.lines.append(f"    return s{root};")
     return body.lines
+
+
+def _emit_body(
+    plan: BlockPlan,
+    interior: bool,
+    img_ids: Dict[str, str],
+    param_ids: Dict[str, str],
+    polymorphic: bool = False,
+    simp=None,
+    f32: bool = False,
+    pitches: Optional[Dict[str, str]] = None,
+) -> List[str]:
+    space = plan.destination.space
+    return _emit_tape_body(
+        plan.tape,
+        plan.root,
+        space.width,
+        space.height,
+        interior,
+        img_ids,
+        param_ids,
+        polymorphic,
+        simp,
+        f32=f32,
+        pitches=pitches,
+    )
 
 
 class _BlockSpec:
@@ -645,6 +896,8 @@ class _BlockSpec:
         channels: int,
         polymorphic: bool = False,
         simplified: int = 0,
+        tile2d: Optional[Tuple[int, int]] = None,
+        f32: bool = False,
     ):
         self.fn_name = fn_name
         self.source = source
@@ -658,10 +911,21 @@ class _BlockSpec:
         #: folded (identity resolvers/masks, dead selects, identity
         #: min/max); 0 when the knob is off or nothing was provable.
         self.simplified = simplified
+        #: The (tile_h, tile_w) of a 2D overlapped-tiling lowering, or
+        #: ``None`` for the classic row-tiled form.
+        self.tile2d = tile2d
+        #: Whether the per-pixel arithmetic runs in single precision
+        #: (``REPRO_NATIVE_F32``); plane I/O stays float64 either way.
+        self.f32 = f32
 
 
 def _lower_block(
-    plan: BlockPlan, fn_name: str, tile: int, polymorphic: bool = False
+    plan: BlockPlan,
+    fn_name: str,
+    tile: int,
+    polymorphic: bool = False,
+    graph: Optional[KernelGraph] = None,
+    block: Optional[PartitionBlock] = None,
 ) -> _BlockSpec:
     """Lower one block tape to a C function (raises
     :class:`NativeLoweringError` when the tape has no lowering).
@@ -669,7 +933,11 @@ def _lower_block(
     With ``polymorphic=True`` the geometry becomes two runtime ``const
     int`` parameters and the emitted source carries no baked extents —
     byte-identical across resolutions of the same structure, so the
-    content-hash ``.so`` cache dedupes the compile.
+    content-hash ``.so`` cache dedupes the compile.  When the graph and
+    partition block are known and ``REPRO_NATIVE_TILE2D`` is not
+    ``off``, eligible fused chains take the 2D overlapped-tiling
+    lowering instead; any ineligibility silently keeps the classic
+    row-tiled form.
     """
     kernel = plan.destination
     if plan.apply_reduction and kernel.reduction is not None:
@@ -677,6 +945,15 @@ def _lower_block(
             f"global operator {kernel.name!r} "
             f"({plan.destination.reduction.value}) has no native lowering"
         )
+    f32 = native_f32_enabled()
+    setting = native_tile2d_env()
+    if setting != "off" and graph is not None and block is not None:
+        try:
+            return _lower_block_tile2d(
+                plan, graph, block, fn_name, setting, polymorphic, f32
+            )
+        except NativeLoweringError:
+            pass  # ineligible chain: classic row-tiled lowering below
     space = kernel.space
     width, height, channels = space.width, space.height, space.channels
     images = tuple(
@@ -688,9 +965,17 @@ def _lower_block(
     used: set = set()
     img_ids = {name: _identifier("in", name, used) for name in images}
     param_ids = {name: _identifier("p", name, used) for name in params}
+    stride_ids = (
+        {name: _identifier("st", name, used) for name in images}
+        if polymorphic
+        else {}
+    )
 
     simp = None
-    if native_simplify_enabled():
+    # The simplifier's facts (identity resolvers, dead selects, identity
+    # min/max) are proven over float64 value ranges; f32 rounding could
+    # flip a near-tie, so the fast path always emits the literal tape.
+    if native_simplify_enabled() and not f32:
         from repro.analysis.dataflow import tape_simplifications
 
         try:
@@ -702,8 +987,9 @@ def _lower_block(
         if simp is not None and simp.count == 0:
             simp = None
 
+    pitches = dict(stride_ids) if polymorphic else None
     halo_lines = _emit_body(
-        plan, False, img_ids, param_ids, polymorphic, simp
+        plan, False, img_ids, param_ids, polymorphic, simp, f32, pitches
     )
     xlo, xhi, ylo, yhi = _interior_bounds(plan.tape, width, height)
     has_interior = xlo < xhi and ylo < yhi
@@ -735,16 +1021,20 @@ def _lower_block(
 
     geometry_formals = ["const int width", "const int height"]
     geometry_actuals = ["width", "height"]
+    stride_formals = [f"const int {stride_ids[n]}" for n in images] if polymorphic else []
+    stride_actuals = [stride_ids[n] for n in images] if polymorphic else []
     pixel_args = ", ".join(
         [f"const double *restrict {img_ids[n]}" for n in images]
         + [f"const double {param_ids[n]}" for n in params]
         + (geometry_formals if polymorphic else [])
+        + stride_formals
         + ["const int x", "const int y"]
     )
     call_args = ", ".join(
         [img_ids[n] for n in images]
         + [param_ids[n] for n in params]
         + (geometry_actuals if polymorphic else [])
+        + stride_actuals
         + ["x", "y"]
     )
     driver_args = ", ".join(
@@ -752,21 +1042,23 @@ def _lower_block(
         + [f"const double *restrict {img_ids[n]}" for n in images]
         + [f"const double {param_ids[n]}" for n in params]
         + (geometry_formals if polymorphic else [])
+        + stride_formals
         + ["const int threads"]
     )
 
+    ct = "float" if f32 else "double"
     parts = [
-        f"static double {fn_name}_halo({pixel_args})",
+        f"static inline {ct} {fn_name}_halo({pixel_args})",
         "{",
         *halo_lines,
         "}",
     ]
     if has_interior:
         interior_lines = _emit_body(
-            plan, True, img_ids, param_ids, polymorphic, simp
+            plan, True, img_ids, param_ids, polymorphic, simp, f32, pitches
         )
         parts += [
-            f"static double {fn_name}_interior({pixel_args})",
+            f"static inline {ct} {fn_name}_interior({pixel_args})",
             "{",
             *interior_lines,
             "}",
@@ -778,6 +1070,7 @@ def _lower_block(
         else str((height + tile - 1) // tile)
     )
     halo_row = (
+        "#pragma omp simd\n"
         f"                for (int x = 0; x < {W}; ++x)\n"
         f"                    out[y * {W} + x] = "
         f"{fn_name}_halo({call_args});"
@@ -785,10 +1078,13 @@ def _lower_block(
     if has_interior:
         row_body = f"""\
                 if (y >= {ylo} && y < {yhi_sym}) {{
+#pragma omp simd
                     for (int x = 0; x < {xlo_sym}; ++x)
                         out[y * {W} + x] = {fn_name}_halo({call_args});
+#pragma omp simd
                     for (int x = {xlo}; x < {xhi_sym}; ++x)
                         out[y * {W} + x] = {fn_name}_interior({call_args});
+#pragma omp simd
                     for (int x = {xhi_lo_sym}; x < {W}; ++x)
                         out[y * {W} + x] = {fn_name}_halo({call_args});
                 }} else {{
@@ -825,6 +1121,561 @@ def _lower_block(
         channels,
         polymorphic,
         simplified=simp.count if simp is not None else 0,
+        f32=f32,
+    )
+
+
+#: Stage margins beyond this gain nothing from overlapped tiling — the
+#: halo would dominate every candidate tile — so such chains keep the
+#: classic row-tiled lowering.
+_TILE2D_MAX_MARGIN = 32
+
+#: Internal (producer→consumer) boundary modes whose per-tile scratch
+#: reads resolve through ``idx_clamp`` with a margin-ledger containment
+#: proof.  MIRROR/REPEAT on an internal edge would fold far-side values
+#: into the halo ring, which a tile cannot see — classic fallback.
+_TILE2D_INTERNAL_MODES = frozenset(
+    {BoundaryMode.CLAMP, BoundaryMode.UNDEFINED, BoundaryMode.CONSTANT}
+)
+
+
+def _stage_tape(kernel) -> Tuple[list, int]:
+    """Compile one member kernel standalone: every read (internal or
+    external) lands as a plain ``gather`` with raw shifted coordinates,
+    ready for scratch redirection at lowering."""
+    compiler = _TapeCompiler(None, {}, False)
+    gx, gy = _iteration_grids(kernel)
+    root = compiler.expr(kernel.body, kernel, gx, gy, {})
+    return compiler.tape, root
+
+
+def _stage_margins(
+    members: list, tapes: list, produced: Dict[str, int]
+) -> List[List[int]]:
+    """Per-stage halo margins ``[left, right, top, bottom]``.
+
+    A consumer computed over its own margin reads each producer at the
+    consumer's margin extended by the read's static offset interval;
+    walking members in reverse topological order makes every consumer's
+    ledger final before it propagates (producers always precede their
+    consumers in ``ordered_vertices``).
+    """
+    margins: List[List[int]] = [[0, 0, 0, 0] for _ in members]
+    for ci in range(len(members) - 1, -1, -1):
+        cm = margins[ci]
+        for instr in tapes[ci]:
+            if instr.op != "gather":
+                continue
+            image, xi, yi, boundary = instr.aux
+            pi = produced.get(image)
+            if pi is None:
+                continue
+            if boundary.mode not in _TILE2D_INTERNAL_MODES:
+                raise NativeLoweringError(
+                    f"tile2d: internal boundary mode "
+                    f"{boundary.mode.value!r} folds far-side values into "
+                    "the halo; keeping the classic lowering"
+                )
+            xlo, xhi = _offsets(xi)
+            ylo, yhi = _offsets(yi)
+            pm = margins[pi]
+            pm[0] = max(pm[0], cm[0] - xlo)
+            pm[1] = max(pm[1], cm[1] + xhi)
+            pm[2] = max(pm[2], cm[2] - ylo)
+            pm[3] = max(pm[3], cm[3] + yhi)
+    return margins
+
+
+def _tile2d_stages(plan, graph, block):
+    """The eligibility front-half of the tile2d lowering.
+
+    Returns the ordered chain members, their per-stage tapes and roots,
+    the halo-margin ledger, the produced-name index, and the cost-model
+    :class:`~repro.model.tiling.StageFootprint` list.  Raises
+    :class:`NativeLoweringError` for every ineligible block shape, so
+    both the lowering and the ``repro tiling`` report agree on what
+    keeps the classic form.
+    """
+    from repro.model.tiling import StageFootprint
+
+    if plan.naive_borders:
+        raise NativeLoweringError(
+            "tile2d: naive-borders composition keeps the classic lowering"
+        )
+    members = [graph.kernel(name) for name in block.ordered_vertices()]
+    if len(members) < 2:
+        raise NativeLoweringError(
+            "tile2d: single-kernel blocks have no intermediates to tile"
+        )
+    dest = plan.destination
+    if members[-1].name != dest.name:
+        raise NativeLoweringError(
+            "tile2d: destination is not the chain's topological sink"
+        )
+    space = dest.space
+    width, height, channels = space.width, space.height, space.channels
+    for member in members:
+        if member.reduction is not None:
+            raise NativeLoweringError(
+                f"tile2d: member {member.name!r} is a global operator"
+            )
+        for member_space in (member.space, member.output.space):
+            shape = (
+                member_space.width,
+                member_space.height,
+                member_space.channels,
+            )
+            if shape != (width, height, channels):
+                raise NativeLoweringError(
+                    "tile2d: member geometries are not uniform"
+                )
+    produced = {
+        member.output.name: index
+        for index, member in enumerate(members[:-1])
+    }
+    tapes: List[list] = []
+    roots: List[int] = []
+    for member in members:
+        tape, root = _stage_tape(member)
+        tapes.append(tape)
+        roots.append(root)
+    margins = _stage_margins(members, tapes, produced)
+    if any(m > _TILE2D_MAX_MARGIN for per_stage in margins for m in per_stage):
+        raise NativeLoweringError(
+            f"tile2d: stage margins exceed {_TILE2D_MAX_MARGIN}"
+        )
+    n = len(members)
+    footprints = [
+        StageFootprint(
+            name=member.name,
+            left=margins[index][0],
+            right=margins[index][1],
+            top=margins[index][2],
+            bottom=margins[index][3],
+            weight=float(len(tapes[index])),
+            materialized=index < n - 1,
+        )
+        for index, member in enumerate(members)
+    ]
+    return members, tapes, roots, margins, produced, footprints
+
+
+def tile2d_report(
+    graph: KernelGraph,
+    partition: Partition,
+    caches=None,
+) -> List[dict]:
+    """Per-block tile2d eligibility and model choices, without lowering.
+
+    For each partition block: the block's output name, its member
+    kernels, and either the cost model's :class:`TileChoice` (as a
+    dict, with the ranked runner-up count) or the
+    :class:`NativeLoweringError` reason the block keeps the classic
+    row-tiled form.  Used by ``repro tiling``; needs no C compiler.
+    """
+    from repro.model.tiling import sweep_tiles
+
+    plan = plan_for_partition(graph, partition, naive_borders=False)
+    schedule = block_schedule(graph, partition)
+    report = []
+    for block_plan, part_block in zip(plan.plans, schedule):
+        entry = {
+            "output": block_plan.output_name,
+            "kernels": list(part_block.ordered_vertices()),
+        }
+        try:
+            _m, _t, _r, _mg, _p, footprints = _tile2d_stages(
+                block_plan, graph, part_block
+            )
+            ranked = sweep_tiles(footprints, caches=caches)
+            if not ranked:
+                raise NativeLoweringError(
+                    "tile2d: no candidate tile shape fits the scratch caps"
+                )
+            best = ranked[0]
+            entry["choice"] = {
+                "tile": [best.height, best.width],
+                "scratch_bytes": best.scratch_bytes,
+                "recompute": best.recompute,
+                "fits": best.fits,
+                "cost": best.cost,
+                "candidates": len(ranked),
+            }
+        except NativeLoweringError as err:
+            entry["classic_reason"] = str(err)
+        report.append(entry)
+    return report
+
+
+def _lower_block_tile2d(
+    plan: BlockPlan,
+    graph: KernelGraph,
+    block: PartitionBlock,
+    fn_name: str,
+    setting: "str | Tuple[int, int]",
+    polymorphic: bool,
+    f32: bool,
+) -> _BlockSpec:
+    """Lower a fused local chain as 2D overlapped tiles.
+
+    The plane is partitioned into (tile_h × tile_w) tiles; within each
+    tile every non-destination stage is computed **once** per pixel of
+    its halo-extended region into a small stack scratch buffer (instead
+    of the fused tape's per-pixel producer recomputation), and the
+    destination stage reads producers from scratch.  Stage values are
+    pure functions of the (resolved) coordinate computed by the same
+    ``-ffp-contract=off`` expression sequences the fused tape inlines,
+    so the output is bit-identical to the classic lowering.
+
+    Tile shape comes from :func:`repro.model.tiling.choose_tile`
+    (``REPRO_NATIVE_TILE2D=auto``) or the knob's explicit ``HxW``; the
+    model is geometry-free, so polymorphic sources stay byte-identical
+    across resolutions.  Raises :class:`NativeLoweringError` for every
+    ineligible shape — the caller falls back to the classic form.
+    """
+    from repro.model.tiling import (
+        STACK_SCRATCH_CAP,
+        choose_tile,
+        scratch_bytes,
+    )
+
+    members, tapes, roots, margins, produced, footprints = _tile2d_stages(
+        plan, graph, block
+    )
+    space = plan.destination.space
+    width, height, channels = space.width, space.height, space.channels
+
+    # -- tile shape (model pick or the knob's explicit HxW) ---------------
+    n = len(members)
+    bpe = 4 if f32 else 8
+    if setting == "auto":
+        choice = choose_tile(footprints, bytes_per_element=bpe)
+        if choice is None:
+            raise NativeLoweringError(
+                "tile2d: no candidate tile shape fits the scratch caps"
+            )
+        tile_h, tile_w = choice.height, choice.width
+    else:
+        tile_h, tile_w = setting
+        need = scratch_bytes(footprints, tile_h, tile_w, bpe)
+        if need > STACK_SCRATCH_CAP:
+            raise NativeLoweringError(
+                f"tile2d: explicit {tile_h}x{tile_w} tile needs {need} "
+                f"bytes of stack scratch (cap {STACK_SCRATCH_CAP})"
+            )
+    pitch = {
+        i: tile_w + margins[i][0] + margins[i][1] for i in range(n - 1)
+    }
+    rows = {
+        i: tile_h + margins[i][2] + margins[i][3] for i in range(n - 1)
+    }
+
+    # -- identifiers and signatures ---------------------------------------
+    images = tuple(
+        sorted(
+            {
+                instr.aux[0]
+                for tape in tapes
+                for instr in tape
+                if instr.op == "gather" and instr.aux[0] not in produced
+            }
+        )
+    )
+    params = tuple(
+        sorted(
+            {
+                instr.aux[0]
+                for tape in tapes
+                for instr in tape
+                if instr.op == "param"
+            }
+        )
+    )
+    used: set = set()
+    img_ids = {name: _identifier("in", name, used) for name in images}
+    param_ids = {name: _identifier("p", name, used) for name in params}
+    stride_ids = (
+        {name: _identifier("st", name, used) for name in images}
+        if polymorphic
+        else {}
+    )
+    geometry_formals = ["const int width", "const int height"]
+    geometry_actuals = ["width", "height"]
+    ct = "float" if f32 else "double"
+    W, H = ("width", "height") if polymorphic else (str(width), str(height))
+
+    def stage_signature(index: int) -> Tuple[str, str, dict]:
+        """(formals, actuals, scratch map) of one stage's pixel fn."""
+        tape = tapes[index]
+        stage_images = sorted(
+            {
+                instr.aux[0]
+                for instr in tape
+                if instr.op == "gather" and instr.aux[0] not in produced
+            }
+        )
+        stage_params = sorted(
+            {instr.aux[0] for instr in tape if instr.op == "param"}
+        )
+        stage_producers = sorted(
+            {
+                produced[instr.aux[0]]
+                for instr in tape
+                if instr.op == "gather" and instr.aux[0] in produced
+            }
+        )
+        scratch = {
+            members[j].output.name: (
+                f"scr_{j}",
+                f"sx0_{j}",
+                f"sy0_{j}",
+                str(pitch[j]),
+            )
+            for j in stage_producers
+        }
+        scratch_formals = []
+        scratch_actuals = []
+        for j in stage_producers:
+            scratch_formals += [
+                f"const {ct} *restrict scr_{j}",
+                f"const int sx0_{j}",
+                f"const int sy0_{j}",
+            ]
+            scratch_actuals += [f"scr_{j}", f"sx0_{j}", f"sy0_{j}"]
+        formals = ", ".join(
+            [f"const double *restrict {img_ids[m]}" for m in stage_images]
+            + [f"const double {param_ids[m]}" for m in stage_params]
+            + scratch_formals
+            + (geometry_formals if polymorphic else [])
+            + (
+                [f"const int {stride_ids[m]}" for m in stage_images]
+                if polymorphic
+                else []
+            )
+            + ["const int x", "const int y"]
+        )
+        actuals = ", ".join(
+            [img_ids[m] for m in stage_images]
+            + [param_ids[m] for m in stage_params]
+            + scratch_actuals
+            + (geometry_actuals if polymorphic else [])
+            + (
+                [stride_ids[m] for m in stage_images]
+                if polymorphic
+                else []
+            )
+            + ["x", "y"]
+        )
+        return formals, actuals, scratch
+
+    def stage_body(index: int, interior: bool, scratch: dict) -> List[str]:
+        stage_pitches = (
+            {m: stride_ids[m] for m in stride_ids} if polymorphic else None
+        )
+        return _emit_tape_body(
+            tapes[index],
+            roots[index],
+            width,
+            height,
+            interior,
+            img_ids,
+            param_ids,
+            polymorphic,
+            None,
+            f32=f32,
+            pitches=stage_pitches,
+            scratch=scratch,
+        )
+
+    parts: List[str] = []
+    stage_calls: List[str] = []
+    # Stages with a stencil get a clamp-free interior variant (_s{i}i)
+    # driven by the same three-segment split the destination loop uses:
+    # the fill guard and fl/fh clamps confine it to the in-plane band
+    # where every resolver is the identity, so values are bit-identical
+    # while interior tiles skip the per-read clamping.
+    stage_interiors: Dict[int, Tuple[int, str, int, str]] = {}
+    for index in range(n - 1):
+        formals, actuals, scratch = stage_signature(index)
+        stage_calls.append(actuals)
+        parts += [
+            f"static inline {ct} {fn_name}_s{index}({formals})",
+            "{",
+            *stage_body(index, False, scratch),
+            "}",
+        ]
+        sxlo, sxhi, sylo, syhi = _interior_bounds(tapes[index], width, height)
+        full_plane = (sxlo, sylo) == (0, 0) and (sxhi, syhi) == (width, height)
+        if sxlo < sxhi and sylo < syhi and not full_plane:
+            parts += [
+                f"static inline {ct} {fn_name}_s{index}i({formals})",
+                "{",
+                *stage_body(index, True, scratch),
+                "}",
+            ]
+            if polymorphic:
+                fxhi = W if sxhi >= width else f"(width - {width - sxhi})"
+                fyhi = H if syhi >= height else f"(height - {height - syhi})"
+            else:
+                fxhi, fyhi = str(sxhi), str(syhi)
+            stage_interiors[index] = (sxlo, fxhi, sylo, fyhi)
+    dest_formals, dest_call, dest_scratch = stage_signature(n - 1)
+    stage_calls.append(dest_call)
+    parts += [
+        f"static inline {ct} {fn_name}_halo({dest_formals})",
+        "{",
+        *stage_body(n - 1, False, dest_scratch),
+        "}",
+    ]
+    xlo, xhi, ylo, yhi = _interior_bounds(tapes[n - 1], width, height)
+    has_interior = xlo < xhi and ylo < yhi
+    if has_interior:
+        parts += [
+            f"static inline {ct} {fn_name}_interior({dest_formals})",
+            "{",
+            *stage_body(n - 1, True, dest_scratch),
+            "}",
+        ]
+    if polymorphic:
+        ixhi_sym = W if xhi >= width else f"(width - {width - xhi})"
+        iyhi_sym = H if yhi >= height else f"(height - {height - yhi})"
+    else:
+        ixhi_sym, iyhi_sym = str(xhi), str(yhi)
+
+    # -- driver: tile grid, per-tile scratch, stage loops, dest loops -----
+    driver_args = ", ".join(
+        ["double *restrict out"]
+        + [f"const double *restrict {img_ids[m]}" for m in images]
+        + [f"const double {param_ids[m]}" for m in params]
+        + (geometry_formals if polymorphic else [])
+        + (
+            [f"const int {stride_ids[m]}" for m in images]
+            if polymorphic
+            else []
+        )
+        + ["const int threads"]
+    )
+    lines = [
+        f"void {fn_name}({driver_args})",
+        "{",
+        "    (void)threads;",
+        f"    const int n_tx = ({W} + {tile_w - 1}) / {tile_w};",
+        f"    const int n_ty = ({H} + {tile_h - 1}) / {tile_h};",
+        "    const int n_tiles = n_tx * n_ty;",
+        "#ifdef _OPENMP",
+        "#pragma omp parallel for schedule(static) "
+        "num_threads(threads > 0 ? threads : 1)",
+        "#endif",
+        "    for (int t = 0; t < n_tiles; ++t) {",
+        f"        const int x0 = (t % n_tx) * {tile_w};",
+        f"        const int y0 = (t / n_tx) * {tile_h};",
+        f"        const int x1 = x0 + {tile_w} < {W} ? x0 + {tile_w} : {W};",
+        f"        const int y1 = y0 + {tile_h} < {H} ? y0 + {tile_h} : {H};",
+    ]
+    for i in range(n - 1):
+        left, right, top, bottom = margins[i]
+        lines += [
+            f"        {ct} scr_{i}[{rows[i] * pitch[i]}];",
+            f"        const int sx0_{i} = "
+            f"x0 - {left} > 0 ? x0 - {left} : 0;",
+            f"        const int sx1_{i} = "
+            f"x1 + {right} < {W} ? x1 + {right} : {W};",
+            f"        const int sy0_{i} = "
+            f"y0 - {top} > 0 ? y0 - {top} : 0;",
+            f"        const int sy1_{i} = "
+            f"y1 + {bottom} < {H} ? y1 + {bottom} : {H};",
+        ]
+    for i in range(n - 1):
+        fill = (
+            f"scr_{i}[(y - sy0_{i}) * {pitch[i]} "
+            f"+ (x - sx0_{i})] = {fn_name}_s{i}"
+        )
+        if i in stage_interiors:
+            fxlo, fxhi, fylo, fyhi = stage_interiors[i]
+            lines += [
+                f"        const int fla_{i} = "
+                f"{fxlo} > sx0_{i} ? {fxlo} : sx0_{i};",
+                f"        const int fl_{i} = "
+                f"fla_{i} < sx1_{i} ? fla_{i} : sx1_{i};",
+                f"        const int fha_{i} = "
+                f"{fxhi} < sx1_{i} ? {fxhi} : sx1_{i};",
+                f"        const int fh_{i} = "
+                f"fha_{i} > fl_{i} ? fha_{i} : fl_{i};",
+                f"        for (int y = sy0_{i}; y < sy1_{i}; ++y) {{",
+                f"            if (y >= {fylo} && y < {fyhi}) {{",
+                "#pragma omp simd",
+                f"                for (int x = sx0_{i}; x < fl_{i}; ++x)",
+                f"                    {fill}({stage_calls[i]});",
+                "#pragma omp simd",
+                f"                for (int x = fl_{i}; x < fh_{i}; ++x)",
+                f"                    {fill}i({stage_calls[i]});",
+                "#pragma omp simd",
+                f"                for (int x = fh_{i}; x < sx1_{i}; ++x)",
+                f"                    {fill}({stage_calls[i]});",
+                "            } else {",
+                "#pragma omp simd",
+                f"                for (int x = sx0_{i}; x < sx1_{i}; ++x)",
+                f"                    {fill}({stage_calls[i]});",
+                "            }",
+                "        }",
+            ]
+        else:
+            lines += [
+                f"        for (int y = sy0_{i}; y < sy1_{i}; ++y) {{",
+                "#pragma omp simd",
+                f"            for (int x = sx0_{i}; x < sx1_{i}; ++x)",
+                f"                {fill}({stage_calls[i]});",
+                "        }",
+            ]
+    if has_interior:
+        lines += [
+            f"        const int ila = {xlo} > x0 ? {xlo} : x0;",
+            "        const int il = ila < x1 ? ila : x1;",
+            f"        const int iha = {ixhi_sym} < x1 ? {ixhi_sym} : x1;",
+            "        const int ih = iha > il ? iha : il;",
+            "        for (int y = y0; y < y1; ++y) {",
+            f"            if (y >= {ylo} && y < {iyhi_sym}) {{",
+            "#pragma omp simd",
+            "                for (int x = x0; x < il; ++x)",
+            f"                    out[y * {W} + x] = "
+            f"{fn_name}_halo({dest_call});",
+            "#pragma omp simd",
+            "                for (int x = il; x < ih; ++x)",
+            f"                    out[y * {W} + x] = "
+            f"{fn_name}_interior({dest_call});",
+            "#pragma omp simd",
+            "                for (int x = ih; x < x1; ++x)",
+            f"                    out[y * {W} + x] = "
+            f"{fn_name}_halo({dest_call});",
+            "            } else {",
+            "#pragma omp simd",
+            "                for (int x = x0; x < x1; ++x)",
+            f"                    out[y * {W} + x] = "
+            f"{fn_name}_halo({dest_call});",
+            "            }",
+            "        }",
+        ]
+    else:
+        lines += [
+            "        for (int y = y0; y < y1; ++y) {",
+            "#pragma omp simd",
+            "            for (int x = x0; x < x1; ++x)",
+            f"                out[y * {W} + x] = "
+            f"{fn_name}_halo({dest_call});",
+            "        }",
+        ]
+    lines += ["    }", "}", ""]
+    return _BlockSpec(
+        fn_name,
+        "\n".join(parts + lines),
+        images,
+        params,
+        width,
+        height,
+        channels,
+        polymorphic,
+        tile2d=(tile_h, tile_w),
+        f32=f32,
     )
 
 
@@ -833,10 +1684,22 @@ def lower_block_source(
     fn_name: str = "repro_block",
     tile: int | None = None,
     polymorphic: bool = False,
+    graph: Optional[KernelGraph] = None,
+    block: Optional[PartitionBlock] = None,
 ) -> str:
-    """The standalone C source of one lowered block (inspection/tests)."""
+    """The standalone C source of one lowered block (inspection/tests).
+
+    Passing the owning ``graph`` and ``block`` makes the 2D
+    overlapped-tiling lowering reachable (it needs the member kernels,
+    not just the fused tape).
+    """
     spec = _lower_block(
-        plan, fn_name, tile or resolve_native_tile(), polymorphic
+        plan,
+        fn_name,
+        tile or resolve_native_tile(),
+        polymorphic,
+        graph=graph,
+        block=block,
     )
     return _PREAMBLE + "\n" + spec.source
 
@@ -866,7 +1729,10 @@ class NativeBlock:
         fn.argtypes = (
             [_DOUBLE_P] * (1 + len(spec.images))
             + [ctypes.c_double] * len(spec.params)
-            + [ctypes.c_int] * (3 if spec.polymorphic else 1)
+            # width, height, one leading stride per plane, threads —
+            # or just threads when the geometry is baked.
+            + [ctypes.c_int]
+            * ((3 + len(spec.images)) if spec.polymorphic else 1)
         )
 
     def execute(
@@ -967,17 +1833,56 @@ class NativeBlock:
         if channels > 1:
             out = np.empty((height, width, channels), dtype=np.float64)
             for c in range(channels):
-                planes = [
-                    np.ascontiguousarray(a[:, :, c]) for a in inputs
-                ]
+                bound = [self._bind_plane(a[:, :, c]) for a in inputs]
                 plane = np.empty((height, width), dtype=np.float64)
-                self._call(plane, planes, values, thread_count, width, height)
+                self._call(
+                    plane,
+                    [buffer for buffer, _ in bound],
+                    values,
+                    thread_count,
+                    width,
+                    height,
+                    [stride for _, stride in bound],
+                )
                 out[:, :, c] = plane
             return out
         out = np.empty((height, width), dtype=np.float64)
-        buffers = [np.ascontiguousarray(a) for a in inputs]
-        self._call(out, buffers, values, thread_count, width, height)
+        bound = [self._bind_plane(a) for a in inputs]
+        self._call(
+            out,
+            [buffer for buffer, _ in bound],
+            values,
+            thread_count,
+            width,
+            height,
+            [stride for _, stride in bound],
+        )
         return out
+
+    def _bind_plane(self, array: np.ndarray) -> Tuple[np.ndarray, int]:
+        """One input plane as ``(buffer, leading stride in elements)``.
+
+        Shape-polymorphic kernels index every plane through a runtime
+        per-plane stride, so any row-strided ``float64`` view — a crop,
+        every other row of a larger frame — binds **zero-copy** as long
+        as its rows are element-contiguous and non-overlapping; each
+        avoided copy is tallied in :func:`noncontiguous_zero_copy_count`.
+        Baked-geometry kernels hard-code the width as the pitch and
+        still take the contiguous copy.
+        """
+        height, width = array.shape
+        if array.flags.c_contiguous:
+            return array, width
+        s0, s1 = array.strides
+        if (
+            self.spec.polymorphic
+            and s1 == 8
+            and s0 % 8 == 0
+            and s0 >= width * 8
+        ):
+            _note_zero_copy()
+            return array, s0 // 8
+        return np.ascontiguousarray(array), width
 
     def _call(
         self,
@@ -987,12 +1892,14 @@ class NativeBlock:
         threads: int,
         width: int,
         height: int,
+        strides: Optional[List[int]] = None,
     ) -> None:
         args = [out.ctypes.data_as(_DOUBLE_P)]
         args += [a.ctypes.data_as(_DOUBLE_P) for a in inputs]
         args += params
         if self.spec.polymorphic:
             args += [width, height]
+            args += strides if strides is not None else [width] * len(inputs)
         args.append(threads)
         self._fn(*args)
 
@@ -1309,14 +2216,28 @@ def _build_native_partition(
     plan = plan_for_partition(graph, partition, naive_borders)
     started = time.perf_counter()
     tile = resolve_native_tile()
+    # ``block_schedule`` orders partition blocks exactly as the tape
+    # plan's ``plans`` — the member sets feed the tile2d lowering.
+    schedule = block_schedule(graph, partition)
     specs: List[Optional[_BlockSpec]] = []
     reasons: Dict[str, str] = {}
-    for index, block_plan in enumerate(plan.plans):
+    for index, (block_plan, part_block) in enumerate(
+        zip(plan.plans, schedule)
+    ):
         fn_name = f"repro_block_{index}_" + re.sub(
             r"[^0-9A-Za-z_]", "_", block_plan.output_name
         )
         try:
-            specs.append(_lower_block(block_plan, fn_name, tile, polymorphic))
+            specs.append(
+                _lower_block(
+                    block_plan,
+                    fn_name,
+                    tile,
+                    polymorphic,
+                    graph=graph,
+                    block=part_block,
+                )
+            )
         except NativeLoweringError as err:
             specs.append(None)
             reasons[block_plan.output_name] = str(err)
@@ -1384,6 +2305,8 @@ def native_plan_for_partition(
         bool(naive_borders),
         resolve_native_tile(),
         bool(polymorphic),
+        native_tile2d_env(),
+        native_f32_enabled(),
     )
     with _native_cache_lock:
         cache = _native_partition_plans.get(graph)
@@ -1407,7 +2330,13 @@ def native_plan_for_block(
     """The (cached) native plan of one block (``execute_block``
     semantics: the destination body is never reduced)."""
     tile = resolve_native_tile()
-    key = (block.signature(), bool(naive_borders), tile)
+    key = (
+        block.signature(),
+        bool(naive_borders),
+        tile,
+        native_tile2d_env(),
+        native_f32_enabled(),
+    )
     with _native_cache_lock:
         cache = _native_block_plans.get(graph)
         if cache is None:
@@ -1421,7 +2350,9 @@ def native_plan_for_block(
                 r"[^0-9A-Za-z_]", "_", block_plan.output_name
             )
             try:
-                spec = _lower_block(block_plan, fn_name, tile)
+                spec = _lower_block(
+                    block_plan, fn_name, tile, graph=graph, block=block
+                )
             except NativeLoweringError:
                 spec = None
             library, _, _ = _compile_specs([spec])

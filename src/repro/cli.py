@@ -530,6 +530,59 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 0 if all(r.ok for r in reports) else 1
 
 
+def cmd_tiling(args: argparse.Namespace) -> int:
+    """Report the native engine's 2D-tiling model choices per block.
+
+    Prints the host cache hierarchy the model sizes scratch against
+    (detected from sysfs, or micro-calibrated with ``--calibrate``) and,
+    for each application, every fused block's model-chosen tile shape —
+    or the reason the block keeps the classic row-tiled lowering.
+    Needs no C compiler: this reads the model, not the emitted code.
+    """
+    import json
+
+    from repro.backend.native_exec import tile2d_report
+    from repro.model.hardware import calibrate_cpu_caches, detect_cpu_caches
+
+    caches = detect_cpu_caches()
+    if args.calibrate:
+        caches = calibrate_cpu_caches()
+    names = args.apps or sorted(APPLICATIONS)
+    reports = {}
+    for name in names:
+        spec = _resolve_app(name)
+        graph = spec.pipeline().build()
+        partition = partition_for(
+            graph, _resolve_gpu(args.gpu), args.version, _config(args)
+        )
+        reports[name] = tile2d_report(graph, partition, caches=caches)
+    if args.json:
+        print(json.dumps(
+            {"caches": caches.describe(), "apps": reports},
+            indent=2, sort_keys=True,
+        ))
+        return 0
+    print(f"host caches: {caches.describe()}")
+    for name in names:
+        print(f"\n{name}:")
+        for entry in reports[name]:
+            kernels = " + ".join(entry["kernels"])
+            if "choice" in entry:
+                c = entry["choice"]
+                tile_h, tile_w = c["tile"]
+                print(
+                    f"  {entry['output']:<16} tile {tile_h}x{tile_w}  "
+                    f"scratch {c['scratch_bytes']}B ({c['fits']})  "
+                    f"recompute {c['recompute']:.3f}  [{kernels}]"
+                )
+            else:
+                print(
+                    f"  {entry['output']:<16} classic: "
+                    f"{entry['classic_reason']}  [{kernels}]"
+                )
+    return 0
+
+
 def cmd_figure4(args: argparse.Namespace) -> int:
     """Print the Fig. 4 border-fusion worked example."""
     from repro.eval.figures import figure4_example
@@ -744,6 +797,23 @@ def build_parser() -> argparse.ArgumentParser:
     serve_bench.add_argument("--out", default=None,
                              help="also write the report to a file")
     add_serve_flags(serve_bench)
+
+    tiling = sub.add_parser(
+        "tiling", help="the native engine's 2D-tiling model choices "
+                       "per fused block (host caches + tile shapes)"
+    )
+    tiling.add_argument("apps", nargs="*",
+                        help="applications to report (default: the six "
+                             "paper apps)")
+    tiling.add_argument("--version", default="optimized",
+                        help="fusion version whose partition is tiled")
+    tiling.add_argument("--calibrate", action="store_true",
+                        help="micro-calibrate effective L1/L2 sizes by "
+                             "timed strided traversals instead of "
+                             "trusting sysfs")
+    tiling.add_argument("--json", action="store_true",
+                        help="print the report as JSON")
+    add_model_flags(tiling)
     return parser
 
 
@@ -763,6 +833,7 @@ COMMANDS = {
     "run": cmd_run,
     "serve": cmd_serve,
     "serve-bench": cmd_serve_bench,
+    "tiling": cmd_tiling,
 }
 
 

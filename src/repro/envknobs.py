@@ -3,7 +3,8 @@
 Every runtime tunable that can arrive through the environment —
 ``REPRO_EXEC_WORKERS``, ``REPRO_EXEC_ENGINE``, ``REPRO_CC_CACHE``,
 ``REPRO_CC_CACHE_MAX``, ``REPRO_NATIVE_THREADS``, ``REPRO_GRID_CACHE``,
-``REPRO_VALIDATE``, ``REPRO_SERVE_PROCS`` — funnels through the
+``REPRO_NATIVE_TILE2D``, ``REPRO_NATIVE_F32``, ``REPRO_VALIDATE``,
+``REPRO_SERVE_PROCS`` — funnels through the
 helpers here, so a typo in a
 deployment manifest fails with one clear message naming the variable
 and the accepted values instead of a bare ``int()`` traceback deep
@@ -172,6 +173,55 @@ NATIVE_SIMPLIFY_ENV = "REPRO_NATIVE_SIMPLIFY"
 def native_simplify_enabled() -> bool:
     """Whether analysis-driven native simplification is on (default)."""
     return choice_env(NATIVE_SIMPLIFY_ENV, ("on", "off"), "on") == "on"
+
+
+#: Environment knob: 2D overlapped tiling in the native engine.
+#: ``auto`` (the default) lets :mod:`repro.model.tiling` choose the tile
+#: shape from the detected cache hierarchy, ``off`` keeps the classic
+#: row-tiled lowering, and an explicit ``HxW`` (e.g. ``64x128``) pins
+#: the tile to ``H`` rows by ``W`` columns.
+NATIVE_TILE2D_ENV = "REPRO_NATIVE_TILE2D"
+
+
+def native_tile2d_env() -> "str | tuple[int, int]":
+    """The ``REPRO_NATIVE_TILE2D`` setting: ``"auto"``, ``"off"`` or ``(h, w)``.
+
+    Blank/unset yields ``"auto"``.  An explicit shape must be two
+    positive integers joined by ``x`` (case-insensitive), e.g.
+    ``64x128``; anything else raises :class:`EnvKnobError` naming the
+    variable and the accepted grammar.
+    """
+    raw = raw_env(NATIVE_TILE2D_ENV)
+    if raw is None:
+        return "auto"
+    lowered = raw.lower()
+    if lowered in ("auto", "off"):
+        return lowered
+    parts = lowered.split("x")
+    if len(parts) == 2:
+        try:
+            height, width = int(parts[0]), int(parts[1])
+        except ValueError:
+            height = width = 0
+        if height >= 1 and width >= 1:
+            return (height, width)
+    raise EnvKnobError(
+        f"invalid {NATIVE_TILE2D_ENV}={raw!r}: expected 'auto', 'off' or "
+        "an explicit HxW tile shape of two positive integers (e.g. 64x128)"
+    )
+
+
+#: Environment knob: opt-in float32 compute fast path in the native
+#: engine.  Plane I/O stays float64; only the per-pixel arithmetic runs
+#: in single precision, under the pinned f32 tolerance policy
+#: (:data:`repro.backend.native_exec.F32_RTOL` /
+#: :data:`~repro.backend.native_exec.F32_ATOL`).
+NATIVE_F32_ENV = "REPRO_NATIVE_F32"
+
+
+def native_f32_enabled() -> bool:
+    """Whether the float32 native fast path is on (default off)."""
+    return choice_env(NATIVE_F32_ENV, ("on", "off"), "off") == "on"
 
 
 #: Environment knob: extra space-separated compiler/linker flags for the

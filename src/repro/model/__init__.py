@@ -9,7 +9,9 @@
 * :mod:`repro.model.legality` — the legality conditions for partition
   blocks (dependences, resources, headers),
 * :mod:`repro.model.benefit` — the analytic benefit model assigning edge
-  weights (Eqs. 3–12).
+  weights (Eqs. 3–12),
+* :mod:`repro.model.tiling` — the CPU-side 2D overlapped-tiling model
+  sizing native-engine scratch tiles against the host cache hierarchy.
 """
 
 from repro.model.benefit import (
@@ -21,11 +23,27 @@ from repro.model.benefit import (
     estimate_graph,
     fused_mask_growth,
 )
-from repro.model.hardware import GTX680, GTX745, K20C, GpuSpec, KNOWN_GPUS
+from repro.model.hardware import (
+    DEFAULT_CPU_CACHES,
+    GTX680,
+    GTX745,
+    K20C,
+    CpuCacheSpec,
+    GpuSpec,
+    KNOWN_GPUS,
+    calibrate_cpu_caches,
+    detect_cpu_caches,
+)
 from repro.model.legality import LegalityReport, check_block_legality
 from repro.model.occupancy import OccupancyResult, occupancy
 from repro.model.patterns import classify, is_local, is_point
 from repro.model.resources import block_shared_bytes, kernel_shared_bytes
+from repro.model.tiling import (
+    StageFootprint,
+    TileChoice,
+    choose_tile,
+    sweep_tiles,
+)
 
 def __getattr__(name):
     """Lazy access to the calibration API.
@@ -48,6 +66,8 @@ __all__ = [
     "calibrate",
     "simulated_table1",
     "table1_loss",
+    "CpuCacheSpec",
+    "DEFAULT_CPU_CACHES",
     "EdgeEstimate",
     "FusionScenario",
     "GTX680",
@@ -57,10 +77,15 @@ __all__ = [
     "KNOWN_GPUS",
     "LegalityReport",
     "OccupancyResult",
+    "StageFootprint",
+    "TileChoice",
     "WeightedGraph",
     "block_shared_bytes",
+    "calibrate_cpu_caches",
     "check_block_legality",
+    "choose_tile",
     "classify",
+    "detect_cpu_caches",
     "estimate_edge",
     "estimate_graph",
     "fused_mask_growth",
@@ -68,4 +93,5 @@ __all__ = [
     "is_point",
     "kernel_shared_bytes",
     "occupancy",
+    "sweep_tiles",
 ]

@@ -153,3 +153,189 @@ KNOWN_GPUS: Dict[str, GpuSpec] = {
     GTX680.name: GTX680,
     K20C.name: K20C,
 }
+
+
+# ---------------------------------------------------------------------------
+# Host CPU cache hierarchy (for the native engine's 2D tiling model)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CpuCacheSpec:
+    """The host CPU cache hierarchy, as seen by the native engine.
+
+    The 2D overlapped-tiling model (:mod:`repro.model.tiling`) sizes a
+    fused chain's scratch working set against ``l2_bytes`` the way the
+    paper's Eq. 3–12 size shared memory on the GPU; ``source`` records
+    whether the numbers came from sysfs, from the micro-calibration
+    (:func:`calibrate_cpu_caches`), or are the conservative defaults.
+    """
+
+    l1d_bytes: int
+    l2_bytes: int
+    l3_bytes: int
+    line_bytes: int = 64
+    source: str = "default"
+
+    def __post_init__(self) -> None:
+        if self.l1d_bytes <= 0 or self.l2_bytes <= 0:
+            raise ValueError("cache sizes must be positive")
+        if self.l1d_bytes > self.l2_bytes:
+            raise ValueError("L1d must not exceed L2")
+
+    def describe(self) -> str:
+        return (
+            f"L1d={self.l1d_bytes // 1024}K L2={self.l2_bytes // 1024}K "
+            f"L3={self.l3_bytes // 1024}K line={self.line_bytes}B "
+            f"({self.source})"
+        )
+
+
+#: Conservative fallback when sysfs is unavailable (containers, macOS):
+#: the smallest hierarchy of the last decade of x86 server cores.
+DEFAULT_CPU_CACHES = CpuCacheSpec(
+    l1d_bytes=32 * 1024,
+    l2_bytes=1024 * 1024,
+    l3_bytes=8 * 1024 * 1024,
+    line_bytes=64,
+    source="default",
+)
+
+_SYSFS_CACHE_DIR = "/sys/devices/system/cpu/cpu0/cache"
+
+_detected_cpu_caches: "CpuCacheSpec | None" = None
+
+
+def _parse_sysfs_size(text: str) -> int:
+    """Parse a sysfs cache ``size`` file value like ``48K`` or ``2048K``."""
+    text = text.strip()
+    multiplier = 1
+    if text and text[-1] in "KkMm":
+        multiplier = 1024 if text[-1] in "Kk" else 1024 * 1024
+        text = text[:-1]
+    return int(text) * multiplier
+
+
+def detect_cpu_caches() -> CpuCacheSpec:
+    """The host cache hierarchy from sysfs, or the defaults.
+
+    Reads ``/sys/devices/system/cpu/cpu0/cache/index*/`` (level, type,
+    size, coherency_line_size); any miss falls back to the matching
+    field of :data:`DEFAULT_CPU_CACHES`.  The result is cached for the
+    process — plan building consults it on every tile-shape choice and
+    must stay cheap.
+    """
+    global _detected_cpu_caches
+    if _detected_cpu_caches is not None:
+        return _detected_cpu_caches
+    import os
+
+    sizes = {1: None, 2: None, 3: None}
+    line = None
+    try:
+        entries = sorted(os.listdir(_SYSFS_CACHE_DIR))
+    except OSError:
+        entries = []
+    for entry in entries:
+        if not entry.startswith("index"):
+            continue
+        base = os.path.join(_SYSFS_CACHE_DIR, entry)
+        try:
+            with open(os.path.join(base, "level")) as fh:
+                level = int(fh.read().strip())
+            with open(os.path.join(base, "type")) as fh:
+                kind = fh.read().strip()
+            with open(os.path.join(base, "size")) as fh:
+                size = _parse_sysfs_size(fh.read())
+        except (OSError, ValueError):
+            continue
+        if kind == "Instruction" or level not in sizes:
+            continue
+        if sizes[level] is None or size > sizes[level]:
+            sizes[level] = size
+        if line is None:
+            try:
+                with open(os.path.join(base, "coherency_line_size")) as fh:
+                    line = int(fh.read().strip())
+            except (OSError, ValueError):
+                line = None
+    spec = CpuCacheSpec(
+        l1d_bytes=sizes[1] or DEFAULT_CPU_CACHES.l1d_bytes,
+        l2_bytes=sizes[2] or DEFAULT_CPU_CACHES.l2_bytes,
+        l3_bytes=sizes[3] or DEFAULT_CPU_CACHES.l3_bytes,
+        line_bytes=line or DEFAULT_CPU_CACHES.line_bytes,
+        source="sysfs" if sizes[1] or sizes[2] else "default",
+    )
+    _detected_cpu_caches = spec
+    return spec
+
+
+def _clear_detected_cpu_caches() -> None:
+    """Test hook: drop the memoized :func:`detect_cpu_caches` result."""
+    global _detected_cpu_caches
+    _detected_cpu_caches = None
+
+
+def calibrate_cpu_caches(
+    max_bytes: int = 8 * 1024 * 1024, repeats: int = 3
+) -> CpuCacheSpec:
+    """Micro-calibrate *effective* L1/L2 sizes by timed traversals.
+
+    Walks buffers of doubling size with a strided read pattern and
+    times the per-element cost; a knee (cost jumping past 1.5x the
+    small-buffer baseline) marks a capacity boundary, mirroring how
+    ``model/calibration.py`` fits the GPU cost constants from measured
+    launches rather than trusting the datasheet.  Used by the tiling
+    benchmark and ``repro tiling --calibrate``; the default model path
+    uses :func:`detect_cpu_caches` so plan building stays fast.
+    """
+    import time
+
+    try:
+        import numpy as np
+    except ImportError:  # pragma: no cover - numpy is a hard dep elsewhere
+        return detect_cpu_caches()
+
+    detected = detect_cpu_caches()
+    sizes = []
+    size = 16 * 1024
+    while size <= max_bytes:
+        sizes.append(size)
+        size *= 2
+    costs = {}
+    for nbytes in sizes:
+        buf = np.arange(nbytes // 8, dtype=np.float64)
+        # Strided sum defeats hardware prefetch enough to expose the
+        # capacity knee while staying pure-numpy.
+        stride = 8  # 64 bytes / 8 per element: one touch per line
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            for phase in range(stride):
+                float(buf[phase::stride].sum())
+            elapsed = time.perf_counter() - t0
+            best = min(best, elapsed / max(len(buf), 1))
+        costs[nbytes] = best
+    baseline = min(list(costs.values())[:2])
+    knees = [
+        nbytes
+        for nbytes, cost in costs.items()
+        if baseline > 0 and cost > 1.5 * baseline
+    ]
+    l1 = detected.l1d_bytes
+    l2 = detected.l2_bytes
+    if knees:
+        # The first knee is the first level that no longer holds the
+        # working set; everything below it is "effectively cached".
+        first = knees[0]
+        if first <= 128 * 1024:
+            l1 = max(first // 2, 16 * 1024)
+        else:
+            l2 = max(first // 2, l1)
+    return CpuCacheSpec(
+        l1d_bytes=l1,
+        l2_bytes=max(l2, l1),
+        l3_bytes=detected.l3_bytes,
+        line_bytes=detected.line_bytes,
+        source="calibrated",
+    )

@@ -7,6 +7,8 @@ fresh native plan is sanitizer-verified, and the analysis-driven
 simplifications stay bit-identical to the tape engine.
 """
 
+import re
+
 import numpy as np
 import pytest
 
@@ -86,9 +88,30 @@ class TestHonestEmitterIsClean:
 class TestSeededDefects:
     @pytest.fixture(scope="class")
     def sobel(self):
+        # Tile2d is on by default, so this fixture exercises the
+        # 2D overlapped-tiling grammar.
         if not native_available():
             pytest.skip("requires a C compiler on PATH")
         _, nplan = _native_plan("Sobel")
+        return _first_native(nplan)
+
+    @pytest.fixture(scope="class")
+    def sobel_classic(self):
+        # The classic row-tiled driver, for the defects specific to its
+        # grammar (the plan cache keys on the knob, so no collisions).
+        if not native_available():
+            pytest.skip("requires a C compiler on PATH")
+        import os
+
+        old = os.environ.get("REPRO_NATIVE_TILE2D")
+        os.environ["REPRO_NATIVE_TILE2D"] = "off"
+        try:
+            _, nplan = _native_plan("Sobel")
+        finally:
+            if old is None:
+                os.environ.pop("REPRO_NATIVE_TILE2D", None)
+            else:
+                os.environ["REPRO_NATIVE_TILE2D"] = old
         return _first_native(nplan)
 
     def codes(self, native, source):
@@ -104,14 +127,19 @@ class TestSeededDefects:
         mutated = sobel.spec.source.replace("*restrict out", "*out")
         assert self.codes(sobel, mutated) == {"NAT003"}
 
-    def test_unclamped_y_end_is_caught_without_crashing(self, sobel):
-        source = sobel.spec.source
+    def test_unclamped_y_end_is_caught_without_crashing(self, sobel_classic):
+        source = sobel_classic.spec.source
         mutated = source.replace(
             "(t + 1) * 64 < 48 ? (t + 1) * 64 : 48", "(t + 1) * 64"
         )
         assert mutated != source
-        found = self.codes(sobel, mutated)
+        found = self.codes(sobel_classic, mutated)
         assert "NAT004" in found  # the driver clamp proof fails loudly
+
+    def test_classic_out_of_plane_read_is_caught(self, sobel_classic):
+        mutated = sobel_classic.spec.source.replace("(x + (1))", "(x + (2))")
+        assert mutated != sobel_classic.spec.source
+        assert self.codes(sobel_classic, mutated) & {"NAT001", "NAT002"}
 
     def test_transposed_store_index_is_caught(self, sobel):
         mutated = sobel.spec.source.replace("out[y * ", "out[x * ")
@@ -128,6 +156,79 @@ class TestSeededDefects:
         found = _check(sobel, "int main(void) { return 0; }")
         assert [d.code for d in found] == ["NAT004"]
         assert has_errors(found)
+
+
+class TestTile2DSeededDefects:
+    """Defects specific to the 2D overlapped-tiling driver grammar."""
+
+    @pytest.fixture(scope="class")
+    def harris(self):
+        # Harris fuses a depth>=2 chain with nonzero stage margins, so
+        # its tile2d block exercises the margin ledger.
+        if not native_available():
+            pytest.skip("requires a C compiler on PATH")
+        _, nplan = _native_plan("Harris")
+        native = next(
+            n
+            for _p, n in nplan.blocks
+            if n is not None and n.spec.tile2d is not None
+        )
+        return native
+
+    def codes(self, native, source):
+        return {d.code for d in _check(native, source)}
+
+    def test_fixture_is_tile2d_and_clean(self, harris):
+        assert harris.spec.tile2d is not None
+        assert self.codes(harris, harris.spec.source) == set()
+
+    def test_undersized_scratch_decl_is_nat001(self, harris):
+        source = harris.spec.source
+        decl = re.search(r"scr_0\[(\d+)\];", source)
+        assert decl is not None
+        mutated = source.replace(
+            decl.group(0), f"scr_0[{int(decl.group(1)) // 2}];"
+        )
+        assert "NAT001" in self.codes(harris, mutated)
+
+    def test_widened_fill_region_is_caught(self, harris):
+        # Growing sx1 past the declared margin makes the fill overrun
+        # the scratch pitch.
+        source = harris.spec.source
+        match = re.search(
+            r"const int sx1_0 = x1 \+ (\d+) < (\w+) \? x1 \+ \1 : \2;", source
+        )
+        assert match is not None
+        right, plane = int(match.group(1)), match.group(2)
+        mutated = source.replace(
+            match.group(0),
+            f"const int sx1_0 = x1 + {right + 1} < {plane} "
+            f"? x1 + {right + 1} : {plane};",
+        )
+        assert self.codes(harris, mutated) & {"NAT001", "NAT004"}
+
+    def test_widened_fill_guard_is_caught(self, harris):
+        # The split-fill guard is what proves the clamp-free stage body
+        # in-plane; widening it to the full height must fail the raw
+        # row reads.
+        source = harris.spec.source
+        match = re.search(r"if \(y >= 1 && y < ([^)]+)\) \{", source)
+        if match is None:
+            pytest.skip("no split fill with a one-row margin in this block")
+        mutated = source.replace(
+            match.group(0), f"if (y >= 0 && y < {match.group(1)}) {{", 1
+        )
+        assert "NAT002" in self.codes(harris, mutated)
+
+    def test_shrunk_fill_sweep_is_caught(self, harris):
+        # Sweeping only the un-extended tile instead of the halo region
+        # leaves scratch cells the destination reads uninitialized; the
+        # template parse must refuse the altered row loop.
+        source = harris.spec.source
+        needle = "for (int y = sy0_0; y < sy1_0; ++y)"
+        assert needle in source
+        mutated = source.replace(needle, "for (int y = y0; y < y1; ++y)", 1)
+        assert "NAT004" in self.codes(harris, mutated)
 
 
 class TestEntryPoints:

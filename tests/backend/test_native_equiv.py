@@ -384,3 +384,102 @@ class TestLoweredSource:
         assert "-ffp-contract=off" in source  # contract documented
         assert "idx_clamp" in source
         assert "#pragma omp" in source
+
+
+@needs_cc
+class TestTile2DEquivalence:
+    """The 2D overlapped-tiling lowering (REPRO_NATIVE_TILE2D) against
+    the tape oracle across tile shapes, boundary modes, and thread
+    counts — bit-identity everywhere the f64 contract demands it."""
+
+    TILE_SETTINGS = ("off", "auto", "4x32", "8x64")
+
+    def _chain(self, mode=None, width=44, height=30):
+        kwargs = {} if mode is None else {"boundary": mode}
+        graph = chain_pipeline(
+            ("l", "l", "l"), width, height, **kwargs
+        ).build()
+        return graph, PartitionBlock(graph, set(graph.kernel_names))
+
+    @pytest.mark.parametrize("threads", ["1", "4"])
+    @pytest.mark.parametrize("setting", TILE_SETTINGS)
+    @pytest.mark.parametrize("mode", MODES, ids=lambda m: str(m))
+    def test_matrix_bit_identical(self, monkeypatch, mode, setting, threads):
+        graph, block = self._chain(mode)
+        data = {"img0": random_image(44, 30, seed=31)}
+        tape = plan_for_block(graph, block).execute(dict(data), {})
+        monkeypatch.setenv("REPRO_NATIVE_TILE2D", setting)
+        monkeypatch.setenv("REPRO_NATIVE_THREADS", threads)
+        nplan = native_plan_for_block(graph, block)
+        assert nplan.native is not None
+        assert nplan.tolerance is None  # convolution chain: exact
+        np.testing.assert_array_equal(nplan.execute(dict(data)), tape)
+
+    def test_knob_selects_the_lowering(self, monkeypatch):
+        graph, block = self._chain()
+        monkeypatch.setenv("REPRO_NATIVE_TILE2D", "4x32")
+        explicit = native_plan_for_block(graph, block)
+        assert explicit.native.spec.tile2d == (4, 32)
+        monkeypatch.setenv("REPRO_NATIVE_TILE2D", "off")
+        classic = native_plan_for_block(graph, block)
+        assert classic.native.spec.tile2d is None
+        monkeypatch.setenv("REPRO_NATIVE_TILE2D", "auto")
+        auto = native_plan_for_block(graph, block)
+        assert auto.native.spec.tile2d is not None  # model picked a shape
+
+    def test_f32_fast_path_stays_within_pinned_tolerance(self, monkeypatch):
+        graph, block = self._chain()
+        data = {"img0": random_image(44, 30, seed=32)}
+        reference = native_plan_for_block(graph, block).execute(
+            dict(data), {}
+        )
+        monkeypatch.setenv("REPRO_NATIVE_F32", "on")
+        fplan = native_plan_for_block(graph, block)
+        assert fplan.native is not None
+        assert fplan.native.spec.f32
+        assert fplan.tolerance is not None  # f32 compute is never exact
+        rtol, atol = fplan.tolerance
+        np.testing.assert_allclose(
+            fplan.execute(dict(data), {}), reference, rtol=rtol, atol=atol
+        )
+
+    def test_polymorphic_tile2d_single_source_serves_four_geometries(self):
+        sources = set()
+        for width, height in ((44, 30), (56, 36), (33, 27), (24, 18)):
+            graph, block = self._chain(width=width, height=height)
+            partition = Partition(graph, [block])
+            nplan = native_plan_for_partition(
+                graph, partition, polymorphic=True
+            )
+            native = next(n for _p, n in nplan.blocks if n is not None)
+            assert native.spec.tile2d is not None
+            sources.add(native.spec.source)
+            data = {"img0": random_image(width, height, seed=width + height)}
+            tape = execute_partitioned(
+                graph, partition, data, {}, engine="tape"
+            )
+            served = nplan.execute(dict(data), {})
+            for name in tape:
+                np.testing.assert_array_equal(served[name], tape[name])
+        assert len(sources) == 1
+
+    def test_strided_view_binds_zero_copy_through_tile2d(self):
+        from repro.backend.native_exec import (
+            noncontiguous_zero_copy_count,
+            reset_noncontiguous_zero_copy,
+        )
+
+        graph, block = self._chain(width=40, height=24)
+        partition = Partition(graph, [block])
+        nplan = native_plan_for_partition(graph, partition, polymorphic=True)
+        native = next(n for _p, n in nplan.blocks if n is not None)
+        assert native.spec.tile2d is not None
+        frame = random_image(64, 24, seed=33)
+        view = frame[:, :40]
+        assert not view.flags.c_contiguous
+        reset_noncontiguous_zero_copy()
+        served = nplan.execute({"img0": view}, {})
+        assert noncontiguous_zero_copy_count() >= 1
+        dense = nplan.execute({"img0": np.ascontiguousarray(view)}, {})
+        for name in dense:
+            np.testing.assert_array_equal(served[name], dense[name])

@@ -134,11 +134,11 @@ def test_fallback_blocks_pin_the_plan_to_its_geometry(monkeypatch):
     real_lower = native_exec._lower_block
     poisoned = {"count": 0}
 
-    def lower_first_block_fails(plan, fn_name, tile, polymorphic=False):
+    def lower_first_block_fails(plan, fn_name, tile, polymorphic=False, **kw):
         if poisoned["count"] == 0:
             poisoned["count"] += 1
             raise NativeLoweringError("injected: block refuses to lower")
-        return real_lower(plan, fn_name, tile, polymorphic)
+        return real_lower(plan, fn_name, tile, polymorphic, **kw)
 
     monkeypatch.setattr(native_exec, "_lower_block", lower_first_block_fails)
     width, height = GEOMETRIES[0]

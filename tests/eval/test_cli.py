@@ -134,3 +134,22 @@ class TestCommands:
         assert main(["figure4"]) == 0
         out = capsys.readouterr().out
         assert "992" in out and "763" in out
+
+    def test_tiling(self, capsys):
+        assert main(["tiling"]) == 0
+        out = capsys.readouterr().out
+        assert "host caches:" in out and "L1d=" in out
+        # Sobel's single fused block tiles; Harris's single-kernel
+        # gradient blocks report why they keep the classic form.
+        assert "tile " in out and "scratch " in out
+        assert "single-kernel blocks have no intermediates" in out
+
+    def test_tiling_json(self, capsys):
+        import json
+
+        assert main(["tiling", "Sobel", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert "L1d=" in report["caches"]
+        (entry,) = report["apps"]["Sobel"]
+        assert entry["choice"]["tile"][0] >= 1
+        assert entry["choice"]["scratch_bytes"] > 0

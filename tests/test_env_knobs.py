@@ -326,3 +326,65 @@ class TestValidateOverride:
         with pytest.raises(EnvKnobError, match="paranoid"):
             with validate_override("paranoid"):
                 pass
+
+
+class TestNativeTile2DKnob:
+    def test_unset_defaults_to_auto(self, monkeypatch):
+        from repro.envknobs import NATIVE_TILE2D_ENV, native_tile2d_env
+
+        monkeypatch.delenv(NATIVE_TILE2D_ENV, raising=False)
+        assert native_tile2d_env() == "auto"
+        monkeypatch.setenv(NATIVE_TILE2D_ENV, "   ")
+        assert native_tile2d_env() == "auto"
+
+    def test_auto_and_off_parse_case_insensitively(self, monkeypatch):
+        from repro.envknobs import NATIVE_TILE2D_ENV, native_tile2d_env
+
+        for raw, expected in (
+            ("auto", "auto"),
+            ("OFF", "off"),
+            ("Auto", "auto"),
+        ):
+            monkeypatch.setenv(NATIVE_TILE2D_ENV, raw)
+            assert native_tile2d_env() == expected
+
+    def test_explicit_shape_parses(self, monkeypatch):
+        from repro.envknobs import NATIVE_TILE2D_ENV, native_tile2d_env
+
+        monkeypatch.setenv(NATIVE_TILE2D_ENV, "64x128")
+        assert native_tile2d_env() == (64, 128)
+        monkeypatch.setenv(NATIVE_TILE2D_ENV, " 8X32 ")
+        assert native_tile2d_env() == (8, 32)
+
+    @pytest.mark.parametrize(
+        "raw", ["64", "64x", "x128", "0x32", "8x-1", "8x32x2", "tall", "8*32"]
+    )
+    def test_garbage_names_the_variable(self, monkeypatch, raw):
+        from repro.envknobs import NATIVE_TILE2D_ENV, native_tile2d_env
+
+        monkeypatch.setenv(NATIVE_TILE2D_ENV, raw)
+        with pytest.raises(EnvKnobError, match="REPRO_NATIVE_TILE2D"):
+            native_tile2d_env()
+
+
+class TestNativeF32Knob:
+    def test_default_is_off(self, monkeypatch):
+        from repro.envknobs import NATIVE_F32_ENV, native_f32_enabled
+
+        monkeypatch.delenv(NATIVE_F32_ENV, raising=False)
+        assert native_f32_enabled() is False
+
+    def test_on_enables(self, monkeypatch):
+        from repro.envknobs import NATIVE_F32_ENV, native_f32_enabled
+
+        monkeypatch.setenv(NATIVE_F32_ENV, "on")
+        assert native_f32_enabled() is True
+        monkeypatch.setenv(NATIVE_F32_ENV, "off")
+        assert native_f32_enabled() is False
+
+    def test_garbage_names_the_variable(self, monkeypatch):
+        from repro.envknobs import NATIVE_F32_ENV, native_f32_enabled
+
+        monkeypatch.setenv(NATIVE_F32_ENV, "fast")
+        with pytest.raises(EnvKnobError, match="REPRO_NATIVE_F32"):
+            native_f32_enabled()
